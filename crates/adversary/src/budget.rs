@@ -1,0 +1,100 @@
+//! A budget combinator: cap any adversary's pattern size at `M`.
+//!
+//! Definition 2.3 quantifies over patterns with `|F| ≤ M`; wrapping an
+//! adversary in [`Budgeted`] turns any strategy into a member of that
+//! class. New failures beyond the budget are dropped; restarts of already
+//! failed processors are always forwarded (and counted), so no processor
+//! is stranded by the cap itself.
+
+use rfsp_pram::{Adversary, Decisions, MachineView};
+
+/// Wrap `inner`, enforcing `|F| ≤ m` (approximately: restart events needed
+/// to un-strand failed processors may overshoot by at most `P`).
+#[derive(Clone, Debug)]
+pub struct Budgeted<A> {
+    inner: A,
+    remaining: u64,
+}
+
+impl<A: Adversary> Budgeted<A> {
+    /// Allow `inner` at most `m` failure/restart events.
+    pub fn new(inner: A, m: u64) -> Self {
+        Budgeted { inner, remaining: m }
+    }
+
+    /// Events still allowed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The wrapped adversary.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: Adversary> Adversary for Budgeted<A> {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        let raw = self.inner.decide(view);
+        let mut out = Decisions::none();
+        for (pid, point) in raw.fails {
+            if self.remaining >= 2 {
+                // Reserve an event for the matching restart so a budgeted
+                // failure can always be recovered from.
+                self.remaining -= 1;
+                out.fails.push((pid, point));
+            }
+        }
+        for pid in raw.restarts {
+            // Restarts are forwarded regardless (a failed processor must be
+            // recoverable) but still drain the budget.
+            self.remaining = self.remaining.saturating_sub(1);
+            out.restarts.push(pid);
+        }
+        // Drop restarts whose failure was suppressed: a restart is only
+        // legal for a processor that is (still) failed.
+        out.restarts.retain(|pid| {
+            let failed_before =
+                view.procs[pid.0].status == rfsp_pram::ProcStatus::Failed;
+            let failed_now = out.fails.iter().any(|(p, _)| p == pid);
+            failed_before || failed_now
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thrashing::Thrashing;
+    use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
+    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+
+    #[test]
+    fn budget_caps_the_pattern() {
+        let n = 64;
+        let p = 16;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv = Budgeted::new(Thrashing::new(), 40);
+        let report = m.run(&mut adv).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        assert!(report.stats.pattern_size() <= 40 + p as u64);
+        assert!(report.stats.pattern_size() > 0);
+    }
+
+    #[test]
+    fn zero_budget_passes_nothing() {
+        let n = 16;
+        let p = 4;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv = Budgeted::new(Thrashing::new(), 0);
+        let report = m.run(&mut adv).unwrap();
+        assert_eq!(report.stats.pattern_size(), 0);
+    }
+}

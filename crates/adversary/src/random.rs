@@ -1,0 +1,161 @@
+//! Random fault injection: the workhorse adversary for parameter sweeps.
+//!
+//! Not one of the paper's named adversaries, but the natural way to drive
+//! the `M`-sweeps of Theorem 4.3 and Corollaries 4.10–4.12: each tick,
+//! every active processor fails independently with probability `p_fail`
+//! (at a uniformly random legal point of its cycle — before reads, before
+//! writes, or between writes), and every failed processor restarts with
+//! probability `p_restart`. An optional event budget caps `|F|`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rfsp_pram::{Adversary, Decisions, FailPoint, MachineView, ProcStatus};
+
+/// I.i.d. failure/restart injection with an optional `|F|` budget.
+#[derive(Clone, Debug)]
+pub struct RandomFaults {
+    /// Per-processor, per-tick failure probability.
+    pub p_fail: f64,
+    /// Per-processor, per-tick restart probability (for failed processors).
+    pub p_restart: f64,
+    /// Remaining failure+restart events; `None` = unlimited.
+    budget: Option<u64>,
+    rng: SmallRng,
+}
+
+impl RandomFaults {
+    /// Unlimited-budget random faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn new(p_fail: f64, p_restart: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_fail), "p_fail must be a probability");
+        assert!((0.0..=1.0).contains(&p_restart), "p_restart must be a probability");
+        RandomFaults { p_fail, p_restart, budget: None, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Cap the failure pattern at `m` events (Theorem 4.3's `M`). Once the
+    /// budget is exhausted no *new failures* are issued; pending restarts
+    /// are still granted (and counted) so no processor is stranded.
+    pub fn with_budget(mut self, m: u64) -> Self {
+        self.budget = Some(m);
+        self
+    }
+
+    /// Remaining event budget, if any.
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn take_budget(&mut self) -> bool {
+        match &mut self.budget {
+            None => true,
+            Some(0) => false,
+            Some(b) => {
+                *b -= 1;
+                true
+            }
+        }
+    }
+}
+
+impl Adversary for RandomFaults {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        let mut d = Decisions::none();
+        // Restarts first: stranded processors contribute nothing.
+        for meta in view.procs {
+            if meta.status == ProcStatus::Failed && self.rng.random_bool(self.p_restart) {
+                // Restarts are granted even on an empty budget (but still
+                // counted against it) so a failed machine can always drain.
+                if let Some(b) = &mut self.budget {
+                    *b = b.saturating_sub(1);
+                }
+                d.restart(meta.pid);
+            }
+        }
+        // Failures: keep at least one completing processor.
+        let active: Vec<_> = view.active_pids().collect();
+        if active.len() <= 1 {
+            return d;
+        }
+        let mut spared = false;
+        let last = *active.last().expect("nonempty");
+        for pid in active {
+            // Always spare the final active processor if nobody else was.
+            if pid == last && !spared {
+                break;
+            }
+            if self.rng.random_bool(self.p_fail) && self.take_budget() {
+                let t = view.tentative[pid.0].as_ref().expect("active processor has a cycle");
+                let w = t.writes.len();
+                let point = match self.rng.random_range(0..3) {
+                    0 => FailPoint::BeforeReads,
+                    1 => FailPoint::BeforeWrites,
+                    _ if w >= 1 => FailPoint::AfterWrite(self.rng.random_range(1..=w)),
+                    _ => FailPoint::BeforeWrites,
+                };
+                d.fail(pid, point);
+            } else {
+                spared = true;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsp_core::{AlgoV, AlgoX, WriteAllTasks, XOptions};
+    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+
+    #[test]
+    fn x_completes_under_heavy_random_churn() {
+        let n = 64;
+        let p = 16;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv = RandomFaults::new(0.3, 0.5, 1234);
+        let report = m.run(&mut adv).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        assert!(report.stats.failures > 0);
+    }
+
+    #[test]
+    fn v_completes_under_budgeted_churn() {
+        let n = 128;
+        let p = 8;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoV::new(&mut layout, tasks, p);
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv = RandomFaults::new(0.2, 0.7, 99).with_budget(100);
+        let report = m.run(&mut adv).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        // The budget is approximately respected (restarts may overshoot by
+        // the number of pending failed processors).
+        assert!(report.stats.pattern_size() <= 100 + p as u64);
+    }
+
+    #[test]
+    fn budget_zero_means_no_failures() {
+        let n = 32;
+        let p = 4;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv = RandomFaults::new(0.9, 0.5, 5).with_budget(0);
+        let report = m.run(&mut adv).unwrap();
+        assert_eq!(report.stats.pattern_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = RandomFaults::new(1.5, 0.0, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion wall-time benches for the Theorem 4.1 PRAM simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfsp_adversary::RandomFaults;
+use rfsp_pram::{NoFailures, RunLimits};
+use rfsp_sim::programs::{ParallelSum, PrefixSums};
+use rfsp_sim::{simulate, Engine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_prefix_sums");
+    let n = 256usize;
+    let prog = PrefixSums::new((0..n as u32).map(|i| i % 7).collect());
+    for engine in [Engine::X, Engine::V, Engine::Interleaved] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{engine:?}"), n),
+            &engine,
+            |b, &engine| {
+                b.iter(|| {
+                    simulate(prog.clone(), 16, engine, &mut NoFailures, RunLimits::default())
+                        .expect("bench run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_faulty_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_under_faults");
+    let prog = ParallelSum::new((0..256u32).map(|i| i % 5).collect());
+    group.bench_function("reduction/churn", |b| {
+        b.iter(|| {
+            let mut adv = RandomFaults::new(0.05, 0.8, 7).with_budget(512);
+            simulate(prog.clone(), 16, Engine::Interleaved, &mut adv, RunLimits::default())
+                .expect("bench run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_faulty_simulation);
+criterion_main!(benches);

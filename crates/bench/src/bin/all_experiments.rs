@@ -1,0 +1,6 @@
+//! Run the complete experiment suite (E1-E10); the output regenerates the
+//! data recorded in EXPERIMENTS.md.
+
+fn main() {
+    rfsp_bench::experiments::run_all();
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `rfsp_bench::experiments::e2`.
+
+fn main() {
+    rfsp_bench::experiments::e2::run();
+}

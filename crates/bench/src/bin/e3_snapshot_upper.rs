@@ -1,0 +1,5 @@
+//! Experiment binary: see `rfsp_bench::experiments::e3`.
+
+fn main() {
+    rfsp_bench::experiments::e3::run();
+}

@@ -1,0 +1,49 @@
+//! E6 — Theorem 4.7: algorithm X has `S = O(N · P^{log(3/2)+δ})` for
+//! `P ≤ N` under *any* failure/restart pattern.
+
+use rfsp_adversary::{Pigeonhole, Thrashing};
+use rfsp_pram::RunLimits;
+
+use crate::{fmt, print_table, run_write_all, run_write_all_with, Algo};
+
+/// Run experiment E6.
+pub fn run() {
+    let n = 4096usize;
+    let exp = (1.5f64).log2(); // log₂(3/2) ≈ 0.585
+    let mut rows = Vec::new();
+    for p in [16usize, 64, 256, 1024, 4096] {
+        let bound = n as f64 * (p as f64).powf(exp);
+        // Thrashing: an unbounded-|F| adversary.
+        let thrash = run_write_all(Algo::X, n, p, &mut Thrashing::new(), RunLimits::default())
+            .expect("E6 thrashing run failed");
+        assert!(thrash.verified);
+        // Pigeonhole: the halving adversary.
+        let pigeon = run_write_all_with(
+            Algo::X,
+            n,
+            p,
+            |setup| Pigeonhole::new(setup.tasks.x()),
+            RunLimits::default(),
+        )
+        .expect("E6 pigeonhole run failed");
+        assert!(pigeon.verified);
+        rows.push(vec![
+            p.to_string(),
+            fmt(thrash.report.stats.completed_work() as f64),
+            fmt(thrash.report.stats.completed_work() as f64 / bound),
+            fmt(pigeon.report.stats.completed_work() as f64),
+            fmt(pigeon.report.stats.completed_work() as f64 / bound),
+        ]);
+    }
+    print_table(
+        "E6 (Theorem 4.7) — algorithm X, N = 4096, sweeping P ≤ N; bound N·P^0.585",
+        &["P", "S (thrashing)", "ratio", "S (pigeonhole)", "ratio"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper: S = O(N·P^{{log 3/2 + δ}}) regardless of the pattern — both \
+         ratio columns stay bounded (and typically shrink: these adversaries \
+         are far from X's worst case, which E7 constructs)."
+    );
+}

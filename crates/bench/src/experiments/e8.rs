@@ -1,0 +1,61 @@
+//! E8 — Theorem 4.9: interleaving V and X achieves
+//! `S = O(min{N + P log²N + M log N, N·P^{0.59}})` and `σ = O(log² N)`.
+
+use rfsp_adversary::{RandomFaults, Thrashing};
+use rfsp_pram::{Adversary, RunLimits};
+
+use crate::{fmt, print_table, run_write_all, Algo};
+
+fn regime(name: &str, n: usize, p: usize, mk: &dyn Fn() -> Box<dyn Adversary>) -> Vec<String> {
+    let mut cols = vec![name.to_string()];
+    let mut works = Vec::new();
+    let mut sigma_combined = 0.0;
+    for algo in [Algo::V, Algo::X, Algo::Interleaved] {
+        let mut adversary = mk();
+        let run = run_write_all(algo, n, p, &mut adversary, RunLimits::default())
+            .expect("E8 run failed");
+        assert!(run.verified);
+        let s = run.report.stats.completed_work();
+        if algo == Algo::Interleaved {
+            sigma_combined = run.report.overhead_ratio(n as u64);
+        }
+        works.push(s);
+        cols.push(s.to_string());
+    }
+    let best_half = works[0].min(works[1]) as f64;
+    cols.push(fmt(works[2] as f64 / best_half));
+    cols.push(fmt(sigma_combined));
+    let log2n = (n as f64).log2();
+    cols.push(fmt(sigma_combined / (log2n * log2n)));
+    cols
+}
+
+/// Run experiment E8.
+pub fn run() {
+    let n = 2048usize;
+    let p = 128usize;
+    let rows = vec![
+        regime("no failures", n, p, &|| Box::new(rfsp_pram::NoFailures)),
+        regime("M ≈ P (small)", n, p, &|| {
+            Box::new(RandomFaults::new(0.02, 0.8, 0xE8).with_budget(p as u64))
+        }),
+        regime("M ≈ N log N", n, p, &|| {
+            Box::new(
+                RandomFaults::new(0.5, 0.9, 0xE8)
+                    .with_budget((n as f64 * (n as f64).log2()) as u64),
+            )
+        }),
+        regime("unbounded (thrashing)", n, p, &|| Box::new(Thrashing::new())),
+    ];
+    print_table(
+        "E8 (Theorem 4.9) — interleaved V+X across failure regimes, N = 2048, P = 128",
+        &["regime", "S(V)", "S(X)", "S(V+X)", "S(V+X)/min(V,X)", "σ(V+X)", "σ/log²N"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper: the interleaving tracks the better half to within a small \
+         constant (column 5), and its overhead ratio σ = S/(N+|F|) is \
+         O(log²N) in every regime (column 7 bounded)."
+    );
+}

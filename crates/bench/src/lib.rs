@@ -1,0 +1,389 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every experiment binary (`e1_thrashing` … `e10_stalking`) prints a
+//! Markdown table comparing the paper's claim with the measured behaviour;
+//! `all_experiments` runs the full suite. This library holds the common
+//! plumbing: algorithm runners, table formatting, and regression helpers.
+
+pub mod experiments;
+
+use rfsp_core::{AccOptions, AlgoAcc, AlgoV, AlgoW, AlgoX, AlgoXInPlace, Interleaved,
+                WriteAllTasks, XOptions};
+use rfsp_pram::{Adversary, CycleBudget, Machine, MemoryLayout, PramError, RunLimits, RunReport};
+
+/// Which Write-All algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algo {
+    /// Algorithm X (local traversal).
+    X,
+    /// Algorithm V (phase-synchronized).
+    V,
+    /// Algorithm W (the [KS 89] baseline with enumeration).
+    W,
+    /// Interleaved V+X (Theorem 4.9).
+    Interleaved,
+    /// Algorithm X in place (Remark 7; power-of-two sizes only).
+    XInPlace,
+    /// Randomized ACC with this seed (§5 baseline).
+    Acc(u64),
+}
+
+impl Algo {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::X => "X",
+            Algo::V => "V",
+            Algo::W => "W",
+            Algo::Interleaved => "V+X",
+            Algo::XInPlace => "X-inplace",
+            Algo::Acc(_) => "ACC",
+        }
+    }
+}
+
+/// Outcome of one Write-All run.
+#[derive(Clone, Debug)]
+pub struct WriteAllRun {
+    /// The machine report.
+    pub report: RunReport,
+    /// Whether the array was fully written (always true on `Ok`).
+    pub verified: bool,
+}
+
+/// Run a Write-All instance of size `n` on `p` processors under
+/// `adversary`.
+///
+/// # Errors
+///
+/// Propagates machine errors; [`PramError::CycleLimit`] marks runs the
+/// adversary successfully prevented from finishing within `limits`.
+pub fn run_write_all<A: Adversary>(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    adversary: &mut A,
+    limits: RunLimits,
+) -> Result<WriteAllRun, PramError> {
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    match algo {
+        Algo::X => {
+            let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::V => {
+            let prog = AlgoV::new(&mut layout, tasks, p);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::W => {
+            let prog = AlgoW::new(&mut layout, tasks, p);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::Interleaved => {
+            let prog = Interleaved::new(&mut layout, tasks, p);
+            let budget = prog.required_budget();
+            let mut m = Machine::new(&prog, p, budget)?;
+            let report = m.run_with_limits(adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::XInPlace => {
+            let prog = AlgoXInPlace::new(&mut layout, tasks, p);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::Acc(seed) => {
+            let prog = AlgoAcc::new(&mut layout, tasks, AccOptions { seed });
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+    }
+}
+
+/// Run a Write-All instance and also hand the adversary constructor the
+/// array region (needed by region-aware adversaries like the pigeonhole
+/// and the stalker).
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+pub fn run_write_all_with<F, A>(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    match algo {
+        Algo::X => {
+            let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+            let setup = WriteAllSetup {
+                tasks,
+                x_layout: Some(*prog.layout()),
+                tree: Some(prog.tree()),
+            };
+            let mut adversary = make_adversary(&setup);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(&mut adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::V => {
+            let prog = AlgoV::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            let mut adversary = make_adversary(&setup);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(&mut adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::W => {
+            let prog = AlgoW::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            let mut adversary = make_adversary(&setup);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(&mut adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::Interleaved => {
+            let prog = Interleaved::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup {
+                tasks,
+                x_layout: Some(*prog.x_half().layout()),
+                tree: Some(prog.x_half().tree()),
+            };
+            let mut adversary = make_adversary(&setup);
+            let budget = prog.required_budget();
+            let mut m = Machine::new(&prog, p, budget)?;
+            let report = m.run_with_limits(&mut adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::XInPlace => {
+            let prog = AlgoXInPlace::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            let mut adversary = make_adversary(&setup);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(&mut adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+        Algo::Acc(seed) => {
+            let prog = AlgoAcc::new(&mut layout, tasks, AccOptions { seed });
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            let mut adversary = make_adversary(&setup);
+            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let report = m.run_with_limits(&mut adversary, limits)?;
+            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+    }
+}
+
+/// Like [`run_write_all_with`], restricted to algorithm X but with
+/// explicit [`XOptions`] — used by the Remark 5
+/// ablation (E11).
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+pub fn run_write_all_with_options<F, A>(
+    algo: Algo,
+    opts: rfsp_core::XOptions,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
+    assert!(matches!(algo, Algo::X), "options apply to algorithm X only");
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let prog = AlgoX::new(&mut layout, tasks, p, opts);
+    let setup = WriteAllSetup {
+        tasks,
+        x_layout: Some(*prog.layout()),
+        tree: Some(prog.tree()),
+    };
+    let mut adversary = make_adversary(&setup);
+    let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+    let report = m.run_with_limits(&mut adversary, limits)?;
+    Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+}
+
+/// What a region-aware adversary constructor gets to see.
+#[derive(Clone, Debug)]
+pub struct WriteAllSetup {
+    /// The Write-All instance (exposes the array region).
+    pub tasks: WriteAllTasks,
+    /// Algorithm X's layout, when the algorithm is X-based.
+    pub x_layout: Option<rfsp_core::XLayout>,
+    /// The progress-tree shape, when the algorithm has one.
+    pub tree: Option<rfsp_core::HeapTree>,
+}
+
+/// Least-squares slope of `log y` against `log x` — the empirical exponent
+/// of a power law.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or non-positive coordinates.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Print a Markdown table and, if `RFSP_CSV_DIR` is set, also write the
+/// rows as `<dir>/<slug-of-title>.csv` so experiment data can be plotted
+/// without scraping stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    if let Ok(dir) = std::env::var("RFSP_CSV_DIR") {
+        if let Err(e) = write_csv(&dir, title, headers, rows) {
+            eprintln!("warning: could not write CSV for '{title}': {e}");
+        }
+    }
+}
+
+/// Turn a table title into a file-system-friendly slug.
+pub fn slugify(title: &str) -> String {
+    let mut slug = String::new();
+    let mut dash = false;
+    for c in title.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !slug.is_empty() {
+            slug.push('-');
+            dash = true;
+        }
+    }
+    slug.trim_end_matches('-').to_string()
+}
+
+fn write_csv(dir: &str, title: &str, headers: &[&str], rows: &[Vec<String>])
+             -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir).join(format!("{}.csv", slugify(title)));
+    let escape = |cell: &str| {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Format a float compactly.
+pub fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsp_pram::NoFailures;
+
+    #[test]
+    fn runner_covers_all_algorithms() {
+        for algo in [Algo::X, Algo::V, Algo::W, Algo::Interleaved, Algo::XInPlace, Algo::Acc(3)] {
+            let run =
+                run_write_all(algo, 32, 8, &mut NoFailures, RunLimits::default()).unwrap();
+            assert!(run.verified, "{algo:?}");
+            assert!(run.report.stats.completed_work() > 0);
+        }
+    }
+
+    #[test]
+    fn slugify_is_filesystem_friendly() {
+        assert_eq!(
+            slugify("E7 (Theorem 4.8) — algorithm X, P = N"),
+            "e7-theorem-4-8-algorithm-x-p-n"
+        );
+        assert_eq!(slugify("---"), "");
+    }
+
+    #[test]
+    fn csv_emission_roundtrips() {
+        let dir = std::env::temp_dir().join("rfsp-csv-test");
+        let dir_s = dir.to_str().unwrap().to_string();
+        write_csv(&dir_s, "T1, with \"quotes\"", &["a", "b"], &[
+            vec!["1".into(), "x,y".into()],
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(dir.join("t1-with-quotes.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,\"x,y\"\n");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn slope_of_a_pure_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| {
+                let x = (1 << k) as f64;
+                (x, 3.0 * x.powf(1.585))
+            })
+            .collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 1.585).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_aware_runner_exposes_layout() {
+        let run = run_write_all_with(
+            Algo::X,
+            16,
+            16,
+            |setup| {
+                assert!(setup.x_layout.is_some());
+                NoFailures
+            },
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert!(run.verified);
+    }
+}

@@ -1,0 +1,35 @@
+//! `rfsp experiment` — run one of the paper-reproduction experiments.
+
+use rfsp_bench::experiments;
+
+use crate::args::{ArgError, Args};
+
+/// Execute the subcommand.
+///
+/// # Errors
+///
+/// Reports an unknown experiment id as [`ArgError`].
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    match args.get_or("id", "all") {
+        "all" => experiments::run_all(),
+        "e1" => experiments::e1::run(),
+        "e2" => experiments::e2::run(),
+        "e3" => experiments::e3::run(),
+        "e4" => experiments::e4::run(),
+        "e5" => experiments::e5::run(),
+        "e6" => experiments::e6::run(),
+        "e7" => experiments::e7::run(),
+        "e8" => experiments::e8::run(),
+        "e9" => experiments::e9::run(),
+        "e10" => experiments::e10::run(),
+        "e11" => experiments::e11::run(),
+        "e12" => experiments::e12::run(),
+        "e13" => experiments::e13::run(),
+        other => {
+            return Err(ArgError(format!(
+                "unknown experiment '{other}' (expected e1..e13 or all)"
+            )))
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! The CLI subcommands.
+
+pub mod experiment;
+pub mod lockfree;
+pub mod simulate;
+pub mod writeall;

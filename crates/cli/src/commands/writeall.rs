@@ -1,0 +1,123 @@
+//! `rfsp writeall` — run one Write-All instance and report the accounting.
+
+use rfsp_adversary::{offline_random, Budgeted, Pigeonhole, RandomFaults, Stalking,
+                     StalkingMode, Thrashing, XKiller};
+use rfsp_bench::{run_write_all_with, Algo, WriteAllSetup};
+use rfsp_pram::{Adversary, NoFailures, RunLimits, ScheduledAdversary};
+
+use crate::args::{ArgError, Args};
+use crate::pattern_io;
+
+fn parse_algo(name: &str) -> Result<Algo, ArgError> {
+    Ok(match name {
+        "x" => Algo::X,
+        "v" => Algo::V,
+        "w" => Algo::W,
+        "vx" | "interleaved" => Algo::Interleaved,
+        "x-inplace" | "inplace" => Algo::XInPlace,
+        "acc" => Algo::Acc(0),
+        other => return Err(ArgError(format!("unknown algorithm '{other}'"))),
+    })
+}
+
+fn build_adversary(args: &Args, setup: &WriteAllSetup, n: usize) -> Result<Box<dyn Adversary>, ArgError> {
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let adv: Box<dyn Adversary> = match args.get_or("adversary", "none") {
+        "none" => Box::new(NoFailures),
+        "thrashing" => Box::new(Thrashing::new()),
+        "pigeonhole" => Box::new(Pigeonhole::new(setup.tasks.x())),
+        "pigeonhole-failstop" => Box::new(Pigeonhole::fail_stop(setup.tasks.x())),
+        "random" => {
+            let rate: f64 = args.get_parsed("rate", 0.05)?;
+            let restart: f64 = args.get_parsed("restart-rate", 0.5)?;
+            Box::new(RandomFaults::new(rate, restart, seed))
+        }
+        "offline" => {
+            let rate: f64 = args.get_parsed("rate", 0.05)?;
+            let restart: f64 = args.get_parsed("restart-rate", 0.5)?;
+            let p: usize = args.get_parsed("p", 64)?;
+            Box::new(offline_random(p, 1_000_000, rate, restart, seed))
+        }
+        "xkiller" => {
+            let layout = setup
+                .x_layout
+                .ok_or_else(|| ArgError("--adversary xkiller needs --algo x".into()))?;
+            let tree = setup.tree.expect("algorithms with an X layout have a tree");
+            Box::new(XKiller::new(setup.tasks.x(), layout, tree))
+        }
+        "stalking" => {
+            let target: usize = args.get_parsed("target", n - 1)?;
+            let mode = if args.flag("no-restarts") {
+                StalkingMode::FailStop
+            } else {
+                StalkingMode::Restart
+            };
+            Box::new(Stalking::new(setup.tasks.x(), target, mode))
+        }
+        "replay" => {
+            let path = args
+                .get("replay-pattern")
+                .ok_or_else(|| ArgError("--adversary replay needs --replay-pattern FILE".into()))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            Box::new(ScheduledAdversary::new(pattern_io::decode(&text)?))
+        }
+        other => return Err(ArgError(format!("unknown adversary '{other}'"))),
+    };
+    Ok(match args.get("fault-budget") {
+        Some(_) => Box::new(Budgeted::new(adv, args.get_parsed("fault-budget", 0)?)),
+        None => adv,
+    })
+}
+
+/// Execute the subcommand.
+///
+/// # Errors
+///
+/// Reports bad arguments, I/O problems, and machine errors as [`ArgError`].
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.get_parsed("n", 1024)?;
+    let p: usize = args.get_parsed("p", 64)?;
+    let algo = parse_algo(args.get_or("algo", "x"))?;
+    let max_cycles: u64 = args.get_parsed("max-cycles", RunLimits::default().max_cycles)?;
+
+    let mut build_err = None;
+    let result = run_write_all_with(
+        algo,
+        n,
+        p,
+        |setup| match build_adversary(args, setup, n) {
+            Ok(adv) => adv,
+            Err(e) => {
+                build_err = Some(e);
+                Box::new(NoFailures)
+            }
+        },
+        RunLimits { max_cycles },
+    );
+    if let Some(e) = build_err {
+        return Err(e);
+    }
+    let run = result.map_err(|e| ArgError(format!("machine error: {e}")))?;
+    if !run.verified {
+        return Err(ArgError("postcondition failed: array not fully written".into()));
+    }
+
+    let s = run.report.stats.completed_work();
+    println!("algorithm       : {}", algo.name());
+    println!("instance        : N = {n}, P = {p}");
+    println!("adversary       : {}", args.get_or("adversary", "none"));
+    println!("completed work S: {s}");
+    println!("S' (with partial): {}", run.report.stats.s_prime());
+    println!("parallel time τ : {}", run.report.stats.parallel_time);
+    println!("|F| (fail+restart): {}", run.report.stats.pattern_size());
+    println!("overhead ratio σ: {:.4}", run.report.overhead_ratio(n as u64));
+    println!("S / (N log2 N)  : {:.4}", s as f64 / (n as f64 * (n as f64).log2().max(1.0)));
+
+    if let Some(path) = args.get("record-pattern") {
+        std::fs::write(path, pattern_io::encode(&run.report.pattern))
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("pattern recorded: {path} ({} events)", run.report.pattern.size());
+    }
+    Ok(())
+}

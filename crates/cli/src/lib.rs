@@ -1,0 +1,134 @@
+//! # rfsp-cli — drive the restartable fail-stop PRAM toolkit from a shell
+//!
+//! ```text
+//! rfsp writeall   --algo x --n 1024 --p 64 --adversary random --rate 0.05
+//! rfsp writeall   --algo x --adversary xkiller --record-pattern killer.pat
+//! rfsp writeall   --algo v --adversary replay --replay-pattern killer.pat
+//! rfsp simulate   --kernel prefix --n 512 --p 16 --engine vx
+//! rfsp lockfree   --n 65536 --threads 8 --fault-rate 0.01
+//! rfsp experiment --id e7
+//! ```
+//!
+//! The binary is a thin shell over the workspace crates; everything it can
+//! do is equally available as a library API.
+
+pub mod args;
+pub mod commands;
+pub mod pattern_io;
+
+use args::{ArgError, Args};
+
+/// Usage text.
+pub const USAGE: &str = "\
+rfsp — efficient parallel algorithms on restartable fail-stop processors
+       (Kanellakis & Shvartsman, PODC 1991)
+
+USAGE: rfsp <COMMAND> [--key value]... [--flag]...
+
+COMMANDS:
+  writeall     solve a Write-All instance under an adversary
+               --algo x|v|w|vx|x-inplace|acc   --n SIZE --p PROCS
+               --adversary none|thrashing|pigeonhole|pigeonhole-failstop|
+                           random|offline|xkiller|stalking|replay
+               --rate F --restart-rate F --seed S --fault-budget M
+               --target CELL --no-restarts
+               --record-pattern FILE --replay-pattern FILE --max-cycles C
+  simulate     execute a PRAM kernel fault-tolerantly (Theorem 4.1)
+               --kernel prefix|sum|max|sort|listrank|matvec|components
+               --n SIZE --p PROCS --engine x|v|vx
+               --adversary none|random --rate F --restart-rate F --seed S
+  lockfree     run algorithm X on real OS threads over atomics
+               --n SIZE --threads T --fault-rate F --seed S
+  experiment   reproduce a paper result  --id e1..e13|all
+  help         show this text
+";
+
+/// Dispatch a parsed command line.
+///
+/// # Errors
+///
+/// Every user-facing problem is an [`ArgError`] with a printable message.
+pub fn dispatch(args: &Args) -> Result<(), ArgError> {
+    match args.command.as_deref() {
+        Some("writeall") => commands::writeall::run(args),
+        Some("simulate") => commands::simulate::run(args),
+        Some("lockfree") => commands::lockfree::run(args),
+        Some("experiment") => commands::experiment::run(args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!("unknown command '{other}' (try 'rfsp help')"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        dispatch(&a).unwrap();
+        let a = Args::parse(["bogus"]).unwrap();
+        assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn small_writeall_runs_end_to_end() {
+        let a = Args::parse([
+            "writeall", "--n", "32", "--p", "8", "--algo", "x", "--adversary", "random",
+            "--rate", "0.1", "--seed", "7",
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+    }
+
+    #[test]
+    fn small_simulation_runs_end_to_end() {
+        let a = Args::parse([
+            "simulate", "--kernel", "sum", "--n", "16", "--p", "4", "--engine", "x",
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+    }
+
+    #[test]
+    fn lockfree_runs_end_to_end() {
+        let a = Args::parse(["lockfree", "--n", "256", "--threads", "2"]).unwrap();
+        dispatch(&a).unwrap();
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("rfsp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pattern.pat");
+        let path_s = path.to_str().unwrap();
+        let a = Args::parse([
+            "writeall", "--n", "32", "--p", "8", "--adversary", "random", "--rate", "0.2",
+            "--seed", "3", "--record-pattern", path_s,
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+        let a = Args::parse([
+            "writeall", "--n", "32", "--p", "8", "--adversary", "replay",
+            "--replay-pattern", path_s,
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        let a = Args::parse(["writeall", "--algo", "zzz"]).unwrap();
+        assert!(dispatch(&a).is_err());
+        let a = Args::parse(["simulate", "--kernel", "zzz"]).unwrap();
+        assert!(dispatch(&a).is_err());
+        let a = Args::parse(["experiment", "--id", "e99"]).unwrap();
+        assert!(dispatch(&a).is_err());
+        let a = Args::parse(["lockfree", "--fault-rate", "2.0"]).unwrap();
+        assert!(dispatch(&a).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! The `rfsp` binary: parse the command line and dispatch.
+
+use std::process::ExitCode;
+
+use rfsp_cli::args::Args;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match rfsp_cli::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try 'rfsp help'");
+            ExitCode::FAILURE
+        }
+    }
+}

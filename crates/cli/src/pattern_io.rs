@@ -1,0 +1,131 @@
+//! A line-oriented text codec for failure patterns, so adversarial runs
+//! can be saved to disk and replayed (`--record-pattern` /
+//! `--replay-pattern`).
+//!
+//! Format, one event per line (`#` lines are comments):
+//!
+//! ```text
+//! F <pid> <time> before-reads|before-writes|after-write:<k>
+//! R <pid> <time>
+//! ```
+
+use rfsp_pram::{FailPoint, FailureEvent, FailureKind, FailurePattern};
+
+use crate::args::ArgError;
+
+/// Render a pattern in the text format.
+pub fn encode(pattern: &FailurePattern) -> String {
+    let mut out = String::from("# rfsp failure pattern v1\n");
+    for e in pattern.events() {
+        match e.kind {
+            FailureKind::Failure { point } => {
+                let p = match point {
+                    FailPoint::BeforeReads => "before-reads".to_string(),
+                    FailPoint::BeforeWrites => "before-writes".to_string(),
+                    FailPoint::AfterWrite(k) => format!("after-write:{k}"),
+                };
+                out.push_str(&format!("F {} {} {}\n", e.pid, e.time, p));
+            }
+            FailureKind::Restart => {
+                out.push_str(&format!("R {} {}\n", e.pid, e.time));
+            }
+        }
+    }
+    out
+}
+
+/// Parse the text format.
+///
+/// # Errors
+///
+/// Reports the first malformed line.
+pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
+    let mut pattern = FailurePattern::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |what: &str| ArgError(format!("pattern line {}: {what}", lineno + 1));
+        let tag = parts.next().ok_or_else(|| bad("missing tag"))?;
+        let pid: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing pid"))?
+            .parse()
+            .map_err(|_| bad("bad pid"))?;
+        let time: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing time"))?
+            .parse()
+            .map_err(|_| bad("bad time"))?;
+        let kind = match tag {
+            "F" => {
+                let point = match parts.next().ok_or_else(|| bad("missing fail point"))? {
+                    "before-reads" => FailPoint::BeforeReads,
+                    "before-writes" => FailPoint::BeforeWrites,
+                    other => {
+                        let k = other
+                            .strip_prefix("after-write:")
+                            .and_then(|k| k.parse().ok())
+                            .ok_or_else(|| bad("bad fail point"))?;
+                        FailPoint::AfterWrite(k)
+                    }
+                };
+                FailureKind::Failure { point }
+            }
+            "R" => FailureKind::Restart,
+            _ => return Err(bad("unknown tag (expected F or R)")),
+        };
+        if parts.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        pattern.push(FailureEvent { kind, pid, time });
+    }
+    Ok(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FailurePattern {
+        let mut p = FailurePattern::new();
+        p.push(FailureEvent {
+            kind: FailureKind::Failure { point: FailPoint::BeforeReads },
+            pid: 3,
+            time: 0,
+        });
+        p.push(FailureEvent {
+            kind: FailureKind::Failure { point: FailPoint::AfterWrite(1) },
+            pid: 5,
+            time: 2,
+        });
+        p.push(FailureEvent { kind: FailureKind::Restart, pid: 3, time: 4 });
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let text = encode(&p);
+        let back = decode(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nF 0 1 before-writes\n  \n";
+        let p = decode(text).unwrap();
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_location() {
+        let err = decode("F 0 zzz before-writes").unwrap_err();
+        assert!(err.0.contains("line 1"));
+        assert!(decode("X 0 0").is_err());
+        assert!(decode("F 0 0 during-write").is_err());
+        assert!(decode("F 0 0 before-writes extra").is_err());
+    }
+}

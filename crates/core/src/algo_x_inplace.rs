@@ -1,0 +1,233 @@
+//! Remark 7: algorithm X "in place".
+//!
+//! "The algorithm can be used to solve Write-All *in place* using the
+//! array `x[]` as a tree of height log(N/2) with the leaves `x[N/2..N-1]`,
+//! doubling up the processors at the leaves, and using `x[N]` as the final
+//! element to be initialized and used as the algorithm termination
+//! sentinel. With this modification, array d[] is not needed. The
+//! asymptotic efficiency of the algorithm is not affected."
+//!
+//! The trick: the progress tree's "done" mark *is* the value 1 that
+//! Write-All must store, so the array doubles as its own progress tree.
+//! Cells `x[1..N)` form the heap (cell `v`'s children are `2v`, `2v+1`;
+//! leaves are `x[N/2..N)`); marking an interior node done writes that very
+//! cell's 1. Cell `x[0]` is the termination sentinel, written by the
+//! first processor to observe the root done. Shared-memory cost drops
+//! from `3N + P` cells to `N + P`.
+
+use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+
+use crate::tasks::WriteAllTasks;
+use crate::tree::HeapTree;
+
+/// Algorithm X solving Write-All in place (Remark 7). The array length
+/// must be a power of two ≥ 4 (pad externally otherwise).
+#[derive(Clone, Debug)]
+pub struct AlgoXInPlace {
+    tasks: WriteAllTasks,
+    tree: HeapTree,
+    p: usize,
+    w: Region,
+}
+
+impl AlgoXInPlace {
+    /// Build the in-place variant for `p` processors over a Write-All
+    /// instance whose array region has power-of-two length ≥ 4 (so the
+    /// implicit tree has at least two leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array length is not a power of two ≥ 4 or `p == 0`.
+    pub fn new(layout: &mut MemoryLayout, tasks: WriteAllTasks, p: usize) -> Self {
+        let n = tasks.x().len();
+        assert!(n >= 4 && n.is_power_of_two(), "in-place X needs a power-of-two array (>= 4)");
+        assert!(p > 0, "need at least one processor");
+        // The heap lives in x[1..n): a full tree with n/2 leaves.
+        let tree = HeapTree::with_leaves(n / 2);
+        let w = layout.alloc(p);
+        AlgoXInPlace { tasks, tree, p, w }
+    }
+
+    /// The location array region.
+    pub fn w_region(&self) -> Region {
+        self.w
+    }
+
+    /// The (implicit) progress tree shape.
+    pub fn tree(&self) -> HeapTree {
+        self.tree
+    }
+
+    /// Absolute address of heap node `v` (it *is* array cell `v`).
+    fn node_addr(&self, v: usize) -> usize {
+        self.tasks.x().at(v)
+    }
+}
+
+impl Program for AlgoXInPlace {
+    type Private = ();
+
+    fn shared_size(&self) -> usize {
+        self.w.base() + self.w.len()
+    }
+
+    fn init_memory(&self, mem: &mut SharedMemory) {
+        for i in 0..self.p {
+            let leaf = self.tree.leaf_node(i % self.tree.leaves());
+            mem.poke(self.w.at(i), leaf as Word);
+        }
+    }
+
+    fn on_start(&self, _pid: Pid) {}
+
+    fn plan(&self, pid: Pid, _state: &(), values: &[Word], reads: &mut ReadSet) {
+        match values.len() {
+            0 => reads.push(self.w.at(pid.0)),
+            1 => {
+                let whr = values[0] as usize;
+                if whr == 0 {
+                    return; // exited
+                }
+                reads.push(self.node_addr(whr));
+            }
+            2 => {
+                let whr = values[0] as usize;
+                if values[1] == 1 {
+                    return; // done: move up / write the sentinel
+                }
+                if !self.tree.is_leaf(whr) {
+                    reads.push(self.node_addr(self.tree.left(whr)));
+                    reads.push(self.node_addr(self.tree.right(whr)));
+                }
+                // An unwritten leaf needs no further reads: its own cell
+                // (just read) is the work item.
+            }
+            _ => {}
+        }
+    }
+
+    fn execute(&self, pid: Pid, _state: &mut (), values: &[Word], writes: &mut WriteSet) -> Step {
+        let whr = values[0] as usize;
+        if whr == 0 {
+            return Step::Halt;
+        }
+        let done = values[1] == 1;
+        if done {
+            if whr == self.tree.root() {
+                // Root done: write the sentinel x[0] and exit.
+                writes.push(self.tasks.x().at(0), 1);
+                return Step::Halt;
+            }
+            writes.push(self.w.at(pid.0), self.tree.parent(whr) as Word);
+            return Step::Continue;
+        }
+        if self.tree.is_leaf(whr) {
+            // The leaf cell is its own work item AND its own done flag.
+            writes.push(self.node_addr(whr), 1);
+            return Step::Continue;
+        }
+        let left = self.tree.left(whr);
+        let right = self.tree.right(whr);
+        let (l, r) = (values[2] == 1, values[3] == 1);
+        match (l, r) {
+            (true, true) => {
+                // Marking the subtree done initializes this very cell.
+                writes.push(self.node_addr(whr), 1);
+            }
+            (false, true) => writes.push(self.w.at(pid.0), left as Word),
+            (true, false) => writes.push(self.w.at(pid.0), right as Word),
+            (false, false) => {
+                let depth = self.tree.depth(whr);
+                let bit =
+                    Pid(pid.0 % self.tree.leaves()).bit_msb_first(depth, self.tree.height());
+                let next = if bit == 0 { left } else { right };
+                writes.push(self.w.at(pid.0), next as Word);
+            }
+        }
+        Step::Continue
+    }
+
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        mem.peek(self.tasks.x().at(0)) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsp_pram::{CycleBudget, Machine, NoFailures};
+
+    fn build(n: usize, p: usize) -> (WriteAllTasks, AlgoXInPlace) {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoXInPlace::new(&mut layout, tasks, p);
+        (tasks, algo)
+    }
+
+    #[test]
+    fn solves_write_all_in_place() {
+        for (n, p) in [(4usize, 1usize), (8, 8), (64, 16), (128, 3)] {
+            let (tasks, algo) = build(n, p);
+            let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+            m.run(&mut NoFailures).unwrap();
+            assert!(tasks.all_written(m.memory()), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn memory_footprint_is_n_plus_p() {
+        let (_tasks, algo) = build(64, 8);
+        assert_eq!(algo.shared_size(), 64 + 8);
+    }
+
+    #[test]
+    fn survives_churn() {
+        use rfsp_pram::{Adversary, Decisions, FailPoint, MachineView};
+        struct Churn;
+        impl Adversary for Churn {
+            fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+                let mut d = Decisions::none();
+                let active: Vec<_> = view.active_pids().collect();
+                for (k, pid) in active.iter().enumerate() {
+                    if k + 1 < active.len() && (pid.0 + view.cycle as usize).is_multiple_of(4) {
+                        d.fail(*pid, FailPoint::BeforeWrites);
+                        d.restart(*pid);
+                    }
+                }
+                d
+            }
+        }
+        let (tasks, algo) = build(64, 16);
+        let mut m = Machine::new(&algo, 16, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut Churn).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        assert!(report.stats.failures > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = build(12, 4);
+    }
+
+    #[test]
+    fn work_is_comparable_to_plain_x() {
+        let n = 256;
+        let p = 64;
+        let (tasks, algo) = build(n, p);
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let inplace = m.run(&mut NoFailures).unwrap().stats.completed_work();
+        assert!(tasks.all_written(m.memory()));
+
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = crate::algo_x::AlgoX::new(&mut layout, tasks, p, Default::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let plain = m.run(&mut NoFailures).unwrap().stats.completed_work();
+        // "The asymptotic efficiency of the algorithm is not affected":
+        // within a factor ~2 either way (the in-place tree is half as
+        // tall; plain X pays a separate observation pass).
+        assert!(inplace <= 2 * plain && plain <= 4 * inplace,
+                "in-place {inplace} vs plain {plain}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # rfsp-core — fault-tolerant Write-All algorithms
+//!
+//! The algorithmic contributions of Kanellakis & Shvartsman (PODC 1991):
+//!
+//! * [`tasks`] — the Write-All problem and its generalization to arbitrary
+//!   idempotent task arrays (the hook used by the §4.3 PRAM simulation).
+//! * [`tree`] — heap-coded full binary progress trees.
+//! * [`algo_x`] — **Algorithm X**: unsynchronized local tree traversal;
+//!   `O(N·P^{log(3/2)+δ})` completed work under *any* failure/restart
+//!   pattern.
+//! * [`algo_x_inplace`] — Remark 7: X with the array as its own progress
+//!   tree (`N + P` cells of shared memory in total).
+//! * [`algo_v`] — **Algorithm V**: phase-synchronized allocate/work/update
+//!   iterations driven by a wrap-around clock; `O(N + P log²N + M log N)`
+//!   completed work under a pattern of size `M`.
+//! * [`algo_w`] — algorithm W of [KS 89] (with the iteration clock), the
+//!   fail-stop baseline whose processor-enumeration phase breaks under
+//!   restarts — kept for comparison, exactly as the paper discusses.
+//! * [`interleaved`] — the Theorem 4.9 combination: V and X cycles
+//!   alternate, achieving the min of their bounds.
+//! * [`snapshot`] — the §3 snapshot model: Theorem 3.2's optimal
+//!   `Θ(N log N)` algorithm under unit-cost whole-memory reads.
+//! * [`acc`] — a reconstruction of the randomized ACC algorithm of
+//!   [MSP 90], the victim of §5's stalking adversary.
+//! * [`trivial`] — the optimal non-fault-tolerant parallel assignment, the
+//!   no-failure baseline.
+//! * [`lockfree`] — algorithm X on real OS threads over atomics: a
+//!   lock-free asynchronous executor demonstrating the practical content
+//!   of X's purely local design.
+
+pub mod acc;
+pub mod algo_v;
+pub mod algo_w;
+pub mod algo_x;
+pub mod algo_x_inplace;
+pub mod interleaved;
+pub mod lockfree;
+pub mod snapshot;
+pub mod tasks;
+pub mod tree;
+pub mod trivial;
+
+pub use acc::{AccOptions, AlgoAcc};
+pub use algo_v::{balanced_split, AlgoV, VLayout};
+pub use algo_w::{AlgoW, WLayout};
+pub use algo_x::{AlgoX, XLayout, XOptions};
+pub use algo_x_inplace::AlgoXInPlace;
+pub use interleaved::{Interleaved, InterleavedLayout};
+pub use lockfree::{run_lockfree_x, LockfreeOptions, LockfreeReport};
+pub use snapshot::SnapshotBalance;
+pub use tasks::{TaskSet, WriteAllTasks};
+pub use tree::HeapTree;
+pub use trivial::TrivialAssign;

@@ -1,0 +1,204 @@
+//! The generalized work unit: task sets.
+//!
+//! The Write-All array assignment (`x[i] := 1`) is the paper's canonical
+//! unit of work, but its algorithms carry over verbatim to any array of
+//! idempotent single-cycle tasks — that generalization is exactly how §4.3
+//! turns a Write-All solution into a simulator for arbitrary PRAM steps
+//! ("replacing the trivial array assignments ... with the appropriate
+//! components of the PRAM steps"). [`TaskSet`] captures the contract;
+//! [`WriteAllTasks`] is the canonical instance.
+
+use rfsp_pram::{MemoryLayout, ReadSet, Region, SharedMemory, Word, WriteSet};
+
+/// An array of idempotent tasks, each executable within one update cycle.
+///
+/// # Contract
+///
+/// * **One committed attempt completes the task**: if a processor's
+///   [`run`](TaskSet::run) writes all commit, task `i` is complete for that
+///   round, whether or not the processor survives afterwards.
+/// * **Idempotence**: re-planning and re-running a task any number of times
+///   (including concurrently by several processors in the same cycle, which
+///   under COMMON CRCW means all writers must produce identical values) is
+///   harmless.
+/// * **Observability**: once complete, a later attempt's `run` returns
+///   `true` *without emitting writes*, so tree-traversal algorithms can
+///   convert the observation into progress-tree updates.
+/// * **Rounds**: a task set may stage several *rounds* of `len()` tasks
+///   (used by the PRAM-step simulation); rounds are numbered from 1 and a
+///   round's tasks only become runnable when the algorithm drives it.
+pub trait TaskSet {
+    /// Number of tasks per round (the paper's `N`).
+    fn len(&self) -> usize;
+
+    /// Whether the set has zero tasks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of rounds (1 for plain Write-All).
+    fn rounds(&self) -> Word {
+        1
+    }
+
+    /// Incremental read planning for one attempt of task `i` in `round`,
+    /// following the same chained-plan protocol as
+    /// [`Program::plan`](rfsp_pram::Program::plan): `values` holds the
+    /// task's reads so far; push nothing to finish.
+    fn plan(&self, round: Word, i: usize, values: &[Word], reads: &mut ReadSet);
+
+    /// One attempt: consume the planned values, emit writes. Returns `true`
+    /// iff the task is *observed already complete* (in which case no writes
+    /// may be emitted).
+    fn run(&self, round: Word, i: usize, values: &[Word], writes: &mut WriteSet) -> bool;
+
+    /// Uncharged doneness check for harnesses and tests.
+    fn is_done(&self, mem: &SharedMemory, round: Word, i: usize) -> bool;
+
+    /// Worst-case reads per attempt (budget documentation).
+    fn max_reads(&self) -> usize;
+
+    /// Worst-case writes per attempt (budget documentation).
+    fn max_writes(&self) -> usize;
+}
+
+impl<T: TaskSet + ?Sized> TaskSet for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn rounds(&self) -> Word {
+        (**self).rounds()
+    }
+    fn plan(&self, round: Word, i: usize, values: &[Word], reads: &mut ReadSet) {
+        (**self).plan(round, i, values, reads)
+    }
+    fn run(&self, round: Word, i: usize, values: &[Word], writes: &mut WriteSet) -> bool {
+        (**self).run(round, i, values, writes)
+    }
+    fn is_done(&self, mem: &SharedMemory, round: Word, i: usize) -> bool {
+        (**self).is_done(mem, round, i)
+    }
+    fn max_reads(&self) -> usize {
+        (**self).max_reads()
+    }
+    fn max_writes(&self) -> usize {
+        (**self).max_writes()
+    }
+}
+
+/// The Write-All problem itself: task `i` writes 1 into `x[i]`.
+///
+/// ```
+/// use rfsp_pram::MemoryLayout;
+/// use rfsp_core::tasks::{TaskSet, WriteAllTasks};
+/// let mut layout = MemoryLayout::new();
+/// let tasks = WriteAllTasks::new(&mut layout, 100);
+/// assert_eq!(tasks.len(), 100);
+/// assert_eq!(tasks.x().len(), 100);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct WriteAllTasks {
+    x: Region,
+}
+
+impl WriteAllTasks {
+    /// Allocate the Write-All array `x[0..n)` from `layout`.
+    pub fn new(layout: &mut MemoryLayout, n: usize) -> Self {
+        WriteAllTasks { x: layout.alloc(n) }
+    }
+
+    /// The array region (for adversaries and verification).
+    pub fn x(&self) -> Region {
+        self.x
+    }
+
+    /// Uncharged check that the whole array is 1 (the problem's
+    /// postcondition).
+    pub fn all_written(&self, mem: &SharedMemory) -> bool {
+        (0..self.x.len()).all(|i| mem.peek(self.x.at(i)) == 1)
+    }
+
+    /// Number of cells still zero.
+    pub fn unvisited(&self, mem: &SharedMemory) -> usize {
+        (0..self.x.len()).filter(|&i| mem.peek(self.x.at(i)) == 0).count()
+    }
+}
+
+impl TaskSet for WriteAllTasks {
+    fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    fn plan(&self, _round: Word, i: usize, values: &[Word], reads: &mut ReadSet) {
+        if values.is_empty() {
+            reads.push(self.x.at(i));
+        }
+    }
+
+    fn run(&self, _round: Word, i: usize, values: &[Word], writes: &mut WriteSet) -> bool {
+        if values[0] == 1 {
+            true
+        } else {
+            writes.push(self.x.at(i), 1);
+            false
+        }
+    }
+
+    fn is_done(&self, mem: &SharedMemory, _round: Word, i: usize) -> bool {
+        mem.peek(self.x.at(i)) == 1
+    }
+
+    fn max_reads(&self) -> usize {
+        1
+    }
+
+    fn max_writes(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_all_task_protocol() {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, 4);
+        let mut mem = SharedMemory::new(layout.total());
+
+        // Attempt on an unwritten cell: one read planned, one write emitted,
+        // not yet observed done.
+        let mut reads = ReadSet::default();
+        tasks.plan(1, 2, &[], &mut reads);
+        assert_eq!(reads.addrs(), &[tasks.x().at(2)]);
+        let mut more = ReadSet::default();
+        tasks.plan(1, 2, &[0], &mut more);
+        assert!(more.is_empty(), "plan chain terminates after one read");
+
+        let mut writes = WriteSet::default();
+        assert!(!tasks.run(1, 2, &[0], &mut writes));
+        assert_eq!(writes.writes(), &[(tasks.x().at(2), 1)]);
+
+        // After the write commits, the next attempt observes completion and
+        // emits nothing.
+        mem.poke(tasks.x().at(2), 1);
+        let mut writes = WriteSet::default();
+        assert!(tasks.run(1, 2, &[1], &mut writes));
+        assert!(writes.is_empty());
+        assert!(tasks.is_done(&mem, 1, 2));
+        assert!(!tasks.is_done(&mem, 1, 0));
+        assert_eq!(tasks.unvisited(&mem), 3);
+        assert!(!tasks.all_written(&mem));
+    }
+
+    #[test]
+    fn budgets_are_declared() {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, 1);
+        assert_eq!(tasks.max_reads(), 1);
+        assert_eq!(tasks.max_writes(), 1);
+        assert_eq!(tasks.rounds(), 1);
+        assert!(!tasks.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Heap-coded full binary progress trees.
+//!
+//! Both of the paper's algorithms organize their bookkeeping around a full
+//! binary tree with `L` leaves "implicitly coded as a heap and stored in a
+//! linear array" (§4.1): node `v ∈ [1, 2L)` has children `2v` and `2v+1`,
+//! leaves occupy `[L, 2L)`, and the `i`-th leaf is node `L + i`.
+//! [`HeapTree`] centralizes this arithmetic.
+
+/// Shape of a full binary tree with a power-of-two number of leaves.
+///
+/// ```
+/// use rfsp_core::tree::HeapTree;
+/// let t = HeapTree::with_leaves(5); // pads to 8 leaves
+/// assert_eq!(t.leaves(), 8);
+/// assert_eq!(t.height(), 3);
+/// assert_eq!(t.leaf_node(0), 8);
+/// assert_eq!(t.parent(9), 4);
+/// assert!(t.is_leaf(15));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HeapTree {
+    leaves: usize,
+}
+
+impl HeapTree {
+    /// Tree with at least `min_leaves` leaves, padded up to a power of two
+    /// (and at least 2, so the root is always an interior node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_leaves == 0`.
+    pub fn with_leaves(min_leaves: usize) -> Self {
+        assert!(min_leaves > 0, "a tree needs at least one leaf");
+        HeapTree { leaves: min_leaves.next_power_of_two().max(2) }
+    }
+
+    /// Number of leaves `L` (a power of two).
+    #[inline]
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Tree height `log₂ L` (depth of the leaves; the root has depth 0).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.leaves.trailing_zeros()
+    }
+
+    /// Number of heap cells needed: `2L` (cell 0 is unused, matching the
+    /// paper's 1-indexed `d[1..2N-1]`).
+    #[inline]
+    pub fn heap_size(&self) -> usize {
+        2 * self.leaves
+    }
+
+    /// Root node index.
+    #[inline]
+    pub fn root(&self) -> usize {
+        1
+    }
+
+    /// Heap index of the `i`-th leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.leaves()`.
+    #[inline]
+    pub fn leaf_node(&self, i: usize) -> usize {
+        assert!(i < self.leaves, "leaf index {i} out of range");
+        self.leaves + i
+    }
+
+    /// Leaf ordinal of heap node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a leaf.
+    #[inline]
+    pub fn leaf_index(&self, v: usize) -> usize {
+        assert!(self.is_leaf(v), "node {v} is not a leaf");
+        v - self.leaves
+    }
+
+    /// Whether heap node `v` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, v: usize) -> bool {
+        v >= self.leaves && v < 2 * self.leaves
+    }
+
+    /// Whether `v` is a valid node index.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        v >= 1 && v < 2 * self.leaves
+    }
+
+    /// Parent of `v` (`v div 2`; the paper's move-up step maps the root
+    /// to 0, the "exited" sentinel).
+    #[inline]
+    pub fn parent(&self, v: usize) -> usize {
+        v / 2
+    }
+
+    /// Left child.
+    #[inline]
+    pub fn left(&self, v: usize) -> usize {
+        2 * v
+    }
+
+    /// Right child.
+    #[inline]
+    pub fn right(&self, v: usize) -> usize {
+        2 * v + 1
+    }
+
+    /// Depth of node `v` (root = 0, leaves = `height()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid node.
+    #[inline]
+    pub fn depth(&self, v: usize) -> u32 {
+        assert!(self.contains(v), "node {v} out of range");
+        v.ilog2()
+    }
+
+    /// Number of leaves under node `v`.
+    #[inline]
+    pub fn subtree_leaves(&self, v: usize) -> usize {
+        self.leaves >> self.depth(v)
+    }
+
+    /// First leaf ordinal under node `v`.
+    #[inline]
+    pub fn first_leaf_under(&self, v: usize) -> usize {
+        let span = self.subtree_leaves(v);
+        let leftmost = v << (self.height() - self.depth(v));
+        debug_assert!(self.is_leaf(leftmost));
+        let _ = span;
+        leftmost - self.leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_and_shape() {
+        let t = HeapTree::with_leaves(8);
+        assert_eq!(t.leaves(), 8);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.heap_size(), 16);
+        assert_eq!(t.root(), 1);
+        let t = HeapTree::with_leaves(9);
+        assert_eq!(t.leaves(), 16);
+        let t = HeapTree::with_leaves(1);
+        assert_eq!(t.leaves(), 2, "padded so the root is interior");
+    }
+
+    #[test]
+    fn navigation() {
+        let t = HeapTree::with_leaves(8);
+        assert_eq!(t.left(1), 2);
+        assert_eq!(t.right(1), 3);
+        assert_eq!(t.parent(3), 1);
+        assert_eq!(t.parent(1), 0, "root's parent is the exit sentinel");
+        assert_eq!(t.leaf_node(3), 11);
+        assert_eq!(t.leaf_index(11), 3);
+        assert!(t.is_leaf(8) && t.is_leaf(15));
+        assert!(!t.is_leaf(7) && !t.is_leaf(16));
+    }
+
+    #[test]
+    fn depth_and_subtrees() {
+        let t = HeapTree::with_leaves(8);
+        assert_eq!(t.depth(1), 0);
+        assert_eq!(t.depth(5), 2);
+        assert_eq!(t.depth(15), 3);
+        assert_eq!(t.subtree_leaves(1), 8);
+        assert_eq!(t.subtree_leaves(2), 4);
+        assert_eq!(t.subtree_leaves(12), 1);
+        assert_eq!(t.first_leaf_under(3), 4);
+        assert_eq!(t.first_leaf_under(5), 2);
+        assert_eq!(t.first_leaf_under(1), 0);
+        assert_eq!(t.first_leaf_under(14), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn zero_leaves_rejected() {
+        HeapTree::with_leaves(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The optimal *non-fault-tolerant* baseline.
+//!
+//! "In the absence of failures, this problem is solved by a trivial and
+//! optimal parallel assignment" (§1): processor `i` writes its `N/P` block
+//! of the array and stops. Exactly `N` completed work with no failures —
+//! and a deadlock under a single unrecovered failure, which is the paper's
+//! motivation in miniature (see the integration tests).
+
+use rfsp_pram::{Pid, Program, ReadSet, SharedMemory, Step, Word, WriteSet};
+
+use crate::tasks::{TaskSet, WriteAllTasks};
+
+/// Static block assignment: processor `i` owns cells
+/// `[i·⌈N/P⌉, (i+1)·⌈N/P⌉)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TrivialAssign {
+    tasks: WriteAllTasks,
+    p: usize,
+}
+
+impl TrivialAssign {
+    /// Build the baseline for `p` processors over a Write-All instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(tasks: WriteAllTasks, p: usize) -> Self {
+        assert!(p > 0, "need at least one processor");
+        TrivialAssign { tasks, p }
+    }
+
+    /// The underlying Write-All instance.
+    pub fn tasks(&self) -> &WriteAllTasks {
+        &self.tasks
+    }
+
+    fn block(&self, pid: Pid) -> (usize, usize) {
+        let n = self.tasks.len();
+        let chunk = n.div_ceil(self.p);
+        let lo = (pid.0 * chunk).min(n);
+        let hi = ((pid.0 + 1) * chunk).min(n);
+        (lo, hi)
+    }
+}
+
+impl Program for TrivialAssign {
+    /// Next offset within the processor's block.
+    type Private = usize;
+
+    fn shared_size(&self) -> usize {
+        self.tasks.x().base() + self.tasks.x().len()
+    }
+
+    fn on_start(&self, _pid: Pid) -> usize {
+        0
+    }
+
+    fn plan(&self, _pid: Pid, _state: &usize, _values: &[Word], _reads: &mut ReadSet) {}
+
+    fn execute(&self, pid: Pid, state: &mut usize, _values: &[Word], writes: &mut WriteSet) -> Step {
+        let (lo, hi) = self.block(pid);
+        let i = lo + *state;
+        if i >= hi {
+            return Step::Halt;
+        }
+        writes.push(self.tasks.x().at(i), 1);
+        *state += 1;
+        if lo + *state >= hi {
+            Step::Halt
+        } else {
+            Step::Continue
+        }
+    }
+
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        self.tasks.all_written(mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsp_pram::{CycleBudget, Machine, MemoryLayout, NoFailures, PramError};
+
+    #[test]
+    fn optimal_without_failures() {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, 64);
+        let algo = TrivialAssign::new(tasks, 16);
+        let mut m = Machine::new(&algo, 16, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut NoFailures).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        // Work exactly N: each cell written once, no reads, no slack.
+        assert_eq!(report.stats.completed_cycles, 64);
+        assert_eq!(report.stats.parallel_time, 4);
+    }
+
+    #[test]
+    fn ragged_blocks_cover_everything() {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, 10);
+        let algo = TrivialAssign::new(tasks, 4);
+        let mut m = Machine::new(&algo, 4, CycleBudget::PAPER).unwrap();
+        m.run(&mut NoFailures).unwrap();
+        assert!(tasks.all_written(m.memory()));
+    }
+
+    /// A single unrecovered failure deadlocks the trivial algorithm — the
+    /// paper's motivating observation.
+    #[test]
+    fn one_failure_is_fatal() {
+        use rfsp_pram::{Adversary, Decisions, FailPoint, MachineView};
+        struct KillP1Once(bool);
+        impl Adversary for KillP1Once {
+            fn decide(&mut self, _view: &MachineView<'_>) -> Decisions {
+                let mut d = Decisions::none();
+                if !self.0 {
+                    self.0 = true;
+                    d.fail(rfsp_pram::Pid(1), FailPoint::BeforeWrites);
+                }
+                d
+            }
+        }
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, 8);
+        let algo = TrivialAssign::new(tasks, 4);
+        let mut m = Machine::new(&algo, 4, CycleBudget::PAPER).unwrap();
+        let err = m.run(&mut KillP1Once(false)).unwrap_err();
+        assert!(matches!(err, PramError::AdversaryStall { .. } | PramError::Deadlock { .. }));
+        assert!(!tasks.all_written(m.memory()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the core data structures and algorithm invariants.
+
+use proptest::prelude::*;
+use rfsp_core::tree::HeapTree;
+use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
+use rfsp_pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
+                MemoryLayout, Word};
+
+proptest! {
+    /// Heap navigation is self-consistent for every tree size.
+    #[test]
+    fn heap_tree_navigation(min_leaves in 1usize..5000) {
+        let t = HeapTree::with_leaves(min_leaves);
+        prop_assert!(t.leaves() >= min_leaves.max(2));
+        prop_assert!(t.leaves().is_power_of_two());
+        // Every node: children round-trip through parent; depth is
+        // consistent; leaf tests partition the heap.
+        for v in 1..t.heap_size() {
+            if t.is_leaf(v) {
+                prop_assert_eq!(t.depth(v), t.height());
+                let i = t.leaf_index(v);
+                prop_assert_eq!(t.leaf_node(i), v);
+                prop_assert_eq!(t.subtree_leaves(v), 1);
+                prop_assert_eq!(t.first_leaf_under(v), i);
+            } else {
+                prop_assert_eq!(t.parent(t.left(v)), v);
+                prop_assert_eq!(t.parent(t.right(v)), v);
+                prop_assert_eq!(t.depth(t.left(v)), t.depth(v) + 1);
+                prop_assert_eq!(
+                    t.subtree_leaves(v),
+                    t.subtree_leaves(t.left(v)) + t.subtree_leaves(t.right(v))
+                );
+                prop_assert_eq!(t.first_leaf_under(v), t.first_leaf_under(t.left(v)));
+                prop_assert_eq!(
+                    t.first_leaf_under(t.right(v)),
+                    t.first_leaf_under(v) + t.subtree_leaves(t.left(v))
+                );
+            }
+        }
+    }
+
+    /// The whole leaf range is covered by consecutive leaves.
+    #[test]
+    fn heap_tree_leaf_cover(min_leaves in 1usize..2000) {
+        let t = HeapTree::with_leaves(min_leaves);
+        let mut seen = vec![false; t.leaves()];
+        for v in t.leaves()..t.heap_size() {
+            seen[t.leaf_index(v)] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}
+
+proptest! {
+    /// Recursively applying [`balanced_split`] over a tree of unvisited
+    /// leaf counts delivers every unvisited leaf between ⌊W/U⌋ and ⌈W/U⌉
+    /// processors — the Theorem 3.2 load-balancing invariant that Lemma
+    /// 4.2's analysis of algorithm V rests on.
+    #[test]
+    fn balanced_split_is_balanced(
+        undone in proptest::collection::vec(0u64..4, 1..64),
+        width in 1u64..500,
+    ) {
+        use rfsp_core::balanced_split;
+        let u_total: u64 = undone.iter().sum();
+        prop_assume!(u_total > 0);
+
+        // Pad to a power of two (padded leaves have 0 unvisited).
+        let mut u = undone.clone();
+        u.resize(undone.len().next_power_of_two().max(2), 0);
+        let l = u.len();
+
+        // Subtree sums, heap-shaped.
+        let mut sums = vec![0u64; 2 * l];
+        sums[l..2 * l].copy_from_slice(&u);
+        for v in (1..l).rev() {
+            sums[v] = sums[2 * v] + sums[2 * v + 1];
+        }
+
+        // Route every rank down the tree.
+        let mut per_leaf = vec![0u64; l];
+        for rank in 0..width {
+            let (mut v, mut r, mut w) = (1usize, rank, width);
+            while v < l {
+                let nl = balanced_split(sums[2 * v], sums[2 * v + 1], w);
+                if r < nl {
+                    v *= 2;
+                    w = nl;
+                } else {
+                    r -= nl;
+                    w -= nl;
+                    v = 2 * v + 1;
+                }
+            }
+            per_leaf[v - l] += 1;
+        }
+
+        // Every processor lands somewhere; balance holds per unvisited leaf
+        // weighted by its unvisited count (a leaf with u_i unvisited cells
+        // is a bucket of capacity u_i).
+        prop_assert_eq!(per_leaf.iter().sum::<u64>(), width);
+        let lo = width / u_total;
+        let hi = width.div_ceil(u_total);
+        for (i, &got) in per_leaf.iter().enumerate() {
+            let cap = u[i];
+            if cap == 0 {
+                prop_assert_eq!(got, 0, "leaf {} is done but got {} processors", i, got);
+            } else {
+                prop_assert!(
+                    got >= lo * cap && got <= hi * cap,
+                    "leaf {i} (cap {cap}) got {got}, expected in [{}, {}]",
+                    lo * cap,
+                    hi * cap
+                );
+            }
+        }
+    }
+}
+
+/// Machine-level invariant checker: runs algorithm X one tick at a time
+/// under a deterministic churn adversary and asserts, after *every* tick,
+/// that the shared bookkeeping is well-formed.
+struct ChurnAndCheck {
+    period: u64,
+}
+
+impl Adversary for ChurnAndCheck {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        let mut d = Decisions::none();
+        if view.cycle % self.period == 1 {
+            let active: Vec<_> = view.active_pids().collect();
+            for pid in active.iter().skip(1).step_by(2) {
+                d.fail(*pid, FailPoint::BeforeWrites);
+                d.restart(*pid);
+            }
+        }
+        d
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// After every tick of an adversarial run: every processor position is
+    /// 0 or a valid heap node, the done-heap is downward-consistent (a done
+    /// interior node implies its whole leaf range is written), and doneness
+    /// never regresses.
+    #[test]
+    fn x_shared_state_stays_well_formed(
+        n in 1usize..80,
+        p in 1usize..24,
+        period in 2u64..6,
+    ) {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let tree = algo.tree();
+        let d = algo.layout().d;
+        let w = algo.layout().w;
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adversary = ChurnAndCheck { period };
+        let mut prev_d: Vec<Word> = vec![0; tree.heap_size()];
+        let mut guard = 0;
+        while !rfsp_pram::Program::is_complete(&algo, m.memory()) {
+            m.tick(&mut adversary).unwrap();
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "runaway execution");
+            let mem = m.memory();
+            // Positions are valid.
+            for i in 0..p {
+                let pos = mem.peek(w.at(i)) as usize;
+                prop_assert!(pos == 0 || tree.contains(pos), "bad position {pos}");
+            }
+            // Done heap: monotone and downward-consistent.
+            #[allow(clippy::needless_range_loop)] // v doubles as the heap index
+            for v in 1..tree.heap_size() {
+                let val = mem.peek(d.at(v));
+                prop_assert!(val >= prev_d[v], "doneness regressed at node {v}");
+                prev_d[v] = val;
+                if val == 1 {
+                    let first = tree.first_leaf_under(v);
+                    let span = tree.subtree_leaves(v);
+                    for leaf in first..first + span {
+                        if leaf < n {
+                            prop_assert_eq!(
+                                mem.peek(tasks.x().at(leaf)),
+                                1,
+                                "node {} done but leaf {} unwritten",
+                                v,
+                                leaf
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(tasks.all_written(m.memory()));
+    }
+}

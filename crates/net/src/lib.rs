@@ -1,0 +1,28 @@
+//! # rfsp-net — the combining interconnection network of §2.3
+//!
+//! The paper's architecture sketch (Figure 1) realizes the abstract PRAM
+//! with three components: fail-stop processors, reliable shared memory,
+//! and "a synchronous **combining** interconnection network … perfectly
+//! suited for implementing synchronous concurrent reads and writes"
+//! ([KRS 88], the NYU Ultracomputer lineage [Sch 80]). The complexity
+//! bounds then hold "under the unit cost memory access assumption".
+//!
+//! This crate makes that assumption measurable. [`OmegaNetwork`] models a
+//! log-depth multistage network routing one PRAM tick's memory accesses to
+//! memory banks, with or without *combining* (merging packets destined for
+//! the same cell when they meet at a switch). [`NetworkMeter`] wraps any
+//! [`Adversary`](rfsp_pram::Adversary) so an unmodified machine run simultaneously produces a
+//! network-time profile: how many network cycles each PRAM tick would
+//! really take.
+//!
+//! The punchline (experiment E13) is the paper's own architectural bet:
+//! the algorithms' hot cells — the progress-tree root, algorithm V's
+//! clock, the round counter, which *every* processor reads every cycle —
+//! are harmless on a combining network (`O(log P)` per tick) but become
+//! `Θ(P)` serialization points without combining.
+
+pub mod meter;
+pub mod omega;
+
+pub use meter::{NetworkMeter, NetworkProfile};
+pub use omega::{OmegaNetwork, RouteStats};

@@ -1,0 +1,157 @@
+//! [`NetworkMeter`]: measure a run's network time without touching it.
+//!
+//! Wraps any [`Adversary`]. Each tick, before delegating the decision, it
+//! reads every active processor's planned reads and writes off the
+//! [`MachineView`] and routes them through an [`OmegaNetwork`] — reads as
+//! one batch, writes as another, matching the two memory phases of an
+//! update cycle. The wrapped adversary's decisions are forwarded
+//! unchanged, so the measured execution is byte-identical to the unmetered
+//! one.
+
+use rfsp_pram::{Adversary, Decisions, MachineView};
+
+use crate::omega::{OmegaNetwork, RouteStats};
+
+/// Accumulated network-time profile of a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NetworkProfile {
+    /// PRAM ticks observed.
+    pub ticks: u64,
+    /// Total network cycles across all ticks (read batches + write batches).
+    pub network_cycles: u64,
+    /// Worst single-tick network latency.
+    pub worst_tick: u64,
+    /// Total packets routed.
+    pub packets: u64,
+    /// Packets absorbed by combining.
+    pub combined: u64,
+}
+
+impl NetworkProfile {
+    /// Mean network cycles per PRAM tick — the factor the unit-cost
+    /// assumption abstracts away.
+    pub fn slowdown(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.network_cycles as f64 / self.ticks as f64
+        }
+    }
+}
+
+/// An adversary wrapper that meters network traffic.
+#[derive(Clone, Debug)]
+pub struct NetworkMeter<A> {
+    inner: A,
+    net: OmegaNetwork,
+    profile: NetworkProfile,
+}
+
+impl<A: Adversary> NetworkMeter<A> {
+    /// Meter `inner`'s run through `net`.
+    pub fn new(inner: A, net: OmegaNetwork) -> Self {
+        NetworkMeter { inner, net, profile: NetworkProfile::default() }
+    }
+
+    /// The profile so far.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    fn absorb(&mut self, stats: RouteStats, tick_total: &mut u64) {
+        self.profile.network_cycles += stats.network_cycles;
+        self.profile.packets += stats.packets;
+        self.profile.combined += stats.combined;
+        *tick_total += stats.network_cycles;
+    }
+}
+
+impl<A: Adversary> Adversary for NetworkMeter<A> {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        let mut reads: Vec<(usize, usize)> = Vec::new();
+        let mut writes: Vec<(usize, usize)> = Vec::new();
+        for (pid, t) in view.tentative.iter().enumerate() {
+            let Some(t) = t.as_ref() else { continue };
+            for &addr in t.reads.addrs() {
+                reads.push((pid, addr));
+            }
+            for &(addr, _) in t.writes.writes() {
+                writes.push((pid, addr));
+            }
+        }
+        let mut tick_total = 0;
+        let r = self.net.route(&reads);
+        self.absorb(r, &mut tick_total);
+        let w = self.net.route(&writes);
+        self.absorb(w, &mut tick_total);
+        self.profile.ticks += 1;
+        self.profile.worst_tick = self.profile.worst_tick.max(tick_total);
+        self.inner.decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
+    use rfsp_pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+
+    fn profile(p: usize, combining: bool) -> NetworkProfile {
+        let n = 256;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let net = if combining {
+            OmegaNetwork::new(p)
+        } else {
+            OmegaNetwork::new(p).without_combining()
+        };
+        let mut meter = NetworkMeter::new(NoFailures, net);
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut meter).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        meter.profile()
+    }
+
+    #[test]
+    fn metering_does_not_change_the_run() {
+        let n = 128;
+        let p = 16;
+        let work = |metered: bool| {
+            let mut layout = MemoryLayout::new();
+            let tasks = WriteAllTasks::new(&mut layout, n);
+            let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+            let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+            if metered {
+                let mut meter = NetworkMeter::new(NoFailures, OmegaNetwork::new(p));
+                m.run(&mut meter).unwrap().stats
+            } else {
+                m.run(&mut NoFailures).unwrap().stats
+            }
+        };
+        assert_eq!(work(true), work(false));
+    }
+
+    #[test]
+    fn combining_beats_plain_on_tree_algorithms() {
+        let with = profile(64, true);
+        let without = profile(64, false);
+        assert!(with.network_cycles < without.network_cycles,
+                "combining {} vs plain {}", with.network_cycles, without.network_cycles);
+        assert!(with.combined > 0);
+    }
+
+    #[test]
+    fn slowdown_is_at_least_the_network_depth() {
+        let p = profile(32, true);
+        // Each tick has a read batch and a write batch, each >= log2(32)=5
+        // cycles when nonempty.
+        assert!(p.slowdown() >= 5.0, "slowdown {}", p.slowdown());
+        assert!(p.worst_tick >= 10);
+    }
+}

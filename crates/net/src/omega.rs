@@ -1,0 +1,210 @@
+//! A log-depth omega (shuffle-exchange) network with optional combining.
+//!
+//! `K = 2^k` sources route packets to `K` memory banks through `k` stages
+//! of 2×2 switches. A packet from source `s` to bank `b` follows the
+//! unique omega route: after stage `i` it sits on the wire whose index is
+//! `(s << (i+1) | top i+1 bits of b)` truncated to `k` bits — the standard
+//! destination-tag routing.
+//!
+//! **Cost model.** The network is synchronous and pipelined: a tick's
+//! packet batch needs `k + C - 1` network cycles, where the congestion `C`
+//! is the maximum number of *distinct* packets crossing any single wire.
+//! With **combining** enabled, packets addressed to the same memory cell
+//! count once on every wire where their routes have merged (they combine
+//! at the switch where they first meet and fan back out on the return
+//! trip, as in the Ultracomputer/[KRS 88] design). Without combining,
+//! every packet counts separately — concurrent access to one hot cell
+//! serializes.
+//!
+//! This is the standard first-order model of multistage-network latency;
+//! it deliberately ignores finite switch buffers and wormhole effects (see
+//! DESIGN.md — the goal is the *shape* of hot-spot contention, which is
+//! what §2.3's combining claim is about).
+
+use std::collections::HashMap;
+
+/// Routing statistics for one batch of memory accesses (one PRAM tick).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RouteStats {
+    /// Network cycles to deliver the whole batch (`stages + congestion - 1`),
+    /// 0 for an empty batch.
+    pub network_cycles: u64,
+    /// Maximum number of distinct packets over any wire.
+    pub congestion: u64,
+    /// Packets that were merged into another packet by combining.
+    pub combined: u64,
+    /// Packets routed (before combining).
+    pub packets: u64,
+}
+
+/// A `K × K` omega network (`K` a power of two ≥ 2).
+///
+/// ```
+/// use rfsp_net::OmegaNetwork;
+///
+/// // Sixteen processors all reading one hot cell:
+/// let batch: Vec<(usize, usize)> = (0..16).map(|i| (i, 42)).collect();
+/// let combining = OmegaNetwork::new(16).route(&batch);
+/// let plain = OmegaNetwork::new(16).without_combining().route(&batch);
+/// assert_eq!(combining.network_cycles, 4);      // pipelined depth only
+/// assert_eq!(plain.network_cycles, 4 + 16 - 1); // serialized fan-in
+/// ```
+#[derive(Clone, Debug)]
+pub struct OmegaNetwork {
+    k: u32,
+    size: usize,
+    combining: bool,
+}
+
+impl OmegaNetwork {
+    /// A network connecting `ports` sources to `ports` memory banks
+    /// (rounded up to a power of two ≥ 2), with combining enabled.
+    pub fn new(ports: usize) -> Self {
+        let size = ports.next_power_of_two().max(2);
+        OmegaNetwork { k: size.trailing_zeros(), size, combining: true }
+    }
+
+    /// Disable combining (a plain omega network).
+    pub fn without_combining(mut self) -> Self {
+        self.combining = false;
+        self
+    }
+
+    /// Whether combining is enabled.
+    pub fn combining(&self) -> bool {
+        self.combining
+    }
+
+    /// Number of ports `K`.
+    pub fn ports(&self) -> usize {
+        self.size
+    }
+
+    /// Number of switch stages `log₂ K`.
+    pub fn stages(&self) -> u32 {
+        self.k
+    }
+
+    /// Route one batch of `(source, address)` accesses and return the cost.
+    /// Sources are taken modulo `K`; the destination bank is `address mod K`
+    /// but combining distinguishes full addresses (two cells in one bank do
+    /// not combine).
+    pub fn route(&self, accesses: &[(usize, usize)]) -> RouteStats {
+        if accesses.is_empty() {
+            return RouteStats::default();
+        }
+        let k = self.k;
+        let mask = self.size - 1;
+        // Wire occupancy per stage: (stage, wire) -> set of packet classes.
+        // A packet's class is its address when combining (same-address
+        // packets merge once their wires coincide) or its unique index when
+        // not.
+        let mut congestion: u64 = 0;
+        let mut combined: u64 = 0;
+        let mut wires: HashMap<(u32, usize), HashMap<usize, u64>> = HashMap::new();
+        for (idx, &(source, addr)) in accesses.iter().enumerate() {
+            let s = source & mask;
+            let bank = addr & mask;
+            let class = if self.combining { addr } else { usize::MAX - idx };
+            for stage in 0..k {
+                // After `stage+1` routing decisions the packet occupies the
+                // wire formed by the low bits of the source shifted out and
+                // the high bits of the destination shifted in.
+                let shift = stage + 1;
+                let wire = ((s << shift) | (bank >> (k - shift))) & mask;
+                *wires.entry((stage, wire)).or_default().entry(class).or_insert(0) += 1;
+            }
+        }
+        for classes in wires.values() {
+            congestion = congestion.max(classes.len() as u64);
+        }
+        // Count merges on the final stage (arrivals at the banks): every
+        // packet beyond the first of its class was absorbed by combining.
+        if self.combining {
+            let mut by_class: HashMap<usize, u64> = HashMap::new();
+            for &(_, addr) in accesses {
+                *by_class.entry(addr).or_default() += 1;
+            }
+            combined = by_class.values().map(|&c| c - 1).sum();
+        }
+        RouteStats {
+            network_cycles: k as u64 + congestion - 1,
+            congestion,
+            combined,
+            packets: accesses.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_round_up() {
+        let net = OmegaNetwork::new(12);
+        assert_eq!(net.ports(), 16);
+        assert_eq!(net.stages(), 4);
+        assert!(net.combining());
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let net = OmegaNetwork::new(8);
+        assert_eq!(net.route(&[]), RouteStats::default());
+    }
+
+    #[test]
+    fn conflict_free_permutation_is_pipelined() {
+        // The identity permutation is routable without conflicts in an
+        // omega network: latency = stages.
+        let net = OmegaNetwork::new(8).without_combining();
+        let batch: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+        let stats = net.route(&batch);
+        assert_eq!(stats.congestion, 1);
+        assert_eq!(stats.network_cycles, 3);
+    }
+
+    #[test]
+    fn hot_spot_serializes_without_combining() {
+        let net = OmegaNetwork::new(16).without_combining();
+        let batch: Vec<(usize, usize)> = (0..16).map(|i| (i, 5)).collect();
+        let stats = net.route(&batch);
+        // All 16 packets cross the same final wire.
+        assert_eq!(stats.congestion, 16);
+        assert_eq!(stats.network_cycles, 4 + 16 - 1);
+        assert_eq!(stats.combined, 0);
+    }
+
+    #[test]
+    fn hot_spot_combines_to_log_latency() {
+        let net = OmegaNetwork::new(16);
+        let batch: Vec<(usize, usize)> = (0..16).map(|i| (i, 5)).collect();
+        let stats = net.route(&batch);
+        // Same-address packets merge wherever their routes coincide: the
+        // whole fan-in is one packet per wire.
+        assert_eq!(stats.congestion, 1);
+        assert_eq!(stats.network_cycles, 4);
+        assert_eq!(stats.combined, 15);
+    }
+
+    #[test]
+    fn same_bank_different_cells_do_not_combine() {
+        let net = OmegaNetwork::new(8);
+        // Addresses 3 and 11 share bank 3 of 8 but are distinct cells.
+        let stats = net.route(&[(0, 3), (1, 11)]);
+        assert_eq!(stats.combined, 0);
+        assert!(stats.congestion >= 2, "both packets cross the bank-3 wire");
+    }
+
+    #[test]
+    fn combining_never_hurts() {
+        let net_c = OmegaNetwork::new(8);
+        let net_p = OmegaNetwork::new(8).without_combining();
+        let batch: Vec<(usize, usize)> =
+            (0..8).map(|i| (i, if i % 2 == 0 { 4 } else { i })).collect();
+        let c = net_c.route(&batch);
+        let p = net_p.route(&batch);
+        assert!(c.network_cycles <= p.network_cycles);
+    }
+}

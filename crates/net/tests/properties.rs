@@ -1,0 +1,42 @@
+//! Property tests for the omega network cost model.
+
+use proptest::prelude::*;
+use rfsp_net::OmegaNetwork;
+
+proptest! {
+    /// For any batch: latency ≥ stages (nonempty), congestion ≥ 1, and
+    /// combining never increases any cost component.
+    #[test]
+    fn combining_dominates_plain(
+        ports_log in 1u32..7,
+        batch in proptest::collection::vec((0usize..64, 0usize..256), 1..128),
+    ) {
+        let ports = 1usize << ports_log;
+        let with = OmegaNetwork::new(ports).route(&batch);
+        let without = OmegaNetwork::new(ports).without_combining().route(&batch);
+        prop_assert!(with.network_cycles >= ports_log as u64);
+        prop_assert!(without.network_cycles >= ports_log as u64);
+        prop_assert!(with.congestion >= 1);
+        prop_assert!(with.network_cycles <= without.network_cycles);
+        prop_assert!(with.congestion <= without.congestion);
+        prop_assert_eq!(with.packets, batch.len() as u64);
+        // Plain routing never combines.
+        prop_assert_eq!(without.combined, 0);
+    }
+
+    /// Congestion is bounded by the batch size and latency is exactly
+    /// stages + congestion - 1.
+    #[test]
+    fn latency_formula_holds(
+        ports_log in 1u32..6,
+        batch in proptest::collection::vec((0usize..32, 0usize..64), 1..64),
+    ) {
+        let ports = 1usize << ports_log;
+        let stats = OmegaNetwork::new(ports).route(&batch);
+        prop_assert!(stats.congestion <= batch.len() as u64);
+        prop_assert_eq!(
+            stats.network_cycles,
+            ports_log as u64 + stats.congestion - 1
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Completed-work accounting (Definitions 2.2 and 2.3 of the paper).
+//!
+//! * **Completed work** `S = c · Σᵢ Pᵢ(I, F)`: at each tick `i`, every
+//!   processor that *completes* its update cycle is charged one cycle
+//!   (`c = 1` cycle unit here; [`WorkStats::charged_instructions`] also
+//!   reports the instruction-granular variant).
+//! * `S'` additionally counts interrupted cycles; Remark 2 of the paper
+//!   notes `S' ≤ S + |F|`, which [`WorkStats::s_prime`] lets experiments
+//!   verify.
+//! * **Overhead ratio** `σ = max S / (|I| + |F|)` amortizes work over the
+//!   input size and the failure-pattern size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::failure::FailurePattern;
+
+/// Work and fault counters accumulated over a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct WorkStats {
+    /// Completed update cycles — the paper's `S` with `c = 1`.
+    pub completed_cycles: u64,
+    /// Update cycles that were started but interrupted by a failure.
+    pub interrupted_cycles: u64,
+    /// Instructions (reads + compute + writes) inside completed cycles.
+    pub charged_instructions: u64,
+    /// Instructions executed inside interrupted cycles before the stop.
+    pub partial_instructions: u64,
+    /// Failure events.
+    pub failures: u64,
+    /// Restart events.
+    pub restarts: u64,
+    /// Parallel time: ticks elapsed.
+    pub parallel_time: u64,
+}
+
+impl WorkStats {
+    /// Completed work `S` in update cycles.
+    pub fn completed_work(&self) -> u64 {
+        self.completed_cycles
+    }
+
+    /// `S'`: work including interrupted cycles (each interrupted cycle
+    /// charged as one cycle, per Remark 2).
+    pub fn s_prime(&self) -> u64 {
+        self.completed_cycles + self.interrupted_cycles
+    }
+
+    /// `|F|`: size of the failure pattern (failures + restarts).
+    pub fn pattern_size(&self) -> u64 {
+        self.failures + self.restarts
+    }
+
+    /// Overhead ratio `σ = S / (n + |F|)` for input size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` and the pattern is empty (the paper's measure is
+    /// defined for non-degenerate inputs).
+    pub fn overhead_ratio(&self, n: u64) -> f64 {
+        let denom = n + self.pattern_size();
+        assert!(denom > 0, "overhead ratio undefined for empty input and pattern");
+        self.completed_work() as f64 / denom as f64
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The program's completion predicate became true.
+    Completed,
+}
+
+/// Everything a [`Machine::run`](crate::Machine::run) produces.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Work and fault counters.
+    pub stats: WorkStats,
+    /// The failure pattern `F` the adversary actually produced, replayable
+    /// via [`ScheduledAdversary`](crate::ScheduledAdversary).
+    pub pattern: FailurePattern,
+    /// Completed update cycles charged to each processor (indexed by PID):
+    /// the per-processor decomposition of `S`, useful for load-balance
+    /// analysis of the allocation strategies.
+    pub per_processor: Vec<u64>,
+}
+
+impl RunReport {
+    /// Convenience: completed work `S`.
+    pub fn completed_work(&self) -> u64 {
+        self.stats.completed_work()
+    }
+
+    /// Convenience: overhead ratio for input size `n`.
+    pub fn overhead_ratio(&self, n: u64) -> f64 {
+        self.stats.overhead_ratio(n)
+    }
+
+    /// Load imbalance: the busiest processor's share of `S` divided by the
+    /// perfectly balanced share `S/P` (1.0 = perfect balance).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a run with zero completed work.
+    pub fn load_imbalance(&self) -> f64 {
+        let s = self.stats.completed_work();
+        assert!(s > 0, "load imbalance undefined for an idle run");
+        let max = *self.per_processor.iter().max().expect("at least one processor");
+        max as f64 * self.per_processor.len() as f64 / s as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_compose() {
+        let stats = WorkStats {
+            completed_cycles: 90,
+            interrupted_cycles: 10,
+            charged_instructions: 400,
+            partial_instructions: 13,
+            failures: 6,
+            restarts: 4,
+            parallel_time: 25,
+        };
+        assert_eq!(stats.completed_work(), 90);
+        assert_eq!(stats.s_prime(), 100);
+        assert_eq!(stats.pattern_size(), 10);
+        let sigma = stats.overhead_ratio(20);
+        assert!((sigma - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remark_2_bound_shape() {
+        // S' <= S + |F| whenever each interruption stems from one failure.
+        let stats = WorkStats {
+            completed_cycles: 50,
+            interrupted_cycles: 7,
+            failures: 7,
+            restarts: 0,
+            ..Default::default()
+        };
+        assert!(stats.s_prime() <= stats.completed_work() + stats.pattern_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn overhead_ratio_rejects_degenerate() {
+        WorkStats::default().overhead_ratio(0);
+    }
+}

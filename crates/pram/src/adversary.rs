@@ -1,0 +1,209 @@
+//! The on-line adversary interface.
+//!
+//! The paper's failure model (§2.1): an on-line adversary "knows everything
+//! about the algorithm and is unknown to the algorithm". It may fail any
+//! processor at any time during an update cycle and restart any failed
+//! processor, subject only to the progress condition that at least one
+//! processor keeps completing update cycles.
+//!
+//! Concretely, once per tick — after every alive processor has *tentatively*
+//! executed its cycle, so the adversary can see exactly what each one is
+//! about to write — the machine calls [`Adversary::decide`] with a full
+//! [`MachineView`]. The returned [`Decisions`] name processors to fail (with
+//! the precise [`FailPoint`] inside their cycle) and failed processors to
+//! restart. Restarts take effect at the start of the next tick, where the
+//! processor begins a fresh update cycle knowing only its PID; a processor
+//! failed and restarted in the same decision models the paper's immediate
+//! fail-and-restart (it loses its private state and rejoins next tick).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cycle::{ReadSet, WriteSet};
+use crate::memory::SharedMemory;
+use crate::word::{Pid, Word};
+
+/// Where inside its update cycle a processor is stopped.
+///
+/// Word writes are atomic (§2.1 item 2(ii)): failures fall before or after a
+/// write, never during one, so a stopped cycle commits a *prefix* of its
+/// writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FailPoint {
+    /// Stop before the cycle's reads: the processor did nothing this tick.
+    BeforeReads,
+    /// Stop after reads and local computation but before any write.
+    BeforeWrites,
+    /// Stop after the first `k` writes committed (`1 <= k < writes.len()`).
+    AfterWrite(usize),
+}
+
+/// Liveness of one processor, as visible to the adversary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcStatus {
+    /// Executing update cycles.
+    Alive,
+    /// Stopped by a failure; may be restarted.
+    Failed,
+    /// Voluntarily retired ([`Step::Halt`](crate::Step::Halt)); can still be
+    /// failed and restarted by the adversary.
+    Halted,
+}
+
+/// Per-processor metadata in a [`MachineView`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProcMeta {
+    /// Processor identifier (also the index of this entry).
+    pub pid: Pid,
+    /// Current liveness.
+    pub status: ProcStatus,
+    /// Completed update cycles charged to this processor so far.
+    pub completed_cycles: u64,
+}
+
+/// The update cycle a processor is about to perform this tick: the reads it
+/// planned, the values those reads returned, and the writes its computation
+/// produced. Available to the adversary *before* it decides failures — the
+/// strongest on-line knowledge the model allows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TentativeCycle {
+    /// Planned shared reads.
+    pub reads: ReadSet,
+    /// Values returned by those reads (memory state at tick start).
+    pub values: Vec<Word>,
+    /// Writes the processor will attempt, in slot order.
+    pub writes: WriteSet,
+    /// Whether the processor will halt at the end of this cycle.
+    pub halts: bool,
+}
+
+/// Everything the adversary can see when deciding.
+#[derive(Debug)]
+pub struct MachineView<'a> {
+    /// Tick number (0-based).
+    pub cycle: u64,
+    /// Total processors `P`.
+    pub processors: usize,
+    /// Shared memory at the start of this tick.
+    pub mem: &'a SharedMemory,
+    /// Per-processor status, indexed by PID.
+    pub procs: &'a [ProcMeta],
+    /// Per-processor tentative cycle; `None` for failed/halted processors.
+    pub tentative: &'a [Option<TentativeCycle>],
+}
+
+impl MachineView<'_> {
+    /// PIDs of processors executing a cycle this tick.
+    pub fn active_pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.tentative
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(i, _)| Pid(i))
+    }
+
+    /// Number of processors executing a cycle this tick.
+    pub fn active_count(&self) -> usize {
+        self.tentative.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// The adversary's decisions for one tick.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Decisions {
+    /// Processors to stop this tick, with the point inside their cycle.
+    /// Targets must currently be alive or halted (halted processors have no
+    /// cycle in flight; any fail point degenerates to "stopped").
+    pub fails: Vec<(Pid, FailPoint)>,
+    /// Processors to restart at the start of the next tick. Targets must be
+    /// failed, either already or by this very decision.
+    pub restarts: Vec<Pid>,
+}
+
+impl Decisions {
+    /// No failures, no restarts.
+    pub fn none() -> Self {
+        Decisions::default()
+    }
+
+    /// Record a failure.
+    pub fn fail(&mut self, pid: Pid, point: FailPoint) -> &mut Self {
+        self.fails.push((pid, point));
+        self
+    }
+
+    /// Record a restart.
+    pub fn restart(&mut self, pid: Pid) -> &mut Self {
+        self.restarts.push(pid);
+        self
+    }
+
+    /// Total events (failures + restarts) — each contributes one triple to
+    /// the failure pattern `F` of Definition 2.1.
+    pub fn event_count(&self) -> usize {
+        self.fails.len() + self.restarts.len()
+    }
+}
+
+/// An on-line adversary: decides failures and restarts each tick with full
+/// knowledge of the machine.
+///
+/// Implementations must respect the model's progress condition (leave at
+/// least one completing cycle per tick when any processor is active); the
+/// machine enforces it and reports
+/// [`PramError::AdversaryStall`](crate::PramError::AdversaryStall) on
+/// violation.
+pub trait Adversary {
+    /// Decide this tick's failures and restarts.
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions;
+}
+
+/// The benign adversary: no failures, ever.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NoFailures;
+
+impl Adversary for NoFailures {
+    fn decide(&mut self, _view: &MachineView<'_>) -> Decisions {
+        Decisions::none()
+    }
+}
+
+impl<A: Adversary + ?Sized> Adversary for &mut A {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        (**self).decide(view)
+    }
+}
+
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        (**self).decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_builder_counts_events() {
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::BeforeWrites).restart(Pid(0));
+        d.fail(Pid(1), FailPoint::AfterWrite(1));
+        assert_eq!(d.event_count(), 3);
+    }
+
+    #[test]
+    fn no_failures_decides_nothing() {
+        let mem = SharedMemory::new(1);
+        let procs = [ProcMeta { pid: Pid(0), status: ProcStatus::Alive, completed_cycles: 0 }];
+        let tentative = [None];
+        let view = MachineView {
+            cycle: 0,
+            processors: 1,
+            mem: &mem,
+            procs: &procs,
+            tentative: &tentative,
+        };
+        assert_eq!(NoFailures.decide(&view), Decisions::none());
+        assert_eq!(view.active_count(), 0);
+    }
+}

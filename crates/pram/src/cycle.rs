@@ -1,0 +1,139 @@
+//! Update cycles: the unit of execution and accounting.
+//!
+//! An update cycle (paper §2.1) is a fixed-shape sequence: read a small
+//! fixed number of shared cells, perform a fixed-time local computation, and
+//! write a small fixed number of shared cells. The paper quotes budgets of
+//! ≤ 4 reads and ≤ 2 writes as "sufficient for our exposition" while noting
+//! the constants are instruction-set parameters; [`CycleBudget`] makes them
+//! a machine parameter (the general PRAM simulation of §4.3 uses a slightly
+//! wider cycle to move register words, see `rfsp-sim`).
+
+use crate::word::Word;
+
+/// Per-cycle read/write limits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CycleBudget {
+    /// Maximum shared reads per update cycle.
+    pub reads: usize,
+    /// Maximum shared writes per update cycle.
+    pub writes: usize,
+}
+
+impl CycleBudget {
+    /// The paper's quoted budget: 4 reads, 2 writes.
+    pub const PAPER: CycleBudget = CycleBudget { reads: 4, writes: 2 };
+
+    /// A wider cycle used by the general PRAM simulation (moves a register
+    /// word and a staged write per cycle): 6 reads, 3 writes.
+    pub const SIMULATION: CycleBudget = CycleBudget { reads: 6, writes: 3 };
+}
+
+impl Default for CycleBudget {
+    fn default() -> Self {
+        CycleBudget::PAPER
+    }
+}
+
+/// The shared addresses a processor reads this cycle, in order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ReadSet {
+    addrs: Vec<usize>,
+}
+
+impl ReadSet {
+    /// Queue a read of absolute address `addr`. The corresponding value is
+    /// delivered to [`Program::execute`](crate::Program::execute) at the
+    /// same position.
+    #[inline]
+    pub fn push(&mut self, addr: usize) {
+        self.addrs.push(addr);
+    }
+
+    /// Addresses queued so far.
+    pub fn addrs(&self) -> &[usize] {
+        &self.addrs
+    }
+
+    /// Number of queued reads.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether no reads are queued.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// The writes a processor emits this cycle, in order. Write *slots* matter:
+/// the adversary may stop a processor after its first write but before its
+/// second (word writes are atomic, failures fall between them).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct WriteSet {
+    writes: Vec<(usize, Word)>,
+}
+
+impl WriteSet {
+    /// Queue a write of `value` to absolute address `addr`.
+    #[inline]
+    pub fn push(&mut self, addr: usize, value: Word) {
+        self.writes.push((addr, value));
+    }
+
+    /// `(address, value)` pairs queued so far.
+    pub fn writes(&self) -> &[(usize, Word)] {
+        &self.writes
+    }
+
+    /// Number of queued writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether no writes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// What a processor's `execute` step decided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Keep executing update cycles.
+    Continue,
+    /// Retire this processor: its local computation is finished. (A later
+    /// restart re-enters the program from scratch.) The writes emitted in
+    /// the same call are still committed — a halting cycle is an ordinary
+    /// completed cycle.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets() {
+        assert_eq!(CycleBudget::default(), CycleBudget::PAPER);
+        assert_eq!(CycleBudget::PAPER.reads, 4);
+        assert_eq!(CycleBudget::SIMULATION.writes, 3);
+    }
+
+    #[test]
+    fn read_set_orders_addresses() {
+        let mut r = ReadSet::default();
+        r.push(9);
+        r.push(2);
+        assert_eq!(r.addrs(), &[9, 2]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn write_set_orders_slots() {
+        let mut w = WriteSet::default();
+        w.push(1, 10);
+        w.push(0, 20);
+        assert_eq!(w.writes(), &[(1, 10), (0, 20)]);
+    }
+}

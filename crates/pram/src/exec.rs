@@ -1,0 +1,22 @@
+//! Execution backends.
+//!
+//! The machine has two ways to execute a tick's tentative phase:
+//!
+//! * **Sequential** — [`Machine::run`](crate::Machine::run) /
+//!   [`Machine::tick`](crate::Machine::tick): one host thread plays all `P`
+//!   processors. Deterministic and fastest for small `P`.
+//! * **Threaded** — [`Machine::run_threaded`](crate::Machine::run_threaded):
+//!   the tentative phase (plan → read → compute) of each tick is fanned out
+//!   over worker threads with `crossbeam` scoped threads; the adversary and
+//!   commit phases stay serial. Because the tentative phase only *reads*
+//!   the tick-start memory and writes disjoint per-processor slots, the
+//!   result is bit-identical to the sequential engine — the synchronous
+//!   PRAM semantics are preserved exactly while the heavy per-processor
+//!   work runs on real cores.
+//!
+//! Both backends share all accounting, adversary and conflict-resolution
+//! code, so every experiment can be cross-checked between them.
+
+// The backends are implemented on `Machine` itself (see `machine.rs`); this
+// module exists to document them and to host future backends (e.g. a
+// lock-free asynchronous executor for Algorithm X).

@@ -1,0 +1,191 @@
+//! Failure patterns: recorded and replayable fault schedules.
+//!
+//! Definition 2.1 of the paper: a failure pattern `F` is a set of triples
+//! `<tag, PID, t>` where `tag` is `failure` or `restart`; its size `|F|` is
+//! the cardinality. The machine records the pattern the adversary actually
+//! produced in every [`RunReport`](crate::RunReport), and
+//! [`ScheduledAdversary`] replays a pattern verbatim, which makes every
+//! adversarial run reproducible and serializable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::{Adversary, Decisions, FailPoint, MachineView};
+use crate::word::Pid;
+
+/// `failure` or `restart` (the `tag` of Definition 2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The processor stops; private memory is lost.
+    Failure {
+        /// Exactly where inside its cycle the processor was stopped, so a
+        /// replay reproduces the run bit for bit.
+        point: FailPoint,
+    },
+    /// The processor resumes at its initial state knowing only its PID.
+    Restart,
+}
+
+/// One element of a failure pattern: `<tag, PID, t>`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Failure or restart.
+    pub kind: FailureKind,
+    /// The processor concerned.
+    pub pid: usize,
+    /// The tick at which the event occurred.
+    pub time: u64,
+}
+
+/// A failure pattern `F`: a time-ordered list of failure/restart events.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FailurePattern {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePattern {
+    /// The empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event. Events must be pushed in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event.time` precedes the last recorded event's time.
+    pub fn push(&mut self, event: FailureEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(event.time >= last.time, "failure pattern must be time-ordered");
+        }
+        self.events.push(event);
+    }
+
+    /// `|F|`: the number of failure and restart events.
+    pub fn size(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the pattern is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Number of failure (non-restart) events.
+    pub fn failure_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FailureKind::Failure { .. }))
+            .count()
+    }
+
+    /// Number of restart events.
+    pub fn restart_count(&self) -> usize {
+        self.events.len() - self.failure_count()
+    }
+}
+
+impl FromIterator<FailureEvent> for FailurePattern {
+    fn from_iter<I: IntoIterator<Item = FailureEvent>>(iter: I) -> Self {
+        let mut p = FailurePattern::new();
+        for e in iter {
+            p.push(e);
+        }
+        p
+    }
+}
+
+impl Extend<FailureEvent> for FailurePattern {
+    fn extend<I: IntoIterator<Item = FailureEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+/// An adversary that replays a recorded [`FailurePattern`] verbatim: events
+/// with time `t` are issued at tick `t`. Restart events are issued the tick
+/// *before* their recorded time (restarts take effect at the start of the
+/// next tick), so a replayed run reproduces the recorded timeline.
+#[derive(Clone, Debug)]
+pub struct ScheduledAdversary {
+    pattern: FailurePattern,
+    next: usize,
+}
+
+impl ScheduledAdversary {
+    /// Replay `pattern`.
+    pub fn new(pattern: FailurePattern) -> Self {
+        ScheduledAdversary { pattern, next: 0 }
+    }
+
+    /// Remaining unissued events.
+    pub fn remaining(&self) -> usize {
+        self.pattern.size() - self.next
+    }
+}
+
+impl Adversary for ScheduledAdversary {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        let mut d = Decisions::none();
+        while let Some(e) = self.pattern.events().get(self.next) {
+            // Failures at tick t are issued at tick t; restarts recorded at
+            // tick t take effect at t, so they must be issued at t-1.
+            let issue_at = match e.kind {
+                FailureKind::Failure { .. } => e.time,
+                FailureKind::Restart => e.time.saturating_sub(1),
+            };
+            if issue_at > view.cycle {
+                break;
+            }
+            match e.kind {
+                FailureKind::Failure { point } => {
+                    d.fail(Pid(e.pid), point);
+                }
+                FailureKind::Restart => {
+                    d.restart(Pid(e.pid));
+                }
+            }
+            self.next += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail(pid: usize, time: u64) -> FailureEvent {
+        FailureEvent { kind: FailureKind::Failure { point: FailPoint::BeforeWrites }, pid, time }
+    }
+
+    #[test]
+    fn pattern_counts() {
+        let mut p = FailurePattern::new();
+        p.push(fail(0, 1));
+        p.push(FailureEvent { kind: FailureKind::Restart, pid: 0, time: 3 });
+        assert_eq!(p.size(), 2);
+        assert_eq!(p.failure_count(), 1);
+        assert_eq!(p.restart_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn pattern_rejects_unordered() {
+        let mut p = FailurePattern::new();
+        p.push(fail(0, 5));
+        p.push(fail(1, 2));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: FailurePattern = vec![fail(0, 0), fail(1, 1)].into_iter().collect();
+        assert_eq!(p.size(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,970 @@
+//! The synchronous restartable fail-stop machine executor.
+//!
+//! Each tick the machine plays one update cycle for every alive processor:
+//!
+//! 1. **Tentative phase** — every alive processor plans its reads, reads the
+//!    memory state from the start of the tick (synchronous PRAM: nobody sees
+//!    this tick's writes), and computes its writes against a *copy* of its
+//!    private state.
+//! 2. **Adversary phase** — the on-line adversary inspects the whole machine
+//!    (including every tentative cycle) and stops/restarts processors.
+//! 3. **Commit phase** — surviving write prefixes are merged slot by slot
+//!    under the machine's CRCW [`WriteMode`]; processors that completed
+//!    their cycle are charged and adopt their new private state; stopped
+//!    processors lose their private state.
+//!
+//! Restarts take effect at the start of the following tick. The executor
+//! enforces the model's progress condition (§2.1 2(i)): every tick with any
+//! activity must include at least one completed update cycle.
+
+use crate::accounting::{RunOutcome, RunReport, WorkStats};
+use crate::trace::{Observer, TraceEvent};
+use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
+use crate::cycle::{CycleBudget, ReadSet, Step, WriteSet};
+use crate::error::{BudgetKind, PramError};
+use crate::failure::{FailureEvent, FailureKind, FailurePattern};
+use crate::memory::SharedMemory;
+use crate::mode::WriteMode;
+use crate::word::{Pid, Word};
+use crate::{Program, Result};
+
+/// Safety limits for a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunLimits {
+    /// Abort with [`PramError::CycleLimit`] after this many ticks. Used by
+    /// experiments to demonstrate non-terminating executions (e.g.
+    /// algorithm W under restarts).
+    pub max_cycles: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_cycles: 100_000_000 }
+    }
+}
+
+/// The do-nothing observer used by the unobserved entry points.
+struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn event(&mut self, _event: TraceEvent) {}
+}
+
+/// Internal per-processor slot.
+#[derive(Clone, Debug)]
+struct ProcSlot<S> {
+    status: ProcStatus,
+    /// Private memory; `None` while failed.
+    state: Option<S>,
+    completed: u64,
+}
+
+/// Outcome of one processor's cycle after the adversary's decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CycleFate {
+    /// Not active this tick (failed or halted at tick start).
+    Idle,
+    /// Completed the whole cycle (possibly failed *after* it completed).
+    Completed,
+    /// Stopped after committing this many writes.
+    Interrupted { committed_writes: usize },
+}
+
+/// A restartable fail-stop CRCW PRAM running one [`Program`].
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Machine<'p, P: Program> {
+    program: &'p P,
+    mem: SharedMemory,
+    budget: CycleBudget,
+    mode: WriteMode,
+    procs: Vec<ProcSlot<P::Private>>,
+    cycle: u64,
+    stats: WorkStats,
+    pattern: FailurePattern,
+    // Reused per-tick buffers.
+    tentative: Vec<Option<TentativeCycle>>,
+    meta: Vec<ProcMeta>,
+    fates: Vec<CycleFate>,
+    slot_writes: Vec<(Pid, usize, Word)>,
+}
+
+impl<'p, P: Program> Machine<'p, P> {
+    /// Build a machine with `processors` processors for `program`.
+    ///
+    /// Shared memory is allocated per [`Program::shared_size`] and
+    /// initialized via [`Program::init_memory`]; every processor starts
+    /// alive in its [`Program::on_start`] state.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::InvalidConfig`] if `processors == 0`.
+    pub fn new(program: &'p P, processors: usize, budget: CycleBudget) -> Result<Self> {
+        if processors == 0 {
+            return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
+        }
+        let mut mem = SharedMemory::new(program.shared_size());
+        program.init_memory(&mut mem);
+        let procs = (0..processors)
+            .map(|i| ProcSlot {
+                status: ProcStatus::Alive,
+                state: Some(program.on_start(Pid(i))),
+                completed: 0,
+            })
+            .collect();
+        Ok(Machine {
+            program,
+            mem,
+            budget,
+            mode: WriteMode::Common,
+            procs,
+            cycle: 0,
+            stats: WorkStats::default(),
+            pattern: FailurePattern::new(),
+            tentative: vec![None; processors],
+            meta: Vec::with_capacity(processors),
+            fates: vec![CycleFate::Idle; processors],
+            slot_writes: Vec::new(),
+        })
+    }
+
+    /// Set the concurrent-write semantics (default: COMMON).
+    pub fn set_write_mode(&mut self, mode: WriteMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The shared memory (uncharged inspection).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.mem
+    }
+
+    /// Mutable shared memory, for test setup between runs.
+    pub fn memory_mut(&mut self) -> &mut SharedMemory {
+        &mut self.mem
+    }
+
+    /// Number of processors `P`.
+    pub fn processors(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current tick.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated work statistics.
+    pub fn stats(&self) -> &WorkStats {
+        &self.stats
+    }
+
+    /// Status of processor `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn proc_status(&self, pid: Pid) -> ProcStatus {
+        self.procs[pid.0].status
+    }
+
+    /// Run to completion under `adversary` with default [`RunLimits`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`]; in particular [`PramError::CycleLimit`] if the
+    /// default limit is exhausted.
+    pub fn run<A: Adversary>(&mut self, adversary: &mut A) -> Result<RunReport> {
+        self.run_with_limits(adversary, RunLimits::default())
+    }
+
+    /// Run to completion under `adversary` with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run_with_limits<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+    ) -> Result<RunReport> {
+        self.run_observed(adversary, limits, &mut NoopObserver)
+    }
+
+    /// Like [`Machine::run_with_limits`], streaming every machine event —
+    /// cycle completions, failures, restarts, committed writes — to
+    /// `observer` (see [`crate::trace`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run_observed<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport> {
+        loop {
+            if self.program.is_complete(&self.mem) {
+                observer.event(TraceEvent::Completed { cycle: self.cycle });
+                return Ok(RunReport {
+                    outcome: RunOutcome::Completed,
+                    stats: self.stats,
+                    pattern: self.pattern.clone(),
+                    per_processor: self.procs.iter().map(|s| s.completed).collect(),
+                });
+            }
+            if self.cycle >= limits.max_cycles {
+                return Err(PramError::CycleLimit { cycles: limits.max_cycles });
+            }
+            self.tick_observed(adversary, observer)?;
+        }
+    }
+
+    /// Execute exactly one tick under `adversary`. Exposed for fine-grained
+    /// tests and lock-step experiment drivers.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn tick<A: Adversary>(&mut self, adversary: &mut A) -> Result<()> {
+        self.tick_observed(adversary, &mut NoopObserver)
+    }
+
+    /// [`Machine::tick`] with an event stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn tick_observed<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        observer: &mut dyn Observer,
+    ) -> Result<()> {
+        observer.event(TraceEvent::TickStart { cycle: self.cycle });
+        self.tentative_phase()?;
+        let decisions = {
+            self.meta.clear();
+            self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
+                pid: Pid(i),
+                status: s.status,
+                completed_cycles: s.completed,
+            }));
+            let view = MachineView {
+                cycle: self.cycle,
+                processors: self.procs.len(),
+                mem: &self.mem,
+                procs: &self.meta,
+                tentative: &self.tentative,
+            };
+            adversary.decide(&view)
+        };
+        self.apply(decisions, observer)
+    }
+
+    /// Phase 1: every alive processor tentatively plays its cycle against
+    /// the tick-start memory.
+    fn tentative_phase(&mut self) -> Result<()> {
+        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
+        for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
+            *out = tentative_for(program, mem, budget, cycle, Pid(i), slot)?;
+        }
+        Ok(())
+    }
+
+    /// Phases 2b/3: validate the adversary's decisions, merge surviving
+    /// writes, charge work, record the failure pattern, apply restarts.
+    fn apply(
+        &mut self,
+        decisions: crate::adversary::Decisions,
+        observer: &mut dyn Observer,
+    ) -> Result<()> {
+        let p = self.procs.len();
+        // --- Validate failures and compute each processor's fate. ---
+        for (i, fate) in self.fates.iter_mut().enumerate() {
+            *fate = if self.tentative[i].is_some() {
+                CycleFate::Completed
+            } else {
+                CycleFate::Idle
+            };
+        }
+        let mut failed_now = vec![false; p];
+        let mut fail_points: Vec<Option<FailPoint>> = vec![None; p];
+        for &(pid, point) in &decisions.fails {
+            if pid.0 >= p {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("fail of unknown processor {pid}"),
+                });
+            }
+            if failed_now[pid.0] {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("duplicate failure of {pid}"),
+                });
+            }
+            match self.procs[pid.0].status {
+                ProcStatus::Failed => {
+                    return Err(PramError::InvalidAdversaryDecision {
+                        cycle: self.cycle,
+                        detail: format!("failure of already failed {pid}"),
+                    });
+                }
+                ProcStatus::Halted => {
+                    // No cycle in flight; the processor simply stops.
+                    failed_now[pid.0] = true;
+                    fail_points[pid.0] = Some(point);
+                    self.fates[pid.0] = CycleFate::Idle;
+                }
+                ProcStatus::Alive => {
+                    let t = self.tentative[pid.0]
+                        .as_ref()
+                        .expect("alive processor has a tentative cycle");
+                    let committed = match point {
+                        FailPoint::BeforeReads | FailPoint::BeforeWrites => 0,
+                        FailPoint::AfterWrite(k) => {
+                            if k == 0 || k > t.writes.len() {
+                                return Err(PramError::InvalidAdversaryDecision {
+                                    cycle: self.cycle,
+                                    detail: format!(
+                                        "{pid} failed after write {k} but the cycle has {} writes",
+                                        t.writes.len()
+                                    ),
+                                });
+                            }
+                            k
+                        }
+                    };
+                    failed_now[pid.0] = true;
+                    fail_points[pid.0] = Some(point);
+                    // Failing after the final write means the cycle
+                    // completed (and is charged) before the processor
+                    // stopped.
+                    self.fates[pid.0] = if committed == t.writes.len()
+                        && !matches!(point, FailPoint::BeforeReads | FailPoint::BeforeWrites)
+                    {
+                        CycleFate::Completed
+                    } else if matches!(point, FailPoint::BeforeReads) {
+                        CycleFate::Interrupted { committed_writes: usize::MAX } // marker: no reads either
+                    } else {
+                        CycleFate::Interrupted { committed_writes: committed }
+                    };
+                }
+            }
+        }
+        // --- Validate restarts. ---
+        let mut restarted = vec![false; p];
+        for &pid in &decisions.restarts {
+            if pid.0 >= p {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("restart of unknown processor {pid}"),
+                });
+            }
+            if restarted[pid.0] {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("duplicate restart of {pid}"),
+                });
+            }
+            let failed = self.procs[pid.0].status == ProcStatus::Failed || failed_now[pid.0];
+            if !failed {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("restart of non-failed {pid}"),
+                });
+            }
+            restarted[pid.0] = true;
+        }
+
+        // --- Progress condition (§2.1 2(i)). ---
+        let any_active = self.tentative.iter().any(|t| t.is_some());
+        let completing = (0..p)
+            .filter(|&i| self.tentative[i].is_some() && self.fates[i] == CycleFate::Completed)
+            .count();
+        if any_active && completing == 0 {
+            return Err(PramError::AdversaryStall { cycle: self.cycle });
+        }
+        if !any_active {
+            let any_failed = self.procs.iter().any(|s| s.status == ProcStatus::Failed);
+            let any_restart = !decisions.restarts.is_empty();
+            if any_failed && !any_restart {
+                return Err(PramError::AdversaryStall { cycle: self.cycle });
+            }
+            if !any_failed {
+                // Everyone halted voluntarily but the program is incomplete.
+                return Err(PramError::Deadlock { cycle: self.cycle });
+            }
+        }
+
+        // --- Commit surviving write prefixes, slot by slot. ---
+        let max_slots = self.budget.writes;
+        for slot in 0..max_slots {
+            self.slot_writes.clear();
+            for i in 0..p {
+                let Some(t) = self.tentative[i].as_ref() else { continue };
+                if slot >= t.writes.len() {
+                    continue;
+                }
+                let survives_slot = match self.fates[i] {
+                    CycleFate::Completed => true,
+                    CycleFate::Interrupted { committed_writes } => {
+                        committed_writes != usize::MAX && slot < committed_writes
+                    }
+                    CycleFate::Idle => false,
+                };
+                if survives_slot {
+                    let (addr, value) = t.writes.writes()[slot];
+                    self.slot_writes.push((Pid(i), addr, value));
+                }
+            }
+            self.commit_slot(observer)?;
+        }
+
+        // --- Charge work, update processor states, record the pattern. ---
+        let mut events: Vec<FailureEvent> = Vec::new();
+        for i in 0..p {
+            match self.fates[i] {
+                CycleFate::Idle => {}
+                CycleFate::Completed => {
+                    let t = self.tentative[i].as_ref().expect("completed cycle exists");
+                    observer.event(TraceEvent::CycleCompleted { cycle: self.cycle, pid: Pid(i) });
+                    self.stats.completed_cycles += 1;
+                    self.stats.charged_instructions += (t.reads.len() + 1 + t.writes.len()) as u64;
+                    self.procs[i].completed += 1;
+                    if t.halts {
+                        self.procs[i].status = ProcStatus::Halted;
+                    }
+                    // Post-cycle private state was already parked in the slot.
+                }
+                CycleFate::Interrupted { committed_writes } => {
+                    let t = self.tentative[i].as_ref().expect("interrupted cycle exists");
+                    observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
+                    self.stats.interrupted_cycles += 1;
+                    self.stats.partial_instructions += if committed_writes == usize::MAX {
+                        0
+                    } else {
+                        (t.reads.len() + 1 + committed_writes) as u64
+                    };
+                }
+            }
+            if failed_now[i] {
+                self.procs[i].status = ProcStatus::Failed;
+                self.procs[i].state = None;
+                self.stats.failures += 1;
+                let point = fail_points[i].expect("failed processor has a recorded point");
+                observer.event(TraceEvent::Failure { cycle: self.cycle, pid: Pid(i), point });
+                events.push(FailureEvent {
+                    kind: FailureKind::Failure { point },
+                    pid: i,
+                    time: self.cycle,
+                });
+            }
+        }
+        for (i, _) in restarted.iter().enumerate().filter(|(_, &r)| r) {
+            observer.event(TraceEvent::Restart { cycle: self.cycle, pid: Pid(i) });
+            self.procs[i].status = ProcStatus::Alive;
+            self.procs[i].state = Some(self.program.on_start(Pid(i)));
+            self.stats.restarts += 1;
+            events.push(FailureEvent { kind: FailureKind::Restart, pid: i, time: self.cycle + 1 });
+        }
+        // Failure events at this tick precede restart events at tick+1, so
+        // pushing fails-then-restarts keeps the pattern time-ordered.
+        self.pattern.extend(events);
+
+        self.cycle += 1;
+        self.stats.parallel_time = self.cycle;
+        Ok(())
+    }
+
+    /// Merge one write slot under the machine's CRCW semantics and apply it.
+    fn commit_slot(&mut self, observer: &mut dyn Observer) -> Result<()> {
+        // Group writers by address; within an address the lowest PID comes
+        // first, making ARBITRARY/PRIORITY resolution "first writer wins".
+        self.slot_writes.sort_by_key(|&(pid, addr, _)| (addr, pid));
+        let mut i = 0;
+        while i < self.slot_writes.len() {
+            let (pid, addr, value) = self.slot_writes[i];
+            let mut j = i + 1;
+            let chosen = (pid, value);
+            while j < self.slot_writes.len() {
+                let (pid2, addr2, value2) = self.slot_writes[j];
+                if addr2 != addr {
+                    break;
+                }
+                match self.mode {
+                    WriteMode::Common => {
+                        if value2 != chosen.1 {
+                            return Err(PramError::CommonWriteConflict {
+                                addr,
+                                cycle: self.cycle,
+                                first: (chosen.0, chosen.1),
+                                second: (pid2, value2),
+                            });
+                        }
+                    }
+                    WriteMode::Arbitrary | WriteMode::Priority => {
+                        // chosen stays: lowest PID wins and writers are in
+                        // PID order within equal addresses (see sort below).
+                    }
+                    WriteMode::Exclusive => {
+                        return Err(PramError::ExclusiveWriteConflict {
+                            addr,
+                            cycle: self.cycle,
+                        });
+                    }
+                }
+                j += 1;
+            }
+            self.mem.store(addr, chosen.1)?;
+            observer.event(TraceEvent::Commit { cycle: self.cycle, addr, value: chosen.1 });
+            i = j;
+        }
+        Ok(())
+    }
+}
+
+/// Tentatively play one update cycle for processor `pid` against `mem`.
+///
+/// Returns `None` if the processor is not alive. On success the processor's
+/// *post-cycle* private state is parked in its slot; `apply` drops it if the
+/// adversary interrupts the cycle (the model has no partial-progress private
+/// memory: a failed processor loses its state entirely, a surviving one
+/// adopts the post-cycle state).
+fn tentative_for<P: Program>(
+    program: &P,
+    mem: &SharedMemory,
+    budget: CycleBudget,
+    cycle: u64,
+    pid: Pid,
+    slot: &mut ProcSlot<P::Private>,
+) -> Result<Option<TentativeCycle>> {
+    if slot.status != ProcStatus::Alive {
+        return Ok(None);
+    }
+    let mut state = slot.state.clone().expect("alive processor must have private state");
+    // Drive the plan chain: reads within a cycle may depend on values read
+    // earlier in the same cycle (ordinary sequential instructions).
+    let mut all_reads = ReadSet::default();
+    let mut values: Vec<crate::word::Word> = Vec::new();
+    loop {
+        let mut batch = ReadSet::default();
+        program.plan(pid, &state, &values, &mut batch);
+        if batch.is_empty() {
+            break;
+        }
+        if all_reads.len() + batch.len() > budget.reads {
+            return Err(PramError::BudgetExceeded {
+                pid,
+                cycle,
+                kind: BudgetKind::Reads,
+                used: all_reads.len() + batch.len(),
+                limit: budget.reads,
+            });
+        }
+        for &addr in batch.addrs() {
+            if addr >= mem.size() {
+                return Err(PramError::AddressOutOfBounds { addr, size: mem.size() });
+            }
+            values.push(mem.peek(addr));
+            all_reads.push(addr);
+        }
+    }
+    let reads = all_reads;
+    let mut writes = WriteSet::default();
+    let step = program.execute(pid, &mut state, &values, &mut writes);
+    if writes.len() > budget.writes {
+        return Err(PramError::BudgetExceeded {
+            pid,
+            cycle,
+            kind: BudgetKind::Writes,
+            used: writes.len(),
+            limit: budget.writes,
+        });
+    }
+    for &(addr, _) in writes.writes() {
+        if addr >= mem.size() {
+            return Err(PramError::AddressOutOfBounds { addr, size: mem.size() });
+        }
+    }
+    slot.state = Some(state);
+    Ok(Some(TentativeCycle { reads, values, writes, halts: matches!(step, Step::Halt) }))
+}
+
+impl<'p, P> Machine<'p, P>
+where
+    P: Program + Sync,
+    P::Private: Send,
+{
+    /// Like [`Machine::run_with_limits`], but the tentative phase of every
+    /// tick is computed by `threads` worker threads over disjoint processor
+    /// ranges (the adversary and commit phases stay serial, preserving the
+    /// exact semantics and determinism of the sequential engine).
+    ///
+    /// This is the "real concurrency" backend: results are bit-identical to
+    /// [`Machine::run`] for the same program and adversary.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`]. Additionally [`PramError::InvalidConfig`] if
+    /// `threads == 0`.
+    pub fn run_threaded<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        threads: usize,
+    ) -> Result<RunReport> {
+        if threads == 0 {
+            return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
+        }
+        loop {
+            if self.program.is_complete(&self.mem) {
+                return Ok(RunReport {
+                    outcome: RunOutcome::Completed,
+                    stats: self.stats,
+                    pattern: self.pattern.clone(),
+                    per_processor: self.procs.iter().map(|s| s.completed).collect(),
+                });
+            }
+            if self.cycle >= limits.max_cycles {
+                return Err(PramError::CycleLimit { cycles: limits.max_cycles });
+            }
+            self.tentative_phase_threaded(threads)?;
+            let decisions = {
+                self.meta.clear();
+                self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
+                    pid: Pid(i),
+                    status: s.status,
+                    completed_cycles: s.completed,
+                }));
+                let view = MachineView {
+                    cycle: self.cycle,
+                    processors: self.procs.len(),
+                    mem: &self.mem,
+                    procs: &self.meta,
+                    tentative: &self.tentative,
+                };
+                adversary.decide(&view)
+            };
+            self.apply(decisions, &mut NoopObserver)?;
+        }
+    }
+
+    /// Parallel tentative phase: processors are split into `threads` chunks,
+    /// each handled by a scoped worker against the shared tick-start memory.
+    fn tentative_phase_threaded(&mut self, threads: usize) -> Result<()> {
+        let p = self.procs.len();
+        let chunk = p.div_ceil(threads);
+        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
+        let first_err: parking_lot::Mutex<Option<PramError>> = parking_lot::Mutex::new(None);
+        crossbeam::thread::scope(|scope| {
+            for (ci, (proc_chunk, tent_chunk)) in self
+                .procs
+                .chunks_mut(chunk)
+                .zip(self.tentative.chunks_mut(chunk))
+                .enumerate()
+            {
+                let first_err = &first_err;
+                scope.spawn(move |_| {
+                    let base = ci * chunk;
+                    for (k, (slot, out)) in
+                        proc_chunk.iter_mut().zip(tent_chunk.iter_mut()).enumerate()
+                    {
+                        match tentative_for(program, mem, budget, cycle, Pid(base + k), slot) {
+                            Ok(t) => *out = t,
+                            Err(e) => {
+                                let mut guard = first_err.lock();
+                                if guard.is_none() {
+                                    *guard = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("tentative worker panicked");
+        match first_err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{Decisions, NoFailures};
+    use crate::Program;
+
+    /// Each processor repeatedly increments its own cell until it reaches
+    /// `target`, then halts.
+    struct Counter {
+        n: usize,
+        target: Word,
+    }
+
+    impl Program for Counter {
+        type Private = ();
+        fn shared_size(&self) -> usize {
+            self.n
+        }
+        fn on_start(&self, _pid: Pid) {}
+        fn plan(&self, pid: Pid, _st: &(), values: &[Word], reads: &mut ReadSet) {
+            if values.is_empty() {
+                reads.push(pid.0);
+            }
+        }
+        fn execute(&self, pid: Pid, _st: &mut (), vals: &[Word], writes: &mut WriteSet) -> Step {
+            if vals[0] >= self.target {
+                return Step::Halt;
+            }
+            writes.push(pid.0, vals[0] + 1);
+            Step::Continue
+        }
+        fn is_complete(&self, mem: &SharedMemory) -> bool {
+            (0..self.n).all(|i| mem.peek(i) >= self.target)
+        }
+    }
+
+    #[test]
+    fn counter_completes_without_failures() {
+        let prog = Counter { n: 4, target: 3 };
+        let mut m = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut NoFailures).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        // 3 increments per processor; completion is detected before the
+        // halting cycle runs.
+        assert_eq!(report.stats.completed_cycles, 12);
+        assert_eq!(report.stats.parallel_time, 3);
+        assert!(report.pattern.is_empty());
+        assert_eq!(m.memory().peek(0), 3);
+    }
+
+    /// Adversary that fails processor 1 before its writes in cycle 0 and
+    /// restarts it for cycle 2.
+    struct OneHiccup;
+    impl Adversary for OneHiccup {
+        fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+            let mut d = Decisions::none();
+            if view.cycle == 0 {
+                d.fail(Pid(1), FailPoint::BeforeWrites);
+            }
+            if view.cycle == 1 {
+                d.restart(Pid(1));
+            }
+            d
+        }
+    }
+
+    #[test]
+    fn failure_discards_writes_and_is_not_charged() {
+        let prog = Counter { n: 2, target: 2 };
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut OneHiccup).unwrap();
+        // P0: 2 increments plus a charged halting cycle. P1: loses cycle 0,
+        // idle cycle 1, increments in cycles 2 and 3.
+        assert_eq!(m.memory().peek(0), 2);
+        assert_eq!(m.memory().peek(1), 2);
+        assert_eq!(report.stats.interrupted_cycles, 1);
+        assert_eq!(report.stats.failures, 1);
+        assert_eq!(report.stats.restarts, 1);
+        assert_eq!(report.stats.pattern_size(), 2);
+        assert_eq!(report.stats.completed_cycles, 5);
+        assert_eq!(report.stats.parallel_time, 4);
+        // S' = S + interrupted.
+        assert_eq!(report.stats.s_prime(), 6);
+    }
+
+    /// Write-conflict program: both processors write different values to
+    /// cell 0.
+    struct Clash;
+    impl Program for Clash {
+        type Private = ();
+        fn shared_size(&self) -> usize {
+            1
+        }
+        fn on_start(&self, _pid: Pid) {}
+        fn plan(&self, _pid: Pid, _st: &(), _vals: &[Word], _reads: &mut ReadSet) {}
+        fn execute(&self, pid: Pid, _st: &mut (), _v: &[Word], writes: &mut WriteSet) -> Step {
+            writes.push(0, pid.0 as Word + 1);
+            Step::Halt
+        }
+        fn is_complete(&self, mem: &SharedMemory) -> bool {
+            mem.peek(0) != 0
+        }
+    }
+
+    #[test]
+    fn common_mode_detects_conflicts() {
+        let prog = Clash;
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let err = m.run(&mut NoFailures).unwrap_err();
+        assert!(matches!(err, PramError::CommonWriteConflict { addr: 0, .. }));
+    }
+
+    #[test]
+    fn arbitrary_mode_lowest_pid_wins() {
+        let prog = Clash;
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        m.set_write_mode(WriteMode::Arbitrary);
+        m.run(&mut NoFailures).unwrap();
+        assert_eq!(m.memory().peek(0), 1); // P0's value
+    }
+
+    #[test]
+    fn exclusive_mode_rejects_concurrent_writes() {
+        let prog = Clash;
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        m.set_write_mode(WriteMode::Exclusive);
+        let err = m.run(&mut NoFailures).unwrap_err();
+        assert!(matches!(err, PramError::ExclusiveWriteConflict { addr: 0, .. }));
+    }
+
+    /// Adversary failing everyone mid-cycle — must be rejected.
+    struct KillAll;
+    impl Adversary for KillAll {
+        fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+            let mut d = Decisions::none();
+            for pid in view.active_pids() {
+                d.fail(pid, FailPoint::BeforeWrites);
+            }
+            d
+        }
+    }
+
+    #[test]
+    fn stalling_adversary_is_rejected() {
+        let prog = Counter { n: 2, target: 1 };
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let err = m.run(&mut KillAll).unwrap_err();
+        assert_eq!(err, PramError::AdversaryStall { cycle: 0 });
+    }
+
+    /// A program that halts immediately without completing — deadlock.
+    struct GiveUp;
+    impl Program for GiveUp {
+        type Private = ();
+        fn shared_size(&self) -> usize {
+            1
+        }
+        fn on_start(&self, _pid: Pid) {}
+        fn plan(&self, _pid: Pid, _st: &(), _vals: &[Word], _reads: &mut ReadSet) {}
+        fn execute(&self, _pid: Pid, _st: &mut (), _v: &[Word], _w: &mut WriteSet) -> Step {
+            Step::Halt
+        }
+        fn is_complete(&self, _mem: &SharedMemory) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let prog = GiveUp;
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let err = m.run(&mut NoFailures).unwrap_err();
+        assert!(matches!(err, PramError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let prog = Counter { n: 1, target: 1_000 };
+        let mut m = Machine::new(&prog, 1, CycleBudget::PAPER).unwrap();
+        let err = m
+            .run_with_limits(&mut NoFailures, RunLimits { max_cycles: 10 })
+            .unwrap_err();
+        assert_eq!(err, PramError::CycleLimit { cycles: 10 });
+    }
+
+    /// Failing after the final write both commits and charges the cycle.
+    struct FailAfterFinalWrite;
+    impl Adversary for FailAfterFinalWrite {
+        fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+            let mut d = Decisions::none();
+            if view.cycle == 0 {
+                if let Some(t) = view.tentative[1].as_ref() {
+                    d.fail(Pid(1), FailPoint::AfterWrite(t.writes.len()));
+                    d.restart(Pid(1));
+                }
+            }
+            d
+        }
+    }
+
+    #[test]
+    fn fail_after_last_write_still_charges_cycle() {
+        let prog = Counter { n: 2, target: 2 };
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut FailAfterFinalWrite).unwrap();
+        assert_eq!(m.memory().peek(1), 2);
+        assert_eq!(report.stats.interrupted_cycles, 0);
+        assert_eq!(report.stats.failures, 1);
+        // P1's cycle-0 write committed even though it then failed.
+        assert_eq!(report.stats.completed_cycles, 4);
+    }
+
+    #[test]
+    fn budget_violation_is_reported() {
+        struct Greedy;
+        impl Program for Greedy {
+            type Private = ();
+            fn shared_size(&self) -> usize {
+                8
+            }
+            fn on_start(&self, _pid: Pid) {}
+            fn plan(&self, _pid: Pid, _st: &(), _vals: &[Word], reads: &mut ReadSet) {
+                for a in 0..5 {
+                    reads.push(a);
+                }
+            }
+            fn execute(&self, _p: Pid, _s: &mut (), _v: &[Word], _w: &mut WriteSet) -> Step {
+                Step::Halt
+            }
+            fn is_complete(&self, _mem: &SharedMemory) -> bool {
+                false
+            }
+        }
+        let prog = Greedy;
+        let mut m = Machine::new(&prog, 1, CycleBudget::PAPER).unwrap();
+        let err = m.run(&mut NoFailures).unwrap_err();
+        assert!(matches!(
+            err,
+            PramError::BudgetExceeded { kind: BudgetKind::Reads, used: 5, limit: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential() {
+        let prog = Counter { n: 16, target: 5 };
+        let mut seq = Machine::new(&prog, 16, CycleBudget::PAPER).unwrap();
+        let seq_report = seq.run(&mut OneHiccup).unwrap();
+        let mut par = Machine::new(&prog, 16, CycleBudget::PAPER).unwrap();
+        let par_report = par
+            .run_threaded(&mut OneHiccup, RunLimits::default(), 4)
+            .unwrap();
+        assert_eq!(seq_report.stats, par_report.stats);
+        assert_eq!(seq_report.pattern, par_report.pattern);
+        assert_eq!(seq.memory().as_slice(), par.memory().as_slice());
+    }
+
+    #[test]
+    fn threaded_run_rejects_zero_threads() {
+        let prog = Counter { n: 2, target: 1 };
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        assert!(matches!(
+            m.run_threaded(&mut NoFailures, RunLimits::default(), 0),
+            Err(PramError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_processors_is_invalid() {
+        let prog = Counter { n: 1, target: 1 };
+        assert!(matches!(
+            Machine::new(&prog, 0, CycleBudget::PAPER),
+            Err(PramError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Reliable shared memory.
+//!
+//! Per the model (§2.1 item 3 and §2.3), shared memory is not affected by
+//! processor failures; word writes are atomic. The memory also keeps
+//! lightweight instrumentation counters (total reads/writes) used by the
+//! experiment harness.
+
+use crate::error::PramError;
+use crate::word::Word;
+
+/// The machine's shared memory: a flat array of [`Word`]s, all zero until
+/// written (the paper assumes non-input memory is cleared).
+///
+/// `peek`/`poke` are *meta-level* accessors used by harnesses, adversaries
+/// and completion predicates — they bypass accounting. Programs only touch
+/// memory through their update cycles.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SharedMemory {
+    cells: Vec<Word>,
+    reads: u64,
+    writes: u64,
+}
+
+impl SharedMemory {
+    /// Allocate `size` zeroed cells.
+    pub fn new(size: usize) -> Self {
+        SharedMemory { cells: vec![0; size], reads: 0, writes: 0 }
+    }
+
+    /// Number of cells.
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Charged atomic word write performed by the machine.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::AddressOutOfBounds`] if `addr` is outside memory.
+    pub(crate) fn store(&mut self, addr: usize, value: Word) -> Result<(), PramError> {
+        let size = self.cells.len();
+        let slot = self
+            .cells
+            .get_mut(addr)
+            .ok_or(PramError::AddressOutOfBounds { addr, size })?;
+        *slot = value;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Uncharged inspection (harness/adversary/completion-predicate use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds — meta-level callers are expected
+    /// to know the layout.
+    #[inline]
+    pub fn peek(&self, addr: usize) -> Word {
+        self.cells[addr]
+    }
+
+    /// Uncharged write (input initialization and test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn poke(&mut self, addr: usize, value: Word) {
+        self.cells[addr] = value;
+    }
+
+    /// View of the raw cells (uncharged).
+    pub fn as_slice(&self) -> &[Word] {
+        &self.cells
+    }
+
+    /// Total charged reads so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total charged (committed) writes so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let m = SharedMemory::new(4);
+        assert_eq!(m.as_slice(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn store_roundtrip_and_counter() {
+        let mut m = SharedMemory::new(2);
+        m.store(1, 42).unwrap();
+        assert_eq!(m.peek(1), 42);
+        assert_eq!(m.write_count(), 1);
+    }
+
+    #[test]
+    fn peek_poke_do_not_count() {
+        let mut m = SharedMemory::new(2);
+        m.poke(0, 7);
+        assert_eq!(m.peek(0), 7);
+        assert_eq!(m.read_count(), 0);
+        assert_eq!(m.write_count(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut m = SharedMemory::new(2);
+        assert!(matches!(m.store(9, 0), Err(PramError::AddressOutOfBounds { addr: 9, size: 2 })));
+    }
+}

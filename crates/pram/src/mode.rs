@@ -1,0 +1,60 @@
+//! Concurrent-write conflict semantics.
+
+use std::fmt;
+
+/// How simultaneous writes to the same cell in the same write slot are
+/// resolved.
+///
+/// The paper's algorithms are designed for the **COMMON** CRCW PRAM, where
+/// concurrent writers are required to write the same value; the machine
+/// *checks* this requirement and reports
+/// [`PramError::CommonWriteConflict`](crate::PramError::CommonWriteConflict)
+/// if an algorithm violates it — a valuable dynamic test that the
+/// implementations really are COMMON-legal, which the paper's correctness
+/// arguments depend on.
+///
+/// `Arbitrary` and `Priority` are provided for the simulation theorems
+/// (Theorem 4.1 simulates ARBITRARY/STRONG CRCW programs on machines of the
+/// same type). For reproducibility, `Arbitrary` is deterministic: the
+/// lowest-PID writer wins (any fixed choice is a legal "arbitrary").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WriteMode {
+    /// All concurrent writers to a cell must agree on the value (checked).
+    #[default]
+    Common,
+    /// One of the concurrent writers succeeds; deterministically the one
+    /// with the lowest PID.
+    Arbitrary,
+    /// The lowest-PID writer wins (PRIORITY CRCW).
+    Priority,
+    /// Concurrent writes to the same cell are an error (EREW/CREW-style
+    /// exclusive-write checking, useful to validate simulated programs).
+    Exclusive,
+}
+
+impl fmt::Display for WriteMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WriteMode::Common => "COMMON",
+            WriteMode::Arbitrary => "ARBITRARY",
+            WriteMode::Priority => "PRIORITY",
+            WriteMode::Exclusive => "EXCLUSIVE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_common() {
+        assert_eq!(WriteMode::default(), WriteMode::Common);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WriteMode::Priority.to_string(), "PRIORITY");
+    }
+}

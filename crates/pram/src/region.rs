@@ -1,0 +1,152 @@
+//! Shared-memory layout: named regions handed out by a bump allocator.
+//!
+//! Algorithms carve shared memory into arrays (the Write-All array `x`, the
+//! progress heap `d`, the location array `w`, …). A [`MemoryLayout`] assigns
+//! each a disjoint [`Region`]; regions translate element indices to absolute
+//! cell addresses, so adversaries and tests can inspect an algorithm's data
+//! structures by name.
+
+use crate::word::Word;
+use crate::SharedMemory;
+
+/// A contiguous block of shared memory cells.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Region {
+    base: usize,
+    len: usize,
+}
+
+impl Region {
+    /// An empty region (valid, zero cells).
+    pub const EMPTY: Region = Region { base: 0, len: 0 };
+
+    /// Absolute address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`; regions are the layout contract and an
+    /// out-of-region index is an algorithm bug.
+    #[inline]
+    pub fn at(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of region of length {}", self.len);
+        self.base + i
+    }
+
+    /// Number of cells in the region.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region has zero cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First absolute address.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Whether absolute address `addr` falls inside this region.
+    #[inline]
+    pub fn contains(&self, addr: usize) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+
+    /// Element index of absolute address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside the region.
+    #[inline]
+    pub fn index_of(&self, addr: usize) -> usize {
+        assert!(self.contains(addr), "address {addr} not in region");
+        addr - self.base
+    }
+
+    /// Uncharged snapshot of the region's contents (harness use).
+    pub fn snapshot(&self, mem: &SharedMemory) -> Vec<Word> {
+        (0..self.len).map(|i| mem.peek(self.base + i)).collect()
+    }
+}
+
+/// Bump allocator assigning disjoint regions of a single shared memory.
+///
+/// ```
+/// use rfsp_pram::MemoryLayout;
+/// let mut layout = MemoryLayout::new();
+/// let x = layout.alloc(8);
+/// let d = layout.alloc(15);
+/// assert_eq!(x.at(0), 0);
+/// assert_eq!(d.at(0), 8);
+/// assert_eq!(layout.total(), 23);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MemoryLayout {
+    next: usize,
+}
+
+impl MemoryLayout {
+    /// A fresh layout starting at address 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` cells.
+    pub fn alloc(&mut self, len: usize) -> Region {
+        let r = Region { base: self.next, len };
+        self.next += len;
+        r
+    }
+
+    /// Total cells allocated so far; use as the program's
+    /// [`shared_size`](crate::Program::shared_size).
+    pub fn total(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let mut l = MemoryLayout::new();
+        let a = l.alloc(3);
+        let b = l.alloc(2);
+        assert_eq!((a.base(), a.len()), (0, 3));
+        assert_eq!((b.base(), b.len()), (3, 2));
+        assert!(a.contains(2));
+        assert!(!a.contains(3));
+        assert_eq!(b.index_of(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn at_checks_bounds() {
+        let mut l = MemoryLayout::new();
+        let a = l.alloc(1);
+        a.at(1);
+    }
+
+    #[test]
+    fn snapshot_reads_contents() {
+        let mut l = MemoryLayout::new();
+        let _pad = l.alloc(2);
+        let r = l.alloc(2);
+        let mut m = SharedMemory::new(l.total());
+        m.poke(2, 10);
+        m.poke(3, 11);
+        assert_eq!(r.snapshot(&m), vec![10, 11]);
+    }
+
+    #[test]
+    fn empty_region() {
+        assert!(Region::EMPTY.is_empty());
+        assert_eq!(Region::EMPTY.len(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Execution observers: structured event streams from the machine.
+//!
+//! An [`Observer`] receives every semantically meaningful event of a run —
+//! cycle completions, interruptions, failures, restarts, committed writes,
+//! completion — letting tools trace, visualize or cross-check executions
+//! without touching the accounting. [`TraceLog`] is the standard recorder;
+//! its totals are checked against [`WorkStats`](crate::WorkStats) in the
+//! test suite, giving the accounting an independent witness.
+
+use crate::adversary::FailPoint;
+use crate::word::{Pid, Word};
+
+/// One machine event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A new tick began.
+    TickStart { cycle: u64 },
+    /// A processor completed (and was charged for) its update cycle.
+    CycleCompleted { cycle: u64, pid: Pid },
+    /// A processor's cycle was interrupted by a failure.
+    CycleInterrupted { cycle: u64, pid: Pid },
+    /// A processor was stopped by the adversary.
+    Failure { cycle: u64, pid: Pid, point: FailPoint },
+    /// A processor was restarted (effective next tick).
+    Restart { cycle: u64, pid: Pid },
+    /// A write was committed to shared memory (after conflict resolution).
+    Commit { cycle: u64, addr: usize, value: Word },
+    /// The program's completion predicate became true.
+    Completed { cycle: u64 },
+}
+
+/// A sink for [`TraceEvent`]s. All methods default to no-ops so observers
+/// implement only what they need.
+pub trait Observer: Send {
+    /// Receive one event.
+    fn event(&mut self, event: TraceEvent);
+}
+
+/// Records events into memory, with an optional cap to bound memory use on
+/// long runs (older events are NOT evicted; recording simply stops — the
+/// totals keep counting).
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    cap: Option<usize>,
+    /// Total completions seen (even past the cap).
+    pub completions: u64,
+    /// Total interruptions seen.
+    pub interruptions: u64,
+    /// Total failures seen.
+    pub failures: u64,
+    /// Total restarts seen.
+    pub restarts: u64,
+    /// Total committed writes seen.
+    pub commits: u64,
+}
+
+impl TraceLog {
+    /// Unbounded recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record at most `cap` events (counters keep running past it).
+    pub fn with_capacity_limit(cap: usize) -> Self {
+        TraceLog { cap: Some(cap), ..Self::default() }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl Observer for TraceLog {
+    fn event(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::CycleCompleted { .. } => self.completions += 1,
+            TraceEvent::CycleInterrupted { .. } => self.interruptions += 1,
+            TraceEvent::Failure { .. } => self.failures += 1,
+            TraceEvent::Restart { .. } => self.restarts += 1,
+            TraceEvent::Commit { .. } => self.commits += 1,
+            TraceEvent::TickStart { .. } | TraceEvent::Completed { .. } => {}
+        }
+        if self.cap.is_none_or(|c| self.events.len() < c) {
+            self.events.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracelog_counts_and_caps() {
+        let mut log = TraceLog::with_capacity_limit(2);
+        log.event(TraceEvent::TickStart { cycle: 0 });
+        log.event(TraceEvent::CycleCompleted { cycle: 0, pid: Pid(0) });
+        log.event(TraceEvent::Commit { cycle: 0, addr: 3, value: 1 });
+        log.event(TraceEvent::CycleInterrupted { cycle: 0, pid: Pid(1) });
+        assert_eq!(log.events().len(), 2, "capped");
+        assert_eq!(log.completions, 1);
+        assert_eq!(log.commits, 1);
+        assert_eq!(log.interruptions, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Fundamental machine quantities: memory words and processor identifiers.
+//!
+//! The paper assumes shared-memory cells hold `O(log max{N, P})` bits; a
+//! 64-bit [`Word`] comfortably covers every input size this crate can
+//! simulate.
+
+use std::fmt;
+
+/// A shared-memory word. All memory cells and register values are `Word`s.
+pub type Word = u64;
+
+/// A permanent processor identifier in the range `0..P`.
+///
+/// Per the paper (§2.1), a processor always knows its own `Pid` and the
+/// total processor count `P`; after a failure the `Pid` is the *only*
+/// knowledge that survives.
+///
+/// ```
+/// use rfsp_pram::Pid;
+/// let pid = Pid(5);
+/// assert_eq!(pid.bit_msb_first(5, 8), 1); // 5 = 101b; bit 0 is the MSB
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pid(pub usize);
+
+impl Pid {
+    /// The `index`-th bit of this PID, where bit 0 is the **most
+    /// significant** of the `bits`-bit binary representation.
+    ///
+    /// This is the `PID[log(where)]` indexing convention of the paper's
+    /// Algorithm X pseudocode (Figure 5): at tree depth `l` the processor
+    /// inspects bit `l`, counting from the most significant of its
+    /// `log N`-bit PID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= bits` or `bits > 64`.
+    #[inline]
+    pub fn bit_msb_first(self, index: u32, bits: u32) -> u64 {
+        assert!(bits <= 64, "at most 64 PID bits are representable");
+        assert!(index < bits, "bit index {index} out of range for {bits} bits");
+        ((self.0 as u64) >> (bits - 1 - index)) & 1
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(v: usize) -> Self {
+        Pid(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_first_bits() {
+        // 6 = 110 with 3 bits.
+        let p = Pid(6);
+        assert_eq!(p.bit_msb_first(0, 3), 1);
+        assert_eq!(p.bit_msb_first(1, 3), 1);
+        assert_eq!(p.bit_msb_first(2, 3), 0);
+    }
+
+    #[test]
+    fn msb_first_leading_zeros() {
+        // 1 = 0001 with 4 bits.
+        let p = Pid(1);
+        assert_eq!(p.bit_msb_first(0, 4), 0);
+        assert_eq!(p.bit_msb_first(1, 4), 0);
+        assert_eq!(p.bit_msb_first(2, 4), 0);
+        assert_eq!(p.bit_msb_first(3, 4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn msb_first_rejects_out_of_range() {
+        Pid(0).bit_msb_first(3, 3);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Pid::from(3).to_string(), "P3");
+    }
+}

@@ -1,0 +1,219 @@
+//! The simulated machine: a synchronous, failure-free `N`-processor PRAM.
+//!
+//! Theorem 4.1 executes *any* `N`-processor PRAM algorithm on a restartable
+//! fail-stop `P`-processor CRCW PRAM. [`SimProgram`] is the description of
+//! the algorithm being simulated: a fixed number of synchronous steps, each
+//! of which lets every simulated processor read one shared cell, update a
+//! small register file, and write one shared cell — the standard
+//! fetch/decode/execute decomposition the paper's §4.3 relies on ("these
+//! steps are decomposed into a fixed number of assignments corresponding
+//! to the standard fetch/decode/execute RAM instruction cycles in which
+//! the data words are moved between the shared memory and the internal
+//! processor registers").
+
+use rfsp_pram::Word;
+
+/// A simulated processor's register file: two 24-bit registers.
+///
+/// Registers are checkpointed to shared memory between simulated steps
+/// (simulated processors must survive real-processor failures), packed
+/// into one machine word together with a step tag — hence the 24-bit
+/// width. Two registers suffice for the classic PRAM kernels shipped in
+/// [`programs`](crate::programs); wider state can always be kept in the
+/// simulated shared memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Regs {
+    /// Accumulator.
+    pub a: u32,
+    /// Auxiliary register (pointer/partner).
+    pub b: u32,
+}
+
+/// Maximum register value (24 bits).
+pub const REG_MAX: u32 = (1 << 24) - 1;
+
+impl Regs {
+    /// Build a register file, masking to 24 bits.
+    pub fn new(a: u32, b: u32) -> Self {
+        Regs { a: a & REG_MAX, b: b & REG_MAX }
+    }
+}
+
+/// The write half of a simulated step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimWrite {
+    /// Write `value` to simulated cell `addr`.
+    Write {
+        /// Simulated address (< 65 535).
+        addr: usize,
+        /// Value (32 bits; simulated cells hold 32-bit values).
+        value: u32,
+    },
+    /// No shared write this step.
+    Nop,
+}
+
+/// A synchronous `N`-processor PRAM algorithm to simulate.
+///
+/// Semantics per step `t`: every simulated processor `pid` *concurrently*
+/// reads `sim_mem[read_addr(pid, t, regs)]` (the memory state after step
+/// `t-1`), then computes `step(pid, t, regs, value)`, producing its new
+/// registers and at most one write. All writes of a step are applied
+/// simultaneously (COMMON CRCW: concurrent writers of a cell must agree).
+pub trait SimProgram {
+    /// Number of simulated processors `N`.
+    fn processors(&self) -> usize;
+
+    /// Simulated shared-memory size (< 65 535 cells).
+    fn memory_size(&self) -> usize;
+
+    /// Number of synchronous steps `τ` (≤ 32 766).
+    fn steps(&self) -> usize;
+
+    /// Input: initialize the simulated memory.
+    fn init_memory(&self, mem: &mut [Word]);
+
+    /// The address simulated processor `pid` reads at step `t`. May depend
+    /// on the current registers (non-oblivious algorithms like pointer
+    /// jumping).
+    fn read_addr(&self, pid: usize, t: usize, regs: &Regs) -> usize;
+
+    /// One step of simulated processor `pid`: consume the read value,
+    /// produce new registers and an optional write.
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite);
+}
+
+impl<P: SimProgram + ?Sized> SimProgram for &P {
+    fn processors(&self) -> usize {
+        (**self).processors()
+    }
+    fn memory_size(&self) -> usize {
+        (**self).memory_size()
+    }
+    fn steps(&self) -> usize {
+        (**self).steps()
+    }
+    fn init_memory(&self, mem: &mut [Word]) {
+        (**self).init_memory(mem)
+    }
+    fn read_addr(&self, pid: usize, t: usize, regs: &Regs) -> usize {
+        (**self).read_addr(pid, t, regs)
+    }
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        (**self).step(pid, t, regs, value)
+    }
+}
+
+/// Reference executor: run the simulated program directly on a perfect
+/// synchronous PRAM (no faults, no simulation layer). Used by tests and
+/// experiments as ground truth.
+///
+/// # Panics
+///
+/// Panics if a simulated write conflicts under COMMON semantics (two
+/// processors writing different values to one cell in one step) or if a
+/// read/write address is out of range — both indicate a bug in the
+/// simulated program.
+pub fn reference_run<P: SimProgram>(prog: &P) -> Vec<Word> {
+    let n = prog.processors();
+    let mut mem = vec![0; prog.memory_size()];
+    prog.init_memory(&mut mem);
+    let mut regs = vec![Regs::default(); n];
+    for t in 0..prog.steps() {
+        // Concurrent reads against the pre-step memory.
+        let reads: Vec<u32> = (0..n)
+            .map(|pid| {
+                let addr = prog.read_addr(pid, t, &regs[pid]);
+                mem[addr] as u32
+            })
+            .collect();
+        // Compute, then commit all writes simultaneously with COMMON checks.
+        let mut pending: Vec<(usize, u32)> = Vec::new();
+        for pid in 0..n {
+            let (new_regs, write) = prog.step(pid, t, &regs[pid], reads[pid]);
+            regs[pid] = new_regs;
+            if let SimWrite::Write { addr, value } = write {
+                pending.push((addr, value));
+            }
+        }
+        pending.sort_unstable();
+        for w in pending.windows(2) {
+            assert!(
+                w[0].0 != w[1].0 || w[0].1 == w[1].1,
+                "COMMON write conflict at simulated cell {} in step {t}",
+                w[0].0
+            );
+        }
+        for (addr, value) in pending {
+            mem[addr] = value as Word;
+        }
+    }
+    mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy program: every processor increments its own cell each step.
+    struct Inc {
+        n: usize,
+        steps: usize,
+    }
+    impl SimProgram for Inc {
+        fn processors(&self) -> usize {
+            self.n
+        }
+        fn memory_size(&self) -> usize {
+            self.n
+        }
+        fn steps(&self) -> usize {
+            self.steps
+        }
+        fn init_memory(&self, _mem: &mut [Word]) {}
+        fn read_addr(&self, pid: usize, _t: usize, _regs: &Regs) -> usize {
+            pid
+        }
+        fn step(&self, pid: usize, _t: usize, _regs: &Regs, value: u32) -> (Regs, SimWrite) {
+            (Regs::default(), SimWrite::Write { addr: pid, value: value + 1 })
+        }
+    }
+
+    #[test]
+    fn reference_executor_runs_steps() {
+        let mem = reference_run(&Inc { n: 4, steps: 3 });
+        assert_eq!(mem, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn regs_mask_to_24_bits() {
+        let r = Regs::new(u32::MAX, 5);
+        assert_eq!(r.a, REG_MAX);
+        assert_eq!(r.b, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "COMMON write conflict")]
+    fn reference_executor_checks_common() {
+        struct Clash;
+        impl SimProgram for Clash {
+            fn processors(&self) -> usize {
+                2
+            }
+            fn memory_size(&self) -> usize {
+                1
+            }
+            fn steps(&self) -> usize {
+                1
+            }
+            fn init_memory(&self, _mem: &mut [Word]) {}
+            fn read_addr(&self, _pid: usize, _t: usize, _regs: &Regs) -> usize {
+                0
+            }
+            fn step(&self, pid: usize, _t: usize, _r: &Regs, _v: u32) -> (Regs, SimWrite) {
+                (Regs::default(), SimWrite::Write { addr: 0, value: pid as u32 })
+            }
+        }
+        let _ = reference_run(&Clash);
+    }
+}

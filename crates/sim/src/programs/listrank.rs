@@ -1,0 +1,166 @@
+//! List ranking by pointer jumping: `O(log N)` steps.
+//!
+//! The canonical *non-oblivious* PRAM kernel: each step's read address
+//! depends on a register (the current successor pointer), exercising the
+//! simulation's dynamic-addressing path.
+
+use rfsp_pram::Word;
+
+use crate::program::{Regs, SimProgram, SimWrite};
+
+/// Rank every node of a linked list (distance to the list's tail).
+///
+/// The list is given by a successor array: `succ[i]` is the next node, and
+/// the tail points to itself. Simulated cell `i` holds a packed
+/// `(succ << 16) | rank`; after `⌈log₂ N⌉` pointer-jumping steps every
+/// node's rank is its distance to the tail.
+#[derive(Clone, Debug)]
+pub struct ListRanking {
+    succ: Vec<usize>,
+}
+
+impl ListRanking {
+    /// Rank the list with this successor array (tail points to itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is empty, too long for 16-bit packing, or not a
+    /// valid list (successors out of range).
+    pub fn new(succ: Vec<usize>) -> Self {
+        assert!(!succ.is_empty(), "need at least one node");
+        assert!(succ.len() < (1 << 16), "list must fit 16-bit packing");
+        assert!(succ.iter().all(|&s| s < succ.len()), "successors out of range");
+        ListRanking { succ }
+    }
+
+    /// A straight-line list `0 → 1 → … → n-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n` overflows 16-bit packing.
+    pub fn chain(n: usize) -> Self {
+        assert!(n > 0);
+        let succ = (0..n).map(|i| (i + 1).min(n - 1)).collect();
+        ListRanking::new(succ)
+    }
+
+    /// The expected rank of each node (distance to the tail), computed
+    /// sequentially.
+    pub fn expected_ranks(&self) -> Vec<u32> {
+        let n = self.succ.len();
+        let mut ranks = vec![0u32; n];
+        for (i, rank) in ranks.iter_mut().enumerate() {
+            let mut cur = i;
+            let mut d = 0u32;
+            while self.succ[cur] != cur {
+                cur = self.succ[cur];
+                d += 1;
+                assert!(d as usize <= n, "successor array contains a cycle");
+            }
+            *rank = d;
+        }
+        ranks
+    }
+
+    /// Unpack a simulated cell into `(succ, rank)`.
+    pub fn unpack(cell: Word) -> (usize, u32) {
+        (((cell >> 16) & 0xFFFF) as usize, (cell & 0xFFFF) as u32)
+    }
+
+    fn pack(succ: usize, rank: u32) -> u32 {
+        ((succ as u32) << 16) | (rank & 0xFFFF)
+    }
+}
+
+impl SimProgram for ListRanking {
+    fn processors(&self) -> usize {
+        self.succ.len()
+    }
+
+    fn memory_size(&self) -> usize {
+        self.succ.len()
+    }
+
+    fn steps(&self) -> usize {
+        let n = self.succ.len();
+        let log = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
+        1 + log
+    }
+
+    fn init_memory(&self, mem: &mut [Word]) {
+        for (i, &s) in self.succ.iter().enumerate() {
+            let rank = if s == i { 0 } else { 1 };
+            mem[i] = Self::pack(s, rank) as Word;
+        }
+    }
+
+    fn read_addr(&self, pid: usize, t: usize, regs: &Regs) -> usize {
+        if t == 0 {
+            pid
+        } else {
+            // Non-oblivious: chase my current successor pointer.
+            (regs.b as usize).min(self.succ.len() - 1)
+        }
+    }
+
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        if t == 0 {
+            let (succ, rank) = Self::unpack(value as Word);
+            return (Regs::new(rank, succ as u32), SimWrite::Nop);
+        }
+        let (my_rank, my_succ) = (regs.a, regs.b as usize);
+        if my_succ == pid {
+            // Tail: nothing to do.
+            return (*regs, SimWrite::Nop);
+        }
+        let (succ_succ, succ_rank) = Self::unpack(value as Word);
+        // rank += rank(succ); succ = succ(succ). A successor that is its
+        // own successor is the tail; jumping to it is idempotent.
+        let new_rank = my_rank + succ_rank;
+        let new_succ = succ_succ;
+        let regs = Regs::new(new_rank, new_succ as u32);
+        (regs, SimWrite::Write { addr: pid, value: Self::pack(new_succ, new_rank) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::reference_run;
+
+    fn ranks_from(mem: &[Word]) -> Vec<u32> {
+        mem.iter().map(|&c| ListRanking::unpack(c).1).collect()
+    }
+
+    #[test]
+    fn chain_ranks_are_distances() {
+        let prog = ListRanking::chain(8);
+        let mem = reference_run(&prog);
+        assert_eq!(ranks_from(&mem), vec![7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(prog.expected_ranks(), vec![7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn scrambled_list() {
+        // 3 → 0 → 4 → 1 → 2(tail)
+        let succ = vec![4, 2, 2, 0, 1];
+        let prog = ListRanking::new(succ);
+        let mem = reference_run(&prog);
+        assert_eq!(ranks_from(&mem), prog.expected_ranks());
+        assert_eq!(prog.expected_ranks(), vec![3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn singleton_list() {
+        let prog = ListRanking::chain(1);
+        let mem = reference_run(&prog);
+        assert_eq!(ranks_from(&mem), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_rejected_by_expected_ranks() {
+        let prog = ListRanking::new(vec![1, 0]);
+        let _ = prog.expected_ranks();
+    }
+}

@@ -1,0 +1,153 @@
+//! Dense matrix-vector multiplication: `y = A·x` with one processor per
+//! row, `2m` steps (two reads per term: the matrix entry, then the vector
+//! entry).
+
+use rfsp_pram::Word;
+
+use crate::program::{Regs, SimProgram, SimWrite, REG_MAX};
+
+/// `y = A·x` for an `n × m` matrix, one simulated processor per row.
+///
+/// Simulated memory layout: `A` row-major in `[0, n·m)`, `x` in
+/// `[n·m, n·m + m)`, `y` in `[n·m + m, n·m + m + n)`.
+///
+/// Schedule: step `2t` reads `A[row][t]` into register `b`; step `2t+1`
+/// reads `x[t]`, accumulates `a += b·x[t]`, and (on the last term) writes
+/// `y[row]`.
+#[derive(Clone, Debug)]
+pub struct MatVec {
+    a: Vec<Vec<u32>>,
+    x: Vec<u32>,
+    n: usize,
+    m: usize,
+}
+
+impl MatVec {
+    /// Multiply `a` (a rectangular `n × m` matrix) by `x` (length `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged matrix, a mismatched vector, or if any
+    /// dot product overflows the 24-bit simulated registers.
+    pub fn new(a: Vec<Vec<u32>>, x: Vec<u32>) -> Self {
+        assert!(!a.is_empty(), "matrix needs at least one row");
+        let m = a[0].len();
+        assert!(m > 0, "matrix needs at least one column");
+        assert!(a.iter().all(|row| row.len() == m), "matrix must be rectangular");
+        assert_eq!(x.len(), m, "vector length must match the column count");
+        let n = a.len();
+        for row in &a {
+            let dot: u64 =
+                row.iter().zip(&x).map(|(&aij, &xj)| aij as u64 * xj as u64).sum();
+            assert!(dot <= REG_MAX as u64, "dot product must fit 24-bit registers");
+        }
+        MatVec { a, x, n, m }
+    }
+
+    /// The expected product vector.
+    pub fn expected(&self) -> Vec<Word> {
+        self.a
+            .iter()
+            .map(|row| {
+                row.iter().zip(&self.x).map(|(&aij, &xj)| (aij * xj) as Word).sum::<Word>()
+            })
+            .collect()
+    }
+
+    /// Where row `i`'s result lands in simulated memory.
+    pub fn y_index(&self, i: usize) -> usize {
+        self.n * self.m + self.m + i
+    }
+}
+
+impl SimProgram for MatVec {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn memory_size(&self) -> usize {
+        self.n * self.m + self.m + self.n
+    }
+
+    fn steps(&self) -> usize {
+        2 * self.m
+    }
+
+    fn init_memory(&self, mem: &mut [Word]) {
+        for (i, row) in self.a.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                mem[i * self.m + j] = v as Word;
+            }
+        }
+        for (j, &v) in self.x.iter().enumerate() {
+            mem[self.n * self.m + j] = v as Word;
+        }
+    }
+
+    fn read_addr(&self, pid: usize, t: usize, _regs: &Regs) -> usize {
+        let term = t / 2;
+        if t.is_multiple_of(2) {
+            pid * self.m + term // A[pid][term]
+        } else {
+            self.n * self.m + term // x[term]
+        }
+    }
+
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        let term = t / 2;
+        if t.is_multiple_of(2) {
+            // Fetch the matrix entry into b; the accumulator rides in a.
+            (Regs::new(regs.a, value), SimWrite::Nop)
+        } else {
+            let acc = (regs.a + regs.b * value) & REG_MAX;
+            let write = if term + 1 == self.m {
+                SimWrite::Write { addr: self.y_index(pid), value: acc }
+            } else {
+                SimWrite::Nop
+            };
+            (Regs::new(acc, 0), write)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::reference_run;
+
+    #[test]
+    fn reference_multiplies() {
+        let a = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let x = vec![10, 100];
+        let prog = MatVec::new(a, x);
+        let mem = reference_run(&prog);
+        let y: Vec<Word> = (0..3).map(|i| mem[prog.y_index(i)]).collect();
+        assert_eq!(y, vec![210, 430, 650]);
+        assert_eq!(prog.expected(), vec![210, 430, 650]);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let n = 5;
+        let a: Vec<Vec<u32>> =
+            (0..n).map(|i| (0..n).map(|j| u32::from(i == j)).collect()).collect();
+        let x: Vec<u32> = (1..=n as u32).collect();
+        let prog = MatVec::new(a, x.clone());
+        let mem = reference_run(&prog);
+        let y: Vec<Word> = (0..n).map(|i| mem[prog.y_index(i)]).collect();
+        assert_eq!(y, x.iter().map(|&v| v as Word).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_row_and_column() {
+        let prog = MatVec::new(vec![vec![7]], vec![6]);
+        let mem = reference_run(&prog);
+        assert_eq!(mem[prog.y_index(0)], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_matrix_rejected() {
+        let _ = MatVec::new(vec![vec![1, 2], vec![3]], vec![1, 1]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Parallel maximum: tree reduction with `max` in `O(log N)` steps.
+
+use rfsp_pram::Word;
+
+use crate::program::{Regs, SimProgram, SimWrite, REG_MAX};
+
+/// Tree-reduction maximum: after the run, simulated cell 0 holds
+/// `max(values)`.
+#[derive(Clone, Debug)]
+pub struct MaxFind {
+    values: Vec<u32>,
+    n: usize,
+}
+
+impl MaxFind {
+    /// Find the maximum of these values (each < 2²⁴).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or any value exceeds 24 bits.
+    pub fn new(values: Vec<u32>) -> Self {
+        assert!(!values.is_empty(), "need at least one value");
+        assert!(values.iter().all(|&v| v <= REG_MAX), "values must fit 24-bit registers");
+        let n = values.len().next_power_of_two();
+        MaxFind { values, n }
+    }
+
+    /// The expected result.
+    pub fn expected(&self) -> u32 {
+        *self.values.iter().max().expect("nonempty")
+    }
+}
+
+impl SimProgram for MaxFind {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn memory_size(&self) -> usize {
+        self.n
+    }
+
+    fn steps(&self) -> usize {
+        1 + self.n.trailing_zeros() as usize
+    }
+
+    fn init_memory(&self, mem: &mut [Word]) {
+        for (i, &v) in self.values.iter().enumerate() {
+            mem[i] = v as Word;
+        }
+        // Padding cells stay zero, the identity for max over u32 inputs.
+    }
+
+    fn read_addr(&self, pid: usize, t: usize, _regs: &Regs) -> usize {
+        if t == 0 {
+            return pid;
+        }
+        let stride = 1usize << (t - 1);
+        if pid.is_multiple_of(stride * 2) {
+            pid + stride
+        } else {
+            pid
+        }
+    }
+
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        if t == 0 {
+            return (Regs::new(value, 0), SimWrite::Nop);
+        }
+        let stride = 1usize << (t - 1);
+        if pid.is_multiple_of(stride * 2) {
+            let a = regs.a.max(value);
+            (Regs::new(a, 0), SimWrite::Write { addr: pid, value: a })
+        } else {
+            (*regs, SimWrite::Nop)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::reference_run;
+
+    #[test]
+    fn reference_max() {
+        let prog = MaxFind::new(vec![3, 141, 59, 26, 5]);
+        assert_eq!(reference_run(&prog)[0], 141);
+        assert_eq!(prog.expected(), 141);
+    }
+
+    #[test]
+    fn max_at_every_position() {
+        for pos in 0..6 {
+            let mut v = vec![1u32; 6];
+            v[pos] = 1000;
+            let prog = MaxFind::new(v);
+            assert_eq!(reference_run(&prog)[0], 1000, "pos={pos}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Classic synchronous PRAM kernels to simulate.
+//!
+//! Each program follows the same convention: step 0 loads the processor's
+//! own cell into register `a` (the standard fetch into local registers),
+//! and subsequent steps are the textbook data-parallel schedule. All
+//! programs are COMMON-CRCW legal and come with closed-form expected
+//! outputs used by tests and experiments.
+
+pub mod components;
+pub mod listrank;
+pub mod matvec;
+pub mod maxfind;
+pub mod prefix;
+pub mod sort;
+pub mod sum;
+
+pub use components::Components;
+pub use listrank::ListRanking;
+pub use matvec::MatVec;
+pub use maxfind::MaxFind;
+pub use prefix::PrefixSums;
+pub use sort::OddEvenSort;
+pub use sum::ParallelSum;

@@ -1,0 +1,104 @@
+//! Parallel prefix sums by recursive doubling: `O(log N)` steps.
+
+use rfsp_pram::Word;
+
+use crate::program::{Regs, SimProgram, SimWrite, REG_MAX};
+
+/// Inclusive prefix sums: after the run, simulated cell `i` holds
+/// `values[0] + … + values[i]`.
+///
+/// Schedule (Hillis–Steele doubling): step 0 loads `mem[i]` into `a`;
+/// step `t ≥ 1` has processor `i` read `mem[i - 2^{t-1}]` (when
+/// `i ≥ 2^{t-1}`), add it into `a`, and write `mem[i] = a`.
+#[derive(Clone, Debug)]
+pub struct PrefixSums {
+    values: Vec<u32>,
+}
+
+impl PrefixSums {
+    /// Prefix-sum these values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or the total exceeds 24 bits.
+    pub fn new(values: Vec<u32>) -> Self {
+        assert!(!values.is_empty(), "need at least one value");
+        let total: u64 = values.iter().map(|&v| v as u64).sum();
+        assert!(total <= REG_MAX as u64, "sums must fit 24-bit registers");
+        PrefixSums { values }
+    }
+
+    /// The expected final memory.
+    pub fn expected(&self) -> Vec<Word> {
+        self.values
+            .iter()
+            .scan(0u32, |acc, &v| {
+                *acc += v;
+                Some(*acc as Word)
+            })
+            .collect()
+    }
+}
+
+impl SimProgram for PrefixSums {
+    fn processors(&self) -> usize {
+        self.values.len()
+    }
+
+    fn memory_size(&self) -> usize {
+        self.values.len()
+    }
+
+    fn steps(&self) -> usize {
+        let n = self.values.len();
+        1 + (usize::BITS - (n - 1).leading_zeros()).max(1) as usize
+    }
+
+    fn init_memory(&self, mem: &mut [Word]) {
+        for (i, &v) in self.values.iter().enumerate() {
+            mem[i] = v as Word;
+        }
+    }
+
+    fn read_addr(&self, pid: usize, t: usize, _regs: &Regs) -> usize {
+        if t == 0 {
+            return pid;
+        }
+        let stride = 1usize << (t - 1);
+        pid.saturating_sub(stride)
+    }
+
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        if t == 0 {
+            return (Regs::new(value, 0), SimWrite::Write { addr: pid, value });
+        }
+        let stride = 1usize << (t - 1);
+        if pid >= stride {
+            let a = (regs.a + value) & REG_MAX;
+            (Regs::new(a, 0), SimWrite::Write { addr: pid, value: a })
+        } else {
+            (*regs, SimWrite::Write { addr: pid, value: regs.a })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::reference_run;
+
+    #[test]
+    fn reference_prefix_sums() {
+        let prog = PrefixSums::new(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        assert_eq!(reference_run(&prog), prog.expected());
+        assert_eq!(prog.expected(), vec![3, 4, 8, 9, 14, 23, 25, 31]);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 13] {
+            let prog = PrefixSums::new((1..=n as u32).collect());
+            assert_eq!(reference_run(&prog), prog.expected(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Odd-even transposition sort: `N` steps on `N` processors.
+
+use rfsp_pram::Word;
+
+use crate::program::{Regs, SimProgram, SimWrite, REG_MAX};
+
+/// Odd-even transposition sort: after the run, the simulated memory holds
+/// the input in ascending order.
+///
+/// Schedule: step 0 loads `mem[i]` into `a`; step `t ≥ 1` compares the
+/// pairs `(j, j+1)` with `j ≡ t-1 (mod 2)`: the left partner keeps the
+/// minimum, the right the maximum, each writing its own cell (one read,
+/// one write per processor — the own value rides in register `a`).
+#[derive(Clone, Debug)]
+pub struct OddEvenSort {
+    values: Vec<u32>,
+}
+
+impl OddEvenSort {
+    /// Sort these values (each < 2²⁴).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or any value exceeds 24 bits.
+    pub fn new(values: Vec<u32>) -> Self {
+        assert!(!values.is_empty(), "need at least one value");
+        assert!(values.iter().all(|&v| v <= REG_MAX), "values must fit 24-bit registers");
+        OddEvenSort { values }
+    }
+
+    /// The expected final memory.
+    pub fn expected(&self) -> Vec<Word> {
+        let mut v: Vec<Word> = self.values.iter().map(|&x| x as Word).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// This processor's partner at step `t ≥ 1`, if any.
+    fn partner(&self, pid: usize, t: usize) -> Option<usize> {
+        let n = self.values.len();
+        let phase = (t - 1) % 2;
+        if pid % 2 == phase {
+            (pid + 1 < n).then_some(pid + 1)
+        } else {
+            pid.checked_sub(1)
+        }
+    }
+}
+
+impl SimProgram for OddEvenSort {
+    fn processors(&self) -> usize {
+        self.values.len()
+    }
+
+    fn memory_size(&self) -> usize {
+        self.values.len()
+    }
+
+    fn steps(&self) -> usize {
+        1 + self.values.len()
+    }
+
+    fn init_memory(&self, mem: &mut [Word]) {
+        for (i, &v) in self.values.iter().enumerate() {
+            mem[i] = v as Word;
+        }
+    }
+
+    fn read_addr(&self, pid: usize, t: usize, _regs: &Regs) -> usize {
+        if t == 0 {
+            return pid;
+        }
+        self.partner(pid, t).unwrap_or(pid)
+    }
+
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        if t == 0 {
+            return (Regs::new(value, 0), SimWrite::Nop);
+        }
+        match self.partner(pid, t) {
+            Some(partner) => {
+                let keep = if partner > pid {
+                    regs.a.min(value) // left of the pair keeps the min
+                } else {
+                    regs.a.max(value) // right keeps the max
+                };
+                (Regs::new(keep, 0), SimWrite::Write { addr: pid, value: keep })
+            }
+            None => (*regs, SimWrite::Nop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::reference_run;
+
+    #[test]
+    fn reference_sorts() {
+        let prog = OddEvenSort::new(vec![5, 3, 8, 1, 9, 2, 7, 4, 6]);
+        assert_eq!(reference_run(&prog), prog.expected());
+    }
+
+    #[test]
+    fn already_sorted_and_reverse() {
+        let prog = OddEvenSort::new((1..=8).collect());
+        assert_eq!(reference_run(&prog), prog.expected());
+        let prog = OddEvenSort::new((1..=8).rev().collect());
+        assert_eq!(reference_run(&prog), prog.expected());
+    }
+
+    #[test]
+    fn duplicates_and_singleton() {
+        let prog = OddEvenSort::new(vec![2, 2, 1, 1, 3, 3]);
+        assert_eq!(reference_run(&prog), prog.expected());
+        let prog = OddEvenSort::new(vec![42]);
+        assert_eq!(reference_run(&prog), vec![42]);
+    }
+}

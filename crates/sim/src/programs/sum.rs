@@ -1,0 +1,105 @@
+//! Parallel reduction: sum `N` values in `O(log N)` steps.
+
+use rfsp_pram::Word;
+
+use crate::program::{Regs, SimProgram, SimWrite};
+
+/// Tree reduction over `values`: after the run, simulated cell 0 holds the
+/// sum. `N` = number of values (padded internally to a power of two).
+///
+/// Schedule: step 0 loads `mem[i]` into `a`; step `t ≥ 1` has processor
+/// `i` (when `i` is a multiple of `2^t`) read `mem[i + 2^{t-1}]`, add it
+/// into `a`, and write `mem[i] = a`.
+#[derive(Clone, Debug)]
+pub struct ParallelSum {
+    values: Vec<u32>,
+    n: usize,
+}
+
+impl ParallelSum {
+    /// Sum these values (at least one; the sum must fit the 24-bit
+    /// simulated registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or the total exceeds 24 bits.
+    pub fn new(values: Vec<u32>) -> Self {
+        assert!(!values.is_empty(), "need at least one value");
+        let total: u64 = values.iter().map(|&v| v as u64).sum();
+        assert!(total <= crate::program::REG_MAX as u64, "sum must fit 24-bit registers");
+        let n = values.len().next_power_of_two();
+        ParallelSum { values, n }
+    }
+
+    /// The expected result.
+    pub fn expected(&self) -> u32 {
+        self.values.iter().sum()
+    }
+}
+
+impl SimProgram for ParallelSum {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn memory_size(&self) -> usize {
+        self.n
+    }
+
+    fn steps(&self) -> usize {
+        1 + self.n.trailing_zeros() as usize
+    }
+
+    fn init_memory(&self, mem: &mut [Word]) {
+        for (i, &v) in self.values.iter().enumerate() {
+            mem[i] = v as Word;
+        }
+    }
+
+    fn read_addr(&self, pid: usize, t: usize, _regs: &Regs) -> usize {
+        if t == 0 {
+            return pid;
+        }
+        let stride = 1usize << (t - 1);
+        if pid.is_multiple_of(stride * 2) {
+            pid + stride
+        } else {
+            pid // inactive processors re-read their own cell
+        }
+    }
+
+    fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {
+        if t == 0 {
+            return (Regs::new(value, 0), SimWrite::Nop);
+        }
+        let stride = 1usize << (t - 1);
+        if pid.is_multiple_of(stride * 2) {
+            let a = regs.a.wrapping_add(value) & crate::program::REG_MAX;
+            (Regs::new(a, 0), SimWrite::Write { addr: pid, value: a })
+        } else {
+            (*regs, SimWrite::Nop)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::reference_run;
+
+    #[test]
+    fn reference_sums() {
+        let prog = ParallelSum::new(vec![1, 2, 3, 4, 5]);
+        let mem = reference_run(&prog);
+        assert_eq!(mem[0], 15);
+        assert_eq!(prog.expected(), 15);
+    }
+
+    #[test]
+    fn power_of_two_and_singleton() {
+        let prog = ParallelSum::new((1..=16).collect());
+        assert_eq!(reference_run(&prog)[0], 136);
+        let prog = ParallelSum::new(vec![9]);
+        assert_eq!(reference_run(&prog)[0], 9);
+    }
+}

@@ -1,0 +1,47 @@
+//! Algorithm X on real OS threads — no locks, no barriers.
+//!
+//! The cycle-exact machine (`rfsp-pram`) measures the paper's theorems;
+//! this example demonstrates the algorithm's *practical* content: its
+//! coordination is so local (one monotone word write per step, position in
+//! shared memory) that it runs unmodified on genuinely asynchronous
+//! hardware threads over atomics, surviving injected fail/restart events.
+//!
+//! ```sh
+//! cargo run --release --example lockfree_threads
+//! ```
+
+use std::time::Instant;
+
+use rfsp::core::{run_lockfree_x, LockfreeOptions};
+
+fn main() {
+    let n = 1 << 16; // 65 536 cells
+
+    println!("Lock-free asynchronous algorithm X, Write-All N = {n}\n");
+    println!("{:>8} {:>12} {:>14} {:>12} {:>10}", "threads", "faults", "cycles", "cycles/N", "wall");
+    for threads in [1usize, 2, 4, 8] {
+        for fault_rate in [0.0f64, 0.01] {
+            let start = Instant::now();
+            let report = run_lockfree_x(
+                n,
+                threads,
+                LockfreeOptions { fault_rate, seed: 0xA57C },
+            );
+            let wall = start.elapsed();
+            println!(
+                "{threads:>8} {:>12} {:>14} {:>12.2} {:>8.1?}",
+                report.failures,
+                report.completed_cycles,
+                report.completed_cycles as f64 / n as f64,
+                wall,
+            );
+        }
+    }
+    println!(
+        "\nEvery run asserts the Write-All postcondition internally. The \
+         per-thread work stays near the synchronous machine's (~3-4 cycles \
+         per cell for one worker); extra threads add the overlap cost the \
+         paper's Lemma 4.5 prices in, and injected faults cost only the \
+         abandoned iterations."
+    );
+}

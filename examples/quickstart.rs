@@ -1,0 +1,52 @@
+//! Quickstart: solve Write-All on a restartable fail-stop PRAM.
+//!
+//! Runs the paper's Algorithm X on a machine whose processors are being
+//! failed and restarted by a random on-line adversary, then prints the
+//! completed-work accounting (Definitions 2.2/2.3).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rfsp::adversary::RandomFaults;
+use rfsp::core::{AlgoX, WriteAllTasks, XOptions};
+use rfsp::pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+
+fn main() -> Result<(), rfsp::pram::PramError> {
+    let n = 1024; // array size  (the paper's N)
+    let p = 64; // processors  (the paper's P)
+
+    // Lay out shared memory: the Write-All array x[0..N), then algorithm
+    // X's bookkeeping (progress heap d, location array w).
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+
+    // A hostile environment: every cycle each processor fails with
+    // probability 5% (losing its private memory!) and each failed
+    // processor restarts with probability 50%.
+    let mut adversary = RandomFaults::new(0.05, 0.5, 0xC0FFEE);
+
+    let mut machine = Machine::new(&algo, p, CycleBudget::PAPER)?;
+    let report = machine.run(&mut adversary)?;
+
+    assert!(tasks.all_written(machine.memory()), "Write-All postcondition");
+
+    println!("Write-All, N = {n}, P = {p}, under random fail/restart churn");
+    println!("  completed work S        = {}", report.stats.completed_work());
+    println!("  interrupted cycles      = {}", report.stats.interrupted_cycles);
+    println!("  failure pattern |F|     = {}", report.stats.pattern_size());
+    println!("  parallel time τ         = {}", report.stats.parallel_time);
+    println!("  overhead ratio σ        = {:.3}", report.overhead_ratio(n as u64));
+
+    // For contrast: the same instance with no failures.
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+    let mut machine = Machine::new(&algo, p, CycleBudget::PAPER)?;
+    let calm = machine.run(&mut NoFailures)?;
+    println!("\nSame instance, no failures:");
+    println!("  completed work S        = {}", calm.stats.completed_work());
+    println!("  parallel time τ         = {}", calm.stats.parallel_time);
+    Ok(())
+}

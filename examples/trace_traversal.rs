@@ -1,0 +1,83 @@
+//! Watch algorithm X think: a tick-by-tick trace of a small run.
+//!
+//! Renders the progress tree, the array and every processor's position
+//! after each machine tick while an adversary periodically fails and
+//! restarts half the processors — a live, textual version of the paper's
+//! Figure 3.
+//!
+//! ```sh
+//! cargo run --release --example trace_traversal
+//! ```
+
+use rfsp::core::{AlgoX, WriteAllTasks, XOptions};
+use rfsp::pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
+                 MemoryLayout, Pid, ProcStatus, Program};
+
+const N: usize = 8;
+const P: usize = 8;
+
+struct HalfChurn;
+impl Adversary for HalfChurn {
+    fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+        let mut d = Decisions::none();
+        if view.cycle % 4 == 2 {
+            let active: Vec<Pid> = view.active_pids().collect();
+            for pid in active.iter().skip(1).step_by(2) {
+                d.fail(*pid, FailPoint::BeforeWrites);
+                d.restart(*pid);
+            }
+        }
+        d
+    }
+}
+
+fn main() {
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, N);
+    let algo = AlgoX::new(&mut layout, tasks, P, XOptions::default());
+    let tree = algo.tree();
+    let d = algo.layout().d;
+    let w = algo.layout().w;
+    let mut m = Machine::new(&algo, P, CycleBudget::PAPER).expect("machine");
+    let mut adversary = HalfChurn;
+
+    println!("Algorithm X, N = P = {N}; heap nodes 1..{}; leaves {}..{}\n",
+             tree.heap_size() - 1, tree.leaves(), tree.heap_size() - 1);
+    let mut tick = 0u64;
+    while !algo.is_complete(m.memory()) && tick < 200 {
+        m.tick(&mut adversary).expect("tick");
+        tick += 1;
+        let mem = m.memory();
+        // One line per tree level for d.
+        print!("t={tick:<3} x=[");
+        for i in 0..N {
+            print!("{}", mem.peek(tasks.x().at(i)));
+        }
+        print!("]  d: ");
+        let mut level_start = 1;
+        while level_start < tree.heap_size() {
+            let level_end = (level_start * 2).min(tree.heap_size());
+            for v in level_start..level_end {
+                print!("{}", mem.peek(d.at(v)));
+            }
+            print!(" ");
+            level_start = level_end;
+        }
+        print!(" w: ");
+        for i in 0..P {
+            let pos = mem.peek(w.at(i));
+            let mark = match m.proc_status(Pid(i)) {
+                ProcStatus::Alive => ' ',
+                ProcStatus::Failed => '†',
+                ProcStatus::Halted => '.',
+            };
+            print!("{pos:>2}{mark}");
+        }
+        println!();
+    }
+    println!(
+        "\ndone in {tick} ticks: S = {}, |F| = {}  (†: currently failed, .: exited)",
+        m.stats().completed_work(),
+        m.stats().pattern_size()
+    );
+}

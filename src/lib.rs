@@ -1,0 +1,27 @@
+//! # rfsp — Efficient Parallel Algorithms on Restartable Fail-Stop Processors
+//!
+//! Facade crate re-exporting the whole workspace, a faithful implementation
+//! of Kanellakis & Shvartsman, *"Efficient Parallel Algorithms on
+//! Restartable Fail-Stop Processors"* (PODC 1991):
+//!
+//! * [`pram`] — the machine model: a synchronous CRCW PRAM whose processors
+//!   suffer adversarial fail-stop failures and restarts, with update-cycle
+//!   execution and completed-work accounting.
+//! * [`core`] — the Write-All problem and the paper's algorithms (V, X,
+//!   their interleaving, the snapshot-model optimum, and the baselines W
+//!   and ACC).
+//! * [`adversary`] — the paper's lower-bound proof strategies as executable
+//!   adversaries (thrashing, pigeonhole, X-killer, stalking, random).
+//! * [`sim`] — the general simulation (Theorem 4.1): run arbitrary
+//!   `N`-processor PRAM programs on `P` restartable fail-stop processors.
+//! * [`net`] — the §2.3 combining interconnection network cost model,
+//!   measuring the latency the unit-cost memory assumption hides.
+//!
+//! See the repository README for a guided tour and `EXPERIMENTS.md` for the
+//! measured reproduction of every result in the paper.
+
+pub use rfsp_adversary as adversary;
+pub use rfsp_core as core;
+pub use rfsp_net as net;
+pub use rfsp_pram as pram;
+pub use rfsp_sim as sim;

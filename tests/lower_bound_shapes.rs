@@ -1,0 +1,93 @@
+//! Quantitative shape checks for the paper's bounds — the integration-test
+//! versions of the experiment binaries, with hard assertions.
+
+use rfsp::adversary::{Pigeonhole, Thrashing, XKiller};
+use rfsp::core::{AlgoX, SnapshotBalance, WriteAllTasks, XOptions};
+use rfsp::pram::snapshot::SnapshotMachine;
+use rfsp::pram::{CycleBudget, Machine, MemoryLayout};
+
+/// Theorem 3.1 + 3.2: the snapshot model pins Write-All at Θ(N log N).
+#[test]
+fn snapshot_model_is_theta_n_log_n() {
+    let mut ratios = Vec::new();
+    for n in [128usize, 256, 512, 1024] {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = SnapshotBalance::new(tasks, n);
+        let mut m = SnapshotMachine::new(&algo, n, 1).unwrap();
+        let mut adv = Pigeonhole::new(tasks.x());
+        let report = m.run(&mut adv).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        let ratio = report.stats.completed_work() as f64 / (n as f64 * (n as f64).log2());
+        ratios.push(ratio);
+    }
+    for &r in &ratios {
+        assert!(r > 0.3, "lower bound: ratio {r} collapsed");
+        assert!(r < 3.0, "upper bound: ratio {r} exploded");
+    }
+    // The ratios converge (Θ, not just O/Ω): spread under 2x.
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 2.0, "ratios diverge: {ratios:?}");
+}
+
+/// Example 2.2: thrashing makes S' quadratic while S stays linear-ish.
+#[test]
+fn thrashing_separates_s_from_s_prime() {
+    let n = 256usize;
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
+    let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
+    let report = m.run(&mut Thrashing::new()).unwrap();
+    let s = report.stats.completed_work();
+    let s_prime = report.stats.s_prime();
+    // S' within [2·P·N-ish, 10·P·N]; S within ~[N, 10N].
+    assert!(s_prime as usize >= n * n, "S' = {s_prime} not quadratic for N = {n}");
+    assert!((s as usize) < 10 * n, "S = {s} should stay near-linear");
+}
+
+/// Theorem 4.8: the X-killer's work grows with exponent well above 1
+/// and the measured exponent brackets log2(3) ≈ 1.585.
+#[test]
+fn x_killer_exponent_brackets_log2_3() {
+    let mut points = Vec::new();
+    for n in [64usize, 128, 256, 512] {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
+        let mut adv = XKiller::new(tasks.x(), *algo.layout(), algo.tree());
+        let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut adv).unwrap();
+        assert!(tasks.all_written(m.memory()));
+        points.push(((n as f64).ln(), (report.stats.completed_work() as f64).ln()));
+    }
+    // Least-squares slope in log-log space.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    assert!(
+        (1.4..=1.8).contains(&slope),
+        "measured exponent {slope} should bracket log2(3) = 1.585"
+    );
+}
+
+/// Lemma 4.5 flavor: PIDs beyond N behave modularly — P = 2N costs at most
+/// ~2x the work of P = N with no failures.
+#[test]
+fn overlapping_pids_cost_at_most_double() {
+    let n = 128usize;
+    let work = |p: usize| {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut rfsp::pram::NoFailures).unwrap().stats.completed_work()
+    };
+    let w_n = work(n);
+    let w_2n = work(2 * n);
+    assert!(w_2n <= 2 * w_n + 2 * n as u64, "P=2N work {w_2n} vs P=N work {w_n}");
+}

@@ -1,0 +1,80 @@
+//! Failure patterns are first-class (Definition 2.1): every run records
+//! the pattern it suffered, and replaying that pattern through
+//! [`ScheduledAdversary`] reproduces the run exactly — the foundation for
+//! debugging adversarial executions.
+
+use rfsp::adversary::RandomFaults;
+use rfsp::core::{AlgoV, AlgoX, WriteAllTasks, XOptions};
+use rfsp::pram::{CycleBudget, Machine, MemoryLayout, ScheduledAdversary, Word};
+
+fn run_x(n: usize, p: usize) -> (rfsp::pram::RunReport, Vec<Word>) {
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+    let mut adv = RandomFaults::new(0.15, 0.6, 0xDECAF);
+    let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+    let report = m.run(&mut adv).unwrap();
+    (report, m.memory().as_slice().to_vec())
+}
+
+#[test]
+fn recorded_pattern_replays_identically_x() {
+    let (original, mem) = run_x(96, 24);
+    assert!(original.stats.pattern_size() > 0, "need a nontrivial pattern");
+
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, 96);
+    let prog = AlgoX::new(&mut layout, tasks, 24, XOptions::default());
+    let mut replay_adv = ScheduledAdversary::new(original.pattern.clone());
+    let mut m = Machine::new(&prog, 24, CycleBudget::PAPER).unwrap();
+    let replayed = m.run(&mut replay_adv).unwrap();
+
+    assert_eq!(replayed.stats, original.stats);
+    assert_eq!(replayed.pattern, original.pattern);
+    assert_eq!(m.memory().as_slice(), &mem[..]);
+    assert_eq!(replay_adv.remaining(), 0, "every recorded event was replayed");
+}
+
+#[test]
+fn recorded_pattern_replays_identically_v() {
+    let n = 128;
+    let p = 16;
+    let original = {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let prog = AlgoV::new(&mut layout, tasks, p);
+        let mut adv = RandomFaults::new(0.1, 0.8, 42);
+        let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut adv).unwrap()
+    };
+    let replayed = {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let prog = AlgoV::new(&mut layout, tasks, p);
+        let mut adv = ScheduledAdversary::new(original.pattern.clone());
+        let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut adv).unwrap()
+    };
+    assert_eq!(replayed.stats, original.stats);
+}
+
+#[test]
+fn patterns_serialize_and_roundtrip() {
+    let (original, _) = run_x(64, 16);
+    let json = serde_encode(&original.pattern);
+    let back = serde_decode(&json);
+    assert_eq!(back, original.pattern);
+}
+
+// Minimal JSON plumbing via serde's data model would need a format crate;
+// the offline set has none, so the roundtrip uses the debug-stable
+// serde-independent encoding below (exercising Serialize/Deserialize is
+// covered by the format-agnostic serde_test-style token pass in
+// rfsp-pram's own unit tests; here we check value-level equality).
+fn serde_encode(p: &rfsp::pram::FailurePattern) -> Vec<rfsp::pram::FailureEvent> {
+    p.events().to_vec()
+}
+
+fn serde_decode(events: &[rfsp::pram::FailureEvent]) -> rfsp::pram::FailurePattern {
+    events.iter().copied().collect()
+}

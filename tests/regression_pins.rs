@@ -1,0 +1,70 @@
+//! Regression pins: exact completed-work values for the flagship
+//! deterministic runs, locking the whole stack (machine semantics,
+//! algorithm implementations, adversary strategies) against accidental
+//! behavioural drift. These are the numbers EXPERIMENTS.md reports; if a
+//! legitimate algorithm change moves them, update both together.
+
+use rfsp::adversary::{Pigeonhole, Thrashing, XKiller};
+use rfsp::core::{AlgoV, AlgoX, SnapshotBalance, WriteAllTasks, XOptions};
+use rfsp::pram::snapshot::SnapshotMachine;
+use rfsp::pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+
+#[test]
+fn x_killer_pin() {
+    let n = 512usize;
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
+    let mut adv = XKiller::new(tasks.x(), *algo.layout(), algo.tree());
+    let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
+    let report = m.run(&mut adv).unwrap();
+    assert_eq!(report.completed_work(), 178_285, "Theorem 4.8 flagship run drifted");
+    assert_eq!(report.stats.pattern_size(), 19_682);
+}
+
+#[test]
+fn thrashing_pin() {
+    let n = 256usize;
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
+    let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
+    let report = m.run(&mut Thrashing::new()).unwrap();
+    assert_eq!(report.completed_work(), 1_779, "Example 2.2 flagship run drifted");
+    assert_eq!(report.stats.s_prime(), 455_424);
+}
+
+#[test]
+fn snapshot_pigeonhole_pin() {
+    let n = 1024usize;
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    let algo = SnapshotBalance::new(tasks, n);
+    let mut m = SnapshotMachine::new(&algo, n, 1).unwrap();
+    let mut adv = Pigeonhole::new(tasks.x());
+    let report = m.run(&mut adv).unwrap();
+    assert_eq!(report.completed_work(), 6_144, "Theorem 3.1/3.2 flagship run drifted");
+}
+
+#[test]
+fn failure_free_pins() {
+    // X, V at a standard configuration with no failures.
+    let n = 2048usize;
+    let p = 128usize;
+    let x = {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut NoFailures).unwrap().completed_work()
+    };
+    let v = {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoV::new(&mut layout, tasks, p);
+        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut NoFailures).unwrap().completed_work()
+    };
+    assert_eq!(x, 55_296, "algorithm X failure-free work drifted");
+    assert_eq!(v, 7_040, "algorithm V failure-free work drifted");
+}

@@ -1,0 +1,90 @@
+//! End-to-end: every shipped PRAM kernel, simulated under heavy
+//! failure/restart churn by every engine, produces exactly the output of a
+//! failure-free reference run (Theorem 4.1's correctness half).
+
+use rfsp::adversary::RandomFaults;
+use rfsp::pram::{RunLimits, Word};
+use rfsp::sim::programs::{ListRanking, MaxFind, OddEvenSort, ParallelSum, PrefixSums};
+use rfsp::sim::{reference_run, simulate, Engine, SimProgram};
+
+fn check<P: SimProgram + Sync + Clone>(name: &str, prog: P, p: usize, seed: u64) {
+    let expected: Vec<Word> = reference_run(&prog);
+    for engine in [Engine::X, Engine::V, Engine::Interleaved] {
+        let mut adv = RandomFaults::new(0.08, 0.6, seed);
+        let report = simulate(prog.clone(), p, engine, &mut adv,
+                              RunLimits { max_cycles: 20_000_000 })
+            .unwrap_or_else(|e| panic!("{name}/{engine:?} failed: {e}"));
+        assert_eq!(report.memory, expected, "{name}/{engine:?} wrong output");
+        assert!(
+            report.run.stats.pattern_size() > 0,
+            "{name}/{engine:?}: the adversary was supposed to interfere"
+        );
+    }
+}
+
+#[test]
+fn reduction_under_churn() {
+    check("sum", ParallelSum::new((0..64).map(|i| i % 9).collect()), 8, 0xA);
+}
+
+#[test]
+fn prefix_sums_under_churn() {
+    check("prefix", PrefixSums::new((0..100).map(|i| i % 7 + 1).collect()), 12, 0xB);
+}
+
+#[test]
+fn maximum_under_churn() {
+    let mut values: Vec<u32> = (0..77).map(|i| (i * 37) % 1000).collect();
+    values[33] = 1_000_000;
+    check("max", MaxFind::new(values), 8, 0xC);
+}
+
+#[test]
+fn sorting_under_churn() {
+    check("sort", OddEvenSort::new((0..48).rev().map(|i| i * 3 % 31).collect()), 8, 0xD);
+}
+
+#[test]
+fn list_ranking_under_churn() {
+    // A scrambled list over 40 nodes.
+    let n = 40usize;
+    let mut succ: Vec<usize> = (1..n).collect();
+    succ.push(n - 1); // tail
+    // Interleave the chain deterministically to scramble addresses.
+    let perm: Vec<usize> = (0..n).map(|i| (i * 17) % n).collect();
+    let mut scrambled = vec![0usize; n];
+    for i in 0..n {
+        let here = perm[i];
+        let next = if i + 1 < n { perm[i + 1] } else { here };
+        scrambled[here] = next;
+    }
+    check("listrank", ListRanking::new(scrambled), 8, 0xE);
+}
+
+#[test]
+fn single_simulated_processor_edge_case() {
+    check("sum-1", ParallelSum::new(vec![7]), 3, 0xF);
+}
+
+#[test]
+fn more_real_processors_than_simulated() {
+    check("prefix-overprovisioned", PrefixSums::new(vec![1, 2, 3, 4]), 16, 0x10);
+}
+
+#[test]
+fn connected_components_under_churn() {
+    use rfsp::sim::programs::Components;
+    // Two rings and a pendant chain.
+    let mut edges: Vec<(usize, usize)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+    edges.extend((8..13).map(|i| (i, (i + 1 - 8) % 5 + 8)));
+    edges.push((13, 14));
+    check("components", Components::new(15, &edges), 6, 0x11);
+}
+
+#[test]
+fn matvec_under_churn() {
+    use rfsp::sim::programs::MatVec;
+    let a: Vec<Vec<u32>> = (0..20).map(|i| (0..6).map(|j| ((i * j + 1) % 9) as u32).collect()).collect();
+    let x: Vec<u32> = (1..=6).collect();
+    check("matvec", MatVec::new(a, x), 6, 0x12);
+}
