@@ -54,8 +54,7 @@ impl<A: Adversary> Adversary for Budgeted<A> {
         // Drop restarts whose failure was suppressed: a restart is only
         // legal for a processor that is (still) failed.
         out.restarts.retain(|pid| {
-            let failed_before =
-                view.procs[pid.0].status == rfsp_pram::ProcStatus::Failed;
+            let failed_before = view.procs[pid.0].status == rfsp_pram::ProcStatus::Failed;
             let failed_now = out.fails.iter().any(|(p, _)| p == pid);
             failed_before || failed_now
         });

@@ -56,9 +56,8 @@ impl Adversary for Pigeonhole {
             }
         }
         // Unvisited cells and the processors assigned to each.
-        let unvisited: Vec<usize> = (0..self.x.len())
-            .filter(|&i| view.mem.peek(self.x.at(i)) == 0)
-            .collect();
+        let unvisited: Vec<usize> =
+            (0..self.x.len()).filter(|&i| view.mem.peek(self.x.at(i)) == 0).collect();
         let u = unvisited.len();
         if u <= self.floor {
             return d;

@@ -47,8 +47,7 @@ impl Stalking {
     /// Whether a tentative cycle touches the stalked cell.
     fn touches(&self, t: &rfsp_pram::TentativeCycle) -> bool {
         let addr = self.x.at(self.target);
-        t.writes.writes().iter().any(|&(a, _)| a == addr)
-            || t.reads.addrs().contains(&addr)
+        t.writes.writes().iter().any(|&(a, _)| a == addr) || t.reads.addrs().contains(&addr)
     }
 }
 
@@ -73,8 +72,7 @@ impl Adversary for Stalking {
             .enumerate()
             .filter_map(|(i, t)| t.as_ref().map(|t| (Pid(i), self.touches(t))))
             .collect();
-        let touchers: Vec<Pid> =
-            active.iter().filter(|(_, t)| *t).map(|(p, _)| *p).collect();
+        let touchers: Vec<Pid> = active.iter().filter(|(_, t)| *t).map(|(p, _)| *p).collect();
         match self.mode {
             StalkingMode::FailStop => {
                 // Fail touchers while more than one processor remains.
@@ -150,9 +148,8 @@ mod tests {
         let algo = AlgoAcc::new(&mut layout, tasks, AccOptions { seed: 7 });
         let mut adversary = Stalking::new(tasks.x(), n - 1, StalkingMode::Restart);
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
-        let report = m
-            .run_with_limits(&mut adversary, RunLimits { max_cycles: 2_000_000 })
-            .unwrap();
+        let report =
+            m.run_with_limits(&mut adversary, RunLimits { max_cycles: 2_000_000 }).unwrap();
         assert!(tasks.all_written(m.memory()));
         assert!(report.stats.failures > 0);
     }

@@ -61,11 +61,8 @@ impl Adversary for Thrashing {
             }
             return d;
         }
-        let survivor_idx = if self.rotate_survivor {
-            (view.cycle as usize) % active.len()
-        } else {
-            0
-        };
+        let survivor_idx =
+            if self.rotate_survivor { (view.cycle as usize) % active.len() } else { 0 };
         for (k, pid) in active.iter().enumerate() {
             if k != survivor_idx {
                 d.fail(*pid, FailPoint::BeforeWrites);

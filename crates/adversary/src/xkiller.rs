@@ -69,9 +69,11 @@ impl Adversary for XKiller {
             if pos == pos0 {
                 continue; // co-located with processor 0: may help it
             }
-            let contributes = t.writes.writes().iter().any(|&(addr, _)| {
-                self.x.contains(addr) || self.layout.d.contains(addr)
-            });
+            let contributes = t
+                .writes
+                .writes()
+                .iter()
+                .any(|&(addr, _)| self.x.contains(addr) || self.layout.d.contains(addr));
             if contributes {
                 d.fail(Pid(pid_idx), FailPoint::BeforeWrites);
             }

@@ -14,16 +14,12 @@ fn bench_no_failures(c: &mut Criterion) {
     for &n in &[256usize, 1024] {
         let p = n / 16;
         for algo in [Algo::X, Algo::V, Algo::W, Algo::Interleaved] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &(n, p),
-                |b, &(n, p)| {
-                    b.iter(|| {
-                        run_write_all(algo, n, p, &mut NoFailures, RunLimits::default())
-                            .expect("bench run")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &(n, p), |b, &(n, p)| {
+                b.iter(|| {
+                    run_write_all(algo, n, p, &mut NoFailures, RunLimits::default())
+                        .expect("bench run")
+                })
+            });
         }
     }
     group.finish();
@@ -61,15 +57,12 @@ fn bench_variants(c: &mut Criterion) {
     for algo in [Algo::X, Algo::XInPlace] {
         group.bench_function(algo.name(), |b| {
             b.iter(|| {
-                run_write_all(algo, n, p, &mut NoFailures, RunLimits::default())
-                    .expect("bench run")
+                run_write_all(algo, n, p, &mut NoFailures, RunLimits::default()).expect("bench run")
             })
         });
     }
     group.bench_function("X-lockfree-4-threads", |b| {
-        b.iter(|| {
-            rfsp_core::run_lockfree_x(n, 4, rfsp_core::LockfreeOptions::default())
-        })
+        b.iter(|| rfsp_core::run_lockfree_x(n, 4, rfsp_core::LockfreeOptions::default()))
     });
     group.finish();
 }

@@ -8,14 +8,25 @@
 use rfsp_adversary::Thrashing;
 use rfsp_pram::RunLimits;
 
-use crate::{fmt, print_table, run_write_all, Algo};
+use crate::{fmt, print_table, run_write_all_observed, Algo, TelemetrySink};
 
 /// Run experiment E1.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e1");
     let mut rows = Vec::new();
     for k in [64usize, 128, 256, 512] {
         let (n, p) = (k, k);
-        let run = run_write_all(Algo::X, n, p, &mut Thrashing::new(), RunLimits::default())
+        let run = sink
+            .observe(format!("x-thrashing-n{k}"), Algo::X.name(), n, p, |obs| {
+                run_write_all_observed(
+                    Algo::X,
+                    n,
+                    p,
+                    &mut Thrashing::new(),
+                    RunLimits::default(),
+                    obs,
+                )
+            })
             .expect("E1 run failed");
         assert!(run.verified);
         let s = run.report.stats.completed_work() as f64;
@@ -41,4 +52,5 @@ pub fn run() {
          accounting discharges the adversary: S'/(P·N) should approach a constant \
          and S/N should stay near a small constant."
     );
+    sink.finish();
 }

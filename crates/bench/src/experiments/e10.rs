@@ -3,13 +3,26 @@
 use rfsp_adversary::{offline_random, Stalking, StalkingMode};
 use rfsp_pram::{PramError, RunLimits};
 
-use crate::{fmt, print_table, run_write_all, run_write_all_with, Algo};
+use crate::{
+    fmt, print_table, run_write_all_observed, run_write_all_with_observed, Algo, TelemetrySink,
+};
 
 /// Mean completed work of `algo` under the stalker over `seeds` trials;
 /// `None` entries were censored at the cycle limit (the adversary held the
 /// algorithm hostage past the limit — evidence for the §5 blow-up).
-fn stalked(algo: Algo, n: usize, p: usize, mode: StalkingMode, limit: u64) -> (f64, usize, usize) {
+fn stalked(
+    sink: &mut TelemetrySink,
+    algo: Algo,
+    n: usize,
+    p: usize,
+    mode: StalkingMode,
+    limit: u64,
+) -> (f64, usize, usize) {
     let seeds: [u64; 5] = [11, 23, 37, 51, 73];
+    let mode_name = match mode {
+        StalkingMode::FailStop => "failstop",
+        StalkingMode::Restart => "restart",
+    };
     let mut total = 0.0;
     let mut finished = 0;
     let mut censored = 0;
@@ -23,12 +36,23 @@ fn stalked(algo: Algo, n: usize, p: usize, mode: StalkingMode, limit: u64) -> (f
                 other
             }
         };
-        let result = run_write_all_with(
-            algo,
+        // Censored runs error out of `observe` and are therefore absent
+        // from the artifact — only completed runs carry telemetry.
+        let result = sink.observe(
+            format!("{}-stalk-{mode_name}-n{n}-s{seed}", algo.name()),
+            algo.name(),
             n,
             p,
-            |setup| Stalking::new(setup.tasks.x(), n - 1, mode),
-            RunLimits { max_cycles: limit },
+            |obs| {
+                run_write_all_with_observed(
+                    algo,
+                    n,
+                    p,
+                    |setup| Stalking::new(setup.tasks.x(), n - 1, mode),
+                    RunLimits { max_cycles: limit },
+                    obs,
+                )
+            },
         );
         match result {
             Ok(run) => {
@@ -46,14 +70,16 @@ fn stalked(algo: Algo, n: usize, p: usize, mode: StalkingMode, limit: u64) -> (f
 
 /// Run experiment E10.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e10");
     let p = 8usize;
     let limit = 3_000_000u64;
     let mut rows = Vec::new();
     for n in [16usize, 32, 64] {
-        let (x_fs, _, _) = stalked(Algo::X, n, p, StalkingMode::FailStop, limit);
-        let (x_rs, _, _) = stalked(Algo::X, n, p, StalkingMode::Restart, limit);
-        let (acc_fs, f1, c1) = stalked(Algo::Acc(0), n, p, StalkingMode::FailStop, limit);
-        let (acc_rs, f2, c2) = stalked(Algo::Acc(0), n, p, StalkingMode::Restart, limit);
+        let (x_fs, _, _) = stalked(&mut sink, Algo::X, n, p, StalkingMode::FailStop, limit);
+        let (x_rs, _, _) = stalked(&mut sink, Algo::X, n, p, StalkingMode::Restart, limit);
+        let (acc_fs, f1, c1) =
+            stalked(&mut sink, Algo::Acc(0), n, p, StalkingMode::FailStop, limit);
+        let (acc_rs, f2, c2) = stalked(&mut sink, Algo::Acc(0), n, p, StalkingMode::Restart, limit);
         let acc_rs_str = if f2 == 0 {
             format!("censored ({c2}/{})", f2 + c2)
         } else if c2 > 0 {
@@ -62,13 +88,7 @@ pub fn run() {
             fmt(acc_rs)
         };
         let _ = (f1, c1);
-        rows.push(vec![
-            n.to_string(),
-            fmt(x_fs),
-            fmt(x_rs),
-            fmt(acc_fs),
-            acc_rs_str,
-        ]);
+        rows.push(vec![n.to_string(), fmt(x_fs), fmt(x_rs), fmt(acc_fs), acc_rs_str]);
     }
     print_table(
         "E10 (§5) — stalking adversary (target = last cell), P = 8, mean of 5 seeds for ACC",
@@ -84,7 +104,17 @@ pub fn run() {
         let seeds = [11u64, 23, 37, 51, 73];
         for &seed in &seeds {
             let mut adv = offline_random(p, 1_000_000, 0.1, 0.5, seed);
-            let run = run_write_all(Algo::Acc(seed), n, p, &mut adv, RunLimits::default())
+            let run = sink
+                .observe(format!("acc-offline-n{n}-s{seed}"), "ACC", n, p, |obs| {
+                    run_write_all_observed(
+                        Algo::Acc(seed),
+                        n,
+                        p,
+                        &mut adv,
+                        RunLimits::default(),
+                        obs,
+                    )
+                })
                 .expect("E10 offline run failed");
             assert!(run.verified);
             total += run.report.stats.completed_work() as f64;
@@ -107,4 +137,5 @@ pub fn run() {
          E10 demonstrates by construction: the stalker is the *only* adaptive \
          ingredient."
     );
+    sink.finish();
 }

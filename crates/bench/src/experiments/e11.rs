@@ -9,10 +9,11 @@ use rfsp_adversary::{Pigeonhole, RandomFaults, XKiller};
 use rfsp_core::XOptions;
 use rfsp_pram::RunLimits;
 
-use crate::{fmt, print_table, run_write_all_with_options, Algo};
+use crate::{fmt, print_table, run_write_all_with_options_observed, Algo, TelemetrySink};
 
 /// Run experiment E11.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e11");
     let n = 1024usize;
     // P < N so the initial spread matters (at P = N the spread and packed
     // placements coincide); the X-killer table below uses P = N, its
@@ -22,55 +23,69 @@ pub fn run() {
         ("baseline (Fig. 5)", XOptions::default()),
         ("spread initial (5i)", XOptions { spread_initial: true, ..Default::default() }),
         ("counting tree (5ii)", XOptions { counting: true, ..Default::default() }),
-        (
-            "both",
-            XOptions { spread_initial: true, counting: true },
-        ),
+        ("both", XOptions { spread_initial: true, counting: true }),
     ];
     let mut rows = Vec::new();
     for (name, opts) in variants {
-        let calm = run_write_all_with_options(
-            Algo::X,
-            opts,
-            n,
-            p,
-            |_| rfsp_pram::NoFailures,
-            RunLimits::default(),
-        )
-        .expect("E11 calm run");
-        let churn = run_write_all_with_options(
-            Algo::X,
-            opts,
-            n,
-            p,
-            |_| RandomFaults::new(0.05, 0.6, 0xE11),
-            RunLimits::default(),
-        )
-        .expect("E11 churn run");
-        let pigeon = run_write_all_with_options(
-            Algo::X,
-            opts,
-            n,
-            p,
-            |setup| Pigeonhole::new(setup.tasks.x()),
-            RunLimits::default(),
-        )
-        .expect("E11 pigeonhole run");
-        let killer = run_write_all_with_options(
-            Algo::X,
-            opts,
-            n,
-            p,
-            |setup| {
-                XKiller::new(
-                    setup.tasks.x(),
-                    setup.x_layout.expect("X layout"),
-                    setup.tree.expect("tree"),
+        let slug = crate::slugify(name);
+        let calm = sink
+            .observe(format!("x-{slug}-nofail"), "X", n, p, |obs| {
+                run_write_all_with_options_observed(
+                    Algo::X,
+                    opts,
+                    n,
+                    p,
+                    |_| rfsp_pram::NoFailures,
+                    RunLimits::default(),
+                    obs,
                 )
-            },
-            RunLimits::default(),
-        )
-        .expect("E11 killer run");
+            })
+            .expect("E11 calm run");
+        let churn = sink
+            .observe(format!("x-{slug}-churn"), "X", n, p, |obs| {
+                run_write_all_with_options_observed(
+                    Algo::X,
+                    opts,
+                    n,
+                    p,
+                    |_| RandomFaults::new(0.05, 0.6, 0xE11),
+                    RunLimits::default(),
+                    obs,
+                )
+            })
+            .expect("E11 churn run");
+        let pigeon = sink
+            .observe(format!("x-{slug}-pigeonhole"), "X", n, p, |obs| {
+                run_write_all_with_options_observed(
+                    Algo::X,
+                    opts,
+                    n,
+                    p,
+                    |setup| Pigeonhole::new(setup.tasks.x()),
+                    RunLimits::default(),
+                    obs,
+                )
+            })
+            .expect("E11 pigeonhole run");
+        let killer = sink
+            .observe(format!("x-{slug}-killer"), "X", n, p, |obs| {
+                run_write_all_with_options_observed(
+                    Algo::X,
+                    opts,
+                    n,
+                    p,
+                    |setup| {
+                        XKiller::new(
+                            setup.tasks.x(),
+                            setup.x_layout.expect("X layout"),
+                            setup.tree.expect("tree"),
+                        )
+                    },
+                    RunLimits::default(),
+                    obs,
+                )
+            })
+            .expect("E11 killer run");
         for r in [&calm, &churn, &pigeon, &killer] {
             assert!(r.verified);
         }
@@ -94,4 +109,5 @@ pub fn run() {
          the counting tree steers processors toward remaining work and the \
          spread start removes the initial pile-up."
     );
+    sink.finish();
 }

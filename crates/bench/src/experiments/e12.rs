@@ -12,24 +12,35 @@
 use rfsp_adversary::Pigeonhole;
 use rfsp_pram::RunLimits;
 
-use crate::{fmt, loglog_slope, print_table, run_write_all_with, Algo};
+use crate::{fmt, loglog_slope, print_table, run_write_all_with_observed, Algo, TelemetrySink};
 
 /// Run experiment E12.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e12");
     let sizes = [128usize, 256, 512, 1024, 2048];
     let mut rows = Vec::new();
     let mut points_x = Vec::new();
     for &n in &sizes {
         let mut cols = vec![n.to_string()];
         for algo in [Algo::X, Algo::V, Algo::W] {
-            let run = run_write_all_with(
-                algo,
-                n,
-                n,
-                |setup| Pigeonhole::fail_stop(setup.tasks.x()),
-                RunLimits::default(),
-            )
-            .expect("E12 run failed");
+            let run = sink
+                .observe(
+                    format!("{}-failstop-halving-n{n}", algo.name()),
+                    algo.name(),
+                    n,
+                    n,
+                    |obs| {
+                        run_write_all_with_observed(
+                            algo,
+                            n,
+                            n,
+                            |setup| Pigeonhole::fail_stop(setup.tasks.x()),
+                            RunLimits::default(),
+                            obs,
+                        )
+                    },
+                )
+                .expect("E12 run failed");
             assert!(run.verified);
             let s = run.report.stats.completed_work();
             if algo == Algo::X {
@@ -56,4 +67,5 @@ pub fn run() {
          smaller than W's.",
         fmt(slope)
     );
+    sink.finish();
 }

@@ -12,16 +12,23 @@
 use rfsp_net::{NetworkMeter, OmegaNetwork};
 use rfsp_pram::{NoFailures, RunLimits};
 
-use crate::{fmt, print_table, run_write_all, Algo};
+use crate::{fmt, print_table, run_write_all_observed, Algo, TelemetrySink};
 
-fn metered(algo: Algo, n: usize, p: usize, combining: bool) -> rfsp_net::NetworkProfile {
-    let net = if combining {
-        OmegaNetwork::new(p)
-    } else {
-        OmegaNetwork::new(p).without_combining()
-    };
+fn metered(
+    sink: &mut TelemetrySink,
+    algo: Algo,
+    n: usize,
+    p: usize,
+    combining: bool,
+) -> rfsp_net::NetworkProfile {
+    let net =
+        if combining { OmegaNetwork::new(p) } else { OmegaNetwork::new(p).without_combining() };
+    let net_name = if combining { "combining" } else { "plain" };
     let mut meter = NetworkMeter::new(NoFailures, net);
-    let run = run_write_all(algo, n, p, &mut meter, RunLimits::default())
+    let run = sink
+        .observe(format!("{}-p{p}-{net_name}", algo.name()), algo.name(), n, p, |obs| {
+            run_write_all_observed(algo, n, p, &mut meter, RunLimits::default(), obs)
+        })
         .expect("E13 run failed");
     assert!(run.verified);
     meter.profile()
@@ -29,12 +36,13 @@ fn metered(algo: Algo, n: usize, p: usize, combining: bool) -> rfsp_net::Network
 
 /// Run experiment E13.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e13");
     let n = 2048usize;
     let mut rows = Vec::new();
     for p in [16usize, 64, 256] {
         for algo in [Algo::X, Algo::V] {
-            let with = metered(algo, n, p, true);
-            let without = metered(algo, n, p, false);
+            let with = metered(&mut sink, algo, n, p, true);
+            let without = metered(&mut sink, algo, n, p, false);
             let log2p = (p as f64).log2();
             rows.push(vec![
                 algo.name().to_string(),
@@ -69,4 +77,5 @@ pub fn run() {
          latency grows like Θ(P) (column 6 approaches a constant). This is \
          why §2.3 specifies a *combining* network."
     );
+    sink.finish();
 }

@@ -7,9 +7,10 @@ use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
 use rfsp_pram::{MemoryLayout, RunLimits};
 
-use crate::{fmt, loglog_slope, print_table, run_write_all_with, Algo};
+use crate::{fmt, loglog_slope, print_table, run_write_all_with_observed, Algo, TelemetrySink};
 
-/// Completed work of the snapshot algorithm under the pigeonhole adversary.
+/// Completed work of the snapshot algorithm under the pigeonhole adversary
+/// (the snapshot machine has no event stream, so only stats are reported).
 pub fn snapshot_under_pigeonhole(n: usize) -> (u64, u64) {
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
@@ -23,6 +24,7 @@ pub fn snapshot_under_pigeonhole(n: usize) -> (u64, u64) {
 
 /// Run experiment E2.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e2");
     let sizes = [256usize, 512, 1024, 2048];
     let mut rows = Vec::new();
     let mut snap_points = Vec::new();
@@ -32,14 +34,18 @@ pub fn run() {
         snap_points.push((n as f64, snap_s as f64));
         let mut cols = vec![n.to_string(), fmt(snap_s as f64 / nlogn)];
         for algo in [Algo::X, Algo::V, Algo::Interleaved] {
-            let run = run_write_all_with(
-                algo,
-                n,
-                n,
-                |setup| Pigeonhole::new(setup.tasks.x()),
-                RunLimits::default(),
-            )
-            .expect("E2 run failed");
+            let run = sink
+                .observe(format!("{}-pigeonhole-n{n}", algo.name()), algo.name(), n, n, |obs| {
+                    run_write_all_with_observed(
+                        algo,
+                        n,
+                        n,
+                        |setup| Pigeonhole::new(setup.tasks.x()),
+                        RunLimits::default(),
+                        obs,
+                    )
+                })
+                .expect("E2 run failed");
             assert!(run.verified);
             cols.push(fmt(run.report.stats.completed_work() as f64 / nlogn));
         }
@@ -59,4 +65,5 @@ pub fn run() {
          (N log N has slope slightly above 1).",
         fmt(slope)
     );
+    sink.finish();
 }

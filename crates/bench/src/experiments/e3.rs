@@ -4,11 +4,11 @@
 use rfsp_adversary::Pigeonhole;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
-use rfsp_pram::{MemoryLayout, NoFailures};
+use rfsp_pram::{MemoryLayout, NoFailures, WorkStats};
 
-use crate::{fmt, print_table};
+use crate::{fmt, print_table, TelemetrySink};
 
-fn run_snapshot(n: usize, with_adversary: bool) -> u64 {
+fn run_snapshot(n: usize, with_adversary: bool) -> WorkStats {
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
@@ -20,16 +20,22 @@ fn run_snapshot(n: usize, with_adversary: bool) -> u64 {
         m.run(&mut NoFailures).expect("snapshot run")
     };
     assert!(tasks.all_written(m.memory()));
-    report.stats.completed_work()
+    report.stats
 }
 
 /// Run experiment E3.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e3");
     let mut rows = Vec::new();
     for n in [256usize, 512, 1024, 2048, 4096] {
         let nlogn = n as f64 * (n as f64).log2();
-        let s_adv = run_snapshot(n, true);
-        let s_free = run_snapshot(n, false);
+        // The snapshot machine has no event stream: stats-only telemetry.
+        let adv_stats = run_snapshot(n, true);
+        let free_stats = run_snapshot(n, false);
+        sink.record_stats(format!("snapshot-pigeonhole-n{n}"), "snapshot", n, n, true, adv_stats);
+        sink.record_stats(format!("snapshot-nofail-n{n}"), "snapshot", n, n, true, free_stats);
+        let s_adv = adv_stats.completed_work();
+        let s_free = free_stats.completed_work();
         rows.push(vec![
             n.to_string(),
             s_adv.to_string(),
@@ -49,4 +55,5 @@ pub fn run() {
          S/(N log₂ N) converges to a constant — and S = N exactly with no \
          failures (one balanced cycle per processor)."
     );
+    sink.finish();
 }

@@ -4,23 +4,22 @@
 use rfsp_adversary::RandomFaults;
 use rfsp_pram::RunLimits;
 
-use crate::{fmt, print_table, run_write_all, Algo};
+use crate::{fmt, print_table, run_write_all_observed, Algo, TelemetrySink};
 
 /// Run experiment E4.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e4");
     let mut rows = Vec::new();
-    for (n, p) in [
-        (1024usize, 16usize),
-        (1024, 64),
-        (1024, 256),
-        (4096, 64),
-        (4096, 256),
-        (4096, 1024),
-    ] {
+    for (n, p) in
+        [(1024usize, 16usize), (1024, 64), (1024, 256), (4096, 64), (4096, 256), (4096, 1024)]
+    {
         // Fail-stop only: p_restart = 0; at most P-1 failures (the model
         // keeps one processor alive).
         let mut adv = RandomFaults::new(0.002, 0.0, 0xE4).with_budget(p as u64 - 1);
-        let run = run_write_all(Algo::V, n, p, &mut adv, RunLimits::default())
+        let run = sink
+            .observe(format!("v-failstop-n{n}-p{p}"), Algo::V.name(), n, p, |obs| {
+                run_write_all_observed(Algo::V, n, p, &mut adv, RunLimits::default(), obs)
+            })
             .expect("E4 run failed");
         assert!(run.verified);
         let s = run.report.stats.completed_work() as f64;
@@ -45,4 +44,5 @@ pub fn run() {
         "Paper: S = O(N + P log²N) — the ratio column must stay bounded by a \
          constant across both N and P sweeps."
     );
+    sink.finish();
 }

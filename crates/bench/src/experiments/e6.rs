@@ -4,28 +4,45 @@
 use rfsp_adversary::{Pigeonhole, Thrashing};
 use rfsp_pram::RunLimits;
 
-use crate::{fmt, print_table, run_write_all, run_write_all_with, Algo};
+use crate::{
+    fmt, print_table, run_write_all_observed, run_write_all_with_observed, Algo, TelemetrySink,
+};
 
 /// Run experiment E6.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e6");
     let n = 4096usize;
     let exp = (1.5f64).log2(); // log₂(3/2) ≈ 0.585
     let mut rows = Vec::new();
     for p in [16usize, 64, 256, 1024, 4096] {
         let bound = n as f64 * (p as f64).powf(exp);
         // Thrashing: an unbounded-|F| adversary.
-        let thrash = run_write_all(Algo::X, n, p, &mut Thrashing::new(), RunLimits::default())
+        let thrash = sink
+            .observe(format!("x-thrashing-p{p}"), Algo::X.name(), n, p, |obs| {
+                run_write_all_observed(
+                    Algo::X,
+                    n,
+                    p,
+                    &mut Thrashing::new(),
+                    RunLimits::default(),
+                    obs,
+                )
+            })
             .expect("E6 thrashing run failed");
         assert!(thrash.verified);
         // Pigeonhole: the halving adversary.
-        let pigeon = run_write_all_with(
-            Algo::X,
-            n,
-            p,
-            |setup| Pigeonhole::new(setup.tasks.x()),
-            RunLimits::default(),
-        )
-        .expect("E6 pigeonhole run failed");
+        let pigeon = sink
+            .observe(format!("x-pigeonhole-p{p}"), Algo::X.name(), n, p, |obs| {
+                run_write_all_with_observed(
+                    Algo::X,
+                    n,
+                    p,
+                    |setup| Pigeonhole::new(setup.tasks.x()),
+                    RunLimits::default(),
+                    obs,
+                )
+            })
+            .expect("E6 pigeonhole run failed");
         assert!(pigeon.verified);
         rows.push(vec![
             p.to_string(),
@@ -46,4 +63,5 @@ pub fn run() {
          ratio columns stay bounded (and typically shrink: these adversaries \
          are far from X's worst case, which E7 constructs)."
     );
+    sink.finish();
 }

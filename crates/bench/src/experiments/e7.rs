@@ -4,34 +4,44 @@
 use rfsp_adversary::XKiller;
 use rfsp_pram::RunLimits;
 
-use crate::{fmt, loglog_slope, print_table, run_write_all_with, Algo};
+use crate::{fmt, loglog_slope, print_table, run_write_all_with_observed, Algo, TelemetrySink};
 
 /// Completed work of X under the X-killer at `N = P = n`.
 pub fn x_under_killer(n: usize) -> (u64, u64) {
-    let run = run_write_all_with(
-        Algo::X,
-        n,
-        n,
-        |setup| {
-            XKiller::new(
-                setup.tasks.x(),
-                setup.x_layout.expect("X layout"),
-                setup.tree.expect("tree"),
+    let mut inert = TelemetrySink::for_experiment("e7-probe");
+    x_under_killer_observed(n, &mut inert)
+}
+
+fn x_under_killer_observed(n: usize, sink: &mut TelemetrySink) -> (u64, u64) {
+    let run = sink
+        .observe(format!("x-killer-n{n}"), Algo::X.name(), n, n, |obs| {
+            run_write_all_with_observed(
+                Algo::X,
+                n,
+                n,
+                |setup| {
+                    XKiller::new(
+                        setup.tasks.x(),
+                        setup.x_layout.expect("X layout"),
+                        setup.tree.expect("tree"),
+                    )
+                },
+                RunLimits::default(),
+                obs,
             )
-        },
-        RunLimits::default(),
-    )
-    .expect("E7 run failed");
+        })
+        .expect("E7 run failed");
     assert!(run.verified);
     (run.report.stats.completed_work(), run.report.stats.pattern_size())
 }
 
 /// Run experiment E7.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e7");
     let mut rows = Vec::new();
     let mut points = Vec::new();
     for n in [64usize, 128, 256, 512, 1024, 2048] {
-        let (s, f) = x_under_killer(n);
+        let (s, f) = x_under_killer_observed(n, &mut sink);
         points.push((n as f64, s as f64));
         let nlog3 = (n as f64).powf(3f64.log2());
         rows.push(vec![
@@ -55,4 +65,5 @@ pub fn run() {
          column must diverge).",
         fmt(slope)
     );
+    sink.finish();
 }

@@ -4,15 +4,25 @@
 use rfsp_adversary::{RandomFaults, Thrashing};
 use rfsp_pram::{Adversary, RunLimits};
 
-use crate::{fmt, print_table, run_write_all, Algo};
+use crate::{fmt, print_table, run_write_all_observed, Algo, TelemetrySink};
 
-fn regime(name: &str, n: usize, p: usize, mk: &dyn Fn() -> Box<dyn Adversary>) -> Vec<String> {
+fn regime(
+    sink: &mut TelemetrySink,
+    name: &str,
+    n: usize,
+    p: usize,
+    mk: &dyn Fn() -> Box<dyn Adversary>,
+) -> Vec<String> {
     let mut cols = vec![name.to_string()];
     let mut works = Vec::new();
     let mut sigma_combined = 0.0;
     for algo in [Algo::V, Algo::X, Algo::Interleaved] {
         let mut adversary = mk();
-        let run = run_write_all(algo, n, p, &mut adversary, RunLimits::default())
+        let label = format!("{}-{}", algo.name(), crate::slugify(name));
+        let run = sink
+            .observe(label, algo.name(), n, p, |obs| {
+                run_write_all_observed(algo, n, p, &mut adversary, RunLimits::default(), obs)
+            })
             .expect("E8 run failed");
         assert!(run.verified);
         let s = run.report.stats.completed_work();
@@ -32,20 +42,21 @@ fn regime(name: &str, n: usize, p: usize, mk: &dyn Fn() -> Box<dyn Adversary>) -
 
 /// Run experiment E8.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e8");
     let n = 2048usize;
     let p = 128usize;
     let rows = vec![
-        regime("no failures", n, p, &|| Box::new(rfsp_pram::NoFailures)),
-        regime("M ≈ P (small)", n, p, &|| {
+        regime(&mut sink, "no failures", n, p, &|| Box::new(rfsp_pram::NoFailures)),
+        regime(&mut sink, "M ≈ P (small)", n, p, &|| {
             Box::new(RandomFaults::new(0.02, 0.8, 0xE8).with_budget(p as u64))
         }),
-        regime("M ≈ N log N", n, p, &|| {
+        regime(&mut sink, "M ≈ N log N", n, p, &|| {
             Box::new(
                 RandomFaults::new(0.5, 0.9, 0xE8)
                     .with_budget((n as f64 * (n as f64).log2()) as u64),
             )
         }),
-        regime("unbounded (thrashing)", n, p, &|| Box::new(Thrashing::new())),
+        regime(&mut sink, "unbounded (thrashing)", n, p, &|| Box::new(Thrashing::new())),
     ];
     print_table(
         "E8 (Theorem 4.9) — interleaved V+X across failure regimes, N = 2048, P = 128",
@@ -58,4 +69,5 @@ pub fn run() {
          constant (column 5), and its overhead ratio σ = S/(N+|F|) is \
          O(log²N) in every regime (column 7 bounded)."
     );
+    sink.finish();
 }

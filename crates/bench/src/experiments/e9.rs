@@ -6,13 +6,14 @@
 //! overhead ratio, and `σ` decay as `|F|` grows (Corollary 4.11).
 
 use rfsp_adversary::RandomFaults;
-use rfsp_pram::{RunLimits, Word};
+use rfsp_pram::{MetricsObserver, NoopObserver, RunLimits, Word};
 use rfsp_sim::programs::{OddEvenSort, ParallelSum, PrefixSums};
-use rfsp_sim::{reference_run, simulate, Engine, SimProgram};
+use rfsp_sim::{reference_run, simulate, simulate_observed, Engine, SimProgram};
 
-use crate::{fmt, print_table};
+use crate::{fmt, print_table, TelemetrySink};
 
 fn kernel_row<P: SimProgram + Sync + Clone>(
+    sink: &mut TelemetrySink,
     name: &str,
     prog: P,
     p: usize,
@@ -21,10 +22,39 @@ fn kernel_row<P: SimProgram + Sync + Clone>(
     expected: &[Word],
 ) -> Vec<String> {
     let mut adv = RandomFaults::new(fault_rate, 0.8, 0xE9).with_budget(budget);
-    let report = simulate(prog.clone(), p, Engine::Interleaved, &mut adv, RunLimits::default())
-        .expect("E9 simulation failed");
+    let mut metrics = if sink.is_active() { Some(MetricsObserver::new(p)) } else { None };
+    let report = match metrics.as_mut() {
+        Some(m) => simulate_observed(
+            prog.clone(),
+            p,
+            Engine::Interleaved,
+            &mut adv,
+            RunLimits::default(),
+            m,
+        ),
+        None => simulate_observed(
+            prog.clone(),
+            p,
+            Engine::Interleaved,
+            &mut adv,
+            RunLimits::default(),
+            &mut NoopObserver,
+        ),
+    }
+    .expect("E9 simulation failed");
     assert_eq!(report.memory, expected, "{name}: simulated output differs from reference");
     let n = report.sim_processors;
+    if let Some(m) = metrics {
+        sink.record_series(
+            format!("sim-{name}-n{n}"),
+            "V+X",
+            n,
+            p,
+            true,
+            report.run.stats,
+            m.finish(),
+        );
+    }
     let log2n = (n as f64).log2().max(1.0);
     let sigma = report.run.overhead_ratio(n as u64);
     vec![
@@ -42,6 +72,7 @@ fn kernel_row<P: SimProgram + Sync + Clone>(
 
 /// Run experiment E9.
 pub fn run() {
+    let mut sink = TelemetrySink::for_experiment("e9");
     let mut rows = Vec::new();
     for n in [256usize, 1024] {
         let log2n = (n as f64).log2();
@@ -50,6 +81,7 @@ pub fn run() {
         let prog = PrefixSums::new((0..n as u32).map(|i| i % 7).collect());
         let expected = reference_run(&prog);
         rows.push(kernel_row(
+            &mut sink,
             "prefix-sums",
             prog,
             p,
@@ -59,13 +91,13 @@ pub fn run() {
         ));
         let prog = ParallelSum::new((0..n as u32).map(|i| i % 5).collect());
         let expected = reference_run(&prog);
-        rows.push(kernel_row("reduction-sum", prog, p, 0.01, budget, &expected));
+        rows.push(kernel_row(&mut sink, "reduction-sum", prog, p, 0.01, budget, &expected));
     }
     {
         let n = 64usize;
         let prog = OddEvenSort::new((0..n as u32).rev().collect());
         let expected = reference_run(&prog);
-        rows.push(kernel_row("odd-even-sort", prog, 8, 0.01, 256, &expected));
+        rows.push(kernel_row(&mut sink, "odd-even-sort", prog, 8, 0.01, 256, &expected));
     }
     print_table(
         "E9 (Thm 4.1, Cor 4.12) — simulating PRAM kernels, P ≤ N/log²N, M = O(N/log N) per step",
@@ -94,6 +126,14 @@ pub fn run() {
             simulate(prog.clone(), 64, Engine::Interleaved, &mut adv, RunLimits::default())
                 .expect("E9b simulation failed");
         assert_eq!(report.memory, expected);
+        sink.record_stats(
+            format!("e9b-{}", crate::slugify(label)),
+            "V+X",
+            n,
+            64,
+            true,
+            report.run.stats,
+        );
         rows.push(vec![
             label.to_string(),
             report.run.stats.pattern_size().to_string(),
@@ -112,4 +152,5 @@ pub fn run() {
          patterns\": σ = O(log N) once |F| = Ω(N log N) and O(1) once \
          |F| = Ω(N^1.6) — σ must fall monotonically down the table."
     );
+    sink.finish();
 }

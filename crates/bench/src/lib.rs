@@ -6,10 +6,17 @@
 //! plumbing: algorithm runners, table formatting, and regression helpers.
 
 pub mod experiments;
+pub mod telemetry;
 
-use rfsp_core::{AccOptions, AlgoAcc, AlgoV, AlgoW, AlgoX, AlgoXInPlace, Interleaved,
-                WriteAllTasks, XOptions};
-use rfsp_pram::{Adversary, CycleBudget, Machine, MemoryLayout, PramError, RunLimits, RunReport};
+use rfsp_core::{
+    AccOptions, AlgoAcc, AlgoV, AlgoW, AlgoX, AlgoXInPlace, Interleaved, WriteAllTasks, XOptions,
+};
+use rfsp_pram::{
+    Adversary, CycleBudget, Machine, MemoryLayout, NoopObserver, Observer, PramError, RunLimits,
+    RunReport,
+};
+
+pub use telemetry::{BenchArtifact, BenchRun, TelemetrySink};
 
 /// Which Write-All algorithm to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,47 +72,26 @@ pub fn run_write_all<A: Adversary>(
     adversary: &mut A,
     limits: RunLimits,
 ) -> Result<WriteAllRun, PramError> {
-    let mut layout = MemoryLayout::new();
-    let tasks = WriteAllTasks::new(&mut layout, n);
-    match algo {
-        Algo::X => {
-            let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(adversary, limits)?;
-            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
-        }
-        Algo::V => {
-            let prog = AlgoV::new(&mut layout, tasks, p);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(adversary, limits)?;
-            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
-        }
-        Algo::W => {
-            let prog = AlgoW::new(&mut layout, tasks, p);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(adversary, limits)?;
-            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
-        }
-        Algo::Interleaved => {
-            let prog = Interleaved::new(&mut layout, tasks, p);
-            let budget = prog.required_budget();
-            let mut m = Machine::new(&prog, p, budget)?;
-            let report = m.run_with_limits(adversary, limits)?;
-            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
-        }
-        Algo::XInPlace => {
-            let prog = AlgoXInPlace::new(&mut layout, tasks, p);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(adversary, limits)?;
-            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
-        }
-        Algo::Acc(seed) => {
-            let prog = AlgoAcc::new(&mut layout, tasks, AccOptions { seed });
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(adversary, limits)?;
-            Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
-        }
-    }
+    run_write_all_observed(algo, n, p, adversary, limits, &mut NoopObserver)
+}
+
+/// [`run_write_all`] with an event stream: every machine event of the run
+/// goes to `observer` (attach a
+/// [`MetricsObserver`](rfsp_pram::MetricsObserver) to collect the per-tick
+/// telemetry behind the `BENCH_*.json` artifacts).
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+pub fn run_write_all_observed<A: Adversary>(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    adversary: &mut A,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<WriteAllRun, PramError> {
+    run_write_all_with_observed(algo, n, p, |_| adversary, limits, observer)
 }
 
 /// Run a Write-All instance and also hand the adversary constructor the
@@ -126,19 +112,37 @@ where
     F: FnOnce(&WriteAllSetup) -> A,
     A: Adversary,
 {
+    run_write_all_with_observed(algo, n, p, make_adversary, limits, &mut NoopObserver)
+}
+
+/// [`run_write_all_with`] with an event stream (see
+/// [`run_write_all_observed`]).
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+pub fn run_write_all_with_observed<F, A>(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     match algo {
         Algo::X => {
             let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
-            let setup = WriteAllSetup {
-                tasks,
-                x_layout: Some(*prog.layout()),
-                tree: Some(prog.tree()),
-            };
+            let setup =
+                WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(&mut adversary, limits)?;
+            let report = m.run_observed(&mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::V => {
@@ -146,7 +150,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(&mut adversary, limits)?;
+            let report = m.run_observed(&mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::W => {
@@ -154,7 +158,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(&mut adversary, limits)?;
+            let report = m.run_observed(&mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::Interleaved => {
@@ -167,7 +171,7 @@ where
             let mut adversary = make_adversary(&setup);
             let budget = prog.required_budget();
             let mut m = Machine::new(&prog, p, budget)?;
-            let report = m.run_with_limits(&mut adversary, limits)?;
+            let report = m.run_observed(&mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::XInPlace => {
@@ -175,7 +179,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(&mut adversary, limits)?;
+            let report = m.run_observed(&mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::Acc(seed) => {
@@ -183,7 +187,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_with_limits(&mut adversary, limits)?;
+            let report = m.run_observed(&mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
     }
@@ -208,18 +212,36 @@ where
     F: FnOnce(&WriteAllSetup) -> A,
     A: Adversary,
 {
+    run_write_all_with_options_observed(algo, opts, n, p, make_adversary, limits, &mut NoopObserver)
+}
+
+/// [`run_write_all_with_options`] with an event stream (see
+/// [`run_write_all_observed`]).
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+pub fn run_write_all_with_options_observed<F, A>(
+    algo: Algo,
+    opts: rfsp_core::XOptions,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
     assert!(matches!(algo, Algo::X), "options apply to algorithm X only");
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let prog = AlgoX::new(&mut layout, tasks, p, opts);
-    let setup = WriteAllSetup {
-        tasks,
-        x_layout: Some(*prog.layout()),
-        tree: Some(prog.tree()),
-    };
+    let setup = WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
     let mut adversary = make_adversary(&setup);
     let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-    let report = m.run_with_limits(&mut adversary, limits)?;
+    let report = m.run_observed(&mut adversary, limits, observer)?;
     Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
 }
 
@@ -290,8 +312,12 @@ pub fn slugify(title: &str) -> String {
     slug.trim_end_matches('-').to_string()
 }
 
-fn write_csv(dir: &str, title: &str, headers: &[&str], rows: &[Vec<String>])
-             -> std::io::Result<()> {
+fn write_csv(
+    dir: &str,
+    title: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = std::path::Path::new(dir).join(format!("{}.csv", slugify(title)));
     let escape = |cell: &str| {
@@ -330,8 +356,7 @@ mod tests {
     #[test]
     fn runner_covers_all_algorithms() {
         for algo in [Algo::X, Algo::V, Algo::W, Algo::Interleaved, Algo::XInPlace, Algo::Acc(3)] {
-            let run =
-                run_write_all(algo, 32, 8, &mut NoFailures, RunLimits::default()).unwrap();
+            let run = run_write_all(algo, 32, 8, &mut NoFailures, RunLimits::default()).unwrap();
             assert!(run.verified, "{algo:?}");
             assert!(run.report.stats.completed_work() > 0);
         }
@@ -350,10 +375,8 @@ mod tests {
     fn csv_emission_roundtrips() {
         let dir = std::env::temp_dir().join("rfsp-csv-test");
         let dir_s = dir.to_str().unwrap().to_string();
-        write_csv(&dir_s, "T1, with \"quotes\"", &["a", "b"], &[
-            vec!["1".into(), "x,y".into()],
-        ])
-        .unwrap();
+        write_csv(&dir_s, "T1, with \"quotes\"", &["a", "b"], &[vec!["1".into(), "x,y".into()]])
+            .unwrap();
         let text = std::fs::read_to_string(dir.join("t1-with-quotes.csv")).unwrap();
         assert_eq!(text, "a,b\n1,\"x,y\"\n");
         std::fs::remove_dir_all(dir).unwrap();

@@ -42,8 +42,7 @@ impl Args {
         let mut iter = raw.into_iter().map(Into::into).peekable();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let takes_value =
-                    iter.peek().is_some_and(|next| !next.starts_with("--"));
+                let takes_value = iter.peek().is_some_and(|next| !next.starts_with("--"));
                 if takes_value {
                     let value = iter.next().expect("peeked");
                     args.opts.insert(key.to_string(), value);
@@ -82,9 +81,7 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
         }
     }
 }

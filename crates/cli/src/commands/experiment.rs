@@ -26,9 +26,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "e12" => experiments::e12::run(),
         "e13" => experiments::e13::run(),
         other => {
-            return Err(ArgError(format!(
-                "unknown experiment '{other}' (expected e1..e13 or all)"
-            )))
+            return Err(ArgError(format!("unknown experiment '{other}' (expected e1..e13 or all)")))
         }
     }
     Ok(())

@@ -3,4 +3,5 @@
 pub mod experiment;
 pub mod lockfree;
 pub mod simulate;
+pub mod trace;
 pub mod writeall;

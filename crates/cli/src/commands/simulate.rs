@@ -3,8 +3,9 @@
 
 use rfsp_adversary::RandomFaults;
 use rfsp_pram::{NoFailures, RunLimits};
-use rfsp_sim::programs::{Components, ListRanking, MatVec, MaxFind, OddEvenSort, ParallelSum,
-                         PrefixSums};
+use rfsp_sim::programs::{
+    Components, ListRanking, MatVec, MaxFind, OddEvenSort, ParallelSum, PrefixSums,
+};
 use rfsp_sim::{reference_run, simulate, Engine, SimProgram, SimReport};
 
 use crate::args::{ArgError, Args};
@@ -18,10 +19,7 @@ fn parse_engine(name: &str) -> Result<Engine, ArgError> {
     })
 }
 
-fn run_kernel<P: SimProgram + Sync + Clone>(
-    prog: P,
-    args: &Args,
-) -> Result<SimReport, ArgError> {
+fn run_kernel<P: SimProgram + Sync + Clone>(prog: P, args: &Args) -> Result<SimReport, ArgError> {
     let p: usize = args.get_parsed("p", 16)?;
     let engine = parse_engine(args.get_or("engine", "vx"))?;
     let expected = reference_run(&prog);
@@ -54,8 +52,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let report = match kernel {
         "prefix" => run_kernel(PrefixSums::new((0..n as u32).map(|i| i % 9).collect()), args)?,
         "sum" => run_kernel(ParallelSum::new((0..n as u32).map(|i| i % 5).collect()), args)?,
-        "max" => run_kernel(MaxFind::new((0..n as u32).map(|i| (i * 37) % 1000).collect()),
-                            args)?,
+        "max" => run_kernel(MaxFind::new((0..n as u32).map(|i| (i * 37) % 1000).collect()), args)?,
         "sort" => run_kernel(OddEvenSort::new((0..n as u32).rev().collect()), args)?,
         "listrank" => run_kernel(ListRanking::chain(n), args)?,
         "components" => {
@@ -78,9 +75,6 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("completed work S : {}", report.run.stats.completed_work());
     println!("|F|              : {}", report.run.stats.pattern_size());
     println!("S / (τ·N)        : {:.2}", report.work_ratio());
-    println!(
-        "overhead ratio σ : {:.3}",
-        report.run.overhead_ratio(report.sim_processors as u64)
-    );
+    println!("overhead ratio σ : {:.3}", report.run.overhead_ratio(report.sim_processors as u64));
     Ok(())
 }

@@ -1,0 +1,102 @@
+//! `rfsp trace` — run one Write-All instance under full telemetry and
+//! export the stream.
+//!
+//! Accepts the same instance and adversary options as `rfsp writeall`; the
+//! run is driven through a [`Tee`] of a [`TraceRecorder`] (raw machine
+//! events) and a [`MetricsObserver`] (per-tick aggregates), and either or
+//! both views can be written to a file or streamed to stdout (`-`).
+//!
+//! ```text
+//! rfsp trace --algo v --n 256 --p 16 --adversary random --rate 0.1 --metrics -
+//! rfsp trace --algo x --adversary xkiller --events run.jsonl --metrics run.csv
+//! rfsp trace --n 4096 --adversary thrashing --tail 500 --events -
+//! ```
+
+use rfsp_bench::run_write_all_with_observed;
+use rfsp_pram::{MetricsObserver, NoFailures, RunLimits, Tee, TraceRecorder};
+
+use crate::args::{ArgError, Args};
+use crate::commands::writeall::{build_adversary, parse_algo};
+
+fn write_out(dest: &str, text: &str) -> Result<(), ArgError> {
+    if dest == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(dest, text).map_err(|e| ArgError(format!("cannot write {dest}: {e}")))
+    }
+}
+
+/// Execute the subcommand.
+///
+/// # Errors
+///
+/// Reports bad arguments, I/O problems, and machine errors as [`ArgError`].
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.get_parsed("n", 1024)?;
+    let p: usize = args.get_parsed("p", 64)?;
+    let algo = parse_algo(args.get_or("algo", "x"))?;
+    let max_cycles: u64 = args.get_parsed("max-cycles", RunLimits::default().max_cycles)?;
+    let tail: usize = args.get_parsed("tail", 0)?;
+    let format = args.get_or("format", "csv");
+    if format != "csv" && format != "jsonl" {
+        return Err(ArgError(format!("unknown --format '{format}' (csv|jsonl)")));
+    }
+
+    let mut recorder =
+        if tail == 0 { TraceRecorder::unbounded() } else { TraceRecorder::with_capacity(tail) };
+    let mut metrics = MetricsObserver::new(p);
+
+    let mut build_err = None;
+    let result = run_write_all_with_observed(
+        algo,
+        n,
+        p,
+        |setup| match build_adversary(args, setup, n) {
+            Ok(adv) => adv,
+            Err(e) => {
+                build_err = Some(e);
+                Box::new(NoFailures)
+            }
+        },
+        RunLimits { max_cycles },
+        &mut Tee(&mut recorder, &mut metrics),
+    );
+    if let Some(e) = build_err {
+        return Err(e);
+    }
+    let run = result.map_err(|e| ArgError(format!("machine error: {e}")))?;
+    if !run.verified {
+        return Err(ArgError("postcondition failed: array not fully written".into()));
+    }
+    let series = metrics.finish();
+
+    let events_dest = args.get("events");
+    let metrics_dest = args.get("metrics");
+    if let Some(dest) = events_dest {
+        write_out(dest, &recorder.to_jsonl())?;
+    }
+    if let Some(dest) = metrics_dest {
+        let text = if format == "csv" { series.to_csv() } else { series.to_jsonl() };
+        write_out(dest, &text)?;
+    }
+    if events_dest.is_none() && metrics_dest.is_none() {
+        // No export requested: stream the per-tick series to stdout.
+        print!("{}", if format == "csv" { series.to_csv() } else { series.to_jsonl() });
+    }
+
+    // Keep stdout clean for piped telemetry; the summary goes to stderr.
+    eprintln!(
+        "trace: {} N={n} P={p} adversary={} — {} events ({} dropped by --tail), {} ticks, \
+         S={} S'={} |F|={}",
+        algo.name(),
+        args.get_or("adversary", "none"),
+        recorder.total_events,
+        recorder.dropped,
+        series.ticks.len(),
+        run.report.stats.completed_cycles,
+        run.report.stats.s_prime(),
+        run.report.stats.pattern_size(),
+    );
+    Ok(())
+}

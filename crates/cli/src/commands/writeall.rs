@@ -1,14 +1,15 @@
 //! `rfsp writeall` — run one Write-All instance and report the accounting.
 
-use rfsp_adversary::{offline_random, Budgeted, Pigeonhole, RandomFaults, Stalking,
-                     StalkingMode, Thrashing, XKiller};
+use rfsp_adversary::{
+    offline_random, Budgeted, Pigeonhole, RandomFaults, Stalking, StalkingMode, Thrashing, XKiller,
+};
 use rfsp_bench::{run_write_all_with, Algo, WriteAllSetup};
 use rfsp_pram::{Adversary, NoFailures, RunLimits, ScheduledAdversary};
 
 use crate::args::{ArgError, Args};
 use crate::pattern_io;
 
-fn parse_algo(name: &str) -> Result<Algo, ArgError> {
+pub(crate) fn parse_algo(name: &str) -> Result<Algo, ArgError> {
     Ok(match name {
         "x" => Algo::X,
         "v" => Algo::V,
@@ -20,7 +21,11 @@ fn parse_algo(name: &str) -> Result<Algo, ArgError> {
     })
 }
 
-fn build_adversary(args: &Args, setup: &WriteAllSetup, n: usize) -> Result<Box<dyn Adversary>, ArgError> {
+pub(crate) fn build_adversary(
+    args: &Args,
+    setup: &WriteAllSetup,
+    n: usize,
+) -> Result<Box<dyn Adversary>, ArgError> {
     let seed: u64 = args.get_parsed("seed", 0)?;
     let adv: Box<dyn Adversary> = match args.get_or("adversary", "none") {
         "none" => Box::new(NoFailures),

@@ -6,6 +6,7 @@
 //! rfsp writeall   --algo v --adversary replay --replay-pattern killer.pat
 //! rfsp simulate   --kernel prefix --n 512 --p 16 --engine vx
 //! rfsp lockfree   --n 65536 --threads 8 --fault-rate 0.01
+//! rfsp trace      --algo v --n 256 --adversary random --rate 0.1 --metrics -
 //! rfsp experiment --id e7
 //! ```
 //!
@@ -39,6 +40,12 @@ COMMANDS:
                --adversary none|random --rate F --restart-rate F --seed S
   lockfree     run algorithm X on real OS threads over atomics
                --n SIZE --threads T --fault-rate F --seed S
+  trace        run a Write-All instance under full telemetry and export it
+               (same instance/adversary options as writeall, plus:)
+               --events FILE|-    raw machine-event stream, JSONL
+               --metrics FILE|-   per-tick metrics series
+               --format csv|jsonl metrics format (default csv)
+               --tail K           keep only the last K events
   experiment   reproduce a paper result  --id e1..e13|all
   help         show this text
 ";
@@ -53,6 +60,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         Some("writeall") => commands::writeall::run(args),
         Some("simulate") => commands::simulate::run(args),
         Some("lockfree") => commands::lockfree::run(args),
+        Some("trace") => commands::trace::run(args),
         Some("experiment") => commands::experiment::run(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -77,8 +85,19 @@ mod tests {
     #[test]
     fn small_writeall_runs_end_to_end() {
         let a = Args::parse([
-            "writeall", "--n", "32", "--p", "8", "--algo", "x", "--adversary", "random",
-            "--rate", "0.1", "--seed", "7",
+            "writeall",
+            "--n",
+            "32",
+            "--p",
+            "8",
+            "--algo",
+            "x",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.1",
+            "--seed",
+            "7",
         ])
         .unwrap();
         dispatch(&a).unwrap();
@@ -86,10 +105,9 @@ mod tests {
 
     #[test]
     fn small_simulation_runs_end_to_end() {
-        let a = Args::parse([
-            "simulate", "--kernel", "sum", "--n", "16", "--p", "4", "--engine", "x",
-        ])
-        .unwrap();
+        let a =
+            Args::parse(["simulate", "--kernel", "sum", "--n", "16", "--p", "4", "--engine", "x"])
+                .unwrap();
         dispatch(&a).unwrap();
     }
 
@@ -106,18 +124,96 @@ mod tests {
         let path = dir.join("pattern.pat");
         let path_s = path.to_str().unwrap();
         let a = Args::parse([
-            "writeall", "--n", "32", "--p", "8", "--adversary", "random", "--rate", "0.2",
-            "--seed", "3", "--record-pattern", path_s,
+            "writeall",
+            "--n",
+            "32",
+            "--p",
+            "8",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.2",
+            "--seed",
+            "3",
+            "--record-pattern",
+            path_s,
         ])
         .unwrap();
         dispatch(&a).unwrap();
         let a = Args::parse([
-            "writeall", "--n", "32", "--p", "8", "--adversary", "replay",
-            "--replay-pattern", path_s,
+            "writeall",
+            "--n",
+            "32",
+            "--p",
+            "8",
+            "--adversary",
+            "replay",
+            "--replay-pattern",
+            path_s,
         ])
         .unwrap();
         dispatch(&a).unwrap();
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn trace_exports_events_and_metrics() {
+        let dir = std::env::temp_dir().join("rfsp-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("run.jsonl");
+        let metrics = dir.join("run.csv");
+        let a = Args::parse([
+            "trace",
+            "--n",
+            "32",
+            "--p",
+            "8",
+            "--algo",
+            "v",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.1",
+            "--seed",
+            "7",
+            "--events",
+            events.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+        let ev = std::fs::read_to_string(&events).unwrap();
+        assert!(ev.lines().next().unwrap().contains("TickStart"));
+        let mx = std::fs::read_to_string(&metrics).unwrap();
+        assert!(mx.starts_with(rfsp_pram::TickMetrics::CSV_HEADER));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_tail_keeps_a_bounded_window() {
+        let a = Args::parse([
+            "trace",
+            "--n",
+            "64",
+            "--p",
+            "8",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.2",
+            "--seed",
+            "1",
+            "--tail",
+            "10",
+            "--format",
+            "jsonl",
+            "--metrics",
+            std::env::temp_dir().join("rfsp-trace-tail.jsonl").to_str().unwrap(),
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+        let _ = std::fs::remove_file(std::env::temp_dir().join("rfsp-trace-tail.jsonl"));
     }
 
     #[test]

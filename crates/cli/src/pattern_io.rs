@@ -49,11 +49,8 @@ pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
         let mut parts = line.split_whitespace();
         let bad = |what: &str| ArgError(format!("pattern line {}: {what}", lineno + 1));
         let tag = parts.next().ok_or_else(|| bad("missing tag"))?;
-        let pid: usize = parts
-            .next()
-            .ok_or_else(|| bad("missing pid"))?
-            .parse()
-            .map_err(|_| bad("bad pid"))?;
+        let pid: usize =
+            parts.next().ok_or_else(|| bad("missing pid"))?.parse().map_err(|_| bad("bad pid"))?;
         let time: u64 = parts
             .next()
             .ok_or_else(|| bad("missing time"))?

@@ -142,8 +142,13 @@ impl<T: TaskSet + Sync> Program for AlgoAcc<T> {
         }
     }
 
-    fn execute(&self, _pid: Pid, state: &mut AccPrivate, values: &[Word],
-               writes: &mut WriteSet) -> Step {
+    fn execute(
+        &self,
+        _pid: Pid,
+        state: &mut AccPrivate,
+        values: &[Word],
+        writes: &mut WriteSet,
+    ) -> Step {
         if state.delay > 0 {
             state.delay -= 1;
             return Step::Continue;

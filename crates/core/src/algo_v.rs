@@ -167,11 +167,8 @@ impl<T: TaskSet> AlgoV<T> {
         let real_leaves = n.div_ceil(beta);
         let tree = HeapTree::with_leaves(real_leaves);
         let rounds = tasks.rounds();
-        let v_layout = VLayout {
-            clock: layout.alloc(1),
-            round,
-            dv: layout.alloc(tree.heap_size()),
-        };
+        let v_layout =
+            VLayout { clock: layout.alloc(1), round, dv: layout.alloc(tree.heap_size()) };
         AlgoV { tasks, tree, beta, real_leaves, p, rounds, layout: v_layout }
     }
 
@@ -243,7 +240,6 @@ impl<T: TaskSet> AlgoV<T> {
     fn h(&self) -> u64 {
         self.tree.height() as u64
     }
-
 }
 
 impl<T: TaskSet + Sync> Program for AlgoV<T> {
@@ -328,8 +324,13 @@ impl<T: TaskSet + Sync> Program for AlgoV<T> {
         }
     }
 
-    fn execute(&self, pid: Pid, state: &mut VPrivate, values: &[Word],
-               writes: &mut WriteSet) -> Step {
+    fn execute(
+        &self,
+        pid: Pid,
+        state: &mut VPrivate,
+        values: &[Word],
+        writes: &mut WriteSet,
+    ) -> Step {
         let pre = self.pre();
         let clock = values[0];
         let r = self.round_of(values);
@@ -391,11 +392,8 @@ impl<T: TaskSet + Sync> Program for AlgoV<T> {
                 let u_l = self.real_leaves_under(left).saturating_sub(c_l);
                 let u_r = self.real_leaves_under(right).saturating_sub(c_r);
                 let nl = balanced_split(u_l, u_r, width);
-                let (next, rank, width) = if rank < nl {
-                    (left, rank, nl)
-                } else {
-                    (right, rank - nl, width - nl)
-                };
+                let (next, rank, width) =
+                    if rank < nl { (left, rank, nl) } else { (right, rank - nl, width - nl) };
                 *state = if phase == h - 1 {
                     VPrivate::AtLeaf { leaf: next, round }
                 } else {
@@ -471,8 +469,9 @@ impl<T: TaskSet + Sync> Program for AlgoV<T> {
 mod tests {
     use super::*;
     use crate::tasks::WriteAllTasks;
-    use rfsp_pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
-                    NoFailures, RunOutcome};
+    use rfsp_pram::{
+        Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, NoFailures, RunOutcome,
+    };
 
     fn build(n: usize, p: usize) -> (WriteAllTasks, AlgoV<WriteAllTasks>) {
         let mut layout = MemoryLayout::new();

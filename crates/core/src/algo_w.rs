@@ -213,8 +213,13 @@ impl<T: TaskSet + Sync> Program for AlgoW<T> {
         }
     }
 
-    fn execute(&self, pid: Pid, state: &mut WPrivate, values: &[Word],
-               writes: &mut WriteSet) -> Step {
+    fn execute(
+        &self,
+        pid: Pid,
+        state: &mut WPrivate,
+        values: &[Word],
+        writes: &mut WriteSet,
+    ) -> Step {
         let clock = values[0];
         let t = self.iteration_ticks();
         let phase = clock % t;
@@ -259,11 +264,8 @@ impl<T: TaskSet + Sync> Program for AlgoW<T> {
                     step = Step::Halt;
                 } else {
                     let nl = balanced_split(u_l, u_r, width);
-                    let (next, rank, width) = if rank < nl {
-                        (left, rank, nl)
-                    } else {
-                        (right, rank - nl, width - nl)
-                    };
+                    let (next, rank, width) =
+                        if rank < nl { (left, rank, nl) } else { (right, rank - nl, width - nl) };
                     *state = if phase == work0 - 1 {
                         WPrivate::AtLeaf { leaf: next }
                     } else {
@@ -313,8 +315,9 @@ impl<T: TaskSet + Sync> Program for AlgoW<T> {
 mod tests {
     use super::*;
     use crate::tasks::WriteAllTasks;
-    use rfsp_pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
-                    NoFailures};
+    use rfsp_pram::{
+        Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, NoFailures,
+    };
 
     fn build(n: usize, p: usize) -> (WriteAllTasks, AlgoW<WriteAllTasks>) {
         let mut layout = MemoryLayout::new();

@@ -132,11 +132,7 @@ impl<T: TaskSet> AlgoX<T> {
             !(opts.counting && rounds > 1),
             "the counting-tree variant (Remark 5 ii) is single-round only"
         );
-        let x_layout = XLayout {
-            round,
-            d: layout.alloc(tree.heap_size()),
-            w: layout.alloc(p),
-        };
+        let x_layout = XLayout { round, d: layout.alloc(tree.heap_size()), w: layout.alloc(p) };
         AlgoX { tasks, tree, p, rounds, layout: x_layout, opts }
     }
 
@@ -169,11 +165,8 @@ impl<T: TaskSet> AlgoX<T> {
     /// Initial heap position of processor `pid`.
     fn initial_position(&self, pid: Pid) -> usize {
         let n = self.tree.leaves();
-        let leaf = if self.opts.spread_initial {
-            (pid.0 * n / self.p).min(n - 1)
-        } else {
-            pid.0 % n
-        };
+        let leaf =
+            if self.opts.spread_initial { (pid.0 * n / self.p).min(n - 1) } else { pid.0 % n };
         self.tree.leaf_node(leaf)
     }
 
@@ -361,9 +354,12 @@ impl<T: TaskSet + Sync> Program for AlgoX<T> {
                             std::cmp::Ordering::Less => right,
                             std::cmp::Ordering::Equal => {
                                 let depth = self.tree.depth(whr);
-                                let bit =
-                                    Pid(pid.0 % n).bit_msb_first(depth, self.tree.height());
-                                if bit == 0 { left } else { right }
+                                let bit = Pid(pid.0 % n).bit_msb_first(depth, self.tree.height());
+                                if bit == 0 {
+                                    left
+                                } else {
+                                    right
+                                }
                             }
                         }
                     } else {
@@ -395,11 +391,7 @@ impl<T: TaskSet + Sync> Program for AlgoX<T> {
         let before = writes.len();
         let observed_done = self.tasks.run(r, i, &values[pre + 2..], writes);
         if observed_done {
-            debug_assert_eq!(
-                writes.len(),
-                before,
-                "a task observed done must not emit writes"
-            );
+            debug_assert_eq!(writes.len(), before, "a task observed done must not emit writes");
             writes.push(self.layout.d.at(whr), self.done_value(whr, r));
         }
         Step::Continue
@@ -416,8 +408,9 @@ impl<T: TaskSet + Sync> Program for AlgoX<T> {
 mod tests {
     use super::*;
     use crate::tasks::WriteAllTasks;
-    use rfsp_pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
-                    NoFailures, RunOutcome};
+    use rfsp_pram::{
+        Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, NoFailures, RunOutcome,
+    };
 
     fn build(n: usize, p: usize) -> (MemoryLayout, WriteAllTasks, AlgoX<WriteAllTasks>) {
         let mut layout = MemoryLayout::new();
@@ -460,7 +453,12 @@ mod tests {
     fn spread_initial_option_still_completes() {
         let mut layout = MemoryLayout::new();
         let tasks = WriteAllTasks::new(&mut layout, 32);
-        let algo = AlgoX::new(&mut layout, tasks, 4, XOptions { spread_initial: true, ..Default::default() });
+        let algo = AlgoX::new(
+            &mut layout,
+            tasks,
+            4,
+            XOptions { spread_initial: true, ..Default::default() },
+        );
         let mut m = Machine::new(&algo, 4, CycleBudget::PAPER).unwrap();
         m.run(&mut NoFailures).unwrap();
         assert!(tasks.all_written(m.memory()));
@@ -513,9 +511,9 @@ mod tests {
         // respectively" — PID bit 2 of 0 = 0 (left), of 1 = 1 (right).
         assert_eq!(mem.peek(w.at(0)), tree.left(5) as Word); // leaf 10
         assert_eq!(mem.peek(w.at(1)), tree.right(5) as Word); // leaf 11
-        // "processor 4 will move to the unvisited leaf to its right"
+                                                              // "processor 4 will move to the unvisited leaf to its right"
         assert_eq!(mem.peek(w.at(4)), tree.right(6) as Word); // leaf 13
-        // "processors 6 and 7 will move up"
+                                                              // "processors 6 and 7 will move up"
         assert_eq!(mem.peek(w.at(6)), 7);
         assert_eq!(mem.peek(w.at(7)), 7);
     }
@@ -532,7 +530,9 @@ mod tests {
                 let active: Vec<_> = view.active_pids().collect();
                 for (idx, pid) in active.iter().enumerate() {
                     // Keep at least one processor completing.
-                    if idx + 1 < active.len() && (pid.0 as u64 + self.k + view.cycle).is_multiple_of(2) {
+                    if idx + 1 < active.len()
+                        && (pid.0 as u64 + self.k + view.cycle).is_multiple_of(2)
+                    {
                         d.fail(*pid, FailPoint::BeforeWrites);
                         d.restart(*pid);
                     }
@@ -567,8 +567,12 @@ mod tests {
         for (n, p) in [(8usize, 8usize), (37, 5), (64, 16), (1, 1)] {
             let mut layout = MemoryLayout::new();
             let tasks = WriteAllTasks::new(&mut layout, n);
-            let algo = AlgoX::new(&mut layout, tasks, p,
-                                  XOptions { counting: true, ..Default::default() });
+            let algo = AlgoX::new(
+                &mut layout,
+                tasks,
+                p,
+                XOptions { counting: true, ..Default::default() },
+            );
             let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
             m.run(&mut NoFailures).unwrap();
             assert!(tasks.all_written(m.memory()), "n={n} p={p}");
@@ -579,8 +583,8 @@ mod tests {
     fn counting_variant_survives_churn() {
         let mut layout = MemoryLayout::new();
         let tasks = WriteAllTasks::new(&mut layout, 64);
-        let algo = AlgoX::new(&mut layout, tasks, 16,
-                              XOptions { counting: true, ..Default::default() });
+        let algo =
+            AlgoX::new(&mut layout, tasks, 16, XOptions { counting: true, ..Default::default() });
         let mut m = Machine::new(&algo, 16, CycleBudget::PAPER).unwrap();
         m.run(&mut Churn { k: 3 }).unwrap();
         assert!(tasks.all_written(m.memory()));
@@ -597,12 +601,16 @@ mod tests {
             fn rounds(&self) -> Word {
                 2
             }
-            fn plan(&self, round: Word, i: usize, values: &[Word],
-                    reads: &mut rfsp_pram::ReadSet) {
+            fn plan(&self, round: Word, i: usize, values: &[Word], reads: &mut rfsp_pram::ReadSet) {
                 self.0.plan(round, i, values, reads)
             }
-            fn run(&self, round: Word, i: usize, values: &[Word],
-                   writes: &mut rfsp_pram::WriteSet) -> bool {
+            fn run(
+                &self,
+                round: Word,
+                i: usize,
+                values: &[Word],
+                writes: &mut rfsp_pram::WriteSet,
+            ) -> bool {
                 self.0.run(round, i, values, writes)
             }
             fn is_done(&self, mem: &SharedMemory, round: Word, i: usize) -> bool {
@@ -617,8 +625,12 @@ mod tests {
         }
         let mut layout = MemoryLayout::new();
         let tasks = WriteAllTasks::new(&mut layout, 8);
-        let _ = AlgoX::new(&mut layout, TwoRounds(tasks), 2,
-                           XOptions { counting: true, ..Default::default() });
+        let _ = AlgoX::new(
+            &mut layout,
+            TwoRounds(tasks),
+            2,
+            XOptions { counting: true, ..Default::default() },
+        );
     }
 
     #[test]

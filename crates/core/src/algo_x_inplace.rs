@@ -138,8 +138,7 @@ impl Program for AlgoXInPlace {
             (true, false) => writes.push(self.w.at(pid.0), right as Word),
             (false, false) => {
                 let depth = self.tree.depth(whr);
-                let bit =
-                    Pid(pid.0 % self.tree.leaves()).bit_msb_first(depth, self.tree.height());
+                let bit = Pid(pid.0 % self.tree.leaves()).bit_msb_first(depth, self.tree.height());
                 let next = if bit == 0 { left } else { right };
                 writes.push(self.w.at(pid.0), next as Word);
             }
@@ -227,7 +226,9 @@ mod tests {
         // "The asymptotic efficiency of the algorithm is not affected":
         // within a factor ~2 either way (the in-place tree is half as
         // tall; plain X pays a separate observation pass).
-        assert!(inplace <= 2 * plain && plain <= 4 * inplace,
-                "in-place {inplace} vs plain {plain}");
+        assert!(
+            inplace <= 2 * plain && plain <= 4 * inplace,
+            "in-place {inplace} vs plain {plain}"
+        );
     }
 }

@@ -130,8 +130,13 @@ impl<T: TaskSet + Sync + Clone> Program for Interleaved<T> {
         }
     }
 
-    fn execute(&self, pid: Pid, state: &mut VPrivate, values: &[Word],
-               writes: &mut WriteSet) -> Step {
+    fn execute(
+        &self,
+        pid: Pid,
+        state: &mut VPrivate,
+        values: &[Word],
+        writes: &mut WriteSet,
+    ) -> Step {
         let parity = values[0];
         let step = if parity == 0 {
             self.x.execute(pid, &mut (), &values[1..], writes)

@@ -23,7 +23,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::utils::Backoff;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,6 +53,35 @@ pub struct LockfreeReport {
     pub failures: u64,
 }
 
+/// Exponential backoff for contended retry loops (replaces
+/// `crossbeam::utils::Backoff`, which the offline build cannot fetch):
+/// spin briefly, then yield to the scheduler.
+struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+
+    fn new() -> Self {
+        Backoff { step: std::cell::Cell::new(0) }
+    }
+
+    /// Back off, spinning for short waits and yielding once the retry loop
+    /// has lost the race a few times.
+    fn snooze(&self) {
+        let step = self.step.get();
+        if step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                std::hint::spin_loop();
+            }
+            self.step.set(step + 1);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 struct SharedState {
     x: Vec<AtomicU64>,
     d: Vec<AtomicU64>,
@@ -67,9 +95,7 @@ impl SharedState {
         let tree = HeapTree::with_leaves(n);
         let x = (0..n).map(|_| AtomicU64::new(0)).collect();
         let d = (0..tree.heap_size()).map(|_| AtomicU64::new(0)).collect();
-        let w = (0..p)
-            .map(|i| AtomicU64::new(tree.leaf_node(i % tree.leaves()) as u64))
-            .collect();
+        let w = (0..p).map(|i| AtomicU64::new(tree.leaf_node(i % tree.leaves()) as u64)).collect();
         SharedState { x, d, w, tree, n }
     }
 }
@@ -209,8 +235,7 @@ mod tests {
 
     #[test]
     fn completes_under_fault_injection() {
-        let report =
-            run_lockfree_x(128, 4, LockfreeOptions { fault_rate: 0.05, seed: 42 });
+        let report = run_lockfree_x(128, 4, LockfreeOptions { fault_rate: 0.05, seed: 42 });
         assert!(report.failures > 0, "faults should have been injected");
     }
 

@@ -56,8 +56,13 @@ impl SnapshotProgram for SnapshotBalance {
 
     fn on_start(&self, _pid: Pid) {}
 
-    fn execute(&self, pid: Pid, _state: &mut (), mem: &SharedMemory,
-               writes: &mut WriteSet) -> Step {
+    fn execute(
+        &self,
+        pid: Pid,
+        _state: &mut (),
+        mem: &SharedMemory,
+        writes: &mut WriteSet,
+    ) -> Step {
         let x = self.tasks.x();
         // Snapshot: number the unvisited cells by position.
         let unvisited: Vec<usize> = (0..x.len()).filter(|&i| mem.peek(x.at(i)) == 0).collect();

@@ -57,7 +57,13 @@ impl Program for TrivialAssign {
 
     fn plan(&self, _pid: Pid, _state: &usize, _values: &[Word], _reads: &mut ReadSet) {}
 
-    fn execute(&self, pid: Pid, state: &mut usize, _values: &[Word], writes: &mut WriteSet) -> Step {
+    fn execute(
+        &self,
+        pid: Pid,
+        state: &mut usize,
+        _values: &[Word],
+        writes: &mut WriteSet,
+    ) -> Step {
         let (lo, hi) = self.block(pid);
         let i = lo + *state;
         if i >= hi {

@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use rfsp_core::tree::HeapTree;
 use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-use rfsp_pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
-                MemoryLayout, Word};
+use rfsp_pram::{
+    Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, MemoryLayout, Word,
+};
 
 proptest! {
     /// Heap navigation is self-consistent for every tree size.

@@ -106,11 +106,8 @@ mod tests {
         let mut layout = MemoryLayout::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
-        let net = if combining {
-            OmegaNetwork::new(p)
-        } else {
-            OmegaNetwork::new(p).without_combining()
-        };
+        let net =
+            if combining { OmegaNetwork::new(p) } else { OmegaNetwork::new(p).without_combining() };
         let mut meter = NetworkMeter::new(NoFailures, net);
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
         m.run(&mut meter).unwrap();
@@ -141,8 +138,12 @@ mod tests {
     fn combining_beats_plain_on_tree_algorithms() {
         let with = profile(64, true);
         let without = profile(64, false);
-        assert!(with.network_cycles < without.network_cycles,
-                "combining {} vs plain {}", with.network_cycles, without.network_cycles);
+        assert!(
+            with.network_cycles < without.network_cycles,
+            "combining {} vs plain {}",
+            with.network_cycles,
+            without.network_cycles
+        );
         assert!(with.combined > 0);
     }
 

@@ -78,7 +78,10 @@ pub struct RunReport {
     /// Work and fault counters.
     pub stats: WorkStats,
     /// The failure pattern `F` the adversary actually produced, replayable
-    /// via [`ScheduledAdversary`](crate::ScheduledAdversary).
+    /// via [`ScheduledAdversary`](crate::ScheduledAdversary). The pattern is
+    /// **moved** out of the machine when the report is built (adversarial
+    /// patterns can be large), so the machine starts a fresh pattern if run
+    /// again.
     pub pattern: FailurePattern,
     /// Completed update cycles charged to each processor (indexed by PID):
     /// the per-processor decomposition of `S`, useful for load-balance

@@ -94,11 +94,7 @@ pub struct MachineView<'a> {
 impl MachineView<'_> {
     /// PIDs of processors executing a cycle this tick.
     pub fn active_pids(&self) -> impl Iterator<Item = Pid> + '_ {
-        self.tentative
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.is_some())
-            .map(|(i, _)| Pid(i))
+        self.tentative.iter().enumerate().filter(|(_, t)| t.is_some()).map(|(i, _)| Pid(i))
     }
 
     /// Number of processors executing a cycle this tick.

@@ -16,23 +16,12 @@ use crate::word::Pid;
 pub enum PramError {
     /// A processor planned more reads or emitted more writes than the
     /// machine's [`CycleBudget`](crate::CycleBudget) allows.
-    BudgetExceeded {
-        pid: Pid,
-        cycle: u64,
-        kind: BudgetKind,
-        used: usize,
-        limit: usize,
-    },
+    BudgetExceeded { pid: Pid, cycle: u64, kind: BudgetKind, used: usize, limit: usize },
     /// A shared-memory access was out of bounds.
     AddressOutOfBounds { addr: usize, size: usize },
     /// Two processors concurrently wrote *different* values to the same cell
     /// under COMMON CRCW semantics (the model of the paper's algorithms).
-    CommonWriteConflict {
-        addr: usize,
-        cycle: u64,
-        first: (Pid, u64),
-        second: (Pid, u64),
-    },
+    CommonWriteConflict { addr: usize, cycle: u64, first: (Pid, u64), second: (Pid, u64) },
     /// A concurrent write occurred under EREW/CREW-style checking.
     ExclusiveWriteConflict { addr: usize, cycle: u64 },
     /// The adversary named a processor outside `0..P`, failed an already

@@ -77,10 +77,7 @@ impl FailurePattern {
 
     /// Number of failure (non-restart) events.
     pub fn failure_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, FailureKind::Failure { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e.kind, FailureKind::Failure { .. })).count()
     }
 
     /// Number of restart events.

@@ -72,8 +72,9 @@ pub mod trace;
 pub mod word;
 
 pub use accounting::{RunOutcome, RunReport, WorkStats};
-pub use adversary::{Adversary, Decisions, FailPoint, MachineView, NoFailures, ProcMeta,
-                    ProcStatus, TentativeCycle};
+pub use adversary::{
+    Adversary, Decisions, FailPoint, MachineView, NoFailures, ProcMeta, ProcStatus, TentativeCycle,
+};
 pub use cycle::{CycleBudget, ReadSet, Step, WriteSet};
 pub use error::PramError;
 pub use failure::{FailureEvent, FailureKind, FailurePattern, ScheduledAdversary};
@@ -81,7 +82,10 @@ pub use machine::{Machine, RunLimits};
 pub use memory::SharedMemory;
 pub use mode::WriteMode;
 pub use region::{MemoryLayout, Region};
-pub use trace::{Observer, TraceEvent, TraceLog};
+pub use trace::{
+    MetricsObserver, NoopObserver, Observer, RunSeries, Tee, TickMetrics, TraceEvent, TraceLog,
+    TraceRecorder,
+};
 pub use word::{Pid, Word};
 
 /// Crate-level result alias.
@@ -152,8 +156,13 @@ pub trait Program {
     /// cycles (and stops being charged), though the adversary may still fail
     /// and restart it, which re-enters the program via
     /// [`on_start`](Program::on_start).
-    fn execute(&self, pid: Pid, state: &mut Self::Private, values: &[Word],
-               writes: &mut WriteSet) -> Step;
+    fn execute(
+        &self,
+        pid: Pid,
+        state: &mut Self::Private,
+        values: &[Word],
+        writes: &mut WriteSet,
+    ) -> Step;
 
     /// Global completion predicate, evaluated by the machine on shared
     /// memory after each tick. This is a modeling device (it is how the

@@ -18,13 +18,13 @@
 //! activity must include at least one completed update cycle.
 
 use crate::accounting::{RunOutcome, RunReport, WorkStats};
-use crate::trace::{Observer, TraceEvent};
 use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
 use crate::cycle::{CycleBudget, ReadSet, Step, WriteSet};
 use crate::error::{BudgetKind, PramError};
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
 use crate::memory::SharedMemory;
 use crate::mode::WriteMode;
+use crate::trace::{NoopObserver, Observer, TraceEvent};
 use crate::word::{Pid, Word};
 use crate::{Program, Result};
 
@@ -41,13 +41,6 @@ impl Default for RunLimits {
     fn default() -> Self {
         RunLimits { max_cycles: 100_000_000 }
     }
-}
-
-/// The do-nothing observer used by the unobserved entry points.
-struct NoopObserver;
-
-impl Observer for NoopObserver {
-    fn event(&mut self, _event: TraceEvent) {}
 }
 
 /// Internal per-processor slot.
@@ -88,6 +81,9 @@ pub struct Machine<'p, P: Program> {
     meta: Vec<ProcMeta>,
     fates: Vec<CycleFate>,
     slot_writes: Vec<(Pid, usize, Word)>,
+    failed_now: Vec<bool>,
+    fail_points: Vec<Option<FailPoint>>,
+    restarted: Vec<bool>,
 }
 
 impl<'p, P: Program> Machine<'p, P> {
@@ -126,6 +122,9 @@ impl<'p, P: Program> Machine<'p, P> {
             meta: Vec::with_capacity(processors),
             fates: vec![CycleFate::Idle; processors],
             slot_writes: Vec::new(),
+            failed_now: vec![false; processors],
+            fail_points: vec![None; processors],
+            restarted: vec![false; processors],
         })
     }
 
@@ -205,21 +204,68 @@ impl<'p, P: Program> Machine<'p, P> {
         limits: RunLimits,
         observer: &mut dyn Observer,
     ) -> Result<RunReport> {
+        self.run_core(adversary, limits, observer, |m| m.tentative_phase())
+    }
+
+    /// The single run loop behind every public entry point — sequential and
+    /// threaded engines differ only in the `tentative` phase implementation
+    /// they pass in, so the event stream and all accounting are shared by
+    /// construction.
+    fn run_core<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+        mut tentative: impl FnMut(&mut Self) -> Result<()>,
+    ) -> Result<RunReport> {
         loop {
             if self.program.is_complete(&self.mem) {
                 observer.event(TraceEvent::Completed { cycle: self.cycle });
-                return Ok(RunReport {
-                    outcome: RunOutcome::Completed,
-                    stats: self.stats,
-                    pattern: self.pattern.clone(),
-                    per_processor: self.procs.iter().map(|s| s.completed).collect(),
-                });
+                return Ok(self.take_completed_report());
             }
             if self.cycle >= limits.max_cycles {
                 return Err(PramError::CycleLimit { cycles: limits.max_cycles });
             }
-            self.tick_observed(adversary, observer)?;
+            observer.event(TraceEvent::TickStart { cycle: self.cycle });
+            tentative(self)?;
+            let decisions = self.collect_decisions(adversary);
+            self.apply(decisions, observer)?;
         }
+    }
+
+    /// Build the completed-run report. The recorded failure pattern is
+    /// **moved** out of the machine (it can be megabytes on adversarial
+    /// runs); the machine's own pattern is left empty, so a subsequent
+    /// continuation run records a fresh pattern.
+    fn take_completed_report(&mut self) -> RunReport {
+        RunReport {
+            outcome: RunOutcome::Completed,
+            stats: self.stats,
+            pattern: std::mem::take(&mut self.pattern),
+            per_processor: self.procs.iter().map(|s| s.completed).collect(),
+        }
+    }
+
+    /// Phase 2a: present the machine to the adversary and collect its
+    /// decisions for this tick.
+    fn collect_decisions<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+    ) -> crate::adversary::Decisions {
+        self.meta.clear();
+        self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
+            pid: Pid(i),
+            status: s.status,
+            completed_cycles: s.completed,
+        }));
+        let view = MachineView {
+            cycle: self.cycle,
+            processors: self.procs.len(),
+            mem: &self.mem,
+            procs: &self.meta,
+            tentative: &self.tentative,
+        };
+        adversary.decide(&view)
     }
 
     /// Execute exactly one tick under `adversary`. Exposed for fine-grained
@@ -244,22 +290,7 @@ impl<'p, P: Program> Machine<'p, P> {
     ) -> Result<()> {
         observer.event(TraceEvent::TickStart { cycle: self.cycle });
         self.tentative_phase()?;
-        let decisions = {
-            self.meta.clear();
-            self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
-                pid: Pid(i),
-                status: s.status,
-                completed_cycles: s.completed,
-            }));
-            let view = MachineView {
-                cycle: self.cycle,
-                processors: self.procs.len(),
-                mem: &self.mem,
-                procs: &self.meta,
-                tentative: &self.tentative,
-            };
-            adversary.decide(&view)
-        };
+        let decisions = self.collect_decisions(adversary);
         self.apply(decisions, observer)
     }
 
@@ -283,14 +314,11 @@ impl<'p, P: Program> Machine<'p, P> {
         let p = self.procs.len();
         // --- Validate failures and compute each processor's fate. ---
         for (i, fate) in self.fates.iter_mut().enumerate() {
-            *fate = if self.tentative[i].is_some() {
-                CycleFate::Completed
-            } else {
-                CycleFate::Idle
-            };
+            *fate =
+                if self.tentative[i].is_some() { CycleFate::Completed } else { CycleFate::Idle };
         }
-        let mut failed_now = vec![false; p];
-        let mut fail_points: Vec<Option<FailPoint>> = vec![None; p];
+        self.failed_now.fill(false);
+        self.fail_points.fill(None);
         for &(pid, point) in &decisions.fails {
             if pid.0 >= p {
                 return Err(PramError::InvalidAdversaryDecision {
@@ -298,7 +326,7 @@ impl<'p, P: Program> Machine<'p, P> {
                     detail: format!("fail of unknown processor {pid}"),
                 });
             }
-            if failed_now[pid.0] {
+            if self.failed_now[pid.0] {
                 return Err(PramError::InvalidAdversaryDecision {
                     cycle: self.cycle,
                     detail: format!("duplicate failure of {pid}"),
@@ -313,8 +341,8 @@ impl<'p, P: Program> Machine<'p, P> {
                 }
                 ProcStatus::Halted => {
                     // No cycle in flight; the processor simply stops.
-                    failed_now[pid.0] = true;
-                    fail_points[pid.0] = Some(point);
+                    self.failed_now[pid.0] = true;
+                    self.fail_points[pid.0] = Some(point);
                     self.fates[pid.0] = CycleFate::Idle;
                 }
                 ProcStatus::Alive => {
@@ -336,8 +364,8 @@ impl<'p, P: Program> Machine<'p, P> {
                             k
                         }
                     };
-                    failed_now[pid.0] = true;
-                    fail_points[pid.0] = Some(point);
+                    self.failed_now[pid.0] = true;
+                    self.fail_points[pid.0] = Some(point);
                     // Failing after the final write means the cycle
                     // completed (and is charged) before the processor
                     // stopped.
@@ -354,7 +382,7 @@ impl<'p, P: Program> Machine<'p, P> {
             }
         }
         // --- Validate restarts. ---
-        let mut restarted = vec![false; p];
+        self.restarted.fill(false);
         for &pid in &decisions.restarts {
             if pid.0 >= p {
                 return Err(PramError::InvalidAdversaryDecision {
@@ -362,20 +390,20 @@ impl<'p, P: Program> Machine<'p, P> {
                     detail: format!("restart of unknown processor {pid}"),
                 });
             }
-            if restarted[pid.0] {
+            if self.restarted[pid.0] {
                 return Err(PramError::InvalidAdversaryDecision {
                     cycle: self.cycle,
                     detail: format!("duplicate restart of {pid}"),
                 });
             }
-            let failed = self.procs[pid.0].status == ProcStatus::Failed || failed_now[pid.0];
+            let failed = self.procs[pid.0].status == ProcStatus::Failed || self.failed_now[pid.0];
             if !failed {
                 return Err(PramError::InvalidAdversaryDecision {
                     cycle: self.cycle,
                     detail: format!("restart of non-failed {pid}"),
                 });
             }
-            restarted[pid.0] = true;
+            self.restarted[pid.0] = true;
         }
 
         // --- Progress condition (§2.1 2(i)). ---
@@ -449,11 +477,11 @@ impl<'p, P: Program> Machine<'p, P> {
                     };
                 }
             }
-            if failed_now[i] {
+            if self.failed_now[i] {
                 self.procs[i].status = ProcStatus::Failed;
                 self.procs[i].state = None;
                 self.stats.failures += 1;
-                let point = fail_points[i].expect("failed processor has a recorded point");
+                let point = self.fail_points[i].expect("failed processor has a recorded point");
                 observer.event(TraceEvent::Failure { cycle: self.cycle, pid: Pid(i), point });
                 events.push(FailureEvent {
                     kind: FailureKind::Failure { point },
@@ -462,7 +490,7 @@ impl<'p, P: Program> Machine<'p, P> {
                 });
             }
         }
-        for (i, _) in restarted.iter().enumerate().filter(|(_, &r)| r) {
+        for i in (0..p).filter(|&i| self.restarted[i]) {
             observer.event(TraceEvent::Restart { cycle: self.cycle, pid: Pid(i) });
             self.procs[i].status = ProcStatus::Alive;
             self.procs[i].state = Some(self.program.on_start(Pid(i)));
@@ -509,10 +537,7 @@ impl<'p, P: Program> Machine<'p, P> {
                         // PID order within equal addresses (see sort below).
                     }
                     WriteMode::Exclusive => {
-                        return Err(PramError::ExclusiveWriteConflict {
-                            addr,
-                            cycle: self.cycle,
-                        });
+                        return Err(PramError::ExclusiveWriteConflict { addr, cycle: self.cycle });
                     }
                 }
                 j += 1;
@@ -615,40 +640,30 @@ where
         limits: RunLimits,
         threads: usize,
     ) -> Result<RunReport> {
+        self.run_threaded_observed(adversary, limits, threads, &mut NoopObserver)
+    }
+
+    /// [`Machine::run_threaded`] with an event stream: shares the
+    /// sequential engine's run loop ([`Machine::run_observed`]), so for the
+    /// same program and adversary both backends emit the **identical**
+    /// sequence of [`TraceEvent`]s — only the tentative phase is farmed out
+    /// to worker threads.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`]. Additionally [`PramError::InvalidConfig`] if
+    /// `threads == 0`.
+    pub fn run_threaded_observed<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        threads: usize,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport> {
         if threads == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
         }
-        loop {
-            if self.program.is_complete(&self.mem) {
-                return Ok(RunReport {
-                    outcome: RunOutcome::Completed,
-                    stats: self.stats,
-                    pattern: self.pattern.clone(),
-                    per_processor: self.procs.iter().map(|s| s.completed).collect(),
-                });
-            }
-            if self.cycle >= limits.max_cycles {
-                return Err(PramError::CycleLimit { cycles: limits.max_cycles });
-            }
-            self.tentative_phase_threaded(threads)?;
-            let decisions = {
-                self.meta.clear();
-                self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
-                    pid: Pid(i),
-                    status: s.status,
-                    completed_cycles: s.completed,
-                }));
-                let view = MachineView {
-                    cycle: self.cycle,
-                    processors: self.procs.len(),
-                    mem: &self.mem,
-                    procs: &self.meta,
-                    tentative: &self.tentative,
-                };
-                adversary.decide(&view)
-            };
-            self.apply(decisions, &mut NoopObserver)?;
-        }
+        self.run_core(adversary, limits, observer, |m| m.tentative_phase_threaded(threads))
     }
 
     /// Parallel tentative phase: processors are split into `threads` chunks,
@@ -657,16 +672,13 @@ where
         let p = self.procs.len();
         let chunk = p.div_ceil(threads);
         let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
-        let first_err: parking_lot::Mutex<Option<PramError>> = parking_lot::Mutex::new(None);
-        crossbeam::thread::scope(|scope| {
-            for (ci, (proc_chunk, tent_chunk)) in self
-                .procs
-                .chunks_mut(chunk)
-                .zip(self.tentative.chunks_mut(chunk))
-                .enumerate()
+        let first_err: std::sync::Mutex<Option<PramError>> = std::sync::Mutex::new(None);
+        std::thread::scope(|scope| {
+            for (ci, (proc_chunk, tent_chunk)) in
+                self.procs.chunks_mut(chunk).zip(self.tentative.chunks_mut(chunk)).enumerate()
             {
                 let first_err = &first_err;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = ci * chunk;
                     for (k, (slot, out)) in
                         proc_chunk.iter_mut().zip(tent_chunk.iter_mut()).enumerate()
@@ -674,7 +686,8 @@ where
                         match tentative_for(program, mem, budget, cycle, Pid(base + k), slot) {
                             Ok(t) => *out = t,
                             Err(e) => {
-                                let mut guard = first_err.lock();
+                                let mut guard =
+                                    first_err.lock().expect("tentative worker panicked");
                                 if guard.is_none() {
                                     *guard = Some(e);
                                 }
@@ -684,9 +697,8 @@ where
                     }
                 });
             }
-        })
-        .expect("tentative worker panicked");
-        match first_err.into_inner() {
+        });
+        match first_err.into_inner().expect("tentative worker panicked") {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -872,9 +884,7 @@ mod tests {
     fn cycle_limit_is_enforced() {
         let prog = Counter { n: 1, target: 1_000 };
         let mut m = Machine::new(&prog, 1, CycleBudget::PAPER).unwrap();
-        let err = m
-            .run_with_limits(&mut NoFailures, RunLimits { max_cycles: 10 })
-            .unwrap_err();
+        let err = m.run_with_limits(&mut NoFailures, RunLimits { max_cycles: 10 }).unwrap_err();
         assert_eq!(err, PramError::CycleLimit { cycles: 10 });
     }
 
@@ -941,9 +951,7 @@ mod tests {
         let mut seq = Machine::new(&prog, 16, CycleBudget::PAPER).unwrap();
         let seq_report = seq.run(&mut OneHiccup).unwrap();
         let mut par = Machine::new(&prog, 16, CycleBudget::PAPER).unwrap();
-        let par_report = par
-            .run_threaded(&mut OneHiccup, RunLimits::default(), 4)
-            .unwrap();
+        let par_report = par.run_threaded(&mut OneHiccup, RunLimits::default(), 4).unwrap();
         assert_eq!(seq_report.stats, par_report.stats);
         assert_eq!(seq_report.pattern, par_report.pattern);
         assert_eq!(seq.memory().as_slice(), par.memory().as_slice());

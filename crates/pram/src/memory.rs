@@ -39,10 +39,7 @@ impl SharedMemory {
     /// [`PramError::AddressOutOfBounds`] if `addr` is outside memory.
     pub(crate) fn store(&mut self, addr: usize, value: Word) -> Result<(), PramError> {
         let size = self.cells.len();
-        let slot = self
-            .cells
-            .get_mut(addr)
-            .ok_or(PramError::AddressOutOfBounds { addr, size })?;
+        let slot = self.cells.get_mut(addr).ok_or(PramError::AddressOutOfBounds { addr, size })?;
         *slot = value;
         self.writes += 1;
         Ok(())

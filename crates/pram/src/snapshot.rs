@@ -39,8 +39,13 @@ pub trait SnapshotProgram {
     fn on_start(&self, pid: Pid) -> Self::Private;
 
     /// One snapshot update cycle: read everything, compute, write.
-    fn execute(&self, pid: Pid, state: &mut Self::Private, mem: &SharedMemory,
-               writes: &mut WriteSet) -> Step;
+    fn execute(
+        &self,
+        pid: Pid,
+        state: &mut Self::Private,
+        mem: &SharedMemory,
+        writes: &mut WriteSet,
+    ) -> Step;
 
     /// Global completion predicate (uncharged).
     fn is_complete(&self, mem: &SharedMemory) -> bool;
@@ -80,7 +85,9 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
             return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
         }
         if write_budget == 0 {
-            return Err(PramError::InvalidConfig { detail: "write budget must be positive".into() });
+            return Err(PramError::InvalidConfig {
+                detail: "write budget must be positive".into(),
+            });
         }
         let mut mem = SharedMemory::new(program.shared_size());
         program.init_memory(&mut mem);
@@ -170,10 +177,7 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
                 }
                 for &(addr, _) in writes.writes() {
                     if addr >= self.mem.size() {
-                        return Err(PramError::AddressOutOfBounds {
-                            addr,
-                            size: self.mem.size(),
-                        });
+                        return Err(PramError::AddressOutOfBounds { addr, size: self.mem.size() });
                     }
                 }
                 tentative[i] = Some(TentativeCycle {
@@ -205,10 +209,8 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
             });
 
             // Validate + compute committed write counts.
-            let mut committed: Vec<Option<usize>> = tentative
-                .iter()
-                .map(|t| t.as_ref().map(|t| t.writes.len()))
-                .collect();
+            let mut committed: Vec<Option<usize>> =
+                tentative.iter().map(|t| t.as_ref().map(|t| t.writes.len())).collect();
             let mut failed_now = vec![false; p];
             let mut fail_points: Vec<Option<FailPoint>> = vec![None; p];
             for &(pid, point) in &decisions.fails {
@@ -251,8 +253,8 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
             }
             let mut restarted = vec![false; p];
             for &pid in &decisions.restarts {
-                let failed =
-                    pid.0 < p && (self.procs[pid.0].status == ProcStatus::Failed || failed_now[pid.0]);
+                let failed = pid.0 < p
+                    && (self.procs[pid.0].status == ProcStatus::Failed || failed_now[pid.0]);
                 if !failed || restarted[pid.0] {
                     return Err(PramError::InvalidAdversaryDecision {
                         cycle: self.cycle,
@@ -339,8 +341,7 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
                     self.procs[i].status = ProcStatus::Failed;
                     self.procs[i].state = None;
                     self.stats.failures += 1;
-                    let point =
-                        fail_points[i].expect("failed processor has a recorded point");
+                    let point = fail_points[i].expect("failed processor has a recorded point");
                     events.push(FailureEvent {
                         kind: FailureKind::Failure { point },
                         pid: i,
@@ -387,11 +388,15 @@ mod tests {
             self.n
         }
         fn on_start(&self, _pid: Pid) {}
-        fn execute(&self, pid: Pid, _st: &mut (), mem: &SharedMemory,
-                   writes: &mut WriteSet) -> Step {
+        fn execute(
+            &self,
+            pid: Pid,
+            _st: &mut (),
+            mem: &SharedMemory,
+            writes: &mut WriteSet,
+        ) -> Step {
             // Snapshot power: scan everything, pick the pid-th unvisited.
-            let unvisited: Vec<usize> =
-                (0..self.n).filter(|&i| mem.peek(i) == 0).collect();
+            let unvisited: Vec<usize> = (0..self.n).filter(|&i| mem.peek(i) == 0).collect();
             if unvisited.is_empty() {
                 return Step::Halt;
             }
@@ -430,9 +435,6 @@ mod tests {
     #[test]
     fn zero_write_budget_rejected() {
         let prog = Direct { n: 2 };
-        assert!(matches!(
-            SnapshotMachine::new(&prog, 1, 0),
-            Err(PramError::InvalidConfig { .. })
-        ));
+        assert!(matches!(SnapshotMachine::new(&prog, 1, 0), Err(PramError::InvalidConfig { .. })));
     }
 }

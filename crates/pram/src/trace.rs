@@ -1,32 +1,89 @@
-//! Execution observers: structured event streams from the machine.
+//! Execution observers: structured event streams and per-tick telemetry.
 //!
 //! An [`Observer`] receives every semantically meaningful event of a run —
 //! cycle completions, interruptions, failures, restarts, committed writes,
 //! completion — letting tools trace, visualize or cross-check executions
-//! without touching the accounting. [`TraceLog`] is the standard recorder;
-//! its totals are checked against [`WorkStats`](crate::WorkStats) in the
-//! test suite, giving the accounting an independent witness.
+//! without touching the accounting. Three observers ship with the crate:
+//!
+//! * [`TraceLog`] — the original recorder: keeps a prefix of the event
+//!   stream plus running totals; the totals are checked against
+//!   [`WorkStats`](crate::WorkStats) in the test suite, giving the
+//!   accounting an independent witness.
+//! * [`TraceRecorder`] — a bounded **ring buffer**: keeps the most recent
+//!   `cap` events (the interesting tail of a long run) while totals keep
+//!   counting, and exports the stream as JSONL for replay comparison.
+//! * [`MetricsObserver`] — folds the event stream into a per-tick
+//!   [`TickMetrics`] time series (alive processors, completions,
+//!   failures, restarts, commits, cumulative `S`, `S'` and `|F|`), the
+//!   measurement substrate behind the `BENCH_*.json` artifacts and the
+//!   `rfsp trace` subcommand. The finished [`RunSeries`] exports as JSON,
+//!   JSONL or CSV via serde.
+//!
+//! Both engines emit the identical stream for identical runs: the
+//! threaded backend ([`Machine::run_threaded_observed`]
+//! (crate::Machine::run_threaded_observed)) shares the sequential
+//! engine's observed run loop, which the test suite pins with a
+//! byte-identical JSONL comparison under a replayed failure pattern.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
 
 use crate::adversary::FailPoint;
 use crate::word::{Pid, Word};
 
 /// One machine event.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// A new tick began.
-    TickStart { cycle: u64 },
+    TickStart {
+        /// The tick.
+        cycle: u64,
+    },
     /// A processor completed (and was charged for) its update cycle.
-    CycleCompleted { cycle: u64, pid: Pid },
+    CycleCompleted {
+        /// The tick.
+        cycle: u64,
+        /// The processor.
+        pid: Pid,
+    },
     /// A processor's cycle was interrupted by a failure.
-    CycleInterrupted { cycle: u64, pid: Pid },
+    CycleInterrupted {
+        /// The tick.
+        cycle: u64,
+        /// The processor.
+        pid: Pid,
+    },
     /// A processor was stopped by the adversary.
-    Failure { cycle: u64, pid: Pid, point: FailPoint },
+    Failure {
+        /// The tick.
+        cycle: u64,
+        /// The processor.
+        pid: Pid,
+        /// Where inside the cycle the stop landed.
+        point: FailPoint,
+    },
     /// A processor was restarted (effective next tick).
-    Restart { cycle: u64, pid: Pid },
+    Restart {
+        /// The tick.
+        cycle: u64,
+        /// The processor.
+        pid: Pid,
+    },
     /// A write was committed to shared memory (after conflict resolution).
-    Commit { cycle: u64, addr: usize, value: Word },
+    Commit {
+        /// The tick.
+        cycle: u64,
+        /// The written address.
+        addr: usize,
+        /// The written value.
+        value: Word,
+    },
     /// The program's completion predicate became true.
-    Completed { cycle: u64 },
+    Completed {
+        /// The tick at which completion was detected.
+        cycle: u64,
+    },
 }
 
 /// A sink for [`TraceEvent`]s. All methods default to no-ops so observers
@@ -34,6 +91,26 @@ pub enum TraceEvent {
 pub trait Observer: Send {
     /// Receive one event.
     fn event(&mut self, event: TraceEvent);
+}
+
+/// The do-nothing observer: lets observer-taking APIs be called without
+/// telemetry at zero cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn event(&mut self, _event: TraceEvent) {}
+}
+
+/// Fan one event stream out to two observers, e.g. a [`TraceRecorder`] and
+/// a [`MetricsObserver`] on the same run.
+pub struct Tee<'a>(pub &'a mut dyn Observer, pub &'a mut dyn Observer);
+
+impl Observer for Tee<'_> {
+    fn event(&mut self, event: TraceEvent) {
+        self.0.event(event);
+        self.1.event(event);
+    }
 }
 
 /// Records events into memory, with an optional cap to bound memory use on
@@ -88,6 +165,313 @@ impl Observer for TraceLog {
     }
 }
 
+/// A bounded ring-buffer recorder: keeps the **most recent** `cap` events
+/// (evicting the oldest), so long runs retain the interesting tail instead
+/// of the boring prefix. Totals keep counting past the cap.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    events: VecDeque<TraceEvent>,
+    cap: usize,
+    /// Total events seen, including evicted ones.
+    pub total_events: u64,
+    /// Events evicted to respect the cap.
+    pub dropped: u64,
+}
+
+impl TraceRecorder {
+    /// An effectively unbounded recorder (cap `usize::MAX`).
+    pub fn unbounded() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// Keep only the most recent `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "ring buffer needs a positive capacity");
+        TraceRecorder { events: VecDeque::new(), cap, total_events: 0, dropped: 0 }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// The retained events as a contiguous vector, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The retained stream as JSONL: one serde-rendered event per line
+    /// (trailing newline included). Two identical runs export
+    /// byte-identical streams, which the engine-equivalence tests rely on.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde::json::to_string(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn event(&mut self, event: TraceEvent) {
+        self.total_events += 1;
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// One row of the per-tick telemetry time series.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct TickMetrics {
+    /// The tick this row describes.
+    pub cycle: u64,
+    /// Processors alive at the start of the tick (failures later in the
+    /// same tick do not subtract; restarts count from the following tick).
+    pub alive: u64,
+    /// Update cycles completed (and charged) this tick.
+    pub completed: u64,
+    /// Update cycles interrupted by failures this tick.
+    pub interrupted: u64,
+    /// Failure events this tick.
+    pub failures: u64,
+    /// Restart events this tick (effective next tick).
+    pub restarts: u64,
+    /// Writes committed to shared memory this tick.
+    pub commits: u64,
+    /// Cumulative completed work `S` through this tick.
+    pub s: u64,
+    /// Cumulative available steps `S' = S + interrupted` through this tick.
+    pub s_prime: u64,
+    /// Cumulative failure-pattern size `|F|` through this tick.
+    pub pattern_size: u64,
+}
+
+impl TickMetrics {
+    /// The CSV header matching [`TickMetrics::to_csv_row`].
+    pub const CSV_HEADER: &'static str =
+        "cycle,alive,completed,interrupted,failures,restarts,commits,s,s_prime,pattern_size";
+
+    /// This row as a CSV line (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            self.cycle,
+            self.alive,
+            self.completed,
+            self.interrupted,
+            self.failures,
+            self.restarts,
+            self.commits,
+            self.s,
+            self.s_prime,
+            self.pattern_size
+        )
+    }
+}
+
+/// A complete per-tick telemetry series for one run.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RunSeries {
+    /// Processor count `P` of the machine that produced the series.
+    pub processors: u64,
+    /// The tick at which the program completed, if it did.
+    pub completed_cycle: Option<u64>,
+    /// One row per tick, in tick order.
+    pub ticks: Vec<TickMetrics>,
+}
+
+impl RunSeries {
+    /// The final row, if any tick ran.
+    pub fn last(&self) -> Option<&TickMetrics> {
+        self.ticks.last()
+    }
+
+    /// The series as JSONL: one row per line (trailing newline included).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.ticks {
+            out.push_str(&serde::json::to_string(t));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The series as CSV with a header row (trailing newline included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(TickMetrics::CSV_HEADER);
+        out.push('\n');
+        for t in &self.ticks {
+            out.push_str(&t.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Stream the series as JSONL into `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Stream the series as CSV into `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_csv<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Folds the event stream into a per-tick [`TickMetrics`] series.
+///
+/// Attach to any observed entry point
+/// ([`Machine::run_observed`](crate::Machine::run_observed),
+/// [`Machine::run_threaded_observed`](crate::Machine::run_threaded_observed),
+/// [`Machine::tick_observed`](crate::Machine::tick_observed)); call
+/// [`MetricsObserver::finish`] afterwards to close the final tick and take
+/// the [`RunSeries`].
+#[derive(Clone, Debug)]
+pub struct MetricsObserver {
+    processors: usize,
+    /// Per-processor failed flag, tracked from failure/restart events.
+    failed: Vec<bool>,
+    /// The row being accumulated, if a tick is open.
+    open: Option<TickMetrics>,
+    ticks: Vec<TickMetrics>,
+    completed_cycle: Option<u64>,
+    s: u64,
+    s_prime: u64,
+    pattern_size: u64,
+}
+
+impl MetricsObserver {
+    /// An observer for a machine with `processors` processors.
+    pub fn new(processors: usize) -> Self {
+        MetricsObserver {
+            processors,
+            failed: vec![false; processors],
+            open: None,
+            ticks: Vec::new(),
+            completed_cycle: None,
+            s: 0,
+            s_prime: 0,
+            pattern_size: 0,
+        }
+    }
+
+    fn alive(&self) -> u64 {
+        (self.processors - self.failed.iter().filter(|&&f| f).count()) as u64
+    }
+
+    fn close_open_tick(&mut self) {
+        if let Some(row) = self.open.take() {
+            self.ticks.push(row);
+        }
+    }
+
+    /// Close the final tick and return the finished series.
+    pub fn finish(mut self) -> RunSeries {
+        self.close_open_tick();
+        RunSeries {
+            processors: self.processors as u64,
+            completed_cycle: self.completed_cycle,
+            ticks: self.ticks,
+        }
+    }
+
+    /// The rows of every *closed* tick so far (streaming consumers can
+    /// read this between [`Machine::tick_observed`]
+    /// (crate::Machine::tick_observed) calls).
+    pub fn ticks(&self) -> &[TickMetrics] {
+        &self.ticks
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn event(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::TickStart { cycle } => {
+                self.close_open_tick();
+                self.open = Some(TickMetrics {
+                    cycle,
+                    alive: self.alive(),
+                    s: self.s,
+                    s_prime: self.s_prime,
+                    pattern_size: self.pattern_size,
+                    ..TickMetrics::default()
+                });
+            }
+            TraceEvent::CycleCompleted { .. } => {
+                self.s += 1;
+                self.s_prime += 1;
+                if let Some(row) = &mut self.open {
+                    row.completed += 1;
+                    row.s = self.s;
+                    row.s_prime = self.s_prime;
+                }
+            }
+            TraceEvent::CycleInterrupted { .. } => {
+                self.s_prime += 1;
+                if let Some(row) = &mut self.open {
+                    row.interrupted += 1;
+                    row.s_prime = self.s_prime;
+                }
+            }
+            TraceEvent::Failure { pid, .. } => {
+                self.pattern_size += 1;
+                if let Some(f) = self.failed.get_mut(pid.0) {
+                    *f = true;
+                }
+                if let Some(row) = &mut self.open {
+                    row.failures += 1;
+                    row.pattern_size = self.pattern_size;
+                }
+            }
+            TraceEvent::Restart { pid, .. } => {
+                self.pattern_size += 1;
+                if let Some(f) = self.failed.get_mut(pid.0) {
+                    *f = false;
+                }
+                if let Some(row) = &mut self.open {
+                    row.restarts += 1;
+                    row.pattern_size = self.pattern_size;
+                }
+            }
+            TraceEvent::Commit { .. } => {
+                if let Some(row) = &mut self.open {
+                    row.commits += 1;
+                }
+            }
+            TraceEvent::Completed { cycle } => {
+                self.close_open_tick();
+                self.completed_cycle = Some(cycle);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +487,110 @@ mod tests {
         assert_eq!(log.completions, 1);
         assert_eq!(log.commits, 1);
         assert_eq!(log.interruptions, 1);
+    }
+
+    #[test]
+    fn recorder_evicts_oldest() {
+        let mut rec = TraceRecorder::with_capacity(2);
+        rec.event(TraceEvent::TickStart { cycle: 0 });
+        rec.event(TraceEvent::CycleCompleted { cycle: 0, pid: Pid(0) });
+        rec.event(TraceEvent::TickStart { cycle: 1 });
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.total_events, 3);
+        assert_eq!(rec.dropped, 1);
+        let kept = rec.to_vec();
+        assert_eq!(kept[0], TraceEvent::CycleCompleted { cycle: 0, pid: Pid(0) });
+        assert_eq!(kept[1], TraceEvent::TickStart { cycle: 1 });
+    }
+
+    #[test]
+    fn trace_event_serde_roundtrip() {
+        let events = vec![
+            TraceEvent::TickStart { cycle: 3 },
+            TraceEvent::Failure { cycle: 3, pid: Pid(2), point: FailPoint::AfterWrite(1) },
+            TraceEvent::Commit { cycle: 3, addr: 17, value: 9 },
+            TraceEvent::Completed { cycle: 4 },
+        ];
+        for e in &events {
+            let text = serde::json::to_string(e);
+            let back: TraceEvent = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, *e, "event {text} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn metrics_fold_small_run() {
+        let mut m = MetricsObserver::new(2);
+        m.event(TraceEvent::TickStart { cycle: 0 });
+        m.event(TraceEvent::CycleCompleted { cycle: 0, pid: Pid(0) });
+        m.event(TraceEvent::CycleInterrupted { cycle: 0, pid: Pid(1) });
+        m.event(TraceEvent::Failure { cycle: 0, pid: Pid(1), point: FailPoint::BeforeWrites });
+        m.event(TraceEvent::Commit { cycle: 0, addr: 0, value: 1 });
+        m.event(TraceEvent::TickStart { cycle: 1 });
+        m.event(TraceEvent::CycleCompleted { cycle: 1, pid: Pid(0) });
+        m.event(TraceEvent::Restart { cycle: 1, pid: Pid(1) });
+        m.event(TraceEvent::TickStart { cycle: 2 });
+        m.event(TraceEvent::CycleCompleted { cycle: 2, pid: Pid(0) });
+        m.event(TraceEvent::CycleCompleted { cycle: 2, pid: Pid(1) });
+        m.event(TraceEvent::Completed { cycle: 3 });
+        let series = m.finish();
+        assert_eq!(series.completed_cycle, Some(3));
+        assert_eq!(series.ticks.len(), 3);
+        let [t0, t1, t2] = series.ticks[..] else { panic!("expected 3 rows") };
+        assert_eq!((t0.alive, t0.completed, t0.interrupted, t0.failures), (2, 1, 1, 1));
+        assert_eq!((t1.alive, t1.restarts), (1, 1), "P1 down at tick 1 start");
+        assert_eq!(t2.alive, 2, "restart effective at tick 2");
+        assert_eq!((t2.s, t2.s_prime, t2.pattern_size), (4, 5, 2));
+    }
+
+    #[test]
+    fn series_exports_roundtrip() {
+        let series = RunSeries {
+            processors: 2,
+            completed_cycle: Some(1),
+            ticks: vec![
+                TickMetrics {
+                    cycle: 0,
+                    alive: 2,
+                    completed: 2,
+                    s: 2,
+                    s_prime: 2,
+                    ..Default::default()
+                },
+                TickMetrics {
+                    cycle: 1,
+                    alive: 2,
+                    completed: 1,
+                    s: 3,
+                    s_prime: 3,
+                    ..Default::default()
+                },
+            ],
+        };
+        // JSON round-trip through serde.
+        let json = serde::json::to_string(&series);
+        let back: RunSeries = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, series);
+        // JSONL: one line per tick.
+        assert_eq!(series.to_jsonl().lines().count(), 2);
+        // CSV: header + rows, fixed column order.
+        let csv = series.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(TickMetrics::CSV_HEADER));
+        assert_eq!(lines.clone().count(), 2);
+        assert!(lines.next().unwrap().starts_with("0,2,2,"));
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let mut a = TraceLog::new();
+        let mut b = TraceRecorder::unbounded();
+        {
+            let mut tee = Tee(&mut a, &mut b);
+            tee.event(TraceEvent::TickStart { cycle: 0 });
+            tee.event(TraceEvent::CycleCompleted { cycle: 0, pid: Pid(0) });
+        }
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.len(), 2);
     }
 }

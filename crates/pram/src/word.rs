@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// A shared-memory word. All memory cells and register values are `Word`s.
 pub type Word = u64;
 
@@ -20,7 +22,9 @@ pub type Word = u64;
 /// let pid = Pid(5);
 /// assert_eq!(pid.bit_msb_first(5, 8), 1); // 5 = 101b; bit 0 is the MSB
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct Pid(pub usize);
 
 impl Pid {

@@ -1,9 +1,10 @@
 //! Property tests for the machine substrate.
 
 use proptest::prelude::*;
-use rfsp_pram::{CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, Machine,
-                MemoryLayout, Pid, Program, ReadSet, RunLimits, ScheduledAdversary,
-                SharedMemory, Step, Word, WriteMode, WriteSet};
+use rfsp_pram::{
+    CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, Machine, MemoryLayout, Pid,
+    Program, ReadSet, RunLimits, ScheduledAdversary, SharedMemory, Step, Word, WriteMode, WriteSet,
+};
 
 proptest! {
     /// MemoryLayout hands out disjoint, densely packed regions in order.

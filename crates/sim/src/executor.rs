@@ -14,9 +14,10 @@
 //!   and overhead ratio `O(log² N)`.
 
 use rfsp_core::{AlgoV, AlgoX, Interleaved, XOptions};
-use rfsp_pram::{Adversary, Machine, MemoryLayout, PramError, Program, RunLimits, RunReport,
-                Word, WriteMode};
-
+use rfsp_pram::{
+    Adversary, Machine, MemoryLayout, NoopObserver, Observer, PramError, Program, RunLimits,
+    RunReport, Word, WriteMode,
+};
 
 use crate::program::SimProgram;
 use crate::tasks::SimTasks;
@@ -81,6 +82,27 @@ where
     simulate_with_mode(prog, p, engine, adversary, limits, WriteMode::Common)
 }
 
+/// [`simulate`] streaming every machine event of the simulating run to
+/// `observer` (see `rfsp_pram::trace`).
+///
+/// # Errors
+///
+/// Any [`PramError`] from the underlying machine.
+pub fn simulate_observed<P, A>(
+    prog: P,
+    p: usize,
+    engine: Engine,
+    adversary: &mut A,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<SimReport, PramError>
+where
+    P: SimProgram + Sync + Clone,
+    A: Adversary,
+{
+    simulate_with_mode_observed(prog, p, engine, adversary, limits, WriteMode::Common, observer)
+}
+
 /// [`simulate`] with explicit machine write semantics.
 ///
 /// # Errors
@@ -98,14 +120,34 @@ where
     P: SimProgram + Sync + Clone,
     A: Adversary,
 {
+    simulate_with_mode_observed(prog, p, engine, adversary, limits, mode, &mut NoopObserver)
+}
+
+/// [`simulate_with_mode`] with an event stream.
+///
+/// # Errors
+///
+/// Any [`PramError`] from the underlying machine.
+pub fn simulate_with_mode_observed<P, A>(
+    prog: P,
+    p: usize,
+    engine: Engine,
+    adversary: &mut A,
+    limits: RunLimits,
+    mode: WriteMode,
+    observer: &mut dyn Observer,
+) -> Result<SimReport, PramError>
+where
+    P: SimProgram + Sync + Clone,
+    A: Adversary,
+{
     if mode == WriteMode::Priority {
         // Remark 4 of the paper: PRIORITY CRCW PRAMs cannot be directly
         // simulated with this framework — algorithm X lacks the processor
         // allocation monotonicity that would map higher-numbered simulating
         // processors onto higher-numbered simulated ones.
         return Err(PramError::InvalidConfig {
-            detail: "PRIORITY CRCW programs cannot be directly simulated (paper Remark 4)"
-                .into(),
+            detail: "PRIORITY CRCW programs cannot be directly simulated (paper Remark 4)".into(),
         });
     }
     let sim_processors = prog.processors();
@@ -121,7 +163,7 @@ where
             let budget = algo.inner.required_budget();
             let mut machine = Machine::new(&algo, p, budget)?;
             machine.set_write_mode(mode);
-            let run = machine.run_with_limits(adversary, limits)?;
+            let run = machine.run_observed(adversary, limits, observer)?;
             let memory = algo.inner.tasks().extract_memory(machine.memory());
             Ok(SimReport { run, memory, sim_processors, sim_steps })
         }
@@ -130,7 +172,7 @@ where
             let budget = algo.inner.required_budget();
             let mut machine = Machine::new(&algo, p, budget)?;
             machine.set_write_mode(mode);
-            let run = machine.run_with_limits(adversary, limits)?;
+            let run = machine.run_observed(adversary, limits, observer)?;
             let memory = algo.inner.tasks().extract_memory(machine.memory());
             Ok(SimReport { run, memory, sim_processors, sim_steps })
         }
@@ -139,7 +181,7 @@ where
             let budget = algo.inner.required_budget();
             let mut machine = Machine::new(&algo, p, budget)?;
             machine.set_write_mode(mode);
-            let run = machine.run_with_limits(adversary, limits)?;
+            let run = machine.run_observed(adversary, limits, observer)?;
             let memory = algo.inner.x_half().tasks().extract_memory(machine.memory());
             Ok(SimReport { run, memory, sim_processors, sim_steps })
         }
@@ -170,14 +212,23 @@ macro_rules! sim_shim {
                 self.inner.on_start(pid)
             }
 
-            fn plan(&self, pid: rfsp_pram::Pid, state: &Self::Private, values: &[Word],
-                    reads: &mut rfsp_pram::ReadSet) {
+            fn plan(
+                &self,
+                pid: rfsp_pram::Pid,
+                state: &Self::Private,
+                values: &[Word],
+                reads: &mut rfsp_pram::ReadSet,
+            ) {
                 self.inner.plan(pid, state, values, reads)
             }
 
-            fn execute(&self, pid: rfsp_pram::Pid, state: &mut Self::Private,
-                       values: &[Word], writes: &mut rfsp_pram::WriteSet)
-                       -> rfsp_pram::Step {
+            fn execute(
+                &self,
+                pid: rfsp_pram::Pid,
+                state: &mut Self::Private,
+                values: &[Word],
+                writes: &mut rfsp_pram::WriteSet,
+            ) -> rfsp_pram::Step {
                 self.inner.execute(pid, state, values, writes)
             }
 
@@ -243,9 +294,8 @@ mod tests {
         let prog = Inc { n: 8 };
         let expected = reference_run(&prog);
         for engine in [Engine::X, Engine::V, Engine::Interleaved] {
-            let report = simulate(prog.clone(), 4, engine, &mut NoFailures,
-                                  RunLimits::default())
-                .unwrap();
+            let report =
+                simulate(prog.clone(), 4, engine, &mut NoFailures, RunLimits::default()).unwrap();
             assert_eq!(report.memory, expected, "engine {engine:?}");
         }
     }
@@ -284,8 +334,7 @@ mod tests {
     #[test]
     fn work_ratio_is_reported() {
         let prog = Inc { n: 8 };
-        let report =
-            simulate(prog, 2, Engine::X, &mut NoFailures, RunLimits::default()).unwrap();
+        let report = simulate(prog, 2, Engine::X, &mut NoFailures, RunLimits::default()).unwrap();
         assert!(report.work_ratio() > 0.0);
         assert_eq!(report.sim_processors, 8);
         assert_eq!(report.sim_steps, 2);

@@ -36,6 +36,8 @@ pub mod program;
 pub mod programs;
 pub mod tasks;
 
-pub use executor::{simulate, simulate_with_mode, Engine, SimReport};
+pub use executor::{
+    simulate, simulate_observed, simulate_with_mode, simulate_with_mode_observed, Engine, SimReport,
+};
 pub use program::{reference_run, Regs, SimProgram, SimWrite, REG_MAX};
 pub use tasks::{SimLayout, SimTasks};

@@ -103,7 +103,7 @@ impl SimProgram for Components {
     }
 
     fn read_addr(&self, pid: usize, t: usize, regs: &Regs) -> usize {
-        if t % 2 == 0 {
+        if t.is_multiple_of(2) {
             // Fetch this round's neighbor id.
             let j = (t / 2) % self.max_deg;
             self.adj_base() + pid * self.max_deg + j
@@ -118,7 +118,7 @@ impl SimProgram for Components {
             // Bootstrap: a = own label (= own id), b = first neighbor.
             return (Regs::new(pid as u32, value), SimWrite::Nop);
         }
-        if t % 2 == 0 {
+        if t.is_multiple_of(2) {
             (Regs::new(regs.a, value), SimWrite::Nop)
         } else {
             let a = regs.a.min(value);

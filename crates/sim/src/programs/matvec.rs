@@ -37,8 +37,7 @@ impl MatVec {
         assert_eq!(x.len(), m, "vector length must match the column count");
         let n = a.len();
         for row in &a {
-            let dot: u64 =
-                row.iter().zip(&x).map(|(&aij, &xj)| aij as u64 * xj as u64).sum();
+            let dot: u64 = row.iter().zip(&x).map(|(&aij, &xj)| aij as u64 * xj as u64).sum();
             assert!(dot <= REG_MAX as u64, "dot product must fit 24-bit registers");
         }
         MatVec { a, x, n, m }
@@ -48,9 +47,7 @@ impl MatVec {
     pub fn expected(&self) -> Vec<Word> {
         self.a
             .iter()
-            .map(|row| {
-                row.iter().zip(&self.x).map(|(&aij, &xj)| (aij * xj) as Word).sum::<Word>()
-            })
+            .map(|row| row.iter().zip(&self.x).map(|(&aij, &xj)| (aij * xj) as Word).sum::<Word>())
             .collect()
     }
 

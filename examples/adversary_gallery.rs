@@ -17,16 +17,22 @@ const P: usize = 512;
 
 /// Constructor for an adversary, given what the algorithm exposes.
 type AdversaryMaker = Box<
-    dyn Fn(&WriteAllTasks, Option<rfsp::core::XLayout>, Option<rfsp::core::HeapTree>)
-        -> Box<dyn Adversary>,
+    dyn Fn(
+        &WriteAllTasks,
+        Option<rfsp::core::XLayout>,
+        Option<rfsp::core::HeapTree>,
+    ) -> Box<dyn Adversary>,
 >;
 
 /// Run one (algorithm, adversary) cell and return completed work.
 #[allow(clippy::type_complexity)] // the alias cannot name an unboxed dyn Fn
 fn cell(
     algo: &str,
-    mk_adv: &dyn Fn(&WriteAllTasks, Option<rfsp::core::XLayout>, Option<rfsp::core::HeapTree>)
-        -> Box<dyn Adversary>,
+    mk_adv: &dyn Fn(
+        &WriteAllTasks,
+        Option<rfsp::core::XLayout>,
+        Option<rfsp::core::HeapTree>,
+    ) -> Box<dyn Adversary>,
 ) -> u64 {
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, N);
@@ -57,8 +63,7 @@ fn cell(
         }
         "V+X" => {
             let prog = Interleaved::new(&mut layout, tasks, P);
-            let mut adv = mk_adv(&tasks, Some(*prog.x_half().layout()),
-                                 Some(prog.x_half().tree()));
+            let mut adv = mk_adv(&tasks, Some(*prog.x_half().layout()), Some(prog.x_half().tree()));
             let budget = prog.required_budget();
             let mut m = Machine::new(&prog, P, budget).expect("machine");
             let r = m.run_with_limits(&mut adv, RunLimits::default()).expect("run");
@@ -73,16 +78,19 @@ fn main() {
     let adversaries: Vec<(&str, AdversaryMaker)> = vec![
         ("none", Box::new(|_, _, _| Box::new(NoFailures))),
         ("thrashing (Ex 2.2)", Box::new(|_, _, _| Box::new(Thrashing::new()))),
-        ("pigeonhole (Thm 3.1)",
-         Box::new(|t: &WriteAllTasks, _, _| Box::new(Pigeonhole::new(t.x())))),
-        ("random churn",
-         Box::new(|_, _, _| Box::new(RandomFaults::new(0.05, 0.5, 99)))),
-        ("x-killer (Thm 4.8)",
-         Box::new(|t: &WriteAllTasks, xl, tree| match (xl, tree) {
-             (Some(xl), Some(tree)) => Box::new(XKiller::new(t.x(), xl, tree)),
-             // The X-killer needs X's layout; degrade to thrashing elsewhere.
-             _ => Box::new(Thrashing::new()),
-         })),
+        (
+            "pigeonhole (Thm 3.1)",
+            Box::new(|t: &WriteAllTasks, _, _| Box::new(Pigeonhole::new(t.x()))),
+        ),
+        ("random churn", Box::new(|_, _, _| Box::new(RandomFaults::new(0.05, 0.5, 99)))),
+        (
+            "x-killer (Thm 4.8)",
+            Box::new(|t: &WriteAllTasks, xl, tree| match (xl, tree) {
+                (Some(xl), Some(tree)) => Box::new(XKiller::new(t.x(), xl, tree)),
+                // The X-killer needs X's layout; degrade to thrashing elsewhere.
+                _ => Box::new(Thrashing::new()),
+            }),
+        ),
     ];
 
     println!("Completed work S, Write-All N = {N}, P = {P}");

@@ -18,15 +18,14 @@ fn main() {
     let n = 1 << 16; // 65 536 cells
 
     println!("Lock-free asynchronous algorithm X, Write-All N = {n}\n");
-    println!("{:>8} {:>12} {:>14} {:>12} {:>10}", "threads", "faults", "cycles", "cycles/N", "wall");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>10}",
+        "threads", "faults", "cycles", "cycles/N", "wall"
+    );
     for threads in [1usize, 2, 4, 8] {
         for fault_rate in [0.0f64, 0.01] {
             let start = Instant::now();
-            let report = run_lockfree_x(
-                n,
-                threads,
-                LockfreeOptions { fault_rate, seed: 0xA57C },
-            );
+            let report = run_lockfree_x(n, threads, LockfreeOptions { fault_rate, seed: 0xA57C });
             let wall = start.elapsed();
             println!(
                 "{threads:>8} {:>12} {:>14} {:>12.2} {:>8.1?}",

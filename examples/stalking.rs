@@ -24,8 +24,9 @@ fn stalk_x(mode: StalkingMode) -> String {
     let mut adv = Stalking::new(tasks.x(), N - 1, mode);
     let mut m = Machine::new(&prog, P, CycleBudget::PAPER).expect("machine");
     match m.run_with_limits(&mut adv, RunLimits { max_cycles: LIMIT }) {
-        Ok(r) => format!("S = {:>8}  |F| = {:>6}", r.stats.completed_work(),
-                         r.stats.pattern_size()),
+        Ok(r) => {
+            format!("S = {:>8}  |F| = {:>6}", r.stats.completed_work(), r.stats.pattern_size())
+        }
         Err(PramError::CycleLimit { .. }) => format!("held hostage ≥ {LIMIT} cycles"),
         Err(e) => panic!("unexpected error: {e}"),
     }
@@ -38,8 +39,9 @@ fn stalk_acc(mode: StalkingMode, seed: u64) -> String {
     let mut adv = Stalking::new(tasks.x(), N - 1, mode);
     let mut m = Machine::new(&prog, P, CycleBudget::PAPER).expect("machine");
     match m.run_with_limits(&mut adv, RunLimits { max_cycles: LIMIT }) {
-        Ok(r) => format!("S = {:>8}  |F| = {:>6}", r.stats.completed_work(),
-                         r.stats.pattern_size()),
+        Ok(r) => {
+            format!("S = {:>8}  |F| = {:>6}", r.stats.completed_work(), r.stats.pattern_size())
+        }
         Err(PramError::CycleLimit { .. }) => format!("held hostage ≥ {LIMIT} cycles"),
         Err(e) => panic!("unexpected error: {e}"),
     }

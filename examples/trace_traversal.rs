@@ -10,8 +10,10 @@
 //! ```
 
 use rfsp::core::{AlgoX, WriteAllTasks, XOptions};
-use rfsp::pram::{Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView,
-                 MemoryLayout, Pid, ProcStatus, Program};
+use rfsp::pram::{
+    Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, MemoryLayout, Pid,
+    ProcStatus, Program,
+};
 
 const N: usize = 8;
 const P: usize = 8;
@@ -41,8 +43,12 @@ fn main() {
     let mut m = Machine::new(&algo, P, CycleBudget::PAPER).expect("machine");
     let mut adversary = HalfChurn;
 
-    println!("Algorithm X, N = P = {N}; heap nodes 1..{}; leaves {}..{}\n",
-             tree.heap_size() - 1, tree.leaves(), tree.heap_size() - 1);
+    println!(
+        "Algorithm X, N = P = {N}; heap nodes 1..{}; leaves {}..{}\n",
+        tree.heap_size() - 1,
+        tree.leaves(),
+        tree.heap_size() - 1
+    );
     let mut tick = 0u64;
     while !algo.is_complete(m.memory()) && tick < 200 {
         m.tick(&mut adversary).expect("tick");

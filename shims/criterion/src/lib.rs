@@ -1,0 +1,199 @@
+//! In-tree stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the criterion API subset its benches use: [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistics engine it
+//! runs a short warm-up, then a fixed measurement batch, and prints the
+//! mean wall time per iteration — enough to eyeball regressions offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup { _criterion: self, name }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IdLike,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.render(), &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IdLike,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.render()), &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.render()), &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream finalizes reports here; the shim only
+    /// mirrors the API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+/// Anything acceptable as a benchmark name (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IdLike {
+    /// Printable form of the identifier.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean time per iteration, recorded by `iter`.
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, discarding a warm-up batch first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const WARMUP: u64 = 3;
+        for _ in 0..WARMUP {
+            black_box(routine());
+        }
+        // Scale iteration count so very fast routines get a stable mean
+        // without making slow ones take forever.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / u32::try_from(iters).expect("iters <= 1000"));
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench {name}: {mean:?}/iter ({} iters)", b.iters),
+        None => println!("bench {name}: no measurement (iter was never called)"),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u64;
+        group.bench_function("f", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("g2", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

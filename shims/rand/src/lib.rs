@@ -1,0 +1,174 @@
+//! In-tree stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the rand 0.9 API it actually uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_bool`] and [`Rng::random_range`]. Streams are
+//! deterministic per seed (xoshiro256++, the same generator family real
+//! `SmallRng` uses on 64-bit targets) but are **not** guaranteed to be
+//! bit-identical to upstream rand; nothing in the workspace pins exact
+//! values of seeded random streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (API subset: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits, compared against p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types usable as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, span)` by 128-bit widening multiply (Lemire's
+/// unbiased-enough fast path; the shim favours simplicity over exact
+/// upstream bit-compatibility).
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the standard way to seed xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let equal = (0..64).all(|_| {
+            let mut a2 = SmallRng::seed_from_u64(7);
+            a2.random_range(0u64..1000) == c.random_range(0u64..1000)
+        });
+        assert!(!equal, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3i32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(1usize..=8);
+            assert!((1..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probability_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

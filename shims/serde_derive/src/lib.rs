@@ -1,0 +1,393 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`). Supported input shapes — the ones this workspace
+//! uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   sequences),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default representation).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type
+//! panics with a clear message at macro-expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim serde's `Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the shim serde's `Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+/// A parsed `struct`/`enum` item, reduced to what codegen needs.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Struct with named fields.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: `(variant name, shape)` in declaration order.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these named fields.
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, not `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Advance past outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body: `a: T, b: U, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected field name, found {:?}", tokens.get(i));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected ':' after field `{}`",
+            fields.last().expect("just pushed")
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body: `T, U, ...`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Skip one type, stopping at a top-level `,` (respects `<...>` nesting;
+/// groups are single trees so they need no special casing).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected variant name, found {:?}", tokens.get(i));
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        assert!(
+            !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '='),
+            "serde shim derive does not support explicit discriminants (variant `{name}`)"
+        );
+        variants.push((name, shape));
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// --------------------------------------------------------------------------
+// Codegen (string-built, then parsed back into a TokenStream).
+// --------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut s = String::from("let mut entries = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(entries)");
+            s
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => format!("::serde::Value::Str(\"{name}\".to_string())"),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => \
+                             ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut s = format!(
+                "let map = v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected map for struct {name}, got {{v:?}}\")))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(map, \"{f}\")?)?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let mut s = format!(
+                "let seq = v.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected sequence for {name}, got {{v:?}}\")))?;\n\
+                 if seq.len() != {n} {{ return Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", seq.len()))); }}\n\
+                 Ok({name}(\n"
+            );
+            for k in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&seq[{k}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n"));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{v}\" => {{\n\
+                             let seq = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected sequence for variant {v}\"))?;\n\
+                             if seq.len() != {n} {{ return Err(::serde::Error::custom(format!(\
+                             \"expected {n} elements for variant {v}, got {{}}\", seq.len()))); }}\n\
+                             return Ok({name}::{v}(\n"
+                        );
+                        for k in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&seq[{k}])?,\n"
+                            ));
+                        }
+                        arm.push_str("));\n},\n");
+                        tagged_arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!(
+                            "\"{v}\" => {{\n\
+                             let map = inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected map for variant {v}\"))?;\n\
+                             return Ok({name}::{v} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::field(map, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        arm.push_str("});\n},\n");
+                        tagged_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "if let Some(tag) = v.as_str() {{\n\
+                 match tag {{\n{unit_arms}\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                 if let Some(map) = v.as_map() {{\n\
+                 if map.len() == 1 {{\n\
+                 let (tag, inner) = &map[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\
+                 \"expected externally tagged {name}, got {{v:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

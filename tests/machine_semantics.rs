@@ -183,6 +183,56 @@ fn threaded_backend_matches_for_v_and_interleaved() {
     assert_eq!(seq, par);
 }
 
+/// The threaded backend emits the **identical event stream** as the
+/// sequential engine, asserted down to the exported bytes: the same
+/// recorded pattern is replayed through both backends with a
+/// `TraceRecorder` attached, and the JSONL exports must match exactly.
+#[test]
+fn threaded_event_stream_is_byte_identical_to_sequential() {
+    use rfsp::pram::{MetricsObserver, Tee, TraceRecorder};
+    let n = 180usize;
+    let p = 24usize;
+    let pattern = {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut adv = RandomFaults::new(0.2, 0.5, 0xA11CE);
+        let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        m.run(&mut adv).unwrap().pattern
+    };
+    assert!(!pattern.is_empty(), "the adversary must actually interfere");
+    let capture = |threads: Option<usize>| {
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+        let mut adv = ScheduledAdversary::new(pattern.clone());
+        let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let mut rec = TraceRecorder::unbounded();
+        let mut metrics = MetricsObserver::new(p);
+        let mut tee = Tee(&mut rec, &mut metrics);
+        let report = match threads {
+            None => m.run_observed(&mut adv, RunLimits::default(), &mut tee).unwrap(),
+            Some(t) => {
+                m.run_threaded_observed(&mut adv, RunLimits::default(), t, &mut tee).unwrap()
+            }
+        };
+        (rec.to_jsonl(), metrics.finish(), report.stats)
+    };
+    let (seq_jsonl, seq_series, seq_stats) = capture(None);
+    for threads in [1usize, 2, 5] {
+        let (par_jsonl, par_series, par_stats) = capture(Some(threads));
+        assert_eq!(par_jsonl, seq_jsonl, "event stream diverged at {threads} threads");
+        assert_eq!(par_series, seq_series, "metrics diverged at {threads} threads");
+        assert_eq!(par_stats, seq_stats);
+    }
+    // The folded series is itself consistent with the accounting.
+    let last = *seq_series.last().expect("run has ticks");
+    assert_eq!(last.s, seq_stats.completed_cycles);
+    assert_eq!(last.s_prime, seq_stats.s_prime());
+    assert_eq!(last.pattern_size, seq_stats.pattern_size());
+    assert_eq!(seq_series.completed_cycle, Some(seq_stats.parallel_time));
+}
+
 /// The per-processor decomposition of S witnesses V's balanced allocation
 /// (Theorem 3.2's rule): with no failures and P ≪ N the busiest processor
 /// does at most ~2x the average work.

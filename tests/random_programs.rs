@@ -49,8 +49,7 @@ impl SimProgram for RandomProgram {
     fn read_addr(&self, pid: usize, t: usize, regs: &Regs) -> usize {
         // Mix the register state in so addressing is data-dependent
         // (exercising the non-oblivious read path).
-        (splitmix(self.seed ^ ((pid as u64) << 32) ^ (t as u64) ^ regs.a as u64) as usize)
-            % self.n
+        (splitmix(self.seed ^ ((pid as u64) << 32) ^ (t as u64) ^ regs.a as u64) as usize) % self.n
     }
 
     fn step(&self, pid: usize, t: usize, regs: &Regs, value: u32) -> (Regs, SimWrite) {

@@ -11,9 +11,9 @@ fn check<P: SimProgram + Sync + Clone>(name: &str, prog: P, p: usize, seed: u64)
     let expected: Vec<Word> = reference_run(&prog);
     for engine in [Engine::X, Engine::V, Engine::Interleaved] {
         let mut adv = RandomFaults::new(0.08, 0.6, seed);
-        let report = simulate(prog.clone(), p, engine, &mut adv,
-                              RunLimits { max_cycles: 20_000_000 })
-            .unwrap_or_else(|e| panic!("{name}/{engine:?} failed: {e}"));
+        let report =
+            simulate(prog.clone(), p, engine, &mut adv, RunLimits { max_cycles: 20_000_000 })
+                .unwrap_or_else(|e| panic!("{name}/{engine:?} failed: {e}"));
         assert_eq!(report.memory, expected, "{name}/{engine:?} wrong output");
         assert!(
             report.run.stats.pattern_size() > 0,
@@ -50,7 +50,7 @@ fn list_ranking_under_churn() {
     let n = 40usize;
     let mut succ: Vec<usize> = (1..n).collect();
     succ.push(n - 1); // tail
-    // Interleave the chain deterministically to scramble addresses.
+                      // Interleave the chain deterministically to scramble addresses.
     let perm: Vec<usize> = (0..n).map(|i| (i * 17) % n).collect();
     let mut scrambled = vec![0usize; n];
     for i in 0..n {
@@ -84,7 +84,8 @@ fn connected_components_under_churn() {
 #[test]
 fn matvec_under_churn() {
     use rfsp::sim::programs::MatVec;
-    let a: Vec<Vec<u32>> = (0..20).map(|i| (0..6).map(|j| ((i * j + 1) % 9) as u32).collect()).collect();
+    let a: Vec<Vec<u32>> =
+        (0..20).map(|i| (0..6).map(|j| ((i * j + 1) % 9) as u32).collect()).collect();
     let x: Vec<u32> = (1..=6).collect();
     check("matvec", MatVec::new(a, x), 6, 0x12);
 }

@@ -31,8 +31,12 @@ fn run(which: Which, n: usize, p: usize, p_fail: f64, p_restart: f64, seed: u64)
             r
         }
         Which::XCounting => {
-            let prog = AlgoX::new(&mut layout, tasks, p,
-                                  XOptions { counting: true, spread_initial: true });
+            let prog = AlgoX::new(
+                &mut layout,
+                tasks,
+                p,
+                XOptions { counting: true, spread_initial: true },
+            );
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER).expect("machine");
             let r = m.run_with_limits(&mut adv, limits).expect("X-counting must terminate");
             assert!(tasks.all_written(m.memory()), "X-counting left unwritten cells");
