@@ -12,11 +12,54 @@ use rfsp_core::{
     AccOptions, AlgoAcc, AlgoV, AlgoW, AlgoX, AlgoXInPlace, Interleaved, WriteAllTasks, XOptions,
 };
 use rfsp_pram::{
-    Adversary, CycleBudget, Machine, MemoryLayout, NoopObserver, Observer, PramError, RunLimits,
-    RunReport,
+    Adversary, CycleBudget, Machine, MemoryLayout, NoopObserver, Observer, PramError, Program,
+    RunLimits, RunReport,
 };
 
 pub use telemetry::{BenchArtifact, BenchRun, TelemetrySink};
+
+/// Which tentative-phase backend drives the machine's run loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TickEngine {
+    /// The sequential engine: one OS thread plays every processor.
+    Sequential,
+    /// The persistent worker pool with this many threads (the machine
+    /// routes `threads == 1` to the sequential tentative phase).
+    Pooled {
+        /// Worker thread count.
+        threads: usize,
+    },
+}
+
+impl TickEngine {
+    /// Short display label (`seq` / `pool4`).
+    pub fn label(self) -> String {
+        match self {
+            TickEngine::Sequential => "seq".to_string(),
+            TickEngine::Pooled { threads } => format!("pool{threads}"),
+        }
+    }
+
+    fn drive<P, A>(
+        self,
+        machine: &mut Machine<'_, P>,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport, PramError>
+    where
+        P: Program + Sync,
+        P::Private: Send,
+        A: Adversary,
+    {
+        match self {
+            TickEngine::Sequential => machine.run_observed(adversary, limits, observer),
+            TickEngine::Pooled { threads } => {
+                machine.run_threaded_observed(adversary, limits, threads, observer)
+            }
+        }
+    }
+}
 
 /// Which Write-All algorithm to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -133,6 +176,37 @@ where
     F: FnOnce(&WriteAllSetup) -> A,
     A: Adversary,
 {
+    run_write_all_engine_observed(
+        algo,
+        TickEngine::Sequential,
+        n,
+        p,
+        make_adversary,
+        limits,
+        observer,
+    )
+}
+
+/// [`run_write_all_with_observed`] with an explicit [`TickEngine`]: the
+/// pooled and sequential backends produce bit-identical results, so
+/// experiments may pick whichever is faster for their size.
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+pub fn run_write_all_engine_observed<F, A>(
+    algo: Algo,
+    engine: TickEngine,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     match algo {
@@ -142,7 +216,7 @@ where
                 WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_observed(&mut adversary, limits, observer)?;
+            let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::V => {
@@ -150,7 +224,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_observed(&mut adversary, limits, observer)?;
+            let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::W => {
@@ -158,7 +232,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_observed(&mut adversary, limits, observer)?;
+            let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::Interleaved => {
@@ -171,7 +245,7 @@ where
             let mut adversary = make_adversary(&setup);
             let budget = prog.required_budget();
             let mut m = Machine::new(&prog, p, budget)?;
-            let report = m.run_observed(&mut adversary, limits, observer)?;
+            let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::XInPlace => {
@@ -179,7 +253,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_observed(&mut adversary, limits, observer)?;
+            let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
         Algo::Acc(seed) => {
@@ -187,7 +261,7 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
-            let report = m.run_observed(&mut adversary, limits, observer)?;
+            let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
     }
@@ -360,6 +434,34 @@ mod tests {
             assert!(run.verified, "{algo:?}");
             assert!(run.report.stats.completed_work() > 0);
         }
+    }
+
+    #[test]
+    fn pooled_engine_matches_sequential_runner() {
+        let seq = run_write_all_engine_observed(
+            Algo::X,
+            TickEngine::Sequential,
+            32,
+            8,
+            |_| NoFailures,
+            RunLimits::default(),
+            &mut NoopObserver,
+        )
+        .unwrap();
+        let pooled = run_write_all_engine_observed(
+            Algo::X,
+            TickEngine::Pooled { threads: 3 },
+            32,
+            8,
+            |_| NoFailures,
+            RunLimits::default(),
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert!(seq.verified && pooled.verified);
+        assert_eq!(seq.report.stats, pooled.report.stats);
+        assert_eq!(TickEngine::Pooled { threads: 3 }.label(), "pool3");
+        assert_eq!(TickEngine::Sequential.label(), "seq");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use rfsp_adversary::{
     offline_random, Budgeted, Pigeonhole, RandomFaults, Stalking, StalkingMode, Thrashing, XKiller,
 };
-use rfsp_bench::{run_write_all_with, Algo, WriteAllSetup};
-use rfsp_pram::{Adversary, NoFailures, RunLimits, ScheduledAdversary};
+use rfsp_bench::{run_write_all_engine_observed, Algo, TickEngine, WriteAllSetup};
+use rfsp_pram::{Adversary, NoFailures, NoopObserver, RunLimits, ScheduledAdversary};
 
 use crate::args::{ArgError, Args};
 use crate::pattern_io;
@@ -85,10 +85,16 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let p: usize = args.get_parsed("p", 64)?;
     let algo = parse_algo(args.get_or("algo", "x"))?;
     let max_cycles: u64 = args.get_parsed("max-cycles", RunLimits::default().max_cycles)?;
+    let threads: usize = args.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    let engine = if threads == 1 { TickEngine::Sequential } else { TickEngine::Pooled { threads } };
 
     let mut build_err = None;
-    let result = run_write_all_with(
+    let result = run_write_all_engine_observed(
         algo,
+        engine,
         n,
         p,
         |setup| match build_adversary(args, setup, n) {
@@ -99,6 +105,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             }
         },
         RunLimits { max_cycles },
+        &mut NoopObserver,
     );
     if let Some(e) = build_err {
         return Err(e);
@@ -110,6 +117,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
 
     let s = run.report.stats.completed_work();
     println!("algorithm       : {}", algo.name());
+    println!("tick engine     : {}", engine.label());
     println!("instance        : N = {n}, P = {p}");
     println!("adversary       : {}", args.get_or("adversary", "none"));
     println!("completed work S: {s}");

@@ -34,6 +34,8 @@ COMMANDS:
                --rate F --restart-rate F --seed S --fault-budget M
                --target CELL --no-restarts
                --record-pattern FILE --replay-pattern FILE --max-cycles C
+               --threads T        tick engine: 1 = sequential (default),
+                                  T > 1 = persistent worker pool
   simulate     execute a PRAM kernel fault-tolerantly (Theorem 4.1)
                --kernel prefix|sum|max|sort|listrank|matvec|components
                --n SIZE --p PROCS --engine x|v|vx
@@ -101,6 +103,15 @@ mod tests {
         ])
         .unwrap();
         dispatch(&a).unwrap();
+    }
+
+    #[test]
+    fn pooled_writeall_runs_end_to_end() {
+        let a = Args::parse(["writeall", "--n", "32", "--p", "8", "--algo", "x", "--threads", "3"])
+            .unwrap();
+        dispatch(&a).unwrap();
+        let a = Args::parse(["writeall", "--n", "32", "--p", "8", "--threads", "0"]).unwrap();
+        assert!(dispatch(&a).is_err());
     }
 
     #[test]

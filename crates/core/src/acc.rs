@@ -21,7 +21,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{
+    CompletionHint, MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet,
+};
 
 use crate::tasks::TaskSet;
 use crate::tree::HeapTree;
@@ -198,6 +200,21 @@ impl<T: TaskSet + Sync> Program for AlgoAcc<T> {
 
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         mem.peek(self.d.at(self.tree.root())) == 1
+    }
+
+    // The predicate is a single root cell; tracking it saves the machine's
+    // per-tick completion call entirely (the scan was already O(1), but the
+    // hint keeps the hot loop branch-free).
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        if addr == self.d.at(self.tree.root()) {
+            if value == 1 {
+                CompletionHint::Satisfied
+            } else {
+                CompletionHint::Outstanding
+            }
+        } else {
+            CompletionHint::Untracked
+        }
     }
 }
 

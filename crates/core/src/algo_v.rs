@@ -451,6 +451,9 @@ impl<T: TaskSet + Sync> Program for AlgoV<T> {
         step
     }
 
+    // Keeps the default `completion_hint` (untracked): completion couples
+    // the round counter with round-tagged threshold counters — not a
+    // per-cell conjunction — and the fixed-peek scan is already O(1).
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         let r = mem.peek(self.layout.round.at(0));
         if self.multi_round() && r > self.rounds {

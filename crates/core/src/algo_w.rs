@@ -304,6 +304,9 @@ impl<T: TaskSet + Sync> Program for AlgoW<T> {
         step
     }
 
+    // Keeps the default `completion_hint` (untracked): the predicate is a
+    // *threshold* over two packed counters, not a per-cell conjunction,
+    // and the two-peek scan is already O(1).
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         let done = count_for(1, mem.peek(self.layout.dv.at(2)))
             + count_for(1, mem.peek(self.layout.dv.at(3)));

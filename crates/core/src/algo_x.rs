@@ -397,6 +397,9 @@ impl<T: TaskSet + Sync> Program for AlgoX<T> {
         Step::Continue
     }
 
+    // Keeps the default `completion_hint` (untracked): the predicate is a
+    // disjunction over two cells, not a per-cell conjunction, and it is
+    // already O(1) — incremental tracking would gain nothing.
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         let root = self.tree.root();
         self.node_done(root, mem.peek(self.layout.d.at(root)), self.rounds)

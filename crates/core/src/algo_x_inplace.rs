@@ -15,7 +15,9 @@
 //! first processor to observe the root done. Shared-memory cost drops
 //! from `3N + P` cells to `N + P`.
 
-use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{
+    CompletionHint, MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet,
+};
 
 use crate::tasks::WriteAllTasks;
 use crate::tree::HeapTree;
@@ -148,6 +150,20 @@ impl Program for AlgoXInPlace {
 
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         mem.peek(self.tasks.x().at(0)) == 1
+    }
+
+    // Completion is the x[0] termination sentinel alone (Remark 7) — one
+    // tracked cell replaces the per-tick completion call.
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        if addr == self.tasks.x().at(0) {
+            if value == 1 {
+                CompletionHint::Satisfied
+            } else {
+                CompletionHint::Outstanding
+            }
+        } else {
+            CompletionHint::Untracked
+        }
     }
 }
 

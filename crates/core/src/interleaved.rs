@@ -150,6 +150,9 @@ impl<T: TaskSet + Sync + Clone> Program for Interleaved<T> {
         step
     }
 
+    // Keeps the default `completion_hint` (untracked): an OR of two
+    // sub-predicates cannot be decomposed into independent per-cell
+    // conditions, and both halves are already O(1) checks.
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         self.x.is_complete(mem) || self.v.is_complete(mem)
     }

@@ -8,7 +8,7 @@
 //! components of the PRAM steps"). [`TaskSet`] captures the contract;
 //! [`WriteAllTasks`] is the canonical instance.
 
-use rfsp_pram::{MemoryLayout, ReadSet, Region, SharedMemory, Word, WriteSet};
+use rfsp_pram::{CompletionHint, MemoryLayout, ReadSet, Region, SharedMemory, Word, WriteSet};
 
 /// An array of idempotent tasks, each executable within one update cycle.
 ///
@@ -121,6 +121,24 @@ impl WriteAllTasks {
     /// Number of cells still zero.
     pub fn unvisited(&self, mem: &SharedMemory) -> usize {
         (0..self.x.len()).filter(|&i| mem.peek(self.x.at(i)) == 0).count()
+    }
+
+    /// Per-cell decomposition of [`WriteAllTasks::all_written`] for the
+    /// machine's incremental completion tracker
+    /// ([`Program::completion_hint`](rfsp_pram::Program::completion_hint)):
+    /// array cells are satisfied once they hold 1, every other cell is
+    /// untracked. Programs whose completion predicate *is* `all_written`
+    /// delegate here.
+    pub fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        if self.x.contains(addr) {
+            if value == 1 {
+                CompletionHint::Satisfied
+            } else {
+                CompletionHint::Outstanding
+            }
+        } else {
+            CompletionHint::Untracked
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! and a deadlock under a single unrecovered failure, which is the paper's
 //! motivation in miniature (see the integration tests).
 
-use rfsp_pram::{Pid, Program, ReadSet, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{CompletionHint, Pid, Program, ReadSet, SharedMemory, Step, Word, WriteSet};
 
 use crate::tasks::{TaskSet, WriteAllTasks};
 
@@ -80,6 +80,10 @@ impl Program for TrivialAssign {
 
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         self.tasks.all_written(mem)
+    }
+
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        self.tasks.completion_hint(addr, value)
     }
 }
 

@@ -18,9 +18,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cycle::{ReadSet, WriteSet};
+use crate::cycle::{ReadSet, ValueSet, WriteSet};
 use crate::memory::SharedMemory;
-use crate::word::{Pid, Word};
+use crate::word::Pid;
 
 /// Where inside its update cycle a processor is stopped.
 ///
@@ -64,12 +64,16 @@ pub struct ProcMeta {
 /// planned, the values those reads returned, and the writes its computation
 /// produced. Available to the adversary *before* it decides failures — the
 /// strongest on-line knowledge the model allows.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Entirely inline (see [`crate::cycle`]): the machine reuses one slot per
+/// processor across ticks, so refreshing a tentative cycle never touches
+/// the heap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct TentativeCycle {
     /// Planned shared reads.
     pub reads: ReadSet,
     /// Values returned by those reads (memory state at tick start).
-    pub values: Vec<Word>,
+    pub values: ValueSet,
     /// Writes the processor will attempt, in slot order.
     pub writes: WriteSet,
     /// Whether the processor will halt at the end of this cycle.

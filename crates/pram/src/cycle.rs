@@ -7,8 +7,24 @@
 //! the constants are instruction-set parameters; [`CycleBudget`] makes them
 //! a machine parameter (the general PRAM simulation of §4.3 uses a slightly
 //! wider cycle to move register words, see `rfsp-sim`).
+//!
+//! Because cycles are tiny *by model definition*, the per-cycle containers
+//! ([`ReadSet`], [`WriteSet`], [`ValueSet`]) are inline fixed-capacity
+//! arrays rather than heap vectors: filling them in the machine's hot loop
+//! performs **zero heap allocations**. The capacities ([`MAX_READS`],
+//! [`MAX_WRITES`]) bound every budget the workspace uses (the widest is the
+//! interleaved PRAM-simulation cycle at 7 reads / 4 writes);
+//! [`Machine::new`](crate::Machine::new) rejects budgets that exceed them.
 
 use crate::word::Word;
+
+/// Inline capacity of a [`ReadSet`] / [`ValueSet`]: every [`CycleBudget`]
+/// must satisfy `reads <= MAX_READS`.
+pub const MAX_READS: usize = 8;
+
+/// Inline capacity of a [`WriteSet`]: every [`CycleBudget`] must satisfy
+/// `writes <= MAX_WRITES`.
+pub const MAX_WRITES: usize = 4;
 
 /// Per-cycle read/write limits.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -26,6 +42,12 @@ impl CycleBudget {
     /// A wider cycle used by the general PRAM simulation (moves a register
     /// word and a staged write per cycle): 6 reads, 3 writes.
     pub const SIMULATION: CycleBudget = CycleBudget { reads: 6, writes: 3 };
+
+    /// Whether this budget fits the inline cycle buffers
+    /// ([`MAX_READS`]/[`MAX_WRITES`]).
+    pub fn fits_inline(self) -> bool {
+        self.reads <= MAX_READS && self.writes <= MAX_WRITES
+    }
 }
 
 impl Default for CycleBudget {
@@ -35,9 +57,22 @@ impl Default for CycleBudget {
 }
 
 /// The shared addresses a processor reads this cycle, in order.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Stored inline (capacity [`MAX_READS`], no heap). Pushes beyond the
+/// capacity are *counted but not stored*: [`ReadSet::len`] keeps growing so
+/// the machine's budget check (every budget fits the capacity) reports
+/// [`BudgetExceeded`](crate::PramError::BudgetExceeded) instead of the
+/// overflow being silently dropped.
+#[derive(Clone, Copy, Eq)]
 pub struct ReadSet {
-    addrs: Vec<usize>,
+    addrs: [usize; MAX_READS],
+    len: usize,
+}
+
+impl Default for ReadSet {
+    fn default() -> Self {
+        ReadSet { addrs: [0; MAX_READS], len: 0 }
+    }
 }
 
 impl ReadSet {
@@ -46,53 +81,185 @@ impl ReadSet {
     /// same position.
     #[inline]
     pub fn push(&mut self, addr: usize) {
-        self.addrs.push(addr);
+        if self.len < MAX_READS {
+            self.addrs[self.len] = addr;
+        }
+        self.len += 1;
     }
 
     /// Addresses queued so far.
+    #[inline]
     pub fn addrs(&self) -> &[usize] {
-        &self.addrs
+        &self.addrs[..self.len.min(MAX_READS)]
     }
 
-    /// Number of queued reads.
+    /// Number of queued reads (including any pushed past the inline
+    /// capacity).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.len
     }
 
     /// Whether no reads are queued.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.len == 0
+    }
+
+    /// Drop all queued reads (the buffer is reused in place).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl PartialEq for ReadSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.addrs() == other.addrs()
+    }
+}
+
+impl std::fmt::Debug for ReadSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadSet").field("addrs", &self.addrs()).finish()
     }
 }
 
 /// The writes a processor emits this cycle, in order. Write *slots* matter:
 /// the adversary may stop a processor after its first write but before its
 /// second (word writes are atomic, failures fall between them).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Stored inline (capacity [`MAX_WRITES`], no heap); overflow semantics as
+/// for [`ReadSet`].
+#[derive(Clone, Copy, Eq)]
 pub struct WriteSet {
-    writes: Vec<(usize, Word)>,
+    writes: [(usize, Word); MAX_WRITES],
+    len: usize,
+}
+
+impl Default for WriteSet {
+    fn default() -> Self {
+        WriteSet { writes: [(0, 0); MAX_WRITES], len: 0 }
+    }
 }
 
 impl WriteSet {
     /// Queue a write of `value` to absolute address `addr`.
     #[inline]
     pub fn push(&mut self, addr: usize, value: Word) {
-        self.writes.push((addr, value));
+        if self.len < MAX_WRITES {
+            self.writes[self.len] = (addr, value);
+        }
+        self.len += 1;
     }
 
     /// `(address, value)` pairs queued so far.
+    #[inline]
     pub fn writes(&self) -> &[(usize, Word)] {
-        &self.writes
+        &self.writes[..self.len.min(MAX_WRITES)]
     }
 
-    /// Number of queued writes.
+    /// Number of queued writes (including any pushed past the inline
+    /// capacity).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.writes.len()
+        self.len
     }
 
     /// Whether no writes are queued.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.writes.is_empty()
+        self.len == 0
+    }
+
+    /// Drop all queued writes (the buffer is reused in place).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl PartialEq for WriteSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.writes() == other.writes()
+    }
+}
+
+impl std::fmt::Debug for WriteSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteSet").field("writes", &self.writes()).finish()
+    }
+}
+
+/// The values returned by a cycle's reads, in request order. Inline
+/// (capacity [`MAX_READS`], no heap); the machine only pushes values after
+/// its budget check, so the capacity is never exceeded in practice.
+///
+/// Dereferences to `&[Word]`, so existing slice-style consumers
+/// (`values[0]`, `values.len()`, iteration) work unchanged.
+#[derive(Clone, Copy, Eq)]
+pub struct ValueSet {
+    vals: [Word; MAX_READS],
+    len: usize,
+}
+
+impl Default for ValueSet {
+    fn default() -> Self {
+        ValueSet { vals: [0; MAX_READS], len: 0 }
+    }
+}
+
+impl ValueSet {
+    /// Append one read value.
+    #[inline]
+    pub fn push(&mut self, value: Word) {
+        debug_assert!(self.len < MAX_READS, "value set overflow");
+        if self.len < MAX_READS {
+            self.vals[self.len] = value;
+        }
+        self.len += 1;
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Word] {
+        &self.vals[..self.len.min(MAX_READS)]
+    }
+
+    /// Drop all values (the buffer is reused in place).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl std::ops::Deref for ValueSet {
+    type Target = [Word];
+    #[inline]
+    fn deref(&self) -> &[Word] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for ValueSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ValueSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<Word> for ValueSet {
+    fn from_iter<I: IntoIterator<Item = Word>>(iter: I) -> Self {
+        let mut v = ValueSet::default();
+        for w in iter {
+            v.push(w);
+        }
+        v
     }
 }
 
@@ -117,6 +284,10 @@ mod tests {
         assert_eq!(CycleBudget::default(), CycleBudget::PAPER);
         assert_eq!(CycleBudget::PAPER.reads, 4);
         assert_eq!(CycleBudget::SIMULATION.writes, 3);
+        assert!(CycleBudget::PAPER.fits_inline());
+        assert!(CycleBudget::SIMULATION.fits_inline());
+        assert!(!CycleBudget { reads: MAX_READS + 1, writes: 1 }.fits_inline());
+        assert!(!CycleBudget { reads: 1, writes: MAX_WRITES + 1 }.fits_inline());
     }
 
     #[test]
@@ -127,6 +298,9 @@ mod tests {
         assert_eq!(r.addrs(), &[9, 2]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.addrs(), &[] as &[usize]);
     }
 
     #[test]
@@ -135,5 +309,42 @@ mod tests {
         w.push(1, 10);
         w.push(0, 20);
         assert_eq!(w.writes(), &[(1, 10), (0, 20)]);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_counted_but_not_stored() {
+        let mut r = ReadSet::default();
+        for a in 0..MAX_READS + 3 {
+            r.push(a);
+        }
+        assert_eq!(r.len(), MAX_READS + 3, "len reports the overflow");
+        assert_eq!(r.addrs().len(), MAX_READS, "storage is capped");
+        let mut w = WriteSet::default();
+        for a in 0..MAX_WRITES + 2 {
+            w.push(a, 1);
+        }
+        assert_eq!(w.len(), MAX_WRITES + 2);
+        assert_eq!(w.writes().len(), MAX_WRITES);
+    }
+
+    #[test]
+    fn value_set_derefs_to_slice() {
+        let v: ValueSet = [3u64, 1, 4].into_iter().collect();
+        assert_eq!(&v[..], &[3, 1, 4]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.first(), Some(&3));
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let mut a = ReadSet::default();
+        let mut b = ReadSet::default();
+        a.push(7);
+        a.clear();
+        a.push(1);
+        b.push(1);
+        assert_eq!(a, b, "stale cells past len must not affect equality");
     }
 }

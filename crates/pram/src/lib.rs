@@ -66,6 +66,7 @@ pub mod failure;
 pub mod machine;
 pub mod memory;
 pub mod mode;
+mod pool;
 pub mod region;
 pub mod snapshot;
 pub mod trace;
@@ -75,7 +76,7 @@ pub use accounting::{RunOutcome, RunReport, WorkStats};
 pub use adversary::{
     Adversary, Decisions, FailPoint, MachineView, NoFailures, ProcMeta, ProcStatus, TentativeCycle,
 };
-pub use cycle::{CycleBudget, ReadSet, Step, WriteSet};
+pub use cycle::{CycleBudget, ReadSet, Step, ValueSet, WriteSet, MAX_READS, MAX_WRITES};
 pub use error::PramError;
 pub use failure::{FailureEvent, FailureKind, FailurePattern, ScheduledAdversary};
 pub use machine::{Machine, RunLimits};
@@ -90,6 +91,28 @@ pub use word::{Pid, Word};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, PramError>;
+
+/// How one shared-memory cell contributes to a program's completion
+/// predicate, as reported by [`Program::completion_hint`].
+///
+/// Programs whose [`Program::is_complete`] is a conjunction of independent
+/// per-cell conditions (Write-All: "every array cell holds 1") can report
+/// each cell's status here. The machine then maintains an **incremental
+/// completion tracker**: it classifies every cell once at run start and
+/// folds each committed write into an outstanding-cell counter, turning the
+/// per-tick completion check from an O(memory) scan into an O(1) counter
+/// test. See [`Program::completion_hint`] for the exact contract.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompletionHint {
+    /// The cell does not participate in completion tracking (or the
+    /// program does not support hints for it).
+    Untracked,
+    /// The cell participates and its condition is **not** satisfied at
+    /// this value.
+    Outstanding,
+    /// The cell participates and its condition is satisfied at this value.
+    Satisfied,
+}
 
 /// An algorithm for the restartable fail-stop PRAM, expressed as one update
 /// cycle per synchronous tick.
@@ -168,4 +191,33 @@ pub trait Program {
     /// memory after each tick. This is a modeling device (it is how the
     /// paper's algorithms "terminate" as a whole) and is not charged work.
     fn is_complete(&self, mem: &SharedMemory) -> bool;
+
+    /// Optional per-cell decomposition of [`is_complete`](Program::is_complete)
+    /// for **incremental completion tracking**.
+    ///
+    /// The default returns [`CompletionHint::Untracked`] for every cell, in
+    /// which case the machine evaluates `is_complete` by full scan every
+    /// tick (the legacy behaviour). A program opts in by classifying at
+    /// least one cell as tracked; the machine then counts tracked cells
+    /// whose condition is outstanding — folding each committed write into
+    /// the count — and declares completion exactly when the count reaches
+    /// zero, without calling `is_complete` in release builds (debug builds
+    /// cross-check the counter against the full scan every tick).
+    ///
+    /// Implementations must uphold:
+    ///
+    /// 1. **Purity**: the result depends only on `(addr, value)`.
+    /// 2. **Stable tracking**: whether a cell is tracked depends only on
+    ///    `addr`, never on `value`.
+    /// 3. **Equivalence**: for every reachable memory state,
+    ///    `is_complete(mem)` ⇔ no tracked cell is
+    ///    [`Outstanding`](CompletionHint::Outstanding).
+    ///
+    /// Write-All programs satisfy this naturally: array cells are tracked
+    /// (`Satisfied` iff the cell holds 1), bookkeeping cells are untracked.
+    /// Programs whose predicate is already O(1) — a root flag, a counter
+    /// threshold — gain nothing and should keep the default.
+    fn completion_hint(&self, _addr: usize, _value: Word) -> CompletionHint {
+        CompletionHint::Untracked
+    }
 }

@@ -4,29 +4,37 @@
 //!
 //! 1. **Tentative phase** — every alive processor plans its reads, reads the
 //!    memory state from the start of the tick (synchronous PRAM: nobody sees
-//!    this tick's writes), and computes its writes against a *copy* of its
-//!    private state.
+//!    this tick's writes), and computes its writes by advancing its private
+//!    state in place.
 //! 2. **Adversary phase** — the on-line adversary inspects the whole machine
 //!    (including every tentative cycle) and stops/restarts processors.
 //! 3. **Commit phase** — surviving write prefixes are merged slot by slot
 //!    under the machine's CRCW [`WriteMode`]; processors that completed
-//!    their cycle are charged and adopt their new private state; stopped
-//!    processors lose their private state.
+//!    their cycle are charged; stopped processors lose their private state.
 //!
 //! Restarts take effect at the start of the following tick. The executor
 //! enforces the model's progress condition (§2.1 2(i)): every tick with any
 //! activity must include at least one completed update cycle.
+//!
+//! The engine is built so a **steady-state tick performs no heap
+//! allocation and no thread spawn**: all per-tick buffers (tentative
+//! cycles, fates, slot merges, failure scratch) live in the [`Machine`] and
+//! are reused; the threaded backend parks a persistent
+//! [`TickPool`](crate::machine) of workers for the whole run; and programs
+//! that implement [`Program::completion_hint`] replace the per-tick
+//! O(memory) completion scan with an O(1) outstanding-cell counter.
 
 use crate::accounting::{RunOutcome, RunReport, WorkStats};
 use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
-use crate::cycle::{CycleBudget, ReadSet, Step, WriteSet};
+use crate::cycle::{CycleBudget, ReadSet, Step, MAX_READS, MAX_WRITES};
 use crate::error::{BudgetKind, PramError};
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
 use crate::memory::SharedMemory;
 use crate::mode::WriteMode;
+use crate::pool::{PoolShutdown, TickPool};
 use crate::trace::{NoopObserver, Observer, TraceEvent};
 use crate::word::{Pid, Word};
-use crate::{Program, Result};
+use crate::{CompletionHint, Program, Result};
 
 /// Safety limits for a run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,7 +67,11 @@ enum CycleFate {
     Idle,
     /// Completed the whole cycle (possibly failed *after* it completed).
     Completed,
-    /// Stopped after committing this many writes.
+    /// Stopped before its reads: the processor executed nothing this tick,
+    /// so nothing is charged — not even partial work.
+    InterruptedBeforeReads,
+    /// Stopped after its reads and local computation, with this many of its
+    /// writes committed (possibly zero: stopped before the first write).
     Interrupted { committed_writes: usize },
 }
 
@@ -76,6 +88,11 @@ pub struct Machine<'p, P: Program> {
     cycle: u64,
     stats: WorkStats,
     pattern: FailurePattern,
+    // Incremental completion tracker (see `Program::completion_hint`):
+    // whether the program opted in, and how many tracked cells are still
+    // outstanding. (Re)initialized at every `run_core` entry.
+    tracked: bool,
+    outstanding: u64,
     // Reused per-tick buffers.
     tentative: Vec<Option<TentativeCycle>>,
     meta: Vec<ProcMeta>,
@@ -84,6 +101,7 @@ pub struct Machine<'p, P: Program> {
     failed_now: Vec<bool>,
     fail_points: Vec<Option<FailPoint>>,
     restarted: Vec<bool>,
+    events: Vec<FailureEvent>,
 }
 
 impl<'p, P: Program> Machine<'p, P> {
@@ -95,10 +113,21 @@ impl<'p, P: Program> Machine<'p, P> {
     ///
     /// # Errors
     ///
-    /// [`PramError::InvalidConfig`] if `processors == 0`.
+    /// [`PramError::InvalidConfig`] if `processors == 0` or `budget` does
+    /// not fit the inline cycle buffers
+    /// ([`CycleBudget::fits_inline`]).
     pub fn new(program: &'p P, processors: usize, budget: CycleBudget) -> Result<Self> {
         if processors == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
+        }
+        if !budget.fits_inline() {
+            return Err(PramError::InvalidConfig {
+                detail: format!(
+                    "cycle budget ({} reads / {} writes) exceeds the inline capacities \
+                     ({MAX_READS} reads / {MAX_WRITES} writes)",
+                    budget.reads, budget.writes
+                ),
+            });
         }
         let mut mem = SharedMemory::new(program.shared_size());
         program.init_memory(&mut mem);
@@ -118,6 +147,8 @@ impl<'p, P: Program> Machine<'p, P> {
             cycle: 0,
             stats: WorkStats::default(),
             pattern: FailurePattern::new(),
+            tracked: false,
+            outstanding: 0,
             tentative: vec![None; processors],
             meta: Vec::with_capacity(processors),
             fates: vec![CycleFate::Idle; processors],
@@ -125,6 +156,7 @@ impl<'p, P: Program> Machine<'p, P> {
             failed_now: vec![false; processors],
             fail_points: vec![None; processors],
             restarted: vec![false; processors],
+            events: Vec::new(),
         })
     }
 
@@ -141,6 +173,9 @@ impl<'p, P: Program> Machine<'p, P> {
 
     /// Mutable shared memory, for test setup between runs.
     pub fn memory_mut(&mut self) -> &mut SharedMemory {
+        // Direct pokes bypass the completion tracker; drop it so the next
+        // run reclassifies every cell.
+        self.tracked = false;
         &mut self.mem
     }
 
@@ -218,8 +253,9 @@ impl<'p, P: Program> Machine<'p, P> {
         observer: &mut dyn Observer,
         mut tentative: impl FnMut(&mut Self) -> Result<()>,
     ) -> Result<RunReport> {
+        self.init_completion_tracker();
         loop {
-            if self.program.is_complete(&self.mem) {
+            if self.completion_reached() {
                 observer.event(TraceEvent::Completed { cycle: self.cycle });
                 return Ok(self.take_completed_report());
             }
@@ -230,6 +266,46 @@ impl<'p, P: Program> Machine<'p, P> {
             tentative(self)?;
             let decisions = self.collect_decisions(adversary);
             self.apply(decisions, observer)?;
+        }
+    }
+
+    /// Classify every shared cell via [`Program::completion_hint`] and prime
+    /// the outstanding-cell counter. The program is *tracked* iff it reports
+    /// at least one tracked cell; untracked programs keep the full-scan
+    /// completion check.
+    fn init_completion_tracker(&mut self) {
+        self.tracked = false;
+        self.outstanding = 0;
+        for addr in 0..self.mem.size() {
+            match self.program.completion_hint(addr, self.mem.peek(addr)) {
+                CompletionHint::Untracked => {}
+                CompletionHint::Outstanding => {
+                    self.tracked = true;
+                    self.outstanding += 1;
+                }
+                CompletionHint::Satisfied => {
+                    self.tracked = true;
+                }
+            }
+        }
+    }
+
+    /// O(1) completion test for tracked programs, full scan otherwise. In
+    /// debug builds the counter is cross-checked against the full scan.
+    fn completion_reached(&self) -> bool {
+        if self.tracked {
+            let done = self.outstanding == 0;
+            debug_assert_eq!(
+                done,
+                self.program.is_complete(&self.mem),
+                "completion_hint tracker diverged from is_complete at tick {} \
+                 ({} cells outstanding) — the hint contract is violated",
+                self.cycle,
+                self.outstanding,
+            );
+            done
+        } else {
+            self.program.is_complete(&self.mem)
         }
     }
 
@@ -299,7 +375,7 @@ impl<'p, P: Program> Machine<'p, P> {
     fn tentative_phase(&mut self) -> Result<()> {
         let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
         for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
-            *out = tentative_for(program, mem, budget, cycle, Pid(i), slot)?;
+            tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
         }
         Ok(())
     }
@@ -366,17 +442,17 @@ impl<'p, P: Program> Machine<'p, P> {
                     };
                     self.failed_now[pid.0] = true;
                     self.fail_points[pid.0] = Some(point);
-                    // Failing after the final write means the cycle
-                    // completed (and is charged) before the processor
-                    // stopped.
-                    self.fates[pid.0] = if committed == t.writes.len()
-                        && !matches!(point, FailPoint::BeforeReads | FailPoint::BeforeWrites)
-                    {
-                        CycleFate::Completed
-                    } else if matches!(point, FailPoint::BeforeReads) {
-                        CycleFate::Interrupted { committed_writes: usize::MAX } // marker: no reads either
-                    } else {
-                        CycleFate::Interrupted { committed_writes: committed }
+                    self.fates[pid.0] = match point {
+                        // The processor never got to its reads: the whole
+                        // cycle is a no-op and charges nothing.
+                        FailPoint::BeforeReads => CycleFate::InterruptedBeforeReads,
+                        // Failing after the final write means the cycle
+                        // completed (and is charged) before the processor
+                        // stopped.
+                        FailPoint::AfterWrite(_) if committed == t.writes.len() => {
+                            CycleFate::Completed
+                        }
+                        _ => CycleFate::Interrupted { committed_writes: committed },
                     };
                 }
             }
@@ -437,10 +513,8 @@ impl<'p, P: Program> Machine<'p, P> {
                 }
                 let survives_slot = match self.fates[i] {
                     CycleFate::Completed => true,
-                    CycleFate::Interrupted { committed_writes } => {
-                        committed_writes != usize::MAX && slot < committed_writes
-                    }
-                    CycleFate::Idle => false,
+                    CycleFate::Interrupted { committed_writes } => slot < committed_writes,
+                    CycleFate::InterruptedBeforeReads | CycleFate::Idle => false,
                 };
                 if survives_slot {
                     let (addr, value) = t.writes.writes()[slot];
@@ -451,7 +525,7 @@ impl<'p, P: Program> Machine<'p, P> {
         }
 
         // --- Charge work, update processor states, record the pattern. ---
-        let mut events: Vec<FailureEvent> = Vec::new();
+        debug_assert!(self.events.is_empty());
         for i in 0..p {
             match self.fates[i] {
                 CycleFate::Idle => {}
@@ -464,17 +538,23 @@ impl<'p, P: Program> Machine<'p, P> {
                     if t.halts {
                         self.procs[i].status = ProcStatus::Halted;
                     }
-                    // Post-cycle private state was already parked in the slot.
+                    // The post-cycle private state is already in the slot
+                    // (the tentative phase advances it in place).
+                }
+                CycleFate::InterruptedBeforeReads => {
+                    observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
+                    self.stats.interrupted_cycles += 1;
+                    // Stopped before the cycle began: zero instructions, so
+                    // zero partial work — explicitly, not via a sentinel.
                 }
                 CycleFate::Interrupted { committed_writes } => {
                     let t = self.tentative[i].as_ref().expect("interrupted cycle exists");
                     observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
                     self.stats.interrupted_cycles += 1;
-                    self.stats.partial_instructions += if committed_writes == usize::MAX {
-                        0
-                    } else {
-                        (t.reads.len() + 1 + committed_writes) as u64
-                    };
+                    // Reads and the local computation ran, plus the prefix
+                    // of writes that committed.
+                    self.stats.partial_instructions +=
+                        (t.reads.len() + 1 + committed_writes) as u64;
                 }
             }
             if self.failed_now[i] {
@@ -483,7 +563,7 @@ impl<'p, P: Program> Machine<'p, P> {
                 self.stats.failures += 1;
                 let point = self.fail_points[i].expect("failed processor has a recorded point");
                 observer.event(TraceEvent::Failure { cycle: self.cycle, pid: Pid(i), point });
-                events.push(FailureEvent {
+                self.events.push(FailureEvent {
                     kind: FailureKind::Failure { point },
                     pid: i,
                     time: self.cycle,
@@ -495,11 +575,15 @@ impl<'p, P: Program> Machine<'p, P> {
             self.procs[i].status = ProcStatus::Alive;
             self.procs[i].state = Some(self.program.on_start(Pid(i)));
             self.stats.restarts += 1;
-            events.push(FailureEvent { kind: FailureKind::Restart, pid: i, time: self.cycle + 1 });
+            self.events.push(FailureEvent {
+                kind: FailureKind::Restart,
+                pid: i,
+                time: self.cycle + 1,
+            });
         }
         // Failure events at this tick precede restart events at tick+1, so
         // pushing fails-then-restarts keeps the pattern time-ordered.
-        self.pattern.extend(events);
+        self.pattern.extend(self.events.drain(..));
 
         self.cycle += 1;
         self.stats.parallel_time = self.cycle;
@@ -510,7 +594,9 @@ impl<'p, P: Program> Machine<'p, P> {
     fn commit_slot(&mut self, observer: &mut dyn Observer) -> Result<()> {
         // Group writers by address; within an address the lowest PID comes
         // first, making ARBITRARY/PRIORITY resolution "first writer wins".
-        self.slot_writes.sort_by_key(|&(pid, addr, _)| (addr, pid));
+        // (addr, pid) keys are unique, so the unstable sort is
+        // deterministic.
+        self.slot_writes.sort_unstable_by_key(|&(pid, addr, _)| (addr, pid));
         let mut i = 0;
         while i < self.slot_writes.len() {
             let (pid, addr, value) = self.slot_writes[i];
@@ -534,13 +620,29 @@ impl<'p, P: Program> Machine<'p, P> {
                     }
                     WriteMode::Arbitrary | WriteMode::Priority => {
                         // chosen stays: lowest PID wins and writers are in
-                        // PID order within equal addresses (see sort below).
+                        // PID order within equal addresses (see sort above).
                     }
                     WriteMode::Exclusive => {
                         return Err(PramError::ExclusiveWriteConflict { addr, cycle: self.cycle });
                     }
                 }
                 j += 1;
+            }
+            if self.tracked {
+                // Fold the committed write into the outstanding-cell
+                // counter *before* the store (the old value is still
+                // visible).
+                let old = self.program.completion_hint(addr, self.mem.peek(addr));
+                let new = self.program.completion_hint(addr, chosen.1);
+                match (old, new) {
+                    (CompletionHint::Outstanding, CompletionHint::Satisfied) => {
+                        self.outstanding -= 1;
+                    }
+                    (CompletionHint::Satisfied, CompletionHint::Outstanding) => {
+                        self.outstanding += 1;
+                    }
+                    _ => {}
+                }
             }
             self.mem.store(addr, chosen.1)?;
             observer.event(TraceEvent::Commit { cycle: self.cycle, addr, value: chosen.1 });
@@ -552,11 +654,15 @@ impl<'p, P: Program> Machine<'p, P> {
 
 /// Tentatively play one update cycle for processor `pid` against `mem`.
 ///
-/// Returns `None` if the processor is not alive. On success the processor's
-/// *post-cycle* private state is parked in its slot; `apply` drops it if the
-/// adversary interrupts the cycle (the model has no partial-progress private
-/// memory: a failed processor loses its state entirely, a surviving one
-/// adopts the post-cycle state).
+/// Sets `*out` to `None` if the processor is not alive; otherwise refills
+/// the slot's [`TentativeCycle`] buffers in place (no allocation — every
+/// buffer is inline, see [`crate::cycle`]).
+///
+/// The private state is advanced **in place**: the pre-cycle state is never
+/// needed afterwards, because `apply` either adopts the post-cycle state
+/// (cycle completed) or discards the state entirely (the adversary stopped
+/// the processor, and a stopped processor loses its private memory — the
+/// model has no partial-progress private state).
 fn tentative_for<P: Program>(
     program: &P,
     mem: &SharedMemory,
@@ -564,27 +670,32 @@ fn tentative_for<P: Program>(
     cycle: u64,
     pid: Pid,
     slot: &mut ProcSlot<P::Private>,
-) -> Result<Option<TentativeCycle>> {
+    out: &mut Option<TentativeCycle>,
+) -> Result<()> {
     if slot.status != ProcStatus::Alive {
-        return Ok(None);
+        *out = None;
+        return Ok(());
     }
-    let mut state = slot.state.clone().expect("alive processor must have private state");
+    let state = slot.state.as_mut().expect("alive processor must have private state");
+    let t = out.get_or_insert_with(TentativeCycle::default);
+    t.reads.clear();
+    t.values.clear();
+    t.writes.clear();
+    t.halts = false;
     // Drive the plan chain: reads within a cycle may depend on values read
     // earlier in the same cycle (ordinary sequential instructions).
-    let mut all_reads = ReadSet::default();
-    let mut values: Vec<crate::word::Word> = Vec::new();
     loop {
         let mut batch = ReadSet::default();
-        program.plan(pid, &state, &values, &mut batch);
+        program.plan(pid, state, &t.values, &mut batch);
         if batch.is_empty() {
             break;
         }
-        if all_reads.len() + batch.len() > budget.reads {
+        if t.reads.len() + batch.len() > budget.reads {
             return Err(PramError::BudgetExceeded {
                 pid,
                 cycle,
                 kind: BudgetKind::Reads,
-                used: all_reads.len() + batch.len(),
+                used: t.reads.len() + batch.len(),
                 limit: budget.reads,
             });
         }
@@ -592,30 +703,55 @@ fn tentative_for<P: Program>(
             if addr >= mem.size() {
                 return Err(PramError::AddressOutOfBounds { addr, size: mem.size() });
             }
-            values.push(mem.peek(addr));
-            all_reads.push(addr);
+            t.values.push(mem.peek(addr));
+            t.reads.push(addr);
         }
     }
-    let reads = all_reads;
-    let mut writes = WriteSet::default();
-    let step = program.execute(pid, &mut state, &values, &mut writes);
-    if writes.len() > budget.writes {
+    let step = program.execute(pid, state, &t.values, &mut t.writes);
+    if t.writes.len() > budget.writes {
         return Err(PramError::BudgetExceeded {
             pid,
             cycle,
             kind: BudgetKind::Writes,
-            used: writes.len(),
+            used: t.writes.len(),
             limit: budget.writes,
         });
     }
-    for &(addr, _) in writes.writes() {
+    for &(addr, _) in t.writes.writes() {
         if addr >= mem.size() {
             return Err(PramError::AddressOutOfBounds { addr, size: mem.size() });
         }
     }
-    slot.state = Some(state);
-    Ok(Some(TentativeCycle { reads, values, writes, halts: matches!(step, Step::Halt) }))
+    t.halts = matches!(step, Step::Halt);
+    Ok(())
 }
+
+/// Raw-pointer wrapper for handing per-processor slots to pool workers.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derives would demand `T: Copy`, but the pointer itself
+// is always copyable.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    // Accessor (not field access) so closures capture the whole wrapper —
+    // Rust 2021's field-precise capture would otherwise grab the bare
+    // non-Sync pointer.
+    fn ptr(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: every worker dereferences only the indices of its claimed chunks,
+// and the pool's cursor hands out disjoint chunks — no two workers ever
+// alias the same element.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<'p, P> Machine<'p, P>
 where
@@ -623,9 +759,15 @@ where
     P::Private: Send,
 {
     /// Like [`Machine::run_with_limits`], but the tentative phase of every
-    /// tick is computed by `threads` worker threads over disjoint processor
-    /// ranges (the adversary and commit phases stay serial, preserving the
-    /// exact semantics and determinism of the sequential engine).
+    /// tick is computed by a persistent pool of `threads` worker threads
+    /// claiming chunks of the processor range (the adversary and commit
+    /// phases stay serial, preserving the exact semantics and determinism
+    /// of the sequential engine).
+    ///
+    /// The workers are spawned **once per run** and parked between ticks,
+    /// so a steady-state tick performs no thread spawns. `threads == 1`
+    /// routes to the sequential tentative phase — same results, none of the
+    /// pool's synchronization overhead.
     ///
     /// This is the "real concurrency" backend: results are bit-identical to
     /// [`Machine::run`] for the same program and adversary.
@@ -647,7 +789,7 @@ where
     /// sequential engine's run loop ([`Machine::run_observed`]), so for the
     /// same program and adversary both backends emit the **identical**
     /// sequence of [`TraceEvent`]s — only the tentative phase is farmed out
-    /// to worker threads.
+    /// to the worker pool.
     ///
     /// # Errors
     ///
@@ -663,45 +805,41 @@ where
         if threads == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
         }
-        self.run_core(adversary, limits, observer, |m| m.tentative_phase_threaded(threads))
+        if threads == 1 {
+            // A one-thread pool would pay wake/park synchronization for no
+            // parallelism; the sequential phase is the same computation.
+            return self.run_core(adversary, limits, observer, |m| m.tentative_phase());
+        }
+        let pool = TickPool::new(threads);
+        std::thread::scope(|scope| {
+            let _shutdown = PoolShutdown(&pool);
+            for _ in 0..threads {
+                scope.spawn(|| pool.worker());
+            }
+            self.run_core(adversary, limits, observer, |m| m.tentative_phase_pooled(&pool))
+        })
     }
 
-    /// Parallel tentative phase: processors are split into `threads` chunks,
-    /// each handled by a scoped worker against the shared tick-start memory.
-    fn tentative_phase_threaded(&mut self, threads: usize) -> Result<()> {
+    /// Parallel tentative phase: pool workers claim chunks of the processor
+    /// range from the shared cursor and fill the corresponding tentative
+    /// slots.
+    fn tentative_phase_pooled(&mut self, pool: &TickPool) -> Result<()> {
         let p = self.procs.len();
-        let chunk = p.div_ceil(threads);
         let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
-        let first_err: std::sync::Mutex<Option<PramError>> = std::sync::Mutex::new(None);
-        std::thread::scope(|scope| {
-            for (ci, (proc_chunk, tent_chunk)) in
-                self.procs.chunks_mut(chunk).zip(self.tentative.chunks_mut(chunk)).enumerate()
-            {
-                let first_err = &first_err;
-                scope.spawn(move || {
-                    let base = ci * chunk;
-                    for (k, (slot, out)) in
-                        proc_chunk.iter_mut().zip(tent_chunk.iter_mut()).enumerate()
-                    {
-                        match tentative_for(program, mem, budget, cycle, Pid(base + k), slot) {
-                            Ok(t) => *out = t,
-                            Err(e) => {
-                                let mut guard =
-                                    first_err.lock().expect("tentative worker panicked");
-                                if guard.is_none() {
-                                    *guard = Some(e);
-                                }
-                                return;
-                            }
-                        }
-                    }
-                });
+        let procs = SendPtr(self.procs.as_mut_ptr());
+        let tentative = SendPtr(self.tentative.as_mut_ptr());
+        pool.run_tick(p, &move |start: usize, end: usize| {
+            for i in start..end {
+                // SAFETY: the pool's cursor hands out disjoint [start, end)
+                // chunks within 0..p, so slot `i` is touched by exactly one
+                // worker this tick; `run_tick` blocks until every worker is
+                // done, so the pointers outlive all dereferences.
+                let slot = unsafe { &mut *procs.ptr().add(i) };
+                let out = unsafe { &mut *tentative.ptr().add(i) };
+                tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
             }
-        });
-        match first_err.into_inner().expect("tentative worker panicked") {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+            Ok(())
+        })
     }
 }
 
@@ -709,6 +847,7 @@ where
 mod tests {
     use super::*;
     use crate::adversary::{Decisions, NoFailures};
+    use crate::cycle::WriteSet;
     use crate::Program;
 
     /// Each processor repeatedly increments its own cell until it reaches
@@ -788,6 +927,47 @@ mod tests {
         assert_eq!(report.stats.parallel_time, 4);
         // S' = S + interrupted.
         assert_eq!(report.stats.s_prime(), 6);
+    }
+
+    /// Stops P1 once `BeforeWrites` (cycle 0) and once `BeforeReads`
+    /// (cycle 2), restarting it after each.
+    struct TwoStops;
+    impl Adversary for TwoStops {
+        fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
+            let mut d = Decisions::none();
+            match view.cycle {
+                0 => {
+                    d.fail(Pid(1), FailPoint::BeforeWrites);
+                }
+                1 | 3 => {
+                    d.restart(Pid(1));
+                }
+                2 => {
+                    d.fail(Pid(1), FailPoint::BeforeReads);
+                }
+                _ => {}
+            }
+            d
+        }
+    }
+
+    /// Pins the `S'` partial-work accounting per fail point: a cycle
+    /// stopped `BeforeWrites` is charged its reads and computation
+    /// (`reads + 1 + 0`), a cycle stopped `BeforeReads` executed nothing
+    /// and is charged 0 (via `CycleFate::InterruptedBeforeReads`, not a
+    /// sentinel).
+    #[test]
+    fn partial_instructions_distinguish_fail_points() {
+        let prog = Counter { n: 2, target: 2 };
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let report = m.run(&mut TwoStops).unwrap();
+        assert_eq!(report.stats.interrupted_cycles, 2);
+        // Cycle 0 (BeforeWrites): 1 read + 1 compute + 0 writes = 2.
+        // Cycle 2 (BeforeReads): 0.
+        assert_eq!(report.stats.partial_instructions, 2);
+        assert_eq!(report.stats.failures, 2);
+        assert_eq!(report.stats.restarts, 2);
+        assert_eq!(m.memory().peek(1), 2);
     }
 
     /// Write-conflict program: both processors write different values to
@@ -946,6 +1126,19 @@ mod tests {
     }
 
     #[test]
+    fn oversized_budget_is_rejected() {
+        let prog = Counter { n: 1, target: 1 };
+        assert!(matches!(
+            Machine::new(&prog, 1, CycleBudget { reads: MAX_READS + 1, writes: 1 }),
+            Err(PramError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Machine::new(&prog, 1, CycleBudget { reads: 1, writes: MAX_WRITES + 1 }),
+            Err(PramError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
     fn threaded_run_matches_sequential() {
         let prog = Counter { n: 16, target: 5 };
         let mut seq = Machine::new(&prog, 16, CycleBudget::PAPER).unwrap();
@@ -957,6 +1150,20 @@ mod tests {
         assert_eq!(seq.memory().as_slice(), par.memory().as_slice());
     }
 
+    /// `threads == 1` routes to the sequential tentative phase (no pool)
+    /// and reports identical stats.
+    #[test]
+    fn single_threaded_run_matches_sequential() {
+        let prog = Counter { n: 8, target: 4 };
+        let mut seq = Machine::new(&prog, 8, CycleBudget::PAPER).unwrap();
+        let seq_report = seq.run(&mut OneHiccup).unwrap();
+        let mut one = Machine::new(&prog, 8, CycleBudget::PAPER).unwrap();
+        let one_report = one.run_threaded(&mut OneHiccup, RunLimits::default(), 1).unwrap();
+        assert_eq!(seq_report.stats, one_report.stats);
+        assert_eq!(seq_report.pattern, one_report.pattern);
+        assert_eq!(seq.memory().as_slice(), one.memory().as_slice());
+    }
+
     #[test]
     fn threaded_run_rejects_zero_threads() {
         let prog = Counter { n: 2, target: 1 };
@@ -965,6 +1172,74 @@ mod tests {
             m.run_threaded(&mut NoFailures, RunLimits::default(), 0),
             Err(PramError::InvalidConfig { .. })
         ));
+    }
+
+    /// Counter with an incremental completion hint: cell `i` is satisfied
+    /// once it reaches `target`.
+    struct HintedCounter {
+        n: usize,
+        target: Word,
+    }
+
+    impl Program for HintedCounter {
+        type Private = ();
+        fn shared_size(&self) -> usize {
+            self.n
+        }
+        fn on_start(&self, _pid: Pid) {}
+        fn plan(&self, pid: Pid, _st: &(), values: &[Word], reads: &mut ReadSet) {
+            if values.is_empty() {
+                reads.push(pid.0);
+            }
+        }
+        fn execute(&self, pid: Pid, _st: &mut (), vals: &[Word], writes: &mut WriteSet) -> Step {
+            if vals[0] >= self.target {
+                return Step::Halt;
+            }
+            writes.push(pid.0, vals[0] + 1);
+            Step::Continue
+        }
+        fn is_complete(&self, mem: &SharedMemory) -> bool {
+            (0..self.n).all(|i| mem.peek(i) >= self.target)
+        }
+        fn completion_hint(&self, _addr: usize, value: Word) -> CompletionHint {
+            if value >= self.target {
+                CompletionHint::Satisfied
+            } else {
+                CompletionHint::Outstanding
+            }
+        }
+    }
+
+    /// The tracked engine must behave exactly like the full-scan engine
+    /// (the run_core debug_assert also cross-checks the counter against
+    /// `is_complete` every tick).
+    #[test]
+    fn completion_hint_matches_full_scan() {
+        let plain = Counter { n: 4, target: 3 };
+        let mut m1 = Machine::new(&plain, 4, CycleBudget::PAPER).unwrap();
+        let r1 = m1.run(&mut OneHiccup).unwrap();
+        let hinted = HintedCounter { n: 4, target: 3 };
+        let mut m2 = Machine::new(&hinted, 4, CycleBudget::PAPER).unwrap();
+        let r2 = m2.run(&mut OneHiccup).unwrap();
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(m1.memory().as_slice(), m2.memory().as_slice());
+    }
+
+    /// The tracker must survive a second run on the same machine (it is
+    /// re-primed from memory at every `run_core` entry).
+    #[test]
+    fn completion_tracker_reinitializes_between_runs() {
+        let hinted = HintedCounter { n: 2, target: 1 };
+        let mut m = Machine::new(&hinted, 2, CycleBudget::PAPER).unwrap();
+        m.run(&mut NoFailures).unwrap();
+        for i in 0..2 {
+            m.memory_mut().poke(i, 0);
+        }
+        let report = m.run(&mut NoFailures).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        assert_eq!(m.memory().peek(0), 1);
+        assert_eq!(m.memory().peek(1), 1);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! The persistent tick pool behind the threaded engine.
+//!
+//! [`Machine::run_threaded`](crate::Machine::run_threaded) used to spawn a
+//! fresh set of scoped OS threads **every tick**; at millions of ticks per
+//! run the spawn/join cost dominated. [`TickPool`] replaces that with
+//! long-lived workers created once per run:
+//!
+//! * workers park on a condvar between ticks;
+//! * each tick the coordinator publishes one *job* (a borrowed closure
+//!   processing a half-open index range), bumps an epoch and wakes
+//!   everyone;
+//! * workers claim chunks of the index space from a shared atomic cursor
+//!   (`fetch_add`), so a straggler chunk cannot serialize the tick;
+//! * the coordinator blocks until every worker has drained the cursor and
+//!   gone back to sleep, then reclaims exclusive access to the machine.
+//!
+//! A steady-state tick therefore performs **no thread spawns and no heap
+//! allocations** — the only per-tick synchronization is one mutex/condvar
+//! round-trip per worker plus the cursor traffic.
+//!
+//! # Safety protocol
+//!
+//! The job closure is published to the workers as a lifetime-erased raw
+//! pointer. This is sound because [`TickPool::run_tick`] does not return
+//! until every worker has finished the epoch (`active == 0`) and the job
+//! pointer is cleared under the same lock before the borrow it was created
+//! from ends. Workers never hold the pointer across epochs.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::error::PramError;
+
+/// The per-tick work item: process indices `[start, end)`.
+type Job<'a> = dyn Fn(usize, usize) -> Result<(), PramError> + Sync + 'a;
+
+/// Lifetime-erased pointer to the current tick's [`Job`].
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job<'static>);
+
+// SAFETY: the pointee is `Sync` (workers only get `&Job`) and the pool's
+// epoch protocol guarantees it outlives every dereference (see module docs).
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Incremented once per published job; workers run at most one claim
+    /// loop per epoch.
+    epoch: u64,
+    /// The current job, present exactly while an epoch is in flight.
+    job: Option<JobPtr>,
+    /// Workers that have not yet finished the current epoch.
+    active: usize,
+    /// Set once at the end of the run; parked workers exit.
+    shutdown: bool,
+    /// First error any worker hit this epoch.
+    err: Option<PramError>,
+}
+
+/// Shared coordination state for one run's worker pool. Lives on the
+/// coordinator's stack; workers borrow it through the thread scope.
+pub(crate) struct TickPool {
+    state: Mutex<PoolState>,
+    /// Wakes parked workers when a new epoch (or shutdown) is published.
+    work: Condvar,
+    /// Wakes the coordinator when the last worker finishes an epoch.
+    done: Condvar,
+    /// Next unclaimed index of the current epoch.
+    cursor: AtomicUsize,
+    /// Cooperative abort: set by the first worker that errors.
+    stop: AtomicBool,
+    /// Index-space length of the current epoch.
+    len: AtomicUsize,
+    /// Chunk size workers claim per `fetch_add`.
+    chunk: AtomicUsize,
+    threads: usize,
+}
+
+impl TickPool {
+    /// A pool coordinating `threads` workers (callers spawn the workers and
+    /// point them at [`TickPool::worker`]).
+    pub(crate) fn new(threads: usize) -> Self {
+        debug_assert!(threads >= 2, "one thread should use the sequential engine");
+        TickPool {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+                err: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            len: AtomicUsize::new(0),
+            chunk: AtomicUsize::new(1),
+            threads,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().expect("tick pool poisoned: a worker panicked")
+    }
+
+    /// Execute `job` over the index space `[0, len)` on the pool's workers
+    /// and block until every index has been processed (or a worker
+    /// errored). Callers regain exclusive access to everything the job
+    /// borrows once this returns.
+    pub(crate) fn run_tick(&self, len: usize, job: &Job<'_>) -> Result<(), PramError> {
+        if len == 0 {
+            return Ok(());
+        }
+        // Chunks are sized to give each worker several claims per tick —
+        // dynamic enough to absorb uneven cycles, coarse enough to keep
+        // cursor traffic negligible.
+        let chunk = len.div_ceil(self.threads * 4).max(1);
+        self.cursor.store(0, Ordering::Relaxed);
+        self.stop.store(false, Ordering::Relaxed);
+        self.len.store(len, Ordering::Relaxed);
+        self.chunk.store(chunk, Ordering::Relaxed);
+        {
+            let mut st = self.lock();
+            // SAFETY (lifetime erasure): cleared below before `job`'s
+            // borrow ends; workers only dereference between the epoch bump
+            // and their `active` decrement.
+            let erased: *const Job<'static> = unsafe { std::mem::transmute(job as *const Job<'_>) };
+            st.job = Some(JobPtr(erased));
+            st.epoch += 1;
+            st.active = self.threads;
+            self.work.notify_all();
+        }
+        let mut st = self.lock();
+        while st.active != 0 {
+            st = self.done.wait(st).expect("tick pool poisoned: a worker panicked");
+        }
+        st.job = None;
+        match st.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Tell parked workers to exit. Idempotent; called by the run guard
+    /// (including on unwind) so the surrounding thread scope can join.
+    pub(crate) fn shutdown(&self) {
+        let mut st = self.lock();
+        st.shutdown = true;
+        self.work.notify_all();
+    }
+
+    /// Body of one pool worker: park until an epoch (or shutdown) is
+    /// published, claim chunks from the cursor, report back.
+    pub(crate) fn worker(&self) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = self.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        break st.job.expect("epoch published without a job");
+                    }
+                    st = self.work.wait(st).expect("tick pool poisoned: coordinator panicked");
+                }
+            };
+            let len = self.len.load(Ordering::Relaxed);
+            let chunk = self.chunk.load(Ordering::Relaxed);
+            // SAFETY: see module docs — the coordinator keeps the pointee
+            // alive until `active` reaches zero.
+            let f = unsafe { &*job.0 };
+            while !self.stop.load(Ordering::Relaxed) {
+                let start = self.cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                if let Err(e) = f(start, (start + chunk).min(len)) {
+                    self.stop.store(true, Ordering::Relaxed);
+                    let mut st = self.lock();
+                    if st.err.is_none() {
+                        st.err = Some(e);
+                    }
+                    break;
+                }
+            }
+            let mut st = self.lock();
+            st.active -= 1;
+            if st.active == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Shuts the pool down when dropped, so worker threads exit and the
+/// enclosing `thread::scope` can join even if the run loop unwinds.
+pub(crate) struct PoolShutdown<'a>(pub(crate) &'a TickPool);
+
+impl Drop for PoolShutdown<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_processes_every_index_exactly_once() {
+        let pool = TickPool::new(3);
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            let _guard = PoolShutdown(&pool);
+            for _ in 0..3 {
+                scope.spawn(|| pool.worker());
+            }
+            for _ in 0..50 {
+                let job = |start: usize, end: usize| {
+                    for h in &hits[start..end] {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                };
+                pool.run_tick(hits.len(), &job).unwrap();
+            }
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn pool_reports_the_first_error() {
+        let pool = TickPool::new(2);
+        let err = std::thread::scope(|scope| {
+            let _guard = PoolShutdown(&pool);
+            for _ in 0..2 {
+                scope.spawn(|| pool.worker());
+            }
+            let job = |start: usize, _end: usize| {
+                if start >= 8 {
+                    Err(PramError::AddressOutOfBounds { addr: start, size: 8 })
+                } else {
+                    Ok(())
+                }
+            };
+            pool.run_tick(64, &job).unwrap_err()
+        });
+        assert!(matches!(err, PramError::AddressOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn empty_tick_is_a_noop() {
+        let pool = TickPool::new(2);
+        std::thread::scope(|scope| {
+            let _guard = PoolShutdown(&pool);
+            for _ in 0..2 {
+                scope.spawn(|| pool.worker());
+            }
+            pool.run_tick(0, &|_, _| Ok(())).unwrap();
+        });
+    }
+}

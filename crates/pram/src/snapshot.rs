@@ -14,7 +14,7 @@
 
 use crate::accounting::{RunOutcome, RunReport, WorkStats};
 use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
-use crate::cycle::{ReadSet, Step, WriteSet};
+use crate::cycle::{ReadSet, Step, ValueSet, WriteSet};
 use crate::error::PramError;
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
 use crate::machine::RunLimits;
@@ -182,7 +182,7 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
                 }
                 tentative[i] = Some(TentativeCycle {
                     reads: ReadSet::default(),
-                    values: Vec::new(),
+                    values: ValueSet::default(),
                     writes,
                     halts: matches!(step, Step::Halt),
                 });

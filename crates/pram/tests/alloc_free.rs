@@ -1,0 +1,119 @@
+//! Steady-state allocation accounting for the tick engines.
+//!
+//! The engines are designed so that after warm-up every tick runs without
+//! touching the heap: tentative cycles reuse inline `ReadSet`/`WriteSet`
+//! buffers, the failure-event staging vector is hoisted onto the machine,
+//! and the pooled engine parks persistent workers instead of spawning
+//! threads. A counting `#[global_allocator]` pins that down: the
+//! sequential engine must allocate *exactly zero* times across a batch of
+//! steady-state ticks, and a pooled run's allocation total must not grow
+//! with the number of ticks.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rfsp_pram::{
+    CycleBudget, Machine, NoFailures, Pid, Program, ReadSet, RunLimits, SharedMemory, Step, Word,
+    WriteSet,
+};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no side effects
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Serializes the two measurements so neither sees the other's heap
+/// traffic (libtest may run them on separate threads).
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Each processor increments its own cell once per tick until every cell
+/// reaches `target`: the run lasts exactly `target` full-width ticks.
+struct Grind {
+    n: usize,
+    target: Word,
+}
+
+impl Program for Grind {
+    type Private = ();
+    fn shared_size(&self) -> usize {
+        self.n
+    }
+    fn on_start(&self, _pid: Pid) {}
+    fn plan(&self, pid: Pid, _st: &(), values: &[Word], reads: &mut ReadSet) {
+        if values.is_empty() {
+            reads.push(pid.0 % self.n);
+        }
+    }
+    fn execute(&self, pid: Pid, _st: &mut (), values: &[Word], writes: &mut WriteSet) -> Step {
+        if values[0] < self.target {
+            writes.push(pid.0 % self.n, values[0] + 1);
+        }
+        Step::Continue
+    }
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        (0..self.n).all(|i| mem.peek(i) >= self.target)
+    }
+}
+
+#[test]
+fn sequential_steady_state_ticks_do_not_allocate() {
+    let _guard = MEASURE.lock().unwrap();
+    let p = 16;
+    let prog = Grind { n: p, target: 1 << 20 };
+    let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+    // Warm up: first ticks grow the reusable buffers (tentative slots,
+    // adversary metadata) to their steady-state capacity.
+    for _ in 0..8 {
+        m.tick(&mut NoFailures).unwrap();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        m.tick(&mut NoFailures).unwrap();
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "sequential steady-state ticks allocated {delta} times");
+}
+
+#[test]
+fn pooled_allocations_do_not_grow_with_tick_count() {
+    let _guard = MEASURE.lock().unwrap();
+    let p = 16;
+    let threads = 3;
+    let measure = |target: Word| {
+        let prog = Grind { n: p, target };
+        let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        m.run_threaded(&mut NoFailures, RunLimits::default(), threads).unwrap();
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+    let short = measure(16);
+    let long = measure(16 + 512);
+    // Same machine size and thread count: all allocations happen during
+    // setup (thread spawns, report assembly), none per tick. Allow a few
+    // counts of slack for lazy OS/runtime initialization on first use.
+    assert!(
+        long <= short + 16,
+        "allocations grew with tick count: {short} for 16 ticks vs {long} for 528"
+    );
+}

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use rfsp_pram::{
     CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, Machine, MemoryLayout, Pid,
-    Program, ReadSet, RunLimits, ScheduledAdversary, SharedMemory, Step, Word, WriteMode, WriteSet,
+    Program, ReadSet, RunLimits, ScheduledAdversary, SharedMemory, Step, TraceRecorder, Word,
+    WriteMode, WriteSet,
 };
 
 proptest! {
@@ -83,6 +84,41 @@ impl Program for Grind {
     }
 }
 
+/// Build a *legal* pre-committed fault schedule from raw fuzz input:
+/// alternating fails/restarts respecting per-processor liveness, with
+/// processor 0 immune and everyone revived at the end so the computation
+/// can finish (cells are per-processor, so a permanently dead processor
+/// would leave its cell short forever).
+fn legal_schedule(p: usize, raw: Vec<(usize, bool)>) -> FailurePattern {
+    let mut alive = vec![true; p];
+    let mut pattern = FailurePattern::new();
+    let raw_len = raw.len();
+    for (t, (pid_raw, restart)) in raw.into_iter().enumerate() {
+        let pid = pid_raw % p;
+        if pid == 0 {
+            continue; // keep processor 0 immune for liveness
+        }
+        if alive[pid] && !restart {
+            alive[pid] = false;
+            pattern.push(FailureEvent {
+                kind: FailureKind::Failure { point: FailPoint::BeforeWrites },
+                pid,
+                time: t as u64,
+            });
+        } else if !alive[pid] && restart {
+            alive[pid] = true;
+            pattern.push(FailureEvent { kind: FailureKind::Restart, pid, time: t as u64 + 1 });
+        }
+    }
+    let heal_time = raw_len as u64 + 2;
+    for (pid, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
+            pattern.push(FailureEvent { kind: FailureKind::Restart, pid, time: heal_time });
+        }
+    }
+    pattern
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
@@ -96,45 +132,7 @@ proptest! {
         raw in proptest::collection::vec((1usize..20, any::<bool>()), 0..60),
         mode_arbitrary in any::<bool>(),
     ) {
-        // Build a legal schedule: alternate fails/restarts respecting
-        // per-processor liveness.
-        let mut alive = vec![true; p];
-        let mut pattern = FailurePattern::new();
-        let raw_len = raw.len();
-        for (t, (pid_raw, restart)) in raw.into_iter().enumerate() {
-            let pid = pid_raw % p;
-            if pid == 0 {
-                continue; // keep processor 0 immune for liveness
-            }
-            if alive[pid] && !restart {
-                alive[pid] = false;
-                pattern.push(FailureEvent {
-                    kind: FailureKind::Failure { point: FailPoint::BeforeWrites },
-                    pid,
-                    time: t as u64,
-                });
-            } else if !alive[pid] && restart {
-                alive[pid] = true;
-                pattern.push(FailureEvent {
-                    kind: FailureKind::Restart,
-                    pid,
-                    time: t as u64 + 1,
-                });
-            }
-        }
-        // Heal the schedule: revive everyone still down so the computation
-        // can finish (cells are per-processor, so a permanently dead
-        // processor would leave its cell short forever).
-        let heal_time = raw_len as u64 + 2;
-        for (pid, &is_alive) in alive.iter().enumerate() {
-            if !is_alive {
-                pattern.push(FailureEvent {
-                    kind: FailureKind::Restart,
-                    pid,
-                    time: heal_time,
-                });
-            }
-        }
+        let pattern = legal_schedule(p, raw);
         let prog = Grind { n: p, target };
         let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
         if mode_arbitrary {
@@ -150,5 +148,46 @@ proptest! {
         // Accounting sanity.
         prop_assert!(report.stats.s_prime()
             <= report.stats.completed_work() + report.stats.pattern_size());
+    }
+
+    /// The pooled tick engine is observationally identical to the
+    /// sequential one: byte-identical event streams, equal stats and
+    /// failure pattern, and the same final memory — for every legal fault
+    /// schedule and every pool width. This is the machine-level guarantee
+    /// that lets experiments pick an engine purely on speed.
+    #[test]
+    fn pooled_engine_is_bit_identical_to_sequential(
+        p in 1usize..20,
+        target in 1u64..6,
+        threads in 2usize..5,
+        raw in proptest::collection::vec((1usize..20, any::<bool>()), 0..60),
+    ) {
+        let pattern = legal_schedule(p, raw);
+        let prog = Grind { n: p, target };
+        let limits = RunLimits { max_cycles: 1_000_000 };
+
+        let mut seq_trace = TraceRecorder::unbounded();
+        let mut seq_machine = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let seq = seq_machine
+            .run_observed(&mut ScheduledAdversary::new(pattern.clone()), limits, &mut seq_trace)
+            .unwrap();
+        let seq_mem: Vec<Word> = (0..p).map(|i| seq_machine.memory().peek(i)).collect();
+
+        let mut pool_trace = TraceRecorder::unbounded();
+        let mut pool_machine = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let pooled = pool_machine
+            .run_threaded_observed(
+                &mut ScheduledAdversary::new(pattern),
+                limits,
+                threads,
+                &mut pool_trace,
+            )
+            .unwrap();
+        let pool_mem: Vec<Word> = (0..p).map(|i| pool_machine.memory().peek(i)).collect();
+
+        prop_assert_eq!(seq_trace.to_jsonl(), pool_trace.to_jsonl());
+        prop_assert_eq!(seq.stats, pooled.stats);
+        prop_assert_eq!(seq.pattern.events(), pooled.pattern.events());
+        prop_assert_eq!(seq_mem, pool_mem);
     }
 }

@@ -235,6 +235,10 @@ macro_rules! sim_shim {
             fn is_complete(&self, mem: &rfsp_pram::SharedMemory) -> bool {
                 self.inner.is_complete(mem)
             }
+
+            fn completion_hint(&self, addr: usize, value: Word) -> rfsp_pram::CompletionHint {
+                self.inner.completion_hint(addr, value)
+            }
         }
     };
 }
