@@ -15,6 +15,13 @@
 //! Because the machine exposes each processor's tentative writes before
 //! the adversary decides, "assignment" is concrete: a processor is
 //! assigned to the unvisited cells its current cycle would write.
+//!
+//! The adversary is allocation-free in steady state: the per-cell writer
+//! lists are a flat CSR (counts → exclusive prefix sums → one `Pid` pool),
+//! all buffers live on the struct and are reused across ticks, and when
+//! the machine maintains an unvisited index
+//! ([`MachineView::unvisited`]) the per-tick O(N) memory rescan disappears
+//! entirely — the index hands over the unvisited slice and O(1) ranks.
 
 use rfsp_pram::{Adversary, Decisions, FailPoint, MachineView, Pid, ProcStatus, Region};
 
@@ -30,17 +37,36 @@ pub struct Pigeonhole {
     /// the spirit of the [KS 89] lower-bound adversary: processors stay
     /// dead, and the strategy stops failing when one would remain.
     pub revive: bool,
+    // Reused per-tick buffers (see the module docs).
+    scan: Vec<usize>,
+    slot_of: Vec<usize>,
+    counts: Vec<usize>,
+    starts: Vec<usize>,
+    csr: Vec<Pid>,
+    order: Vec<usize>,
+    victims: Vec<Pid>,
 }
 
 impl Pigeonhole {
     /// Build the adversary for the Write-All array `x` (restart model).
     pub fn new(x: Region) -> Self {
-        Pigeonhole { x, floor: 1, revive: true }
+        Pigeonhole {
+            x,
+            floor: 1,
+            revive: true,
+            scan: Vec::new(),
+            slot_of: Vec::new(),
+            counts: Vec::new(),
+            starts: Vec::new(),
+            csr: Vec::new(),
+            order: Vec::new(),
+            victims: Vec::new(),
+        }
     }
 
     /// The fail-stop (no-restart) variant.
     pub fn fail_stop(x: Region) -> Self {
-        Pigeonhole { x, floor: 1, revive: false }
+        Pigeonhole { revive: false, ..Pigeonhole::new(x) }
     }
 }
 
@@ -55,53 +81,108 @@ impl Adversary for Pigeonhole {
                 }
             }
         }
-        // Unvisited cells and the processors assigned to each.
-        let unvisited: Vec<usize> =
-            (0..self.x.len()).filter(|&i| view.mem.peek(self.x.at(i)) == 0).collect();
-        let u = unvisited.len();
+        // Unvisited cells of x, in position order: straight from the
+        // machine's index when it maintains one, by (reused-buffer) scan
+        // otherwise. `indexed` additionally carries the rank of x's first
+        // unvisited cell, turning address → slot into O(1) rank lookups.
+        let indexed = view.unvisited.map(|idx| (idx, idx.range_in(self.x).start));
+        let cells: &[usize] = match indexed {
+            Some((idx, _)) => idx.slice_in(self.x),
+            None => {
+                self.scan.clear();
+                self.scan.extend(
+                    (0..self.x.len()).map(|i| self.x.at(i)).filter(|&a| view.mem.peek(a) == 0),
+                );
+                &self.scan
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            let fresh: Vec<usize> = (0..self.x.len())
+                .map(|i| self.x.at(i))
+                .filter(|&a| view.mem.peek(a) == 0)
+                .collect();
+            assert_eq!(cells, &fresh[..], "unvisited index diverged from the memory scan");
+        }
+        let u = cells.len();
         if u <= self.floor {
             return d;
         }
-        // writer lists per unvisited cell (indexed by position in
-        // `unvisited`).
-        let mut writers: Vec<Vec<Pid>> = vec![Vec::new(); u];
-        let mut cell_slot = vec![usize::MAX; self.x.len()];
-        for (k, &i) in unvisited.iter().enumerate() {
-            cell_slot[i] = k;
+        if indexed.is_none() {
+            // Fallback slot lookup: region offset → slot (MAX = visited).
+            self.slot_of.clear();
+            self.slot_of.resize(self.x.len(), usize::MAX);
+            for (k, &addr) in cells.iter().enumerate() {
+                self.slot_of[self.x.index_of(addr)] = k;
+            }
         }
+        let x = self.x;
+        let slot = move |slot_of: &[usize], addr: usize| -> Option<usize> {
+            match indexed {
+                Some((idx, base)) => idx.rank_of(addr).map(|r| r - base),
+                None => {
+                    let s = slot_of[x.index_of(addr)];
+                    (s != usize::MAX).then_some(s)
+                }
+            }
+        };
+        // Writer lists per unvisited cell as a flat CSR: count, prefix-sum,
+        // fill (counts double as fill cursors).
+        self.counts.clear();
+        self.counts.resize(u, 0);
+        for t in view.tentative.iter().flatten() {
+            for &(addr, value) in t.writes.writes() {
+                if value == 1 && self.x.contains(addr) {
+                    if let Some(k) = slot(&self.slot_of, addr) {
+                        self.counts[k] += 1;
+                    }
+                }
+            }
+        }
+        self.starts.clear();
+        self.starts.push(0);
+        for k in 0..u {
+            self.starts.push(self.starts[k] + self.counts[k]);
+        }
+        self.counts.copy_from_slice(&self.starts[..u]);
+        self.csr.clear();
+        self.csr.resize(self.starts[u], Pid(0));
         for (pid_idx, t) in view.tentative.iter().enumerate() {
             let Some(t) = t.as_ref() else { continue };
             for &(addr, value) in t.writes.writes() {
                 if value == 1 && self.x.contains(addr) {
-                    let k = cell_slot[self.x.index_of(addr)];
-                    if k != usize::MAX {
-                        writers[k].push(Pid(pid_idx));
+                    if let Some(k) = slot(&self.slot_of, addr) {
+                        self.csr[self.counts[k]] = Pid(pid_idx);
+                        self.counts[k] += 1;
                     }
                 }
             }
         }
         // Pick the ⌊U/2⌋ unvisited cells with the fewest writers and fail
-        // exactly those writers.
-        let mut order: Vec<usize> = (0..u).collect();
-        order.sort_by_key(|&k| writers[k].len());
-        let mut victims: Vec<Pid> = Vec::new();
-        for &k in order.iter().take(u / 2) {
-            victims.extend_from_slice(&writers[k]);
+        // exactly those writers. Keys (count, slot) are unique, so the
+        // unstable sort reproduces the old stable sort-by-count exactly.
+        self.order.clear();
+        self.order.extend(0..u);
+        let starts = &self.starts;
+        self.order.sort_unstable_by_key(|&k| (starts[k + 1] - starts[k], k));
+        self.victims.clear();
+        for &k in self.order.iter().take(u / 2) {
+            self.victims.extend_from_slice(&self.csr[self.starts[k]..self.starts[k + 1]]);
         }
-        victims.sort();
-        victims.dedup();
+        self.victims.sort_unstable();
+        self.victims.dedup();
         // The heavier half keeps at least one writer whenever anyone writes
         // at all; if nobody writes x this tick, nobody is failed and the
         // progress condition holds trivially.
         if self.revive {
-            for pid in victims {
+            for &pid in &self.victims {
                 d.fail(pid, FailPoint::BeforeWrites);
                 d.restart(pid);
             }
         } else {
             // Fail-stop: victims stay dead, so never exhaust the machine.
             let active = view.active_count();
-            for pid in victims.into_iter().take(active.saturating_sub(1)) {
+            for &pid in self.victims.iter().take(active.saturating_sub(1)) {
                 d.fail(pid, FailPoint::BeforeWrites);
             }
         }

@@ -51,8 +51,10 @@ impl Thrashing {
 impl Adversary for Thrashing {
     fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
         let mut d = Decisions::none();
-        let active: Vec<_> = view.active_pids().collect();
-        if active.len() <= 1 {
+        // Iterate the active set directly instead of collecting it — the
+        // decide path stays free of scratch allocations.
+        let active = view.active_count();
+        if active <= 1 {
             // Also revive anyone still failed so the machine never stalls.
             for meta in view.procs {
                 if meta.status == rfsp_pram::ProcStatus::Failed {
@@ -61,12 +63,11 @@ impl Adversary for Thrashing {
             }
             return d;
         }
-        let survivor_idx =
-            if self.rotate_survivor { (view.cycle as usize) % active.len() } else { 0 };
-        for (k, pid) in active.iter().enumerate() {
+        let survivor_idx = if self.rotate_survivor { (view.cycle as usize) % active } else { 0 };
+        for (k, pid) in view.active_pids().enumerate() {
             if k != survivor_idx {
-                d.fail(*pid, FailPoint::BeforeWrites);
-                d.restart(*pid);
+                d.fail(pid, FailPoint::BeforeWrites);
+                d.restart(pid);
             }
         }
         // Revive anyone failed in earlier ticks (e.g. halted targets).

@@ -25,7 +25,10 @@ pub fn snapshot_under_pigeonhole(n: usize) -> (u64, u64) {
 /// Run experiment E2.
 pub fn run() {
     let mut sink = TelemetrySink::for_experiment("e2");
-    let sizes = [256usize, 512, 1024, 2048];
+    // ×4 ladder up to 64k: large enough that the N log N asymptote shows
+    // through the constant factors (feasible since the snapshot machine
+    // and the pigeonhole adversary run on the incremental unvisited index).
+    let sizes = [1024usize, 4096, 16384, 65536];
     let mut rows = Vec::new();
     let mut snap_points = Vec::new();
     for &n in &sizes {

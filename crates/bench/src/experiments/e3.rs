@@ -27,7 +27,9 @@ fn run_snapshot(n: usize, with_adversary: bool) -> WorkStats {
 pub fn run() {
     let mut sink = TelemetrySink::for_experiment("e3");
     let mut rows = Vec::new();
-    for n in [256usize, 512, 1024, 2048, 4096] {
+    // ×4 ladder up to 64k (see E2); both columns run on the indexed
+    // snapshot machine, so even N = 65536 finishes in well under a second.
+    for n in [256usize, 1024, 4096, 16384, 65536] {
         let nlogn = n as f64 * (n as f64).log2();
         // The snapshot machine has no event stream: stats-only telemetry.
         let adv_stats = run_snapshot(n, true);

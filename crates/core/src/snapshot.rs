@@ -18,8 +18,8 @@
 //! geometric-series argument in the proof of Theorem 3.2 bounds the work by
 //! `O(N log N)`.
 
-use rfsp_pram::snapshot::SnapshotProgram;
-use rfsp_pram::{Pid, SharedMemory, Step, WriteSet};
+use rfsp_pram::snapshot::{SnapshotProgram, SnapshotView};
+use rfsp_pram::{CompletionHint, Pid, SharedMemory, Step, Word, WriteSet};
 
 use crate::tasks::WriteAllTasks;
 
@@ -60,25 +60,31 @@ impl SnapshotProgram for SnapshotBalance {
         &self,
         pid: Pid,
         _state: &mut (),
-        mem: &SharedMemory,
+        view: &SnapshotView<'_>,
         writes: &mut WriteSet,
     ) -> Step {
         let x = self.tasks.x();
-        // Snapshot: number the unvisited cells by position.
-        let unvisited: Vec<usize> = (0..x.len()).filter(|&i| mem.peek(x.at(i)) == 0).collect();
-        let u = unvisited.len();
+        // Snapshot: number the unvisited cells by position. The machine's
+        // unvisited index answers this in O(1) per processor; on a bare
+        // view the helper degrades to the old full scan.
+        let u = view.unvisited_count_in(x);
         if u == 0 {
             return Step::Halt;
         }
         // Oblivious balanced assignment: processor PID takes the
         // ⌈PID·U/P⌉-th unvisited element (0-indexed: ⌊PID·U/P⌋, clamped).
         let k = (pid.0 * u / self.p).min(u - 1);
-        writes.push(x.at(unvisited[k]), 1);
+        let addr = view.nth_unvisited_in(x, k).expect("k < u unvisited cells");
+        writes.push(addr, 1);
         Step::Continue
     }
 
     fn is_complete(&self, mem: &SharedMemory) -> bool {
         self.tasks.all_written(mem)
+    }
+
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        self.tasks.completion_hint(addr, value)
     }
 }
 
@@ -121,13 +127,40 @@ mod tests {
         let tasks = WriteAllTasks::new(&mut layout, 4);
         let algo = SnapshotBalance::new(tasks, 4);
         let mem = SharedMemory::new(layout.total());
+        let view = SnapshotView::bare(&mem);
         let mut seen = Vec::new();
         for pid in 0..4 {
             let mut w = WriteSet::default();
-            let step = algo.execute(Pid(pid), &mut (), &mem, &mut w);
+            let step = algo.execute(Pid(pid), &mut (), &view, &mut w);
             assert!(matches!(step, Step::Continue));
             seen.push(w.writes()[0].0);
         }
         assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn indexed_view_picks_the_same_cells_as_the_scan() {
+        // Partially-visited instance: the indexed and bare views must agree
+        // on every processor's pick (the debug_asserts inside the view
+        // helpers additionally cross-check on the indexed path).
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, 12);
+        let algo = SnapshotBalance::new(tasks, 5);
+        let mut mem = SharedMemory::new(layout.total());
+        for i in [1, 4, 5, 9] {
+            mem.poke(tasks.x().at(i), 1);
+        }
+        let mut idx = rfsp_pram::UnvisitedIndex::new(0);
+        idx.rebuild(mem.size(), |addr| {
+            matches!(algo.completion_hint(addr, mem.peek(addr)), CompletionHint::Outstanding)
+        });
+        let bare = SnapshotView::bare(&mem);
+        let indexed = SnapshotView::with_index(&mem, &idx);
+        for pid in 0..5 {
+            let (mut wb, mut wi) = (WriteSet::default(), WriteSet::default());
+            algo.execute(Pid(pid), &mut (), &bare, &mut wb);
+            algo.execute(Pid(pid), &mut (), &indexed, &mut wi);
+            assert_eq!(wb.writes(), wi.writes());
+        }
     }
 }

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cycle::{ReadSet, ValueSet, WriteSet};
 use crate::memory::SharedMemory;
+use crate::unvisited::UnvisitedIndex;
 use crate::word::Pid;
 
 /// Where inside its update cycle a processor is stopped.
@@ -93,6 +94,12 @@ pub struct MachineView<'a> {
     pub procs: &'a [ProcMeta],
     /// Per-processor tentative cycle; `None` for failed/halted processors.
     pub tentative: &'a [Option<TentativeCycle>],
+    /// Incremental index of outstanding ("unvisited") cells, maintained by
+    /// the snapshot machine when its program opted into
+    /// [`completion_hint`](crate::snapshot::SnapshotProgram::completion_hint)
+    /// tracking. `None` on the word machine and for untracked programs;
+    /// adversaries that use it must fall back to scanning `mem`.
+    pub unvisited: Option<&'a UnvisitedIndex>,
 }
 
 impl MachineView<'_> {
@@ -202,6 +209,7 @@ mod tests {
             mem: &mem,
             procs: &procs,
             tentative: &tentative,
+            unvisited: None,
         };
         assert_eq!(NoFailures.decide(&view), Decisions::none());
         assert_eq!(view.active_count(), 0);

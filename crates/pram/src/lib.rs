@@ -70,6 +70,7 @@ mod pool;
 pub mod region;
 pub mod snapshot;
 pub mod trace;
+pub mod unvisited;
 pub mod word;
 
 pub use accounting::{RunOutcome, RunReport, WorkStats};
@@ -83,10 +84,12 @@ pub use machine::{Machine, RunLimits};
 pub use memory::SharedMemory;
 pub use mode::WriteMode;
 pub use region::{MemoryLayout, Region};
+pub use snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 pub use trace::{
     MetricsObserver, NoopObserver, Observer, RunSeries, Tee, TickMetrics, TraceEvent, TraceLog,
     TraceRecorder,
 };
+pub use unvisited::UnvisitedIndex;
 pub use word::{Pid, Word};
 
 /// Crate-level result alias.

@@ -340,6 +340,7 @@ impl<'p, P: Program> Machine<'p, P> {
             mem: &self.mem,
             procs: &self.meta,
             tentative: &self.tentative,
+            unvisited: None,
         };
         adversary.decide(&view)
     }
@@ -534,6 +535,7 @@ impl<'p, P: Program> Machine<'p, P> {
                     observer.event(TraceEvent::CycleCompleted { cycle: self.cycle, pid: Pid(i) });
                     self.stats.completed_cycles += 1;
                     self.stats.charged_instructions += (t.reads.len() + 1 + t.writes.len()) as u64;
+                    self.mem.charge_reads(t.reads.len() as u64);
                     self.procs[i].completed += 1;
                     if t.halts {
                         self.procs[i].status = ProcStatus::Halted;
@@ -555,6 +557,7 @@ impl<'p, P: Program> Machine<'p, P> {
                     // of writes that committed.
                     self.stats.partial_instructions +=
                         (t.reads.len() + 1 + committed_writes) as u64;
+                    self.mem.charge_reads(t.reads.len() as u64);
                 }
             }
             if self.failed_now[i] {
@@ -968,6 +971,19 @@ mod tests {
         assert_eq!(report.stats.failures, 2);
         assert_eq!(report.stats.restarts, 2);
         assert_eq!(m.memory().peek(1), 2);
+    }
+
+    /// Pins the read instrumentation: a read is charged iff the cycle's
+    /// read phase actually ran. Under [`TwoStops`], processor 0 completes
+    /// cycles 0–2 (3 reads), processor 1 is stopped `BeforeWrites` in
+    /// cycle 0 (read ran: 1), stopped `BeforeReads` in cycle 2 (read never
+    /// ran: 0), then completes cycles 4–5 after its restart (2 reads).
+    #[test]
+    fn read_count_charges_executed_read_phases() {
+        let prog = Counter { n: 2, target: 2 };
+        let mut m = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        m.run(&mut TwoStops).unwrap();
+        assert_eq!(m.memory().read_count(), 6);
     }
 
     /// Write-conflict program: both processors write different values to

@@ -3,7 +3,11 @@
 //! Per the model (§2.1 item 3 and §2.3), shared memory is not affected by
 //! processor failures; word writes are atomic. The memory also keeps
 //! lightweight instrumentation counters (total reads/writes) used by the
-//! experiment harness.
+//! experiment harness. Writes are counted at the store; reads are charged
+//! in bulk by the word machine when a cycle's read phase actually executes
+//! (an interrupted-before-reads cycle charges nothing). The snapshot
+//! machine never charges reads: its whole-memory snapshot has unit cost by
+//! assumption, so per-cell read counts are meaningless there.
 
 use crate::error::PramError;
 use crate::word::Word;
@@ -43,6 +47,14 @@ impl SharedMemory {
         *slot = value;
         self.writes += 1;
         Ok(())
+    }
+
+    /// Charge `n` word reads to the instrumentation counter. Called by the
+    /// word machine once per processor whose cycle got past its read phase
+    /// (completed or interrupted after the reads ran); snapshot-model reads
+    /// are uncharged.
+    pub(crate) fn charge_reads(&mut self, n: u64) {
+        self.reads += n;
     }
 
     /// Uncharged inspection (harness/adversary/completion-predicate use).
@@ -106,6 +118,15 @@ mod tests {
         m.poke(0, 7);
         assert_eq!(m.peek(0), 7);
         assert_eq!(m.read_count(), 0);
+        assert_eq!(m.write_count(), 0);
+    }
+
+    #[test]
+    fn charge_reads_accumulates() {
+        let mut m = SharedMemory::new(2);
+        m.charge_reads(3);
+        m.charge_reads(2);
+        assert_eq!(m.read_count(), 5);
         assert_eq!(m.write_count(), 0);
     }
 

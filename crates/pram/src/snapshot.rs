@@ -10,18 +10,136 @@
 //! The same [`Adversary`] interface drives it (the adversary still sees the
 //! pending writes of each processor before deciding), and the same
 //! completed-work accounting applies: one completed snapshot cycle = one
-//! work unit.
+//! work unit. Snapshot reads are **uncharged** in the memory's
+//! instrumentation counters ([`SharedMemory::read_count`]): the model's
+//! whole-memory read has unit cost by assumption, so per-cell read
+//! accounting is meaningless here (the word-model [`Machine`](crate::Machine)
+//! does charge its reads).
+//!
+//! Like the word machine since PR 2, the engine is allocation-free in
+//! steady state: per-tick buffers are hoisted onto the machine and reused,
+//! private states advance in place, and the [`FailurePattern`] is returned
+//! by move. Programs that implement
+//! [`SnapshotProgram::completion_hint`] additionally get an incremental
+//! [`UnvisitedIndex`] over the outstanding cells, maintained from committed
+//! writes in O(writes) per tick. The index replaces the O(N) `is_complete`
+//! scan with an O(1) emptiness test and is exposed to programs through the
+//! [`SnapshotView`] (and to adversaries through
+//! [`MachineView::unvisited`]), so the §3 algorithms and adversaries stop
+//! rescanning memory every tick. Debug builds cross-check the index against
+//! the full scan after every tick.
 
 use crate::accounting::{RunOutcome, RunReport, WorkStats};
 use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
-use crate::cycle::{ReadSet, Step, ValueSet, WriteSet};
-use crate::error::PramError;
+use crate::cycle::{Step, WriteSet};
+use crate::error::{BudgetKind, PramError};
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
 use crate::machine::RunLimits;
 use crate::memory::SharedMemory;
 use crate::mode::WriteMode;
-use crate::word::Pid;
-use crate::Result;
+use crate::unvisited::UnvisitedIndex;
+use crate::word::{Pid, Word};
+use crate::{CompletionHint, Result};
+
+pub mod reference;
+
+/// What a snapshot program sees during one update cycle: the entire shared
+/// memory (the model's unit-cost snapshot) plus, when the machine maintains
+/// one, the incremental index of outstanding cells.
+///
+/// The convenience accessors [`unvisited_count_in`](SnapshotView::unvisited_count_in)
+/// and [`nth_unvisited_in`](SnapshotView::nth_unvisited_in) answer the §3
+/// algorithms' per-cycle question — "how many unvisited cells remain in the
+/// region, and which is the k-th?" — in O(log N)/O(1) with the index, and
+/// by an allocation-free O(N) scan without it. The scan defines *unvisited*
+/// as the Write-All convention `cell == 0`; an indexed program must
+/// classify cells the same way in its
+/// [`completion_hint`](SnapshotProgram::completion_hint) (debug builds
+/// assert the two paths agree on every call).
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotView<'a> {
+    mem: &'a SharedMemory,
+    unvisited: Option<&'a UnvisitedIndex>,
+}
+
+impl<'a> SnapshotView<'a> {
+    /// A view with no index: every accessor falls back to scanning `mem`.
+    pub fn bare(mem: &'a SharedMemory) -> Self {
+        SnapshotView { mem, unvisited: None }
+    }
+
+    /// A view backed by an unvisited-cell index (must be clean and
+    /// consistent with `mem`).
+    pub fn with_index(mem: &'a SharedMemory, index: &'a UnvisitedIndex) -> Self {
+        SnapshotView { mem, unvisited: Some(index) }
+    }
+
+    /// The whole shared memory (the snapshot itself).
+    pub fn mem(&self) -> &'a SharedMemory {
+        self.mem
+    }
+
+    /// One cell of the snapshot.
+    #[inline]
+    pub fn peek(&self, addr: usize) -> Word {
+        self.mem.peek(addr)
+    }
+
+    /// Number of shared cells.
+    pub fn size(&self) -> usize {
+        self.mem.size()
+    }
+
+    /// The incremental unvisited-cell index, when the machine maintains one
+    /// (i.e. the program implements
+    /// [`completion_hint`](SnapshotProgram::completion_hint)).
+    pub fn unvisited(&self) -> Option<&'a UnvisitedIndex> {
+        self.unvisited
+    }
+
+    /// Number of unvisited (`== 0`) cells in `region`: O(log N) with the
+    /// index, O(region) scan without.
+    pub fn unvisited_count_in(&self, region: crate::Region) -> usize {
+        match self.unvisited {
+            Some(idx) => {
+                let count = idx.count_in(region);
+                debug_assert_eq!(
+                    count,
+                    self.scan_count(region),
+                    "unvisited index count diverged from the full scan"
+                );
+                count
+            }
+            None => self.scan_count(region),
+        }
+    }
+
+    /// Address of the `k`-th unvisited (`== 0`) cell of `region` in
+    /// position order, if it exists: O(1) with the index (after the range
+    /// lookup), O(region) scan without.
+    pub fn nth_unvisited_in(&self, region: crate::Region, k: usize) -> Option<usize> {
+        match self.unvisited {
+            Some(idx) => {
+                let got = idx.slice_in(region).get(k).copied();
+                debug_assert_eq!(
+                    got,
+                    self.scan_nth(region, k),
+                    "unvisited index select diverged from the full scan"
+                );
+                got
+            }
+            None => self.scan_nth(region, k),
+        }
+    }
+
+    fn scan_count(&self, region: crate::Region) -> usize {
+        (0..region.len()).filter(|&i| self.mem.peek(region.at(i)) == 0).count()
+    }
+
+    fn scan_nth(&self, region: crate::Region, k: usize) -> Option<usize> {
+        (0..region.len()).map(|i| region.at(i)).filter(|&a| self.mem.peek(a) == 0).nth(k)
+    }
+}
 
 /// An algorithm for the snapshot model: each cycle it sees the entire
 /// shared memory and emits a bounded number of writes.
@@ -43,19 +161,46 @@ pub trait SnapshotProgram {
         &self,
         pid: Pid,
         state: &mut Self::Private,
-        mem: &SharedMemory,
+        view: &SnapshotView<'_>,
         writes: &mut WriteSet,
     ) -> Step;
 
     /// Global completion predicate (uncharged).
     fn is_complete(&self, mem: &SharedMemory) -> bool;
+
+    /// Optional per-cell decomposition of
+    /// [`is_complete`](SnapshotProgram::is_complete), with the same
+    /// contract as [`Program::completion_hint`](crate::Program::completion_hint)
+    /// (purity, value-independent tracking, equivalence with
+    /// `is_complete`). A program that opts in gets the O(1) completion test
+    /// *and* the incremental [`UnvisitedIndex`] over its
+    /// [`Outstanding`](CompletionHint::Outstanding) cells, exposed through
+    /// [`SnapshotView`] and [`MachineView::unvisited`].
+    fn completion_hint(&self, _addr: usize, _value: Word) -> CompletionHint {
+        CompletionHint::Untracked
+    }
 }
 
+/// Internal per-processor slot.
 #[derive(Clone, Debug)]
 struct Slot<S> {
     status: ProcStatus,
     state: Option<S>,
     completed: u64,
+}
+
+/// Outcome of one processor's snapshot cycle after the adversary's
+/// decision. Unlike the word machine there is no `InterruptedBeforeReads`
+/// variant: the snapshot is free, so a cycle stopped before any write is
+/// charged zero partial work wherever the fail point fell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SnapshotFate {
+    /// Not active this tick (failed or halted at tick start).
+    Idle,
+    /// Completed the whole cycle (possibly failed *after* completing).
+    Completed,
+    /// Stopped with this many of its writes committed.
+    Interrupted { committed_writes: usize },
 }
 
 /// Executor for the snapshot model. Mirrors [`Machine`](crate::Machine)
@@ -69,6 +214,20 @@ pub struct SnapshotMachine<'p, P: SnapshotProgram> {
     cycle: u64,
     stats: WorkStats,
     pattern: FailurePattern,
+    // Incremental completion tracking (see `SnapshotProgram::completion_hint`):
+    // whether the program opted in, and the index of outstanding cells.
+    // Primed at construction and re-primed at every run entry.
+    tracked: bool,
+    unvisited: UnvisitedIndex,
+    // Reused per-tick buffers.
+    tentative: Vec<Option<TentativeCycle>>,
+    meta: Vec<ProcMeta>,
+    fates: Vec<SnapshotFate>,
+    slot_writes: Vec<(Pid, usize, Word)>,
+    failed_now: Vec<bool>,
+    fail_points: Vec<Option<FailPoint>>,
+    restarted: Vec<bool>,
+    events: Vec<FailureEvent>,
 }
 
 impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
@@ -91,14 +250,14 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
         }
         let mut mem = SharedMemory::new(program.shared_size());
         program.init_memory(&mut mem);
-        let procs = (0..processors)
+        let procs: Vec<Slot<P::Private>> = (0..processors)
             .map(|i| Slot {
                 status: ProcStatus::Alive,
                 state: Some(program.on_start(Pid(i))),
                 completed: 0,
             })
             .collect();
-        Ok(SnapshotMachine {
+        let mut machine = SnapshotMachine {
             program,
             mem,
             write_budget,
@@ -106,7 +265,19 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
             cycle: 0,
             stats: WorkStats::default(),
             pattern: FailurePattern::new(),
-        })
+            tracked: false,
+            unvisited: UnvisitedIndex::new(0),
+            tentative: vec![None; processors],
+            meta: Vec::with_capacity(processors),
+            fates: vec![SnapshotFate::Idle; processors],
+            slot_writes: Vec::new(),
+            failed_now: vec![false; processors],
+            fail_points: vec![None; processors],
+            restarted: vec![false; processors],
+            events: Vec::new(),
+        };
+        machine.init_index();
+        Ok(machine)
     }
 
     /// The shared memory (uncharged inspection).
@@ -138,231 +309,371 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
         adversary: &mut A,
         limits: RunLimits,
     ) -> Result<RunReport> {
-        let p = self.procs.len();
-        let mut tentative: Vec<Option<TentativeCycle>> = vec![None; p];
-        let mut post_states: Vec<Option<P::Private>> = vec![None; p];
+        self.init_index();
         loop {
-            if self.program.is_complete(&self.mem) {
-                return Ok(RunReport {
-                    outcome: RunOutcome::Completed,
-                    stats: self.stats,
-                    pattern: self.pattern.clone(),
-                    per_processor: self.procs.iter().map(|s| s.completed).collect(),
-                });
+            if self.completion_reached() {
+                return Ok(self.take_completed_report());
             }
             if self.cycle >= limits.max_cycles {
                 return Err(PramError::CycleLimit { cycles: limits.max_cycles });
             }
+            self.tick(adversary)?;
+        }
+    }
 
-            // Tentative phase: each alive processor computes against the
-            // snapshot at tick start.
-            for i in 0..p {
-                tentative[i] = None;
-                post_states[i] = None;
-                if self.procs[i].status != ProcStatus::Alive {
-                    continue;
+    /// Execute exactly one tick under `adversary` (no completion check).
+    /// Exposed for fine-grained tests and lock-step drivers; the index is
+    /// kept consistent, so ticks and runs interleave freely.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn tick<A: Adversary>(&mut self, adversary: &mut A) -> Result<()> {
+        self.tentative_phase()?;
+        let decisions = self.collect_decisions(adversary);
+        self.apply(decisions)
+    }
+
+    /// Classify every shared cell via
+    /// [`SnapshotProgram::completion_hint`] and prime the unvisited index.
+    /// The program is *tracked* iff it reports at least one tracked cell;
+    /// untracked programs keep the full-scan completion check and get no
+    /// index.
+    fn init_index(&mut self) {
+        let (program, mem) = (self.program, &self.mem);
+        let mut any_tracked = false;
+        self.unvisited.rebuild(mem.size(), |addr| {
+            match program.completion_hint(addr, mem.peek(addr)) {
+                CompletionHint::Untracked => false,
+                CompletionHint::Outstanding => {
+                    any_tracked = true;
+                    true
                 }
-                let mut state =
-                    self.procs[i].state.clone().expect("alive processor has private state");
-                let mut writes = WriteSet::default();
-                let step = self.program.execute(Pid(i), &mut state, &self.mem, &mut writes);
-                if writes.len() > self.write_budget {
-                    return Err(PramError::BudgetExceeded {
-                        pid: Pid(i),
-                        cycle: self.cycle,
-                        kind: crate::error::BudgetKind::Writes,
-                        used: writes.len(),
-                        limit: self.write_budget,
-                    });
+                CompletionHint::Satisfied => {
+                    any_tracked = true;
+                    false
                 }
-                for &(addr, _) in writes.writes() {
-                    if addr >= self.mem.size() {
-                        return Err(PramError::AddressOutOfBounds { addr, size: self.mem.size() });
-                    }
-                }
-                tentative[i] = Some(TentativeCycle {
-                    reads: ReadSet::default(),
-                    values: ValueSet::default(),
-                    writes,
-                    halts: matches!(step, Step::Halt),
-                });
-                post_states[i] = Some(state);
             }
+        });
+        self.tracked = any_tracked;
+    }
 
-            // Adversary phase.
-            let meta: Vec<ProcMeta> = self
-                .procs
-                .iter()
-                .enumerate()
-                .map(|(i, s)| ProcMeta {
+    /// O(1) completion test for tracked programs (the index is empty), full
+    /// scan otherwise. Debug builds cross-check the index against
+    /// `is_complete`.
+    fn completion_reached(&self) -> bool {
+        if self.tracked {
+            let done = self.unvisited.is_empty();
+            debug_assert_eq!(
+                done,
+                self.program.is_complete(&self.mem),
+                "unvisited index diverged from is_complete at tick {} \
+                 ({} cells outstanding) — the hint contract is violated",
+                self.cycle,
+                self.unvisited.len(),
+            );
+            done
+        } else {
+            self.program.is_complete(&self.mem)
+        }
+    }
+
+    /// Build the completed-run report. As in the word machine, the failure
+    /// pattern is **moved** out (it can be megabytes on adversarial runs);
+    /// the machine's own pattern is left empty, so a continuation run
+    /// records a fresh pattern.
+    fn take_completed_report(&mut self) -> RunReport {
+        RunReport {
+            outcome: RunOutcome::Completed,
+            stats: self.stats,
+            pattern: std::mem::take(&mut self.pattern),
+            per_processor: self.procs.iter().map(|s| s.completed).collect(),
+        }
+    }
+
+    /// Phase 1: every alive processor tentatively plays its cycle against
+    /// the tick-start snapshot, advancing its private state **in place**
+    /// (a non-completing snapshot cycle only ever belongs to a processor
+    /// the adversary stopped, whose private state is discarded anyway).
+    fn tentative_phase(&mut self) -> Result<()> {
+        let program = self.program;
+        let (budget, cycle, size) = (self.write_budget, self.cycle, self.mem.size());
+        let view = SnapshotView {
+            mem: &self.mem,
+            unvisited: if self.tracked { Some(&self.unvisited) } else { None },
+        };
+        for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
+            if slot.status != ProcStatus::Alive {
+                *out = None;
+                continue;
+            }
+            let state = slot.state.as_mut().expect("alive processor has private state");
+            let t = out.get_or_insert_with(TentativeCycle::default);
+            t.reads.clear();
+            t.values.clear();
+            t.writes.clear();
+            let step = program.execute(Pid(i), state, &view, &mut t.writes);
+            if t.writes.len() > budget {
+                return Err(PramError::BudgetExceeded {
                     pid: Pid(i),
-                    status: s.status,
-                    completed_cycles: s.completed,
-                })
-                .collect();
-            let decisions = adversary.decide(&MachineView {
-                cycle: self.cycle,
-                processors: p,
-                mem: &self.mem,
-                procs: &meta,
-                tentative: &tentative,
-            });
+                    cycle,
+                    kind: BudgetKind::Writes,
+                    used: t.writes.len(),
+                    limit: budget,
+                });
+            }
+            for &(addr, _) in t.writes.writes() {
+                if addr >= size {
+                    return Err(PramError::AddressOutOfBounds { addr, size });
+                }
+            }
+            t.halts = matches!(step, Step::Halt);
+        }
+        Ok(())
+    }
 
-            // Validate + compute committed write counts.
-            let mut committed: Vec<Option<usize>> =
-                tentative.iter().map(|t| t.as_ref().map(|t| t.writes.len())).collect();
-            let mut failed_now = vec![false; p];
-            let mut fail_points: Vec<Option<FailPoint>> = vec![None; p];
-            for &(pid, point) in &decisions.fails {
-                if pid.0 >= p || failed_now[pid.0] {
+    /// Phase 2a: present the machine to the adversary (including the
+    /// unvisited index, when tracked) and collect its decisions.
+    fn collect_decisions<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+    ) -> crate::adversary::Decisions {
+        self.meta.clear();
+        self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
+            pid: Pid(i),
+            status: s.status,
+            completed_cycles: s.completed,
+        }));
+        let view = MachineView {
+            cycle: self.cycle,
+            processors: self.procs.len(),
+            mem: &self.mem,
+            procs: &self.meta,
+            tentative: &self.tentative,
+            unvisited: if self.tracked { Some(&self.unvisited) } else { None },
+        };
+        adversary.decide(&view)
+    }
+
+    /// Phases 2b/3: validate the adversary's decisions, merge surviving
+    /// write prefixes slot by slot, charge work, fold commits into the
+    /// unvisited index, record the failure pattern, apply restarts.
+    fn apply(&mut self, decisions: crate::adversary::Decisions) -> Result<()> {
+        let p = self.procs.len();
+        // --- Validate failures and compute each processor's fate. ---
+        for (i, fate) in self.fates.iter_mut().enumerate() {
+            *fate = if self.tentative[i].is_some() {
+                SnapshotFate::Completed
+            } else {
+                SnapshotFate::Idle
+            };
+        }
+        self.failed_now.fill(false);
+        self.fail_points.fill(None);
+        for &(pid, point) in &decisions.fails {
+            if pid.0 >= p || self.failed_now[pid.0] {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("bad failure target {pid}"),
+                });
+            }
+            match self.procs[pid.0].status {
+                ProcStatus::Failed => {
                     return Err(PramError::InvalidAdversaryDecision {
                         cycle: self.cycle,
-                        detail: format!("bad failure target {pid}"),
+                        detail: format!("failure of already failed {pid}"),
                     });
                 }
-                match self.procs[pid.0].status {
-                    ProcStatus::Failed => {
-                        return Err(PramError::InvalidAdversaryDecision {
-                            cycle: self.cycle,
-                            detail: format!("failure of already failed {pid}"),
-                        });
-                    }
-                    ProcStatus::Halted => {
-                        failed_now[pid.0] = true;
-                        fail_points[pid.0] = Some(point);
-                    }
-                    ProcStatus::Alive => {
-                        let len = tentative[pid.0].as_ref().map_or(0, |t| t.writes.len());
-                        let c = match point {
-                            FailPoint::BeforeReads | FailPoint::BeforeWrites => 0,
-                            FailPoint::AfterWrite(k) => {
-                                if k == 0 || k > len {
-                                    return Err(PramError::InvalidAdversaryDecision {
-                                        cycle: self.cycle,
-                                        detail: format!("{pid}: bad fail point"),
-                                    });
-                                }
-                                k
+                ProcStatus::Halted => {
+                    // No cycle in flight; the processor simply stops.
+                    self.failed_now[pid.0] = true;
+                    self.fail_points[pid.0] = Some(point);
+                }
+                ProcStatus::Alive => {
+                    let len = self.tentative[pid.0].as_ref().map_or(0, |t| t.writes.len());
+                    let committed = match point {
+                        FailPoint::BeforeReads | FailPoint::BeforeWrites => 0,
+                        FailPoint::AfterWrite(k) => {
+                            if k == 0 || k > len {
+                                return Err(PramError::InvalidAdversaryDecision {
+                                    cycle: self.cycle,
+                                    detail: format!("{pid}: bad fail point"),
+                                });
                             }
-                        };
-                        committed[pid.0] = Some(c);
-                        failed_now[pid.0] = true;
-                        fail_points[pid.0] = Some(point);
-                    }
+                            k
+                        }
+                    };
+                    self.failed_now[pid.0] = true;
+                    self.fail_points[pid.0] = Some(point);
+                    // Failing after the final write of a non-empty cycle
+                    // means the cycle completed (and is charged) before the
+                    // processor stopped; a cycle stopped at zero committed
+                    // writes is interrupted even when it had no writes.
+                    self.fates[pid.0] = if committed == len && committed > 0 {
+                        SnapshotFate::Completed
+                    } else {
+                        SnapshotFate::Interrupted { committed_writes: committed }
+                    };
                 }
             }
-            let mut restarted = vec![false; p];
-            for &pid in &decisions.restarts {
-                let failed = pid.0 < p
-                    && (self.procs[pid.0].status == ProcStatus::Failed || failed_now[pid.0]);
-                if !failed || restarted[pid.0] {
-                    return Err(PramError::InvalidAdversaryDecision {
-                        cycle: self.cycle,
-                        detail: format!("bad restart target {pid}"),
-                    });
-                }
-                restarted[pid.0] = true;
+        }
+        // --- Validate restarts. ---
+        self.restarted.fill(false);
+        for &pid in &decisions.restarts {
+            let failed = pid.0 < p
+                && (self.procs[pid.0].status == ProcStatus::Failed || self.failed_now[pid.0]);
+            if !failed || self.restarted[pid.0] {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle: self.cycle,
+                    detail: format!("bad restart target {pid}"),
+                });
             }
+            self.restarted[pid.0] = true;
+        }
 
-            // Progress condition.
-            let any_active = tentative.iter().any(|t| t.is_some());
-            let completing = (0..p)
-                .filter(|&i| {
-                    tentative[i].is_some()
-                        && committed[i] == tentative[i].as_ref().map(|t| t.writes.len())
-                        && !(failed_now[i] && committed[i] == Some(0))
-                })
-                .count();
-            if any_active && completing == 0 {
+        // --- Progress condition (§2.1 2(i)). ---
+        let any_active = self.tentative.iter().any(|t| t.is_some());
+        let completing = self.fates.iter().filter(|&&f| f == SnapshotFate::Completed).count();
+        if any_active && completing == 0 {
+            return Err(PramError::AdversaryStall { cycle: self.cycle });
+        }
+        if !any_active {
+            let any_failed = self.procs.iter().any(|s| s.status == ProcStatus::Failed);
+            if any_failed && decisions.restarts.is_empty() {
                 return Err(PramError::AdversaryStall { cycle: self.cycle });
             }
-            if !any_active {
-                let any_failed = self.procs.iter().any(|s| s.status == ProcStatus::Failed);
-                if any_failed && decisions.restarts.is_empty() {
-                    return Err(PramError::AdversaryStall { cycle: self.cycle });
-                }
-                if !any_failed {
-                    return Err(PramError::Deadlock { cycle: self.cycle });
-                }
+            if !any_failed {
+                return Err(PramError::Deadlock { cycle: self.cycle });
             }
+        }
 
-            // Commit slot by slot (COMMON semantics: the snapshot algorithms
-            // of §3 are COMMON-legal).
-            for slot in 0..self.write_budget {
-                let mut slot_writes: Vec<(Pid, usize, u64)> = Vec::new();
-                for i in 0..p {
-                    let Some(t) = tentative[i].as_ref() else { continue };
-                    if slot < t.writes.len() && slot < committed[i].unwrap_or(0) {
-                        let (addr, value) = t.writes.writes()[slot];
-                        slot_writes.push((Pid(i), addr, value));
-                    }
-                }
-                slot_writes.sort_by_key(|&(pid, addr, _)| (addr, pid));
-                let mut i = 0;
-                while i < slot_writes.len() {
-                    let (pid0, addr, v0) = slot_writes[i];
-                    let mut j = i + 1;
-                    while j < slot_writes.len() && slot_writes[j].1 == addr {
-                        if slot_writes[j].2 != v0 {
-                            return Err(PramError::CommonWriteConflict {
-                                addr,
-                                cycle: self.cycle,
-                                first: (pid0, v0),
-                                second: (slot_writes[j].0, slot_writes[j].2),
-                            });
-                        }
-                        j += 1;
-                    }
-                    self.mem.store(addr, v0)?;
-                    i = j;
-                }
-            }
-
-            // Charge and update.
-            let mut events: Vec<FailureEvent> = Vec::new();
+        // --- Commit surviving write prefixes, slot by slot (COMMON
+        // semantics: the snapshot algorithms of §3 are COMMON-legal). ---
+        for slot in 0..self.write_budget {
+            self.slot_writes.clear();
             for i in 0..p {
-                if let Some(t) = tentative[i].as_ref() {
-                    let full = committed[i] == Some(t.writes.len())
-                        && !(failed_now[i] && committed[i] == Some(0));
-                    if full {
-                        self.stats.completed_cycles += 1;
-                        self.stats.charged_instructions += (1 + t.writes.len()) as u64;
-                        self.procs[i].completed += 1;
-                        if t.halts {
-                            self.procs[i].status = ProcStatus::Halted;
-                        }
-                        self.procs[i].state = post_states[i].take();
-                    } else {
-                        self.stats.interrupted_cycles += 1;
-                        self.stats.partial_instructions += committed[i].unwrap_or(0) as u64;
-                    }
+                let Some(t) = self.tentative[i].as_ref() else { continue };
+                if slot >= t.writes.len() {
+                    continue;
                 }
-                if failed_now[i] {
-                    self.procs[i].status = ProcStatus::Failed;
-                    self.procs[i].state = None;
-                    self.stats.failures += 1;
-                    let point = fail_points[i].expect("failed processor has a recorded point");
-                    events.push(FailureEvent {
-                        kind: FailureKind::Failure { point },
-                        pid: i,
-                        time: self.cycle,
-                    });
+                let survives = match self.fates[i] {
+                    SnapshotFate::Completed => true,
+                    SnapshotFate::Interrupted { committed_writes } => slot < committed_writes,
+                    SnapshotFate::Idle => false,
+                };
+                if survives {
+                    let (addr, value) = t.writes.writes()[slot];
+                    self.slot_writes.push((Pid(i), addr, value));
                 }
             }
-            for (i, _) in restarted.iter().enumerate().filter(|(_, &r)| r) {
-                self.procs[i].status = ProcStatus::Alive;
-                self.procs[i].state = Some(self.program.on_start(Pid(i)));
-                self.stats.restarts += 1;
-                events.push(FailureEvent {
-                    kind: FailureKind::Restart,
+            self.commit_slot()?;
+        }
+
+        // --- Charge work, update processor states, record the pattern. ---
+        debug_assert!(self.events.is_empty());
+        for i in 0..p {
+            match self.fates[i] {
+                SnapshotFate::Idle => {}
+                SnapshotFate::Completed => {
+                    let t = self.tentative[i].as_ref().expect("completed cycle exists");
+                    self.stats.completed_cycles += 1;
+                    self.stats.charged_instructions += (1 + t.writes.len()) as u64;
+                    self.procs[i].completed += 1;
+                    if t.halts {
+                        self.procs[i].status = ProcStatus::Halted;
+                    }
+                    // The post-cycle private state is already in the slot
+                    // (the tentative phase advances it in place).
+                }
+                SnapshotFate::Interrupted { committed_writes } => {
+                    self.stats.interrupted_cycles += 1;
+                    self.stats.partial_instructions += committed_writes as u64;
+                }
+            }
+            if self.failed_now[i] {
+                self.procs[i].status = ProcStatus::Failed;
+                self.procs[i].state = None;
+                self.stats.failures += 1;
+                let point = self.fail_points[i].expect("failed processor has a recorded point");
+                self.events.push(FailureEvent {
+                    kind: FailureKind::Failure { point },
                     pid: i,
-                    time: self.cycle + 1,
+                    time: self.cycle,
                 });
             }
-            self.pattern.extend(events);
-            self.cycle += 1;
-            self.stats.parallel_time = self.cycle;
         }
+        for i in (0..p).filter(|&i| self.restarted[i]) {
+            self.procs[i].status = ProcStatus::Alive;
+            self.procs[i].state = Some(self.program.on_start(Pid(i)));
+            self.stats.restarts += 1;
+            self.events.push(FailureEvent {
+                kind: FailureKind::Restart,
+                pid: i,
+                time: self.cycle + 1,
+            });
+        }
+        // Failure events at this tick precede restart events at tick+1, so
+        // pushing fails-then-restarts keeps the pattern time-ordered.
+        self.pattern.extend(self.events.drain(..));
+        self.cycle += 1;
+        self.stats.parallel_time = self.cycle;
+
+        // Restore the index's dense form for next tick's views, and
+        // cross-check it against ground truth in debug builds.
+        if self.tracked {
+            self.unvisited.ensure_clean();
+            debug_assert!(
+                self.unvisited.matches(self.mem.size(), |addr| matches!(
+                    self.program.completion_hint(addr, self.mem.peek(addr)),
+                    CompletionHint::Outstanding
+                )),
+                "unvisited index diverged from the full scan after tick {}",
+                self.cycle - 1,
+            );
+        }
+        Ok(())
+    }
+
+    /// Merge one write slot under COMMON semantics, apply it, and fold each
+    /// committed store into the unvisited index.
+    fn commit_slot(&mut self) -> Result<()> {
+        // (addr, pid) keys are unique, so the unstable sort is
+        // deterministic.
+        self.slot_writes.sort_unstable_by_key(|&(pid, addr, _)| (addr, pid));
+        let mut i = 0;
+        while i < self.slot_writes.len() {
+            let (pid0, addr, v0) = self.slot_writes[i];
+            let mut j = i + 1;
+            while j < self.slot_writes.len() && self.slot_writes[j].1 == addr {
+                if self.slot_writes[j].2 != v0 {
+                    return Err(PramError::CommonWriteConflict {
+                        addr,
+                        cycle: self.cycle,
+                        first: (pid0, v0),
+                        second: (self.slot_writes[j].0, self.slot_writes[j].2),
+                    });
+                }
+                j += 1;
+            }
+            if self.tracked {
+                // Fold the committed write into the index *before* the
+                // store (the old value is still visible).
+                let old = self.program.completion_hint(addr, self.mem.peek(addr));
+                let new = self.program.completion_hint(addr, v0);
+                match (old, new) {
+                    (CompletionHint::Outstanding, CompletionHint::Satisfied) => {
+                        self.unvisited.remove(addr);
+                    }
+                    (CompletionHint::Satisfied, CompletionHint::Outstanding) => {
+                        self.unvisited.insert(addr);
+                    }
+                    _ => {}
+                }
+            }
+            self.mem.store(addr, v0)?;
+            i = j;
+        }
+        Ok(())
     }
 }
 
@@ -392,11 +703,11 @@ mod tests {
             &self,
             pid: Pid,
             _st: &mut (),
-            mem: &SharedMemory,
+            view: &SnapshotView<'_>,
             writes: &mut WriteSet,
         ) -> Step {
             // Snapshot power: scan everything, pick the pid-th unvisited.
-            let unvisited: Vec<usize> = (0..self.n).filter(|&i| mem.peek(i) == 0).collect();
+            let unvisited: Vec<usize> = (0..self.n).filter(|&i| view.peek(i) == 0).collect();
             if unvisited.is_empty() {
                 return Step::Halt;
             }
@@ -406,6 +717,45 @@ mod tests {
         }
         fn is_complete(&self, mem: &SharedMemory) -> bool {
             (0..self.n).all(|i| mem.peek(i) == 1)
+        }
+    }
+
+    /// `Direct` with a completion hint: same behaviour, but the machine
+    /// maintains the unvisited index (and debug-asserts it against the full
+    /// scan every tick).
+    struct Hinted {
+        n: usize,
+    }
+
+    impl SnapshotProgram for Hinted {
+        type Private = ();
+        fn shared_size(&self) -> usize {
+            self.n
+        }
+        fn on_start(&self, _pid: Pid) {}
+        fn execute(
+            &self,
+            pid: Pid,
+            _st: &mut (),
+            view: &SnapshotView<'_>,
+            writes: &mut WriteSet,
+        ) -> Step {
+            let idx = view.unvisited().expect("hinted program gets an index");
+            if idx.is_empty() {
+                return Step::Halt;
+            }
+            writes.push(idx.select(pid.0 % idx.len()), 1);
+            Step::Continue
+        }
+        fn is_complete(&self, mem: &SharedMemory) -> bool {
+            (0..self.n).all(|i| mem.peek(i) == 1)
+        }
+        fn completion_hint(&self, _addr: usize, value: Word) -> CompletionHint {
+            if value == 1 {
+                CompletionHint::Satisfied
+            } else {
+                CompletionHint::Outstanding
+            }
         }
     }
 
@@ -430,6 +780,40 @@ mod tests {
         assert_eq!(report.stats.completed_cycles, 8);
         assert_eq!(report.stats.parallel_time, 4);
         let _ = report.stats.overhead_ratio(8 as Word);
+    }
+
+    #[test]
+    fn indexed_run_matches_scanning_run() {
+        let scan = Direct { n: 24 };
+        let mut m1 = SnapshotMachine::new(&scan, 5, 1).unwrap();
+        let r1 = m1.run(&mut NoFailures).unwrap();
+        let hinted = Hinted { n: 24 };
+        let mut m2 = SnapshotMachine::new(&hinted, 5, 1).unwrap();
+        let r2 = m2.run(&mut NoFailures).unwrap();
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.per_processor, r2.per_processor);
+        assert_eq!(m1.memory().as_slice(), m2.memory().as_slice());
+    }
+
+    #[test]
+    fn completed_report_moves_pattern_out() {
+        let prog = Direct { n: 4 };
+        let mut m = SnapshotMachine::new(&prog, 4, 1).unwrap();
+        let report = m.run(&mut NoFailures).unwrap();
+        assert!(report.pattern.is_empty());
+        // A continuation run on the same machine starts a fresh pattern.
+        assert!(m.pattern.is_empty());
+    }
+
+    #[test]
+    fn snapshot_reads_are_uncharged() {
+        let prog = Hinted { n: 8 };
+        let mut m = SnapshotMachine::new(&prog, 4, 1).unwrap();
+        m.run(&mut NoFailures).unwrap();
+        // Whole-memory snapshots have unit cost by assumption; the per-cell
+        // read counter stays untouched (the word machine does charge).
+        assert_eq!(m.memory().read_count(), 0);
+        assert_eq!(m.memory().write_count(), 8);
     }
 
     #[test]

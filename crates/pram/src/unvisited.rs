@@ -1,0 +1,379 @@
+//! Incremental unvisited-set index: a dense, position-ordered set of
+//! shared-memory addresses with O(1) rank/select.
+//!
+//! The snapshot algorithms of §3 and the pigeonhole adversary of
+//! Theorem 3.1 both consume the same quantity every tick: the list of
+//! still-unvisited Write-All cells, *numbered by position*. Computing it by
+//! scanning memory costs O(N) per processor per tick and caps the
+//! experiments at small N. [`UnvisitedIndex`] maintains that list
+//! incrementally from committed writes instead: the machine folds every
+//! commit into the index in O(1) amortized, and consumers get
+//!
+//! * [`len`](UnvisitedIndex::len) / [`is_empty`](UnvisitedIndex::is_empty)
+//!   — the outstanding count, replacing the O(N) completion scan;
+//! * [`select`](UnvisitedIndex::select) — the k-th unvisited address in
+//!   ascending order, O(1);
+//! * [`rank_of`](UnvisitedIndex::rank_of) — position of an address within
+//!   the unvisited list, O(1);
+//! * [`slice_in`](UnvisitedIndex::slice_in) — the unvisited addresses
+//!   inside a [`Region`], as one contiguous slice (two binary searches).
+//!
+//! # Representation
+//!
+//! A dense `items` vector of live addresses plus a `pos` position map
+//! (`pos[addr]` = slot in `items`, or [`ABSENT`]). Removal is a *tombstone*:
+//! the position-map entry is cleared in O(1) and the stale `items` slot is
+//! left behind; an element at slot `r` is live iff `pos[items[r]] == r`.
+//! [`ensure_clean`](UnvisitedIndex::ensure_clean) compacts the tombstones
+//! away in place (and re-sorts after out-of-order inserts), restoring the
+//! dense ascending-address form the accessors require. A plain swap-remove
+//! set would make removal O(1) without tombstones, but it scrambles the
+//! order — and position order is load-bearing: the §3 balanced-allocation
+//! rule and the pigeonhole adversary's tie-breaking are both defined on
+//! cells *numbered by position*.
+//!
+//! Each tick the machine performs O(committed writes) removals/inserts and
+//! one `ensure_clean`; compaction is O(pending tombstones + live) and every
+//! tombstone is scanned at most once after its removal, so maintenance is
+//! O(writes) amortized per tick. Steady-state maintenance performs **no
+//! heap allocation**: compaction is in place, and inserts reuse slack left
+//! by prior removals (a program that re-dirties more cells than were ever
+//! outstanding at once may grow the buffer, which is the usual amortized
+//! `Vec` growth).
+
+use crate::region::Region;
+
+/// Sentinel for "address not in the set" in the position map.
+const ABSENT: usize = usize::MAX;
+
+/// A dense set of shared-memory addresses in ascending order with O(1)
+/// rank/select, O(1) amortized removal and insertion, and contiguous
+/// per-[`Region`] slicing. See the [module docs](self) for the
+/// representation and cost model.
+#[derive(Clone, Debug, Default)]
+pub struct UnvisitedIndex {
+    /// Live addresses in ascending order, possibly interleaved with stale
+    /// (tombstoned) entries until the next [`UnvisitedIndex::ensure_clean`].
+    items: Vec<usize>,
+    /// `pos[addr]` = slot of `addr` in `items`, or [`ABSENT`].
+    pos: Vec<usize>,
+    /// Number of live addresses (maintained eagerly, valid even when dirty).
+    live: usize,
+    /// Whether `items` contains tombstoned entries.
+    holes: bool,
+    /// Whether inserts appended out of ascending order.
+    unsorted: bool,
+}
+
+impl UnvisitedIndex {
+    /// An empty index over the address space `0..size`.
+    pub fn new(size: usize) -> Self {
+        UnvisitedIndex {
+            items: Vec::new(),
+            pos: vec![ABSENT; size],
+            live: 0,
+            holes: false,
+            unsorted: false,
+        }
+    }
+
+    /// Reclassify the whole address space: afterwards the index contains
+    /// exactly the addresses for which `is_outstanding` returns `true`,
+    /// clean and in ascending order. O(size).
+    pub fn rebuild(&mut self, size: usize, mut is_outstanding: impl FnMut(usize) -> bool) {
+        self.items.clear();
+        self.pos.clear();
+        self.pos.resize(size, ABSENT);
+        for addr in 0..size {
+            if is_outstanding(addr) {
+                self.pos[addr] = self.items.len();
+                self.items.push(addr);
+            }
+        }
+        self.live = self.items.len();
+        self.holes = false;
+        self.unsorted = false;
+    }
+
+    /// Number of addresses in the set. Valid even while dirty.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the set is empty. Valid even while dirty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `addr` is in the set. O(1), valid even while dirty.
+    pub fn contains(&self, addr: usize) -> bool {
+        self.pos.get(addr).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Whether the dense accessors ([`select`](UnvisitedIndex::select),
+    /// [`rank_of`](UnvisitedIndex::rank_of),
+    /// [`as_slice`](UnvisitedIndex::as_slice),
+    /// [`slice_in`](UnvisitedIndex::slice_in)) may be used right now.
+    pub fn is_clean(&self) -> bool {
+        !self.holes && !self.unsorted
+    }
+
+    /// Add `addr` to the set. Returns `false` (no-op) if already present.
+    /// O(1) amortized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the address space the index was built
+    /// over.
+    pub fn insert(&mut self, addr: usize) -> bool {
+        assert!(addr < self.pos.len(), "address {addr} outside indexed space");
+        if self.pos[addr] != ABSENT {
+            return false;
+        }
+        if self.items.len() == self.items.capacity() && self.holes {
+            // Reuse tombstone slack before letting the buffer grow.
+            self.compact();
+        }
+        self.pos[addr] = self.items.len();
+        self.items.push(addr);
+        self.live += 1;
+        if !self.unsorted {
+            // An append extending the ascending tail keeps the index clean;
+            // with holes present the tail entry may be stale, so be
+            // conservative.
+            let extends_tail =
+                !self.holes && (self.items.len() < 2 || self.items[self.items.len() - 2] < addr);
+            self.unsorted = !extends_tail;
+        }
+        true
+    }
+
+    /// Remove `addr` from the set (tombstone; O(1)). Returns `false`
+    /// (no-op) if not present.
+    pub fn remove(&mut self, addr: usize) -> bool {
+        if !self.contains(addr) {
+            return false;
+        }
+        self.pos[addr] = ABSENT;
+        self.live -= 1;
+        self.holes = true;
+        true
+    }
+
+    /// Restore the dense ascending form: drop tombstones in place and
+    /// re-sort if inserts appended out of order. O(pending work); a no-op
+    /// when already clean. Performs no allocation.
+    pub fn ensure_clean(&mut self) {
+        if self.holes {
+            self.compact();
+        }
+        if self.unsorted {
+            self.items.sort_unstable();
+            for (slot, &addr) in self.items.iter().enumerate() {
+                self.pos[addr] = slot;
+            }
+            self.unsorted = false;
+        }
+    }
+
+    /// Drop tombstoned entries in place. An entry at slot `r` is live iff
+    /// `pos[items[r]] == r`; live entries keep their relative order.
+    fn compact(&mut self) {
+        let mut w = 0;
+        for r in 0..self.items.len() {
+            let addr = self.items[r];
+            if self.pos[addr] == r {
+                self.items[w] = addr;
+                self.pos[addr] = w;
+                w += 1;
+            }
+        }
+        self.items.truncate(w);
+        self.holes = false;
+    }
+
+    /// The `k`-th address in ascending order (0-based). O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`. Debug builds additionally assert the index
+    /// is clean.
+    pub fn select(&self, k: usize) -> usize {
+        debug_assert!(self.is_clean(), "select on a dirty index — call ensure_clean first");
+        self.items[k]
+    }
+
+    /// Rank of `addr` within the ascending order, if present. O(1).
+    pub fn rank_of(&self, addr: usize) -> Option<usize> {
+        debug_assert!(self.is_clean(), "rank_of on a dirty index — call ensure_clean first");
+        match self.pos.get(addr) {
+            Some(&p) if p != ABSENT => Some(p),
+            _ => None,
+        }
+    }
+
+    /// All addresses in ascending order.
+    pub fn as_slice(&self) -> &[usize] {
+        debug_assert!(self.is_clean(), "as_slice on a dirty index — call ensure_clean first");
+        &self.items
+    }
+
+    /// The rank range occupied by addresses inside `region`: two binary
+    /// searches, O(log len).
+    pub fn range_in(&self, region: Region) -> std::ops::Range<usize> {
+        debug_assert!(self.is_clean(), "range_in on a dirty index — call ensure_clean first");
+        let lo = self.items.partition_point(|&a| a < region.base());
+        let hi = self.items.partition_point(|&a| a < region.base() + region.len());
+        lo..hi
+    }
+
+    /// The addresses inside `region`, ascending, as one contiguous slice.
+    pub fn slice_in(&self, region: Region) -> &[usize] {
+        let range = self.range_in(region);
+        &self.items[range]
+    }
+
+    /// Number of addresses inside `region`. O(log len).
+    pub fn count_in(&self, region: Region) -> usize {
+        self.range_in(region).len()
+    }
+
+    /// Full cross-check against ground truth: the index is clean, covers
+    /// the `0..size` address space, and contains exactly the addresses for
+    /// which `is_outstanding` holds, in strictly ascending order. Intended
+    /// for `debug_assert!` use by the machine.
+    pub fn matches(&self, size: usize, mut is_outstanding: impl FnMut(usize) -> bool) -> bool {
+        if !self.is_clean() || self.pos.len() != size || self.items.len() != self.live {
+            return false;
+        }
+        let mut expected = 0;
+        for addr in 0..size {
+            if is_outstanding(addr) != self.contains(addr) {
+                return false;
+            }
+            if self.contains(addr) && self.items[self.pos[addr]] != addr {
+                return false;
+            }
+            if is_outstanding(addr) {
+                expected += 1;
+            }
+        }
+        expected == self.live && self.items.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::MemoryLayout;
+
+    fn fresh(live: &[usize], size: usize) -> UnvisitedIndex {
+        let mut idx = UnvisitedIndex::new(size);
+        idx.rebuild(size, |a| live.contains(&a));
+        idx
+    }
+
+    #[test]
+    fn rebuild_orders_by_position() {
+        let idx = fresh(&[5, 1, 3], 8);
+        assert_eq!(idx.as_slice(), &[1, 3, 5]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.select(1), 3);
+        assert_eq!(idx.rank_of(5), Some(2));
+        assert_eq!(idx.rank_of(2), None);
+        assert!(idx.matches(8, |a| [1, 3, 5].contains(&a)));
+    }
+
+    #[test]
+    fn remove_is_tombstoned_then_compacted() {
+        let mut idx = fresh(&[0, 1, 2, 3], 4);
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1), "second removal is a no-op");
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.contains(1));
+        assert!(!idx.is_clean());
+        idx.ensure_clean();
+        assert_eq!(idx.as_slice(), &[0, 2, 3]);
+        assert_eq!(idx.rank_of(3), Some(2));
+        assert!(idx.matches(4, |a| a != 1));
+    }
+
+    #[test]
+    fn insert_restores_position_order() {
+        let mut idx = fresh(&[0, 4], 8);
+        assert!(idx.insert(2));
+        assert!(!idx.insert(2), "second insert is a no-op");
+        idx.ensure_clean();
+        assert_eq!(idx.as_slice(), &[0, 2, 4]);
+        // Tail-extending appends stay clean without a sort.
+        assert!(idx.insert(7));
+        assert!(idx.is_clean());
+        assert_eq!(idx.as_slice(), &[0, 2, 4, 7]);
+    }
+
+    #[test]
+    fn remove_then_reinsert_same_address() {
+        let mut idx = fresh(&[0, 1, 2], 4);
+        idx.remove(1);
+        assert!(idx.insert(1));
+        idx.ensure_clean();
+        assert_eq!(idx.as_slice(), &[0, 1, 2]);
+        assert!(idx.matches(4, |a| a < 3));
+    }
+
+    #[test]
+    fn insert_then_remove_before_clean() {
+        let mut idx = fresh(&[0], 4);
+        idx.insert(2);
+        idx.remove(2);
+        idx.ensure_clean();
+        assert_eq!(idx.as_slice(), &[0]);
+        assert!(idx.matches(4, |a| a == 0));
+    }
+
+    #[test]
+    fn region_slicing_is_contiguous() {
+        let mut layout = MemoryLayout::new();
+        let a = layout.alloc(4);
+        let b = layout.alloc(4);
+        let idx = fresh(&[1, 2, 5, 6], layout.total());
+        assert_eq!(idx.slice_in(a), &[1, 2]);
+        assert_eq!(idx.slice_in(b), &[5, 6]);
+        assert_eq!(idx.range_in(b), 2..4);
+        assert_eq!(idx.count_in(a), 2);
+        assert_eq!(idx.slice_in(Region::EMPTY), &[] as &[usize]);
+    }
+
+    #[test]
+    fn interleaved_churn_matches_ground_truth() {
+        let size = 64;
+        let mut idx = UnvisitedIndex::new(size);
+        idx.rebuild(size, |_| true);
+        let mut truth: Vec<bool> = vec![true; size];
+        // Deterministic churn: walk a fixed stride, toggling membership.
+        let mut a = 17usize;
+        for step in 0..500 {
+            a = (a * 31 + 7) % size;
+            if truth[a] {
+                idx.remove(a);
+                truth[a] = false;
+            } else {
+                idx.insert(a);
+                truth[a] = true;
+            }
+            if step % 7 == 0 {
+                idx.ensure_clean();
+            }
+            assert_eq!(idx.len(), truth.iter().filter(|&&t| t).count());
+        }
+        idx.ensure_clean();
+        assert!(idx.matches(size, |addr| truth[addr]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside indexed space")]
+    fn insert_out_of_space_panics() {
+        let mut idx = UnvisitedIndex::new(2);
+        idx.insert(2);
+    }
+}

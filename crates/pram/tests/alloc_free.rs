@@ -13,9 +13,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use rfsp_pram::snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 use rfsp_pram::{
-    CycleBudget, Machine, NoFailures, Pid, Program, ReadSet, RunLimits, SharedMemory, Step, Word,
-    WriteSet,
+    CompletionHint, CycleBudget, Machine, MemoryLayout, NoFailures, Pid, Program, ReadSet, Region,
+    RunLimits, SharedMemory, Step, Word, WriteSet,
 };
 
 struct CountingAlloc;
@@ -93,6 +94,77 @@ fn sequential_steady_state_ticks_do_not_allocate() {
     }
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
     assert_eq!(delta, 0, "sequential steady-state ticks allocated {delta} times");
+}
+
+/// Snapshot-model Write-All with the balanced-assignment rule, expressed
+/// entirely through the machine-maintained unvisited index: no scans, no
+/// scratch vectors. Opting into `completion_hint` is what makes the machine
+/// build the index and remove one cell per committed write — the exact
+/// steady-state churn (tombstone + compaction per tick) the allocation
+/// test needs to exercise.
+struct SnapWriteAll {
+    x: Region,
+    p: usize,
+}
+
+impl SnapshotProgram for SnapWriteAll {
+    type Private = ();
+    fn shared_size(&self) -> usize {
+        self.x.base() + self.x.len()
+    }
+    fn on_start(&self, _pid: Pid) {}
+    fn execute(
+        &self,
+        pid: Pid,
+        _st: &mut (),
+        view: &SnapshotView<'_>,
+        writes: &mut WriteSet,
+    ) -> Step {
+        let u = view.unvisited_count_in(self.x);
+        if u == 0 {
+            return Step::Halt;
+        }
+        let k = (pid.0 * u / self.p).min(u - 1);
+        writes.push(view.nth_unvisited_in(self.x, k).expect("k < u"), 1);
+        Step::Continue
+    }
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        (0..self.x.len()).all(|i| mem.peek(self.x.at(i)) == 1)
+    }
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        if self.x.contains(addr) {
+            if value == 1 {
+                CompletionHint::Satisfied
+            } else {
+                CompletionHint::Outstanding
+            }
+        } else {
+            CompletionHint::Untracked
+        }
+    }
+}
+
+#[test]
+fn snapshot_steady_state_ticks_do_not_allocate() {
+    let _guard = MEASURE.lock().unwrap();
+    let p = 16;
+    // 80 full-width ticks of work: warm-up (8) + measurement (64) stay
+    // strictly inside the run, and every tick commits p index removals
+    // followed by a compaction in `ensure_clean`.
+    let n = 80 * p;
+    let mut layout = MemoryLayout::new();
+    let x = layout.alloc(n);
+    let prog = SnapWriteAll { x, p };
+    let mut m = SnapshotMachine::new(&prog, p, 1).unwrap();
+    for _ in 0..8 {
+        m.tick(&mut NoFailures).unwrap();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        m.tick(&mut NoFailures).unwrap();
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "snapshot steady-state ticks allocated {delta} times");
 }
 
 #[test]
