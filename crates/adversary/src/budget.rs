@@ -7,6 +7,7 @@
 //! is stranded by the cap itself.
 
 use rfsp_pram::{Adversary, Decisions, MachineView};
+use serde::Value;
 
 /// Wrap `inner`, enforcing `|F| ≤ m` (approximately: restart events needed
 /// to un-strand failed processors may overshoot by at most `P`).
@@ -59,6 +60,26 @@ impl<A: Adversary> Adversary for Budgeted<A> {
             failed_before || failed_now
         });
         out
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        // Checkpointable iff the wrapped adversary is.
+        let inner = self.inner.save_state()?;
+        Some(Value::Map(vec![
+            ("inner".to_string(), inner),
+            ("remaining".to_string(), Value::UInt(self.remaining)),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        let remaining = state
+            .get("remaining")
+            .and_then(Value::as_u64)
+            .ok_or("budgeted state needs a `remaining` integer")?;
+        let inner = state.get("inner").ok_or("budgeted state needs an `inner` entry")?;
+        self.inner.restore_state(inner)?;
+        self.remaining = remaining;
+        Ok(())
     }
 }
 

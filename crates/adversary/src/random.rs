@@ -10,6 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rfsp_pram::{Adversary, Decisions, FailPoint, MachineView, ProcStatus};
+use serde::Value;
 
 /// I.i.d. failure/restart injection with an optional `|F|` budget.
 #[derive(Clone, Debug)]
@@ -102,6 +103,31 @@ impl Adversary for RandomFaults {
         }
         d
     }
+
+    fn save_state(&self) -> Option<Value> {
+        let rng = Value::Seq(self.rng.state().iter().map(|&w| Value::UInt(w)).collect());
+        let budget = match self.budget {
+            Some(b) => Value::UInt(b),
+            None => Value::Null,
+        };
+        Some(Value::Map(vec![("rng".to_string(), rng), ("budget".to_string(), budget)]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        let rng = state
+            .get("rng")
+            .and_then(Value::as_seq)
+            .ok_or("random-faults state needs an `rng` sequence")?;
+        let words: Vec<u64> = rng.iter().filter_map(Value::as_u64).collect();
+        let s: [u64; 4] = words.try_into().map_err(|_| "`rng` must hold exactly four u64 words")?;
+        let budget = match state.get("budget") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(v.as_u64().ok_or("`budget` must be an integer or null")?),
+        };
+        self.rng = SmallRng::from_state(s);
+        self.budget = budget;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +183,77 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_bad_probability() {
         let _ = RandomFaults::new(1.5, 0.0, 0);
+    }
+
+    /// The decision log of a seeded random run, replayed through a
+    /// [`ScheduledAdversary`], reproduces the run exactly: same stats,
+    /// same pattern, same final memory. This is the contract the chaos
+    /// harness's minimal replay files rely on.
+    #[test]
+    fn recorded_random_run_replays_exactly() {
+        use rfsp_pram::{DecisionRecorder, ScheduledAdversary};
+
+        let n = 64;
+        let p = 16;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+
+        let mut original = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut rec = DecisionRecorder::new(RandomFaults::new(0.25, 0.6, 777));
+        let report = original.run(&mut rec).unwrap();
+        assert!(report.stats.failures > 0, "want a run with actual faults");
+        let log = rec.into_pattern();
+        // The recorder's log is exactly the machine's recorded pattern.
+        assert_eq!(log, report.pattern);
+
+        let mut replayed = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let replay_report = replayed.run(&mut ScheduledAdversary::new(log)).unwrap();
+        assert_eq!(replay_report.stats, report.stats);
+        assert_eq!(replay_report.pattern, report.pattern);
+        assert_eq!(replay_report.per_processor, report.per_processor);
+        assert_eq!(replayed.memory().as_slice(), original.memory().as_slice());
+    }
+
+    /// Checkpointing a machine + RandomFaults mid-run and restoring into
+    /// fresh instances (differently seeded — restore overwrites the
+    /// stream) continues exactly like the uninterrupted run.
+    #[test]
+    fn checkpoint_resume_preserves_random_stream() {
+        use rfsp_pram::{NoopObserver, RunControl, RunLimits, RunStatus};
+
+        let n = 64;
+        let p = 8;
+        let mut layout = MemoryLayout::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+
+        let mut straight = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let expected =
+            straight.run(&mut RandomFaults::new(0.3, 0.5, 4242).with_budget(200)).unwrap();
+
+        let mut first = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv1 = RandomFaults::new(0.3, 0.5, 4242).with_budget(200);
+        let status = first
+            .run_controlled(&mut adv1, RunLimits::default(), &mut NoopObserver, |cycle| {
+                if cycle == 5 {
+                    RunControl::Pause
+                } else {
+                    RunControl::Continue
+                }
+            })
+            .unwrap();
+        assert!(matches!(status, RunStatus::Paused { cycle: 5 }));
+        let ck = first.save_checkpoint(&adv1).unwrap();
+
+        let mut second = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        // Deliberately different seed and budget: restore must overwrite.
+        let mut adv2 = RandomFaults::new(0.3, 0.5, 1).with_budget(7);
+        second.restore_checkpoint(&ck, &mut adv2).unwrap();
+        let report = second.run(&mut adv2).unwrap();
+
+        assert_eq!(report.stats, expected.stats);
+        assert_eq!(report.pattern, expected.pattern);
+        assert_eq!(second.memory().as_slice(), straight.memory().as_slice());
     }
 }

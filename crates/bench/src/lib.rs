@@ -6,6 +6,7 @@
 //! plumbing: algorithm runners, table formatting, and regression helpers.
 
 pub mod experiments;
+pub mod soak;
 pub mod telemetry;
 
 use rfsp_core::{
@@ -15,6 +16,7 @@ use rfsp_pram::{
     Adversary, CycleBudget, Machine, MemoryLayout, NoopObserver, Observer, PramError, Program,
     RunLimits, RunReport,
 };
+use serde::{Deserialize, Serialize};
 
 pub use telemetry::{BenchArtifact, BenchRun, TelemetrySink};
 
@@ -263,6 +265,79 @@ where
             let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
+        }
+    }
+}
+
+/// A computation generic over the *concrete* Write-All program type.
+///
+/// [`run_write_all_engine_observed`] erases the program behind a fixed run
+/// recipe; anything needing the extra capabilities of the machine's
+/// crash-safety surface — [`Machine::save_checkpoint`] /
+/// [`Machine::restore_checkpoint`] (which require `P::Private:
+/// Serialize + Deserialize`), [`Machine::run_threaded_isolated`], or
+/// multiple machines over one program — implements this trait instead and
+/// lets [`with_write_all_program`] construct the program `algo` names.
+pub trait WriteAllVisitor {
+    /// What the visit produces.
+    type Out;
+
+    /// Run against the concrete program. `budget` is the cycle budget the
+    /// algorithm requires (the paper's 4-read/2-write budget for all but
+    /// the interleaved algorithm).
+    fn visit<P>(self, prog: &P, setup: &WriteAllSetup, budget: CycleBudget) -> Self::Out
+    where
+        P: Program + Sync,
+        P::Private: Send + Serialize + Deserialize;
+}
+
+/// Build the Write-All program `algo` names (instance size `n`, `p`
+/// processors) and hand it to `visitor` — the checkpoint-capable
+/// counterpart of [`run_write_all_engine_observed`].
+pub fn with_write_all_program<V: WriteAllVisitor>(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    visitor: V,
+) -> V::Out {
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, n);
+    match algo {
+        Algo::X => {
+            let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+            let setup =
+                WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
+            visitor.visit(&prog, &setup, CycleBudget::PAPER)
+        }
+        Algo::V => {
+            let prog = AlgoV::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            visitor.visit(&prog, &setup, CycleBudget::PAPER)
+        }
+        Algo::W => {
+            let prog = AlgoW::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            visitor.visit(&prog, &setup, CycleBudget::PAPER)
+        }
+        Algo::Interleaved => {
+            let prog = Interleaved::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup {
+                tasks,
+                x_layout: Some(*prog.x_half().layout()),
+                tree: Some(prog.x_half().tree()),
+            };
+            let budget = prog.required_budget();
+            visitor.visit(&prog, &setup, budget)
+        }
+        Algo::XInPlace => {
+            let prog = AlgoXInPlace::new(&mut layout, tasks, p);
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            visitor.visit(&prog, &setup, CycleBudget::PAPER)
+        }
+        Algo::Acc(seed) => {
+            let prog = AlgoAcc::new(&mut layout, tasks, AccOptions { seed });
+            let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
+            visitor.visit(&prog, &setup, CycleBudget::PAPER)
         }
     }
 }

@@ -1,15 +1,22 @@
-//! `rfsp experiment` — run one of the paper-reproduction experiments.
+//! `rfsp experiment` — run one of the paper-reproduction experiments, or
+//! (with `--run` / `--resume`) the crash-safe long-run mode of
+//! [`longrun`](crate::commands::longrun).
 
 use rfsp_bench::experiments;
 
 use crate::args::{ArgError, Args};
+use crate::commands::longrun;
+use crate::CliOutcome;
 
 /// Execute the subcommand.
 ///
 /// # Errors
 ///
 /// Reports an unknown experiment id as [`ArgError`].
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<CliOutcome, ArgError> {
+    if args.get("run").is_some() || args.get("resume").is_some() {
+        return longrun::run(args);
+    }
     match args.get_or("id", "all") {
         "all" => experiments::run_all(),
         "e1" => experiments::e1::run(),
@@ -29,5 +36,5 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             return Err(ArgError(format!("unknown experiment '{other}' (expected e1..e13 or all)")))
         }
     }
-    Ok(())
+    Ok(CliOutcome::Done)
 }

@@ -1,0 +1,487 @@
+//! `rfsp experiment --run writeall` — the crash-safe long-run mode.
+//!
+//! Unlike `rfsp writeall` (one shot, in memory), this mode is built to
+//! survive its host: the machine runs on the panic-isolating engine with
+//! graceful sequential degradation, writes a versioned checkpoint every
+//! `--every` ticks (and on SIGINT) via an atomic tmp-file + rename, and
+//! streams raw machine events to a JSONL file whose flushed length is
+//! recorded in each checkpoint. `rfsp experiment --resume ck.json`
+//! reconstructs everything from the checkpoint alone — config, machine,
+//! adversary cursor — truncates the events file back to the recorded
+//! offset, and continues; the resulting event stream, stats, and final
+//! memory are bit-identical to an uninterrupted run.
+//!
+//! ```text
+//! rfsp experiment --run writeall --algo x --n 100000 --p 128 \
+//!     --adversary random --rate 0.05 --seed 7 \
+//!     --checkpoint ck.json --every 500 --events run.jsonl
+//! # ^C, power loss, SIGKILL ... then:
+//! rfsp experiment --resume ck.json
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+
+use rfsp_adversary::RandomFaults;
+use rfsp_bench::{with_write_all_program, WriteAllSetup, WriteAllVisitor};
+use rfsp_pram::{
+    Adversary, Checkpoint, CycleBudget, Machine, NoFailures, Observer, PanicPolicy, Program,
+    RunControl, RunLimits, RunStatus, ScheduledAdversary, TraceEvent,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::args::{ArgError, Args};
+use crate::commands::writeall::parse_algo;
+use crate::{pattern_io, signals, CliOutcome};
+
+/// Version tag of the on-disk experiment checkpoint (wraps the machine's
+/// own versioned [`Checkpoint`]).
+pub const EXPERIMENT_CHECKPOINT_VERSION: u32 = 1;
+
+/// The full run configuration — everything needed to rebuild the program
+/// and adversary from scratch. Stored inside the checkpoint so `--resume`
+/// needs no other flags.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LongRunConfig {
+    /// Algorithm name (as accepted by `--algo`).
+    pub algo: String,
+    /// Instance size.
+    pub n: u64,
+    /// Processor count.
+    pub p: u64,
+    /// Tick-engine worker threads (1 = sequential).
+    pub threads: u64,
+    /// Adversary kind: `none`, `random`, or `replay`.
+    pub adversary: String,
+    /// `random`: per-tick failure probability.
+    pub rate: f64,
+    /// `random`: per-tick restart probability.
+    pub restart_rate: f64,
+    /// `random`: RNG seed (the checkpoint carries the live RNG state; the
+    /// seed only matters for a from-scratch start).
+    pub seed: u64,
+    /// `replay`: path of the failure-pattern file.
+    pub replay_pattern: Option<String>,
+    /// Checkpoint cadence in ticks (0 = only on SIGINT).
+    pub every: u64,
+    /// Tick budget.
+    pub max_cycles: u64,
+    /// Checkpoint file path.
+    pub checkpoint: Option<String>,
+    /// Events JSONL file path.
+    pub events: Option<String>,
+}
+
+/// What `--checkpoint` writes: config + machine snapshot + how many event
+/// bytes had been flushed when the snapshot was taken.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ExperimentCheckpoint {
+    /// Format version ([`EXPERIMENT_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The run's full configuration.
+    pub config: LongRunConfig,
+    /// Flushed length of the events file at snapshot time; resume
+    /// truncates the file back to this before continuing.
+    pub events_offset: u64,
+    /// The machine + adversary snapshot.
+    pub machine: Checkpoint,
+}
+
+fn io_err(what: &str, path: &str, e: &dyn std::fmt::Display) -> ArgError {
+    ArgError(format!("cannot {what} {path}: {e}"))
+}
+
+/// Streams events as JSONL, tracking the byte offset of everything
+/// *flushed* (the only prefix a checkpoint may safely reference).
+struct EventWriter {
+    path: String,
+    out: BufWriter<File>,
+    bytes: u64,
+    err: Option<std::io::Error>,
+}
+
+impl EventWriter {
+    fn flush(&mut self) -> Result<u64, ArgError> {
+        if let Err(e) = self.out.flush() {
+            self.err.get_or_insert(e);
+        }
+        match self.err.take() {
+            Some(e) => Err(io_err("write events to", &self.path, &e)),
+            None => Ok(self.bytes),
+        }
+    }
+}
+
+impl Observer for EventWriter {
+    fn event(&mut self, event: TraceEvent) {
+        if self.err.is_some() {
+            return;
+        }
+        let mut line = serde::json::to_string(&event);
+        line.push('\n');
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.err = Some(e);
+        } else {
+            self.bytes += line.len() as u64;
+        }
+    }
+}
+
+/// The events sink: a real writer, or nothing.
+struct Events(Option<EventWriter>);
+
+impl Events {
+    fn open(cfg: &LongRunConfig, resume: Option<&ExperimentCheckpoint>) -> Result<Self, ArgError> {
+        let Some(path) = cfg.events.as_deref() else { return Ok(Events(None)) };
+        let file = if let Some(ck) = resume {
+            // Truncate back to the checkpoint's flushed prefix: everything
+            // after it describes ticks the resumed machine will re-execute.
+            let meta = std::fs::metadata(path).map_err(|e| io_err("stat", path, &e))?;
+            if meta.len() < ck.events_offset {
+                return Err(ArgError(format!(
+                    "events file {path} is shorter ({}) than the checkpoint's offset ({}) — \
+                     was it rewritten since the checkpoint?",
+                    meta.len(),
+                    ck.events_offset
+                )));
+            }
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)
+                .map_err(|e| io_err("open", path, &e))?;
+            f.set_len(ck.events_offset).map_err(|e| io_err("truncate", path, &e))?;
+            f.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", path, &e))?;
+            f
+        } else {
+            File::create(path).map_err(|e| io_err("create", path, &e))?
+        };
+        Ok(Events(Some(EventWriter {
+            path: path.to_string(),
+            out: BufWriter::new(file),
+            bytes: resume.map_or(0, |ck| ck.events_offset),
+            err: None,
+        })))
+    }
+
+    /// Flush and report the stable byte offset (0 when no file).
+    fn checkpointable_offset(&mut self) -> Result<u64, ArgError> {
+        match &mut self.0 {
+            Some(w) => w.flush(),
+            None => Ok(0),
+        }
+    }
+}
+
+impl Observer for Events {
+    fn event(&mut self, event: TraceEvent) {
+        if let Some(w) = &mut self.0 {
+            w.event(event);
+        }
+    }
+}
+
+fn build_adversary(cfg: &LongRunConfig) -> Result<Box<dyn Adversary>, ArgError> {
+    Ok(match cfg.adversary.as_str() {
+        "none" => Box::new(NoFailures),
+        "random" => Box::new(RandomFaults::new(cfg.rate, cfg.restart_rate, cfg.seed)),
+        "replay" => {
+            let path = cfg
+                .replay_pattern
+                .as_deref()
+                .ok_or_else(|| ArgError("--adversary replay needs --replay-pattern FILE".into()))?;
+            let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, &e))?;
+            let pattern = pattern_io::decode(&text)?;
+            Box::new(
+                ScheduledAdversary::try_new(pattern)
+                    .map_err(|e| ArgError(format!("{path}: {e}")))?,
+            )
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown long-run adversary '{other}' (none|random|replay)"
+            )))
+        }
+    })
+}
+
+fn write_checkpoint(path: &str, ck: &ExperimentCheckpoint) -> Result<(), ArgError> {
+    let tmp = format!("{path}.tmp");
+    let text = serde::json::to_string_pretty(&ck.to_value());
+    std::fs::write(&tmp, text).map_err(|e| io_err("write", &tmp, &e))?;
+    // The rename is atomic: a reader (or a kill) never sees a torn file.
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, &e))
+}
+
+struct LongRun<'a> {
+    cfg: &'a LongRunConfig,
+    resume: Option<&'a ExperimentCheckpoint>,
+}
+
+impl WriteAllVisitor for LongRun<'_> {
+    type Out = Result<CliOutcome, ArgError>;
+
+    fn visit<P>(self, prog: &P, setup: &WriteAllSetup, budget: CycleBudget) -> Self::Out
+    where
+        P: Program + Sync,
+        P::Private: Send + Serialize + Deserialize,
+    {
+        let cfg = self.cfg;
+        let machine_err = |e: &dyn std::fmt::Display| ArgError(format!("machine error: {e}"));
+        let mut machine =
+            Machine::new(prog, cfg.p as usize, budget).map_err(|e| machine_err(&e))?;
+        let mut adversary = build_adversary(cfg)?;
+        let mut events = Events::open(cfg, self.resume)?;
+        if let Some(ck) = self.resume {
+            machine.restore_checkpoint(&ck.machine, &mut adversary).map_err(|e| machine_err(&e))?;
+            eprintln!(
+                "resumed from tick {} ({} event bytes kept)",
+                ck.machine.cycle, ck.events_offset
+            );
+        }
+        let limits = RunLimits { max_cycles: cfg.max_cycles };
+        let mut last_pause: Option<u64> = None;
+        loop {
+            let lp = last_pause;
+            let status = machine
+                .run_threaded_isolated_controlled(
+                    &mut adversary,
+                    limits,
+                    cfg.threads as usize,
+                    PanicPolicy::FallbackSequential,
+                    &mut events,
+                    |cycle| {
+                        let due = signals::interrupted()
+                            || (cfg.every > 0 && cycle > 0 && cycle % cfg.every == 0);
+                        if due && lp != Some(cycle) {
+                            RunControl::Pause
+                        } else {
+                            RunControl::Continue
+                        }
+                    },
+                )
+                .map_err(|e| machine_err(&e))?;
+            match status {
+                RunStatus::Completed(report) => {
+                    events.checkpointable_offset()?;
+                    if !setup.tasks.all_written(machine.memory()) {
+                        return Err(ArgError(
+                            "postcondition failed: array not fully written".into(),
+                        ));
+                    }
+                    println!("algorithm       : {}", cfg.algo);
+                    println!("instance        : N = {}, P = {}", cfg.n, cfg.p);
+                    println!("adversary       : {}", cfg.adversary);
+                    println!("completed work S: {}", report.stats.completed_work());
+                    println!("S' (with partial): {}", report.stats.s_prime());
+                    println!("parallel time τ : {}", report.stats.parallel_time);
+                    println!("|F| (fail+restart): {}", report.stats.pattern_size());
+                    return Ok(CliOutcome::Done);
+                }
+                RunStatus::Paused { cycle } => {
+                    last_pause = Some(cycle);
+                    let offset = events.checkpointable_offset()?;
+                    if let Some(path) = cfg.checkpoint.as_deref() {
+                        let machine_ck =
+                            machine.save_checkpoint(&adversary).map_err(|e| machine_err(&e))?;
+                        write_checkpoint(
+                            path,
+                            &ExperimentCheckpoint {
+                                version: EXPERIMENT_CHECKPOINT_VERSION,
+                                config: cfg.clone(),
+                                events_offset: offset,
+                                machine: machine_ck,
+                            },
+                        )?;
+                    }
+                    if signals::interrupted() {
+                        match cfg.checkpoint.as_deref() {
+                            Some(path) => eprintln!(
+                                "interrupted at tick {cycle}; resume with: rfsp experiment --resume {path}"
+                            ),
+                            None => eprintln!(
+                                "interrupted at tick {cycle}; no --checkpoint configured, run cannot be resumed"
+                            ),
+                        }
+                        return Ok(CliOutcome::Interrupted);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn config_from_args(args: &Args) -> Result<LongRunConfig, ArgError> {
+    let cfg = LongRunConfig {
+        algo: args.get_or("algo", "x").to_string(),
+        n: args.get_parsed("n", 1024u64)?,
+        p: args.get_parsed("p", 64u64)?,
+        threads: args.get_parsed("threads", 1u64)?,
+        adversary: args.get_or("adversary", "none").to_string(),
+        rate: args.get_parsed("rate", 0.05f64)?,
+        restart_rate: args.get_parsed("restart-rate", 0.5f64)?,
+        seed: args.get_parsed("seed", 0u64)?,
+        replay_pattern: args.get("replay-pattern").map(str::to_string),
+        every: args.get_parsed("every", 100u64)?,
+        max_cycles: args.get_parsed("max-cycles", RunLimits::default().max_cycles)?,
+        checkpoint: args.get("checkpoint").map(str::to_string),
+        events: args.get("events").map(str::to_string),
+    };
+    if cfg.threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    if cfg.algo == "acc" && cfg.checkpoint.is_some() {
+        return Err(ArgError(
+            "--checkpoint does not support --algo acc: its incarnation counter is \
+             program-level state a resumed run cannot recover"
+                .into(),
+        ));
+    }
+    Ok(cfg)
+}
+
+/// Entry point for both `--run writeall` and `--resume`.
+///
+/// # Errors
+///
+/// Bad arguments, unreadable/mismatched checkpoint or events files, and
+/// machine errors, all as [`ArgError`].
+pub fn run(args: &Args) -> Result<CliOutcome, ArgError> {
+    signals::install();
+    signals::reset();
+    if let Some(path) = args.get("resume") {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, &e))?;
+        let value = serde::json::from_str(&text)
+            .map_err(|e| ArgError(format!("{path}: not valid JSON: {e}")))?;
+        let ck = ExperimentCheckpoint::from_value(&value)
+            .map_err(|e| ArgError(format!("{path}: malformed checkpoint: {e}")))?;
+        if ck.version != EXPERIMENT_CHECKPOINT_VERSION {
+            return Err(ArgError(format!(
+                "{path}: checkpoint version {} (this build reads {EXPERIMENT_CHECKPOINT_VERSION})",
+                ck.version
+            )));
+        }
+        let algo = parse_algo(&ck.config.algo)?;
+        let (n, p) = (ck.config.n as usize, ck.config.p as usize);
+        with_write_all_program(algo, n, p, LongRun { cfg: &ck.config, resume: Some(&ck) })
+    } else {
+        let run = args.get_or("run", "writeall");
+        if run != "writeall" {
+            return Err(ArgError(format!("unknown long-run mode '{run}' (writeall)")));
+        }
+        let cfg = config_from_args(args)?;
+        let algo = parse_algo(&cfg.algo)?;
+        let (n, p) = (cfg.n as usize, cfg.p as usize);
+        with_write_all_program(algo, n, p, LongRun { cfg: &cfg, resume: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_roundtrips_and_validates() {
+        let a = Args::parse([
+            "experiment",
+            "--run",
+            "writeall",
+            "--algo",
+            "v",
+            "--n",
+            "64",
+            "--p",
+            "8",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.1",
+            "--seed",
+            "3",
+            "--every",
+            "10",
+        ])
+        .unwrap();
+        let cfg = config_from_args(&a).unwrap();
+        assert_eq!(cfg.algo, "v");
+        assert_eq!(cfg.every, 10);
+        let back = LongRunConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
+
+        let a =
+            Args::parse(["experiment", "--run", "writeall", "--algo", "acc", "--checkpoint", "x"])
+                .unwrap();
+        assert!(config_from_args(&a).is_err());
+        let a = Args::parse(["experiment", "--run", "writeall", "--threads", "0"]).unwrap();
+        assert!(config_from_args(&a).is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_to_identical_events() {
+        let dir = std::env::temp_dir().join("rfsp-longrun-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.jsonl");
+        let ckpt = dir.join("ck.json");
+        let resumed = dir.join("resumed.jsonl");
+        let common = [
+            "--run",
+            "writeall",
+            "--algo",
+            "x",
+            "--n",
+            "64",
+            "--p",
+            "8",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.2",
+            "--restart-rate",
+            "0.6",
+            "--seed",
+            "11",
+        ];
+
+        // Uninterrupted baseline.
+        let mut argv: Vec<String> = ["experiment"].iter().map(|s| s.to_string()).collect();
+        argv.extend(common.iter().map(|s| s.to_string()));
+        argv.extend(["--events".to_string(), base.to_str().unwrap().to_string()]);
+        let out = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(matches!(out, CliOutcome::Done));
+
+        // Checkpoint every 5 ticks, then simulate the kill by running the
+        // same config again from the checkpoint file only.
+        let mut argv: Vec<String> = ["experiment"].iter().map(|s| s.to_string()).collect();
+        argv.extend(common.iter().map(|s| s.to_string()));
+        argv.extend([
+            "--events".to_string(),
+            resumed.to_str().unwrap().to_string(),
+            "--checkpoint".to_string(),
+            ckpt.to_str().unwrap().to_string(),
+            "--every".to_string(),
+            "5".to_string(),
+        ]);
+        let out = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(matches!(out, CliOutcome::Done));
+        assert!(ckpt.exists(), "cadenced checkpoints were written");
+
+        // "Crash": scribble garbage after the checkpointed offset, then
+        // resume — the tail must be truncated and regenerated exactly.
+        let ck_text = std::fs::read_to_string(&ckpt).unwrap();
+        let ck =
+            ExperimentCheckpoint::from_value(&serde::json::from_str(&ck_text).unwrap()).unwrap();
+        let full = std::fs::read(&resumed).unwrap();
+        let mut torn = full[..ck.events_offset as usize].to_vec();
+        torn.extend_from_slice(b"{\"torn\":");
+        std::fs::write(&resumed, &torn).unwrap();
+        let argv = ["experiment", "--resume", ckpt.to_str().unwrap()];
+        let out = run(&Args::parse(argv).unwrap()).unwrap();
+        assert!(matches!(out, CliOutcome::Done));
+
+        let baseline = std::fs::read(&base).unwrap();
+        let after = std::fs::read(&resumed).unwrap();
+        assert_eq!(baseline, full, "checkpointed run matches uninterrupted run");
+        assert_eq!(baseline, after, "resumed run regenerates the identical stream");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

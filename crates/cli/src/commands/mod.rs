@@ -2,6 +2,8 @@
 
 pub mod experiment;
 pub mod lockfree;
+pub mod longrun;
 pub mod simulate;
+pub mod soak;
 pub mod trace;
 pub mod writeall;

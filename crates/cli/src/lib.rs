@@ -16,8 +16,20 @@
 pub mod args;
 pub mod commands;
 pub mod pattern_io;
+pub mod signals;
 
 use args::{ArgError, Args};
+
+/// How a successfully dispatched command ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CliOutcome {
+    /// The command ran to completion (exit code 0).
+    Done,
+    /// A long run was interrupted by SIGINT after flushing telemetry and
+    /// writing its final checkpoint (exit code 3 — distinct from errors,
+    /// so wrappers can tell "resume me" from "I broke").
+    Interrupted,
+}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -49,7 +61,33 @@ COMMANDS:
                --format csv|jsonl metrics format (default csv)
                --tail K           keep only the last K events
   experiment   reproduce a paper result  --id e1..e13|all
+               or run the crash-safe long-run mode:
+               --run writeall     --algo/--n/--p/--threads as writeall
+               --adversary none|random|replay --rate F --restart-rate F
+               --seed S --replay-pattern FILE
+               --checkpoint FILE  write a resumable snapshot (atomic
+                                  tmp+rename) every K ticks and on SIGINT
+               --every K          checkpoint cadence in ticks (default 100;
+                                  0 = only on SIGINT)
+               --events FILE      stream raw machine events as JSONL; a
+                                  resumed run truncates it to the
+                                  checkpointed offset, so the final stream
+                                  is byte-identical to an uninterrupted run
+               --resume CK        continue from a checkpoint file (all
+                                  other flags come from the checkpoint)
+  soak         randomized chaos harness: fuzz program x adversary x engine
+               x injected host faults and cross-check equivalences
+               --cases K --seed S --verbose
+               --replay-out FILE  where to write a failing case
+                                  (default soak-failure.json)
+               --replay FILE      reproduce a failure from its replay file
   help         show this text
+
+EXIT CODES:
+  0  success
+  1  error (bad arguments, I/O, machine error, failed cross-check)
+  3  long run interrupted by SIGINT; telemetry flushed and, when
+     --checkpoint is set, a final checkpoint written for --resume
 ";
 
 /// Dispatch a parsed command line.
@@ -57,16 +95,18 @@ COMMANDS:
 /// # Errors
 ///
 /// Every user-facing problem is an [`ArgError`] with a printable message.
-pub fn dispatch(args: &Args) -> Result<(), ArgError> {
+pub fn dispatch(args: &Args) -> Result<CliOutcome, ArgError> {
+    let done = |r: Result<(), ArgError>| r.map(|()| CliOutcome::Done);
     match args.command.as_deref() {
-        Some("writeall") => commands::writeall::run(args),
-        Some("simulate") => commands::simulate::run(args),
-        Some("lockfree") => commands::lockfree::run(args),
-        Some("trace") => commands::trace::run(args),
+        Some("writeall") => done(commands::writeall::run(args)),
+        Some("simulate") => done(commands::simulate::run(args)),
+        Some("lockfree") => done(commands::lockfree::run(args)),
+        Some("trace") => done(commands::trace::run(args)),
         Some("experiment") => commands::experiment::run(args),
+        Some("soak") => done(commands::soak::run(args)),
         Some("help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(CliOutcome::Done)
         }
         Some(other) => Err(ArgError(format!("unknown command '{other}' (try 'rfsp help')"))),
     }

@@ -3,6 +3,7 @@
 use std::process::ExitCode;
 
 use rfsp_cli::args::Args;
+use rfsp_cli::CliOutcome;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -14,7 +15,10 @@ fn main() -> ExitCode {
         }
     };
     match rfsp_cli::dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CliOutcome::Done) => ExitCode::SUCCESS,
+        // Interrupted-with-checkpoint: distinct from errors so callers can
+        // script "rerun with --resume" (see EXIT CODES in `rfsp help`).
+        Ok(CliOutcome::Interrupted) => ExitCode::from(3),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("try 'rfsp help'");

@@ -34,13 +34,19 @@ pub fn encode(pattern: &FailurePattern) -> String {
     out
 }
 
-/// Parse the text format.
+/// Parse the text format and validate that the result is a *legal* fault
+/// schedule (time-ordered, no double failures, no restarts of live
+/// processors, no `after-write:0`) — a hand-edited replay file fails here
+/// with the offending line, not deep inside a run.
 ///
 /// # Errors
 ///
-/// Reports the first malformed line.
+/// Reports the first malformed or semantically illegal line.
 pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
     let mut pattern = FailurePattern::new();
+    // Source line of each event, for mapping validation errors back.
+    let mut event_lines: Vec<usize> = Vec::new();
+    let mut last_time = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -77,7 +83,23 @@ pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
         if parts.next().is_some() {
             return Err(bad("trailing tokens"));
         }
+        // Ordering is checked here (not left to `FailurePattern::push`,
+        // which would panic) so the error names the line.
+        if time < last_time {
+            return Err(bad(&format!(
+                "time {time} after time {last_time} (events must be sorted)"
+            )));
+        }
+        last_time = time;
         pattern.push(FailureEvent { kind, pid, time });
+        event_lines.push(lineno + 1);
+    }
+    if let Err(e) = pattern.validate(None) {
+        let detail = &e.detail;
+        return Err(match e.event.and_then(|i| event_lines.get(i)) {
+            Some(line) => ArgError(format!("pattern line {line}: {detail}")),
+            None => ArgError(format!("invalid failure pattern: {detail}")),
+        });
     }
     Ok(pattern)
 }
@@ -124,5 +146,28 @@ mod tests {
         assert!(decode("X 0 0").is_err());
         assert!(decode("F 0 0 during-write").is_err());
         assert!(decode("F 0 0 before-writes extra").is_err());
+    }
+
+    #[test]
+    fn semantically_illegal_schedules_name_the_line() {
+        // Unsorted times: caught at parse time, names line 3.
+        let err = decode("# hdr\nF 0 5 before-reads\nF 1 2 before-reads").unwrap_err();
+        assert!(err.0.contains("line 3"), "{err}");
+        assert!(err.0.contains("sorted"), "{err}");
+
+        // Double failure of P0: the second F line is the offender.
+        let err = decode("F 0 1 before-reads\nF 0 2 before-writes").unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+        assert!(err.0.contains("already failed"), "{err}");
+
+        // Restart of a processor that never failed.
+        let err = decode("R 4 1").unwrap_err();
+        assert!(err.0.contains("line 1"), "{err}");
+        assert!(err.0.contains("non-failed"), "{err}");
+
+        // after-write:0 parses but is not a legal fail point.
+        let err = decode("F 0 1 after-write:0").unwrap_err();
+        assert!(err.0.contains("line 1"), "{err}");
+        assert!(err.0.contains("after-write:0"), "{err}");
     }
 }

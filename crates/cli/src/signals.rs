@@ -1,0 +1,70 @@
+//! Minimal SIGINT handling for long-running commands.
+//!
+//! The crash-safe experiment runner checks [`interrupted`] at every tick
+//! boundary; the handler merely sets an atomic flag, so the run can pause
+//! cleanly — flush telemetry, write a final checkpoint — instead of dying
+//! mid-tick. On non-Unix targets installation is a no-op and the flag
+//! simply never trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGINT has arrived since [`install`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Arm (or re-arm) the flag; used by tests and by runs started after an
+/// earlier interrupted run in the same process.
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // A store to a static atomic is async-signal-safe.
+        super::INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT handler (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_resets() {
+        install();
+        reset();
+        assert!(!interrupted());
+        INTERRUPTED.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+}

@@ -56,6 +56,53 @@ pub struct AccPrivate {
     delay: u8,
 }
 
+// Manual serde: `SmallRng` is checkpointed through its raw xoshiro state
+// (the derive cannot see inside it). Note that checkpointing an ACC *run*
+// is still lossy — `AlgoAcc::incarnations` is program-level state that a
+// resumed run cannot recover — so runners exclude ACC from kill/resume
+// chaos; the private-state impl exists so ACC machines can at least be
+// snapshotted for inspection.
+impl serde::Serialize for AccPrivate {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("node".to_string(), serde::Value::UInt(self.node as u64)),
+            (
+                "rng".to_string(),
+                serde::Value::Seq(
+                    self.rng.state().iter().map(|&w| serde::Value::UInt(w)).collect(),
+                ),
+            ),
+            ("delay".to_string(), serde::Value::UInt(self.delay as u64)),
+        ])
+    }
+}
+
+impl serde::Deserialize for AccPrivate {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let need = |name: &str| {
+            v.get(name).ok_or_else(|| serde::Error::custom(format!("AccPrivate needs `{name}`")))
+        };
+        let node = need("node")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("`node` must be an integer"))?
+            as usize;
+        let delay = need("delay")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("`delay` must be an integer"))?
+            as u8;
+        let words: Vec<u64> = need("rng")?
+            .as_seq()
+            .ok_or_else(|| serde::Error::custom("`rng` must be a sequence"))?
+            .iter()
+            .filter_map(serde::Value::as_u64)
+            .collect();
+        let state: [u64; 4] = words
+            .try_into()
+            .map_err(|_| serde::Error::custom("`rng` must hold exactly four u64 words"))?;
+        Ok(AccPrivate { node, rng: SmallRng::from_state(state), delay })
+    }
+}
+
 /// Randomized coupon-clipping Write-All (single round).
 #[derive(Debug)]
 pub struct AlgoAcc<T> {

@@ -94,7 +94,7 @@ pub struct VLayout {
 
 /// Per-processor state (lost on failure; a revived processor starts in
 /// `Spin` and waits for the clock to wrap).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub enum VPrivate {
     /// Not in the current cohort; waiting for phase 0.
     #[default]

@@ -54,7 +54,7 @@ pub struct WLayout {
 }
 
 /// Per-processor state.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub enum WPrivate {
     /// Waiting for the clock to wrap.
     #[default]

@@ -16,7 +16,7 @@
 //! failed and restarted in the same decision models the paper's immediate
 //! fail-and-restart (it loses its private state and rejoins next tick).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::cycle::{ReadSet, ValueSet, WriteSet};
 use crate::memory::SharedMemory;
@@ -39,7 +39,7 @@ pub enum FailPoint {
 }
 
 /// Liveness of one processor, as visible to the adversary.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum ProcStatus {
     /// Executing update cycles.
     Alive,
@@ -162,6 +162,32 @@ impl Decisions {
 pub trait Adversary {
     /// Decide this tick's failures and restarts.
     fn decide(&mut self, view: &MachineView<'_>) -> Decisions;
+
+    /// Snapshot this adversary's mutable state for a
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint).
+    ///
+    /// Returning `Some(state)` makes the adversary *checkpointable*: a run
+    /// paused at a tick boundary can later resume bit-for-bit by feeding
+    /// `state` to [`Adversary::restore_state`] on a freshly constructed
+    /// adversary of the same kind and configuration. Stateless adversaries
+    /// return `Some(Value::Null)`. The default returns `None`, declaring
+    /// the adversary not checkpointable — runners that need checkpoints
+    /// must refuse it up front rather than resume nondeterministically.
+    fn save_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restore state captured by [`Adversary::save_state`] on an adversary
+    /// of the same kind and configuration.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the adversary does not support
+    /// checkpointing or `state` does not fit it.
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        let _ = state;
+        Err("this adversary does not support checkpoint restore".to_string())
+    }
 }
 
 /// The benign adversary: no failures, ever.
@@ -172,17 +198,41 @@ impl Adversary for NoFailures {
     fn decide(&mut self, _view: &MachineView<'_>) -> Decisions {
         Decisions::none()
     }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::Null)
+    }
+
+    fn restore_state(&mut self, _state: &Value) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<A: Adversary + ?Sized> Adversary for &mut A {
     fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
         (**self).decide(view)
     }
+
+    fn save_state(&self) -> Option<Value> {
+        (**self).save_state()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        (**self).restore_state(state)
+    }
 }
 
 impl<A: Adversary + ?Sized> Adversary for Box<A> {
     fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
         (**self).decide(view)
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        (**self).save_state()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        (**self).restore_state(state)
     }
 }
 

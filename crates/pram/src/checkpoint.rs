@@ -1,0 +1,142 @@
+//! Versioned machine checkpoints for crash-safe long runs.
+//!
+//! A [`Checkpoint`] captures everything a paused [`Machine`](crate::Machine)
+//! needs to resume bit-for-bit: shared memory (cells plus instrumentation
+//! counters), every processor's status and private state, the accumulated
+//! [`WorkStats`], the failure pattern recorded so far, and the adversary's
+//! own state (via [`Adversary::save_state`](crate::Adversary::save_state)).
+//! Checkpoints are taken only at **tick boundaries** — between the commit
+//! phase of one tick and the tentative phase of the next — where the
+//! machine has no transient state, so a restored run replays the exact
+//! event stream the uninterrupted run would have produced (see
+//! `crates/pram/tests/checkpoint.rs` for the property test).
+//!
+//! Serialization goes through the in-tree serde shim's JSON renderer; the
+//! format is versioned ([`CHECKPOINT_VERSION`]) and restore rejects
+//! mismatched versions, machine shapes, budgets and write modes with
+//! [`PramError::Checkpoint`](crate::PramError::Checkpoint) instead of
+//! resuming nondeterministically.
+
+use serde::{json, Deserialize, Serialize, Value};
+
+use crate::accounting::WorkStats;
+use crate::adversary::ProcStatus;
+use crate::error::PramError;
+use crate::failure::FailurePattern;
+use crate::mode::WriteMode;
+use crate::word::Word;
+
+/// Format version written into every checkpoint. Bump on any breaking
+/// layout change; restore refuses other versions.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One processor's checkpointed state.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ProcCheckpoint {
+    /// Liveness at the checkpointed tick boundary.
+    pub status: ProcStatus,
+    /// Completed update cycles charged to this processor.
+    pub completed: u64,
+    /// Serialized private state. Meaningful only while the processor is
+    /// alive or halted; a failed processor has no private memory (by the
+    /// model) and stores [`Value::Null`] here. A plain [`Value`] rather
+    /// than an `Option` because JSON cannot distinguish `Some(Null)` — a
+    /// unit private state — from `None`.
+    pub state: Value,
+}
+
+/// A complete, versioned snapshot of a paused machine plus its adversary.
+///
+/// Produced by [`Machine::save_checkpoint`](crate::Machine::save_checkpoint)
+/// and consumed by
+/// [`Machine::restore_checkpoint`](crate::Machine::restore_checkpoint).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The tick at which the machine paused (the next tick to execute).
+    pub cycle: u64,
+    /// Concurrent-write semantics the run was using.
+    pub mode: WriteMode,
+    /// Read half of the cycle budget.
+    pub budget_reads: usize,
+    /// Write half of the cycle budget.
+    pub budget_writes: usize,
+    /// Shared-memory cells.
+    pub mem: Vec<Word>,
+    /// Charged read count at the pause point.
+    pub mem_reads: u64,
+    /// Charged (committed) write count at the pause point.
+    pub mem_writes: u64,
+    /// Accumulated work statistics.
+    pub stats: WorkStats,
+    /// Per-processor status and private state, indexed by PID.
+    pub procs: Vec<ProcCheckpoint>,
+    /// The failure pattern recorded so far.
+    pub pattern: FailurePattern,
+    /// The adversary's state, from
+    /// [`Adversary::save_state`](crate::Adversary::save_state).
+    pub adversary: Value,
+}
+
+impl Checkpoint {
+    /// Render as pretty-printed JSON (the on-disk checkpoint format).
+    pub fn to_json(&self) -> String {
+        json::to_string_pretty(self)
+    }
+
+    /// Parse a checkpoint previously rendered by [`Checkpoint::to_json`].
+    ///
+    /// This only checks that the text decodes into the checkpoint shape;
+    /// [`Machine::restore_checkpoint`](crate::Machine::restore_checkpoint)
+    /// performs the semantic validation (version, machine shape, pattern
+    /// legality).
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] on malformed JSON or a non-checkpoint
+    /// shape.
+    pub fn from_json(text: &str) -> Result<Self, PramError> {
+        json::from_str(text)
+            .map_err(|e| PramError::Checkpoint { detail: format!("unreadable checkpoint: {e}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            cycle: 17,
+            mode: WriteMode::Common,
+            budget_reads: 4,
+            budget_writes: 2,
+            mem: vec![0, 1, 2, 3],
+            mem_reads: 9,
+            mem_writes: 5,
+            stats: WorkStats { completed_cycles: 12, parallel_time: 17, ..Default::default() },
+            procs: vec![
+                ProcCheckpoint { status: ProcStatus::Alive, completed: 12, state: Value::UInt(3) },
+                ProcCheckpoint { status: ProcStatus::Failed, completed: 0, state: Value::Null },
+            ],
+            pattern: FailurePattern::new(),
+            adversary: Value::Null,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let ck = sample();
+        let text = ck.to_json();
+        let back = Checkpoint::from_json(&text).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn malformed_json_is_a_checkpoint_error() {
+        let err = Checkpoint::from_json("{not json").unwrap_err();
+        assert!(matches!(err, PramError::Checkpoint { .. }), "{err:?}");
+    }
+}

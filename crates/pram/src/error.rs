@@ -40,6 +40,17 @@ pub enum PramError {
     CycleLimit { cycles: u64 },
     /// Invalid machine configuration (e.g. zero processors).
     InvalidConfig { detail: String },
+    /// A worker thread of the pooled engine panicked while playing a
+    /// processor's tentative cycle. `pid` names the processor whose cycle
+    /// was in flight when the panic fired, if the panic could be attributed
+    /// to one; `detail` carries the panic payload. The panic is *caught*:
+    /// the machine stays consistent, and
+    /// [`PanicPolicy::FallbackSequential`](crate::PanicPolicy) can even
+    /// finish the run on the sequential engine.
+    WorkerPanic { pid: Option<Pid>, detail: String },
+    /// A checkpoint could not be saved or restored (version mismatch,
+    /// wrong machine shape, undecodable private state).
+    Checkpoint { detail: String },
 }
 
 /// Which half of the cycle budget was violated.
@@ -85,6 +96,13 @@ impl fmt::Display for PramError {
                 write!(f, "execution exceeded the cycle limit of {cycles}")
             }
             PramError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            PramError::WorkerPanic { pid, detail } => match pid {
+                Some(pid) => {
+                    write!(f, "worker thread panicked while executing {pid}'s cycle: {detail}")
+                }
+                None => write!(f, "worker thread panicked: {detail}"),
+            },
+            PramError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }

@@ -59,6 +59,7 @@
 
 pub mod accounting;
 pub mod adversary;
+pub mod checkpoint;
 pub mod cycle;
 pub mod error;
 pub mod exec;
@@ -77,10 +78,13 @@ pub use accounting::{RunOutcome, RunReport, WorkStats};
 pub use adversary::{
     Adversary, Decisions, FailPoint, MachineView, NoFailures, ProcMeta, ProcStatus, TentativeCycle,
 };
+pub use checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
 pub use cycle::{CycleBudget, ReadSet, Step, ValueSet, WriteSet, MAX_READS, MAX_WRITES};
 pub use error::PramError;
-pub use failure::{FailureEvent, FailureKind, FailurePattern, ScheduledAdversary};
-pub use machine::{Machine, RunLimits};
+pub use failure::{
+    DecisionRecorder, FailureEvent, FailureKind, FailurePattern, PatternError, ScheduledAdversary,
+};
+pub use machine::{Machine, PanicPolicy, RunControl, RunLimits, RunStatus};
 pub use memory::SharedMemory;
 pub use mode::WriteMode;
 pub use region::{MemoryLayout, Region};

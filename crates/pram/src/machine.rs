@@ -24,14 +24,19 @@
 //! that implement [`Program::completion_hint`] replace the per-tick
 //! O(memory) completion scan with an O(1) outstanding-cell counter.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+
 use crate::accounting::{RunOutcome, RunReport, WorkStats};
 use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
+use crate::checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
 use crate::cycle::{CycleBudget, ReadSet, Step, MAX_READS, MAX_WRITES};
 use crate::error::{BudgetKind, PramError};
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
 use crate::memory::SharedMemory;
 use crate::mode::WriteMode;
-use crate::pool::{PoolShutdown, TickPool};
+use crate::pool::{panic_detail, PoolShutdown, TickPool};
 use crate::trace::{NoopObserver, Observer, TraceEvent};
 use crate::word::{Pid, Word};
 use crate::{CompletionHint, Program, Result};
@@ -49,6 +54,48 @@ impl Default for RunLimits {
     fn default() -> Self {
         RunLimits { max_cycles: 100_000_000 }
     }
+}
+
+/// Verdict of a [`Machine::run_controlled`] control callback, consulted
+/// once per tick at the tick boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunControl {
+    /// Execute the next tick.
+    Continue,
+    /// Return [`RunStatus::Paused`] without executing the tick. The machine
+    /// is left exactly at the tick boundary — checkpointable via
+    /// [`Machine::save_checkpoint`] and resumable by calling a run method
+    /// again.
+    Pause,
+}
+
+/// How a controlled run ended.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The program completed; the report is the same one
+    /// [`Machine::run`] would have produced.
+    Completed(RunReport),
+    /// The control callback paused the run before tick `cycle` executed.
+    Paused {
+        /// The next tick to execute.
+        cycle: u64,
+    },
+}
+
+/// What the pooled engine does when a worker thread catches a panic while
+/// playing a processor's tentative cycle (see
+/// [`Machine::run_threaded_isolated`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PanicPolicy {
+    /// Abort the run with [`PramError::WorkerPanic`], leaving the machine
+    /// at the failed tick's boundary with all pre-tick state restored.
+    #[default]
+    Surface,
+    /// Restore the pre-tick state, replay the tick on the sequential
+    /// engine, and finish the rest of the run sequentially. The run's
+    /// results are identical to an undisturbed run (the tick had committed
+    /// nothing when the panic fired); only wall-clock parallelism is lost.
+    FallbackSequential,
 }
 
 /// Internal per-processor slot.
@@ -251,22 +298,71 @@ impl<'p, P: Program> Machine<'p, P> {
         adversary: &mut A,
         limits: RunLimits,
         observer: &mut dyn Observer,
-        mut tentative: impl FnMut(&mut Self) -> Result<()>,
+        tentative: impl FnMut(&mut Self) -> Result<()>,
     ) -> Result<RunReport> {
+        match self
+            .run_core_controlled(adversary, limits, observer, tentative, |_| RunControl::Continue)?
+        {
+            RunStatus::Completed(report) => Ok(report),
+            RunStatus::Paused { .. } => unreachable!("the control callback never pauses"),
+        }
+    }
+
+    /// [`Machine::run_core`] with a pause hook. The control callback runs
+    /// at the tick boundary — after the completion and cycle-limit checks,
+    /// before the tick's `TickStart` event — so pausing and resuming
+    /// produces, by construction, the **concatenation** of the two runs'
+    /// event streams, which equals the uninterrupted run's stream.
+    fn run_core_controlled<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+        mut tentative: impl FnMut(&mut Self) -> Result<()>,
+        mut control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus> {
         self.init_completion_tracker();
         loop {
             if self.completion_reached() {
                 observer.event(TraceEvent::Completed { cycle: self.cycle });
-                return Ok(self.take_completed_report());
+                return Ok(RunStatus::Completed(self.take_completed_report()));
             }
             if self.cycle >= limits.max_cycles {
                 return Err(PramError::CycleLimit { cycles: limits.max_cycles });
+            }
+            if control(self.cycle) == RunControl::Pause {
+                return Ok(RunStatus::Paused { cycle: self.cycle });
             }
             observer.event(TraceEvent::TickStart { cycle: self.cycle });
             tentative(self)?;
             let decisions = self.collect_decisions(adversary);
             self.apply(decisions, observer)?;
         }
+    }
+
+    /// Run under `adversary` until completion **or** until `control`
+    /// requests a pause at a tick boundary (e.g. "every K ticks" for
+    /// periodic checkpoints, or "when the SIGINT flag is set").
+    ///
+    /// The callback receives the tick about to execute. On
+    /// [`RunStatus::Paused`] the machine holds no transient state: save a
+    /// [`Checkpoint`] with [`Machine::save_checkpoint`], or simply call a
+    /// run method again to continue. A resumed run picks up exactly where
+    /// the pause left off; note the callback is consulted again with the
+    /// same tick number, so a "pause at tick k" predicate must be rearmed
+    /// by the caller before resuming.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run_controlled<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+        control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus> {
+        self.run_core_controlled(adversary, limits, observer, |m| m.tentative_phase(), control)
     }
 
     /// Classify every shared cell via [`Program::completion_hint`] and prime
@@ -377,6 +473,26 @@ impl<'p, P: Program> Machine<'p, P> {
         let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
         for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
             tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
+        }
+        Ok(())
+    }
+
+    /// [`Machine::tentative_phase`] with per-processor panic isolation: a
+    /// panic in program code surfaces as [`PramError::WorkerPanic`] naming
+    /// the processor, instead of unwinding through the run loop. Used by
+    /// the degraded path of [`Machine::run_threaded_isolated`].
+    fn tentative_phase_caught(&mut self) -> Result<()> {
+        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
+        for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
+            catch_unwind(AssertUnwindSafe(|| {
+                tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(PramError::WorkerPanic {
+                    pid: Some(Pid(i)),
+                    detail: panic_detail(payload.as_ref()),
+                })
+            })?;
         }
         Ok(())
     }
@@ -655,6 +771,140 @@ impl<'p, P: Program> Machine<'p, P> {
     }
 }
 
+impl<'p, P> Machine<'p, P>
+where
+    P: Program,
+    P::Private: Serialize + Deserialize,
+{
+    /// Snapshot the machine (and `adversary`) at the current tick boundary
+    /// into a versioned [`Checkpoint`].
+    ///
+    /// Call only between run calls — e.g. after
+    /// [`Machine::run_controlled`] returned [`RunStatus::Paused`] — so the
+    /// machine holds no transient tick state. Restoring the checkpoint
+    /// into a freshly built machine of the same program, size, budget and
+    /// write mode (plus a freshly built adversary of the same kind and
+    /// configuration) resumes the run bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] if the adversary is not checkpointable
+    /// ([`Adversary::save_state`] returned `None`).
+    pub fn save_checkpoint<A: Adversary>(&self, adversary: &A) -> Result<Checkpoint> {
+        let adversary = adversary.save_state().ok_or_else(|| PramError::Checkpoint {
+            detail: "the adversary is not checkpointable (save_state returned None)".into(),
+        })?;
+        Ok(Checkpoint {
+            version: CHECKPOINT_VERSION,
+            cycle: self.cycle,
+            mode: self.mode,
+            budget_reads: self.budget.reads,
+            budget_writes: self.budget.writes,
+            mem: self.mem.as_slice().to_vec(),
+            mem_reads: self.mem.read_count(),
+            mem_writes: self.mem.write_count(),
+            stats: self.stats,
+            procs: self
+                .procs
+                .iter()
+                .map(|s| ProcCheckpoint {
+                    status: s.status,
+                    completed: s.completed,
+                    state: s.state.as_ref().map_or(serde::Value::Null, |st| st.to_value()),
+                })
+                .collect(),
+            pattern: self.pattern.clone(),
+            adversary,
+        })
+    }
+
+    /// Load `ck` into this machine and `adversary`, resuming the
+    /// checkpointed run at its tick boundary.
+    ///
+    /// The machine must be built for the same program shape the checkpoint
+    /// was taken from: same memory size, processor count, cycle budget and
+    /// write mode. Everything is validated **before** anything is mutated,
+    /// so a failed restore leaves machine and adversary untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] on a version or shape mismatch, an
+    /// undecodable private state, an illegal recorded failure pattern, or
+    /// an adversary that refuses the saved state.
+    pub fn restore_checkpoint<A: Adversary>(
+        &mut self,
+        ck: &Checkpoint,
+        adversary: &mut A,
+    ) -> Result<()> {
+        let fail = |detail: String| PramError::Checkpoint { detail };
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(fail(format!(
+                "checkpoint version {} but this build reads version {CHECKPOINT_VERSION}",
+                ck.version
+            )));
+        }
+        if ck.mem.len() != self.mem.size() {
+            return Err(fail(format!(
+                "checkpoint has {} memory cells but the machine has {}",
+                ck.mem.len(),
+                self.mem.size()
+            )));
+        }
+        if ck.procs.len() != self.procs.len() {
+            return Err(fail(format!(
+                "checkpoint has {} processors but the machine has {}",
+                ck.procs.len(),
+                self.procs.len()
+            )));
+        }
+        if (ck.budget_reads, ck.budget_writes) != (self.budget.reads, self.budget.writes) {
+            return Err(fail(format!(
+                "checkpoint budget ({} reads / {} writes) differs from the machine's \
+                 ({} reads / {} writes)",
+                ck.budget_reads, ck.budget_writes, self.budget.reads, self.budget.writes
+            )));
+        }
+        if ck.mode != self.mode {
+            return Err(fail(format!(
+                "checkpoint write mode {} differs from the machine's {}",
+                ck.mode, self.mode
+            )));
+        }
+        ck.pattern
+            .validate(Some(self.procs.len()))
+            .map_err(|e| fail(format!("recorded pattern: {e}")))?;
+        let mut states: Vec<Option<P::Private>> = Vec::with_capacity(ck.procs.len());
+        for (i, pc) in ck.procs.iter().enumerate() {
+            let state = match pc.status {
+                // A failed processor has no private memory; whatever the
+                // checkpoint stores for it is ignored.
+                ProcStatus::Failed => None,
+                ProcStatus::Alive | ProcStatus::Halted => Some(
+                    P::Private::from_value(&pc.state)
+                        .map_err(|e| fail(format!("P{i}'s private state does not decode: {e}")))?,
+                ),
+            };
+            states.push(state);
+        }
+        adversary
+            .restore_state(&ck.adversary)
+            .map_err(|e| fail(format!("adversary restore failed: {e}")))?;
+        self.mem = SharedMemory::from_parts(ck.mem.clone(), ck.mem_reads, ck.mem_writes);
+        for ((slot, pc), state) in self.procs.iter_mut().zip(&ck.procs).zip(states) {
+            slot.status = pc.status;
+            slot.completed = pc.completed;
+            slot.state = state;
+        }
+        self.cycle = ck.cycle;
+        self.stats = ck.stats;
+        self.pattern = ck.pattern.clone();
+        // The completion tracker is re-primed from memory at the next run
+        // entry; don't trust a stale counter across a restore.
+        self.tracked = false;
+        Ok(())
+    }
+}
+
 /// Tentatively play one update cycle for processor `pid` against `mem`.
 ///
 /// Sets `*out` to `None` if the processor is not alive; otherwise refills
@@ -820,6 +1070,195 @@ where
                 scope.spawn(|| pool.worker());
             }
             self.run_core(adversary, limits, observer, |m| m.tentative_phase_pooled(&pool))
+        })
+    }
+
+    /// [`Machine::run_threaded_observed`] with a pause hook — the threaded
+    /// counterpart of [`Machine::run_controlled`], for checkpointed long
+    /// runs on the pooled engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`]. Additionally [`PramError::InvalidConfig`] if
+    /// `threads == 0`.
+    pub fn run_threaded_controlled<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        threads: usize,
+        observer: &mut dyn Observer,
+        control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus> {
+        if threads == 0 {
+            return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
+        }
+        if threads == 1 {
+            return self.run_core_controlled(
+                adversary,
+                limits,
+                observer,
+                |m| m.tentative_phase(),
+                control,
+            );
+        }
+        let pool = TickPool::new(threads);
+        std::thread::scope(|scope| {
+            let _shutdown = PoolShutdown(&pool);
+            for _ in 0..threads {
+                scope.spawn(|| pool.worker());
+            }
+            self.run_core_controlled(
+                adversary,
+                limits,
+                observer,
+                |m| m.tentative_phase_pooled(&pool),
+                control,
+            )
+        })
+    }
+
+    /// [`Machine::run_threaded_observed`] with **panic isolation**: a panic
+    /// in program code (`plan`/`execute`) is caught at the worker, the
+    /// pre-tick private states are restored from a per-tick backup, and
+    /// `policy` decides what happens next — surface
+    /// [`PramError::WorkerPanic`] with the machine intact at the tick
+    /// boundary, or replay the tick sequentially and finish the run on the
+    /// sequential engine with results identical to an undisturbed run.
+    ///
+    /// The isolation costs one clone of every private state per tick, so
+    /// the plain [`Machine::run_threaded`] remains the default engine;
+    /// this entry point is for runs that must survive faulty host code
+    /// (the chaos harness, long crash-safe experiments).
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`]. Additionally [`PramError::InvalidConfig`] if
+    /// `threads == 0`, and [`PramError::WorkerPanic`] if a panic fires
+    /// under [`PanicPolicy::Surface`] (or repeats during a sequential
+    /// replay under [`PanicPolicy::FallbackSequential`]).
+    pub fn run_threaded_isolated<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        threads: usize,
+        policy: PanicPolicy,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport> {
+        match self.run_threaded_isolated_controlled(
+            adversary,
+            limits,
+            threads,
+            policy,
+            observer,
+            |_| RunControl::Continue,
+        )? {
+            RunStatus::Completed(report) => Ok(report),
+            RunStatus::Paused { .. } => unreachable!("the control callback never pauses"),
+        }
+    }
+
+    /// [`Machine::run_threaded_isolated`] with a pause hook: the fully
+    /// armored engine — panic isolation, graceful sequential degradation,
+    /// and checkpointable tick boundaries — used by the crash-safe
+    /// experiment runner.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run_threaded_isolated`].
+    pub fn run_threaded_isolated_controlled<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        threads: usize,
+        policy: PanicPolicy,
+        observer: &mut dyn Observer,
+        control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus> {
+        if threads == 0 {
+            return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
+        }
+        if threads == 1 {
+            return self.run_core_controlled(
+                adversary,
+                limits,
+                observer,
+                |m| m.tentative_phase_caught(),
+                control,
+            );
+        }
+        let pool = TickPool::new(threads);
+        let mut backup: Vec<Option<P::Private>> = vec![None; self.procs.len()];
+        let mut degraded = false;
+        std::thread::scope(|scope| {
+            let _shutdown = PoolShutdown(&pool);
+            for _ in 0..threads {
+                scope.spawn(|| pool.worker());
+            }
+            self.run_core_controlled(
+                adversary,
+                limits,
+                observer,
+                |m| {
+                    if degraded {
+                        return m.tentative_phase_caught();
+                    }
+                    // Snapshot every private state: the tentative phase
+                    // advances states in place, so recovering from a panic
+                    // mid-phase needs the pre-tick originals.
+                    for (saved, slot) in backup.iter_mut().zip(m.procs.iter()) {
+                        saved.clone_from(&slot.state);
+                    }
+                    match m.tentative_phase_pooled_isolated(&pool) {
+                        Err(PramError::WorkerPanic { pid, detail }) => {
+                            for (slot, saved) in m.procs.iter_mut().zip(backup.iter()) {
+                                slot.state.clone_from(saved);
+                            }
+                            match policy {
+                                PanicPolicy::Surface => Err(PramError::WorkerPanic { pid, detail }),
+                                PanicPolicy::FallbackSequential => {
+                                    degraded = true;
+                                    // Replay the whole tick sequentially
+                                    // from the restored pre-tick states —
+                                    // nothing had committed, so the replay
+                                    // is identical to a clean tick.
+                                    m.tentative_phase_caught()
+                                }
+                            }
+                        }
+                        other => other,
+                    }
+                },
+                control,
+            )
+        })
+    }
+
+    /// Parallel tentative phase with per-processor panic isolation: like
+    /// [`Machine::tentative_phase_pooled`], but each processor's cycle runs
+    /// under `catch_unwind`, so a panicking program surfaces as
+    /// [`PramError::WorkerPanic`] naming the processor.
+    fn tentative_phase_pooled_isolated(&mut self, pool: &TickPool) -> Result<()> {
+        let p = self.procs.len();
+        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
+        let procs = SendPtr(self.procs.as_mut_ptr());
+        let tentative = SendPtr(self.tentative.as_mut_ptr());
+        pool.run_tick(p, &move |start: usize, end: usize| {
+            for i in start..end {
+                // SAFETY: as in `tentative_phase_pooled` — disjoint chunks,
+                // pointers outlive the tick.
+                let slot = unsafe { &mut *procs.ptr().add(i) };
+                let out = unsafe { &mut *tentative.ptr().add(i) };
+                catch_unwind(AssertUnwindSafe(|| {
+                    tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(PramError::WorkerPanic {
+                        pid: Some(Pid(i)),
+                        detail: panic_detail(payload.as_ref()),
+                    })
+                })?;
+            }
+            Ok(())
         })
     }
 
@@ -1265,5 +1704,212 @@ mod tests {
             Machine::new(&prog, 0, CycleBudget::PAPER),
             Err(PramError::InvalidConfig { .. })
         ));
+    }
+
+    /// Counter whose `execute` panics exactly once, on `victim`'s first
+    /// cycle — a model of faulty host code for the panic-isolation engine.
+    struct BoobyTrap {
+        n: usize,
+        target: Word,
+        victim: usize,
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl Program for BoobyTrap {
+        type Private = ();
+        fn shared_size(&self) -> usize {
+            self.n
+        }
+        fn on_start(&self, _pid: Pid) {}
+        fn plan(&self, pid: Pid, _st: &(), values: &[Word], reads: &mut ReadSet) {
+            if values.is_empty() {
+                reads.push(pid.0);
+            }
+        }
+        fn execute(&self, pid: Pid, _st: &mut (), vals: &[Word], writes: &mut WriteSet) -> Step {
+            if pid.0 == self.victim && !self.fired.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                panic!("injected fault in P{}", pid.0);
+            }
+            if vals[0] >= self.target {
+                return Step::Halt;
+            }
+            writes.push(pid.0, vals[0] + 1);
+            Step::Continue
+        }
+        fn is_complete(&self, mem: &SharedMemory) -> bool {
+            (0..self.n).all(|i| mem.peek(i) >= self.target)
+        }
+    }
+
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    /// Under `FallbackSequential`, a panicking program degrades to the
+    /// sequential engine mid-run and still produces results identical to a
+    /// clean run of the same algorithm.
+    #[test]
+    fn panic_fallback_matches_clean_run() {
+        with_quiet_panics(|| {
+            let clean = Counter { n: 8, target: 4 };
+            let mut reference = Machine::new(&clean, 8, CycleBudget::PAPER).unwrap();
+            let expected = reference.run(&mut NoFailures).unwrap();
+
+            let trapped = BoobyTrap {
+                n: 8,
+                target: 4,
+                victim: 3,
+                fired: std::sync::atomic::AtomicBool::new(false),
+            };
+            let mut m = Machine::new(&trapped, 8, CycleBudget::PAPER).unwrap();
+            let report = m
+                .run_threaded_isolated(
+                    &mut NoFailures,
+                    RunLimits::default(),
+                    4,
+                    PanicPolicy::FallbackSequential,
+                    &mut NoopObserver,
+                )
+                .unwrap();
+            assert!(trapped.fired.load(std::sync::atomic::Ordering::SeqCst));
+            assert_eq!(report.stats, expected.stats);
+            assert_eq!(report.per_processor, expected.per_processor);
+            assert_eq!(m.memory().as_slice(), reference.memory().as_slice());
+        });
+    }
+
+    /// Under `Surface`, the panic aborts the run as a `WorkerPanic` naming
+    /// the processor — and the machine is left consistent at the tick
+    /// boundary, so the run can even be finished afterwards.
+    #[test]
+    fn panic_surface_reports_pid_and_leaves_machine_resumable() {
+        with_quiet_panics(|| {
+            let trapped = BoobyTrap {
+                n: 8,
+                target: 4,
+                victim: 5,
+                fired: std::sync::atomic::AtomicBool::new(false),
+            };
+            let mut m = Machine::new(&trapped, 8, CycleBudget::PAPER).unwrap();
+            let err = m
+                .run_threaded_isolated(
+                    &mut NoFailures,
+                    RunLimits::default(),
+                    4,
+                    PanicPolicy::Surface,
+                    &mut NoopObserver,
+                )
+                .unwrap_err();
+            assert!(
+                matches!(&err, PramError::WorkerPanic { pid: Some(Pid(5)), detail }
+                    if detail.contains("injected fault")),
+                "unexpected error: {err:?}"
+            );
+            // The pre-tick states were restored: the interrupted run can
+            // simply continue (the trap only fires once).
+            let report = m.run(&mut NoFailures).unwrap();
+            let clean = Counter { n: 8, target: 4 };
+            let mut reference = Machine::new(&clean, 8, CycleBudget::PAPER).unwrap();
+            let expected = reference.run(&mut NoFailures).unwrap();
+            assert_eq!(report.stats, expected.stats);
+            assert_eq!(m.memory().as_slice(), reference.memory().as_slice());
+        });
+    }
+
+    /// Pause mid-run, checkpoint, restore into a *fresh* machine and
+    /// adversary, finish — and get the identical report, memory and
+    /// concatenated event stream as the uninterrupted run.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use crate::failure::ScheduledAdversary;
+        use crate::trace::TraceRecorder;
+
+        let prog = Counter { n: 4, target: 3 };
+
+        // Record a pattern worth replaying (a failure + a restart).
+        let mut m0 = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        let pattern = m0.run(&mut OneHiccup).unwrap().pattern;
+        assert!(!pattern.is_empty());
+
+        // Uninterrupted reference run under the replayed pattern.
+        let mut straight = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        let mut straight_trace = TraceRecorder::unbounded();
+        let expected = straight
+            .run_observed(
+                &mut ScheduledAdversary::new(pattern.clone()),
+                RunLimits::default(),
+                &mut straight_trace,
+            )
+            .unwrap();
+
+        // Interrupted run: pause before tick 2, checkpoint, drop everything.
+        let mut first = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        let mut adv1 = ScheduledAdversary::new(pattern.clone());
+        let mut trace1 = TraceRecorder::unbounded();
+        let status = first
+            .run_controlled(&mut adv1, RunLimits::default(), &mut trace1, |cycle| {
+                if cycle == 2 {
+                    RunControl::Pause
+                } else {
+                    RunControl::Continue
+                }
+            })
+            .unwrap();
+        assert!(matches!(status, RunStatus::Paused { cycle: 2 }));
+        let ck = first.save_checkpoint(&adv1).unwrap();
+        drop(first);
+        drop(adv1);
+
+        // Resume in a fresh machine + fresh adversary.
+        let mut second = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        let mut adv2 = ScheduledAdversary::new(pattern);
+        second.restore_checkpoint(&ck, &mut adv2).unwrap();
+        assert_eq!(second.cycle(), 2);
+        let mut trace2 = TraceRecorder::unbounded();
+        let report = second.run_observed(&mut adv2, RunLimits::default(), &mut trace2).unwrap();
+
+        assert_eq!(report.stats, expected.stats);
+        assert_eq!(report.pattern, expected.pattern);
+        assert_eq!(report.per_processor, expected.per_processor);
+        assert_eq!(second.memory().as_slice(), straight.memory().as_slice());
+        let concatenated: Vec<_> = trace1.events().chain(trace2.events()).cloned().collect();
+        let straight_events: Vec<_> = straight_trace.events().cloned().collect();
+        assert_eq!(concatenated, straight_events);
+    }
+
+    /// A checkpoint survives the JSON round-trip and restore rejects a
+    /// machine of the wrong shape.
+    #[test]
+    fn checkpoint_json_and_shape_validation() {
+        use crate::checkpoint::Checkpoint;
+
+        let prog = Counter { n: 4, target: 3 };
+        let mut m = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        let status = m
+            .run_controlled(&mut NoFailures, RunLimits::default(), &mut NoopObserver, |c| {
+                if c == 1 {
+                    RunControl::Pause
+                } else {
+                    RunControl::Continue
+                }
+            })
+            .unwrap();
+        assert!(matches!(status, RunStatus::Paused { cycle: 1 }));
+        let ck = Checkpoint::from_json(&m.save_checkpoint(&NoFailures).unwrap().to_json()).unwrap();
+
+        // Wrong processor count.
+        let mut wrong = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();
+        let err = wrong.restore_checkpoint(&ck, &mut NoFailures).unwrap_err();
+        assert!(matches!(&err, PramError::Checkpoint { detail } if detail.contains("processors")));
+
+        // Right shape restores and completes.
+        let mut right = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+        right.restore_checkpoint(&ck, &mut NoFailures).unwrap();
+        let report = right.run(&mut NoFailures).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed);
     }
 }

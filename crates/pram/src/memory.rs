@@ -36,6 +36,12 @@ impl SharedMemory {
         self.cells.len()
     }
 
+    /// Rebuild a memory from checkpointed cells and instrumentation
+    /// counters ([`Checkpoint`](crate::checkpoint::Checkpoint) restore).
+    pub(crate) fn from_parts(cells: Vec<Word>, reads: u64, writes: u64) -> Self {
+        SharedMemory { cells, reads, writes }
+    }
+
     /// Charged atomic word write performed by the machine.
     ///
     /// # Errors

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// How simultaneous writes to the same cell in the same write slot are
 /// resolved.
 ///
@@ -17,7 +19,7 @@ use std::fmt;
 /// (Theorem 4.1 simulates ARBITRARY/STRONG CRCW programs on machines of the
 /// same type). For reproducibility, `Arbitrary` is deterministic: the
 /// lowest-PID writer wins (any fixed choice is a legal "arbitrary").
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
 pub enum WriteMode {
     /// All concurrent writers to a cell must agree on the value (checked).
     #[default]

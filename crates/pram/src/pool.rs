@@ -26,10 +26,23 @@
 //! pointer is cleared under the same lock before the borrow it was created
 //! from ends. Workers never hold the pointer across epochs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::error::PramError;
+
+/// Render a caught panic payload as a message for
+/// [`PramError::WorkerPanic`].
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The per-tick work item: process indices `[start, end)`.
 type Job<'a> = dyn Fn(usize, usize) -> Result<(), PramError> + Sync + 'a;
@@ -98,8 +111,14 @@ impl TickPool {
         }
     }
 
+    /// Lock the pool state, recovering from poisoning. The state is a set
+    /// of plain counters and flags with no invariants that a panic can
+    /// break mid-update (every mutation is a single field store), so a
+    /// poisoned mutex is safe to re-enter — panics in job closures are
+    /// additionally caught before they can unwind through a lock (see
+    /// [`TickPool::worker`]), making poisoning doubly unlikely.
     fn lock(&self) -> MutexGuard<'_, PoolState> {
-        self.state.lock().expect("tick pool poisoned: a worker panicked")
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Execute `job` over the index space `[0, len)` on the pool's workers
@@ -131,7 +150,7 @@ impl TickPool {
         }
         let mut st = self.lock();
         while st.active != 0 {
-            st = self.done.wait(st).expect("tick pool poisoned: a worker panicked");
+            st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
         match st.err.take() {
@@ -163,7 +182,7 @@ impl TickPool {
                         seen = st.epoch;
                         break st.job.expect("epoch published without a job");
                     }
-                    st = self.work.wait(st).expect("tick pool poisoned: coordinator panicked");
+                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             let len = self.len.load(Ordering::Relaxed);
@@ -176,7 +195,22 @@ impl TickPool {
                 if start >= len {
                     break;
                 }
-                if let Err(e) = f(start, (start + chunk).min(len)) {
+                // Catch panics escaping the job so a buggy closure degrades
+                // to an error instead of killing the worker (a dead worker
+                // would leave `active` forever nonzero and hang the
+                // coordinator). The job borrows are safe to assert unwind
+                // safety for: on panic the whole tick is abandoned and the
+                // engine either surfaces the error or restores the touched
+                // slots from a backup before reusing them.
+                let end = (start + chunk).min(len);
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| f(start, end))).unwrap_or_else(|payload| {
+                        Err(PramError::WorkerPanic {
+                            pid: None,
+                            detail: panic_detail(payload.as_ref()),
+                        })
+                    });
+                if let Err(e) = outcome {
                     self.stop.store(true, Ordering::Relaxed);
                     let mut st = self.lock();
                     if st.err.is_none() {
@@ -251,6 +285,48 @@ mod tests {
             pool.run_tick(64, &job).unwrap_err()
         });
         assert!(matches!(err, PramError::AddressOutOfBounds { .. }));
+    }
+
+    /// A panicking job closure must surface as [`PramError::WorkerPanic`]
+    /// — not poison the pool, not abort the process — and the pool must
+    /// keep serving ticks afterwards. The `PoolShutdown` drop guard still
+    /// joins every worker at scope exit.
+    #[test]
+    fn panicking_job_reports_worker_panic_and_pool_survives() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
+        let pool = TickPool::new(2);
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            let _guard = PoolShutdown(&pool);
+            for _ in 0..2 {
+                scope.spawn(|| pool.worker());
+            }
+            let bomb = |start: usize, _end: usize| -> Result<(), PramError> {
+                if start == 0 {
+                    panic!("injected worker fault");
+                }
+                Ok(())
+            };
+            let err = pool.run_tick(64, &bomb).unwrap_err();
+            assert!(
+                matches!(&err, PramError::WorkerPanic { pid: None, detail }
+                    if detail.contains("injected worker fault")),
+                "unexpected error: {err:?}"
+            );
+            // The pool is still operational for subsequent ticks.
+            let job = |start: usize, end: usize| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            };
+            pool.run_tick(hits.len(), &job).unwrap();
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property test for the checkpoint/resume guarantee: a run paused at an
+//! arbitrary tick, snapshotted, round-tripped through JSON, and restored
+//! into a *freshly built* machine and adversary finishes with the same
+//! event stream, stats, failure pattern, per-processor counts, and final
+//! memory as the same run left uninterrupted. This is the machine-level
+//! contract the crash-safe CLI runner (`rfsp experiment --resume`) and the
+//! soak harness's kill/resume mode are built on.
+
+use proptest::prelude::*;
+use rfsp_pram::{
+    Checkpoint, CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, Machine, Pid,
+    Program, ReadSet, RunControl, RunLimits, RunStatus, ScheduledAdversary, SharedMemory, Step,
+    TraceRecorder, Word, WriteSet,
+};
+
+/// A Write-All-ish grind with *nontrivial private state*: each processor
+/// counts the cycles it has executed since its last (re)start, and every
+/// third cycle bumps its cell by 2 instead of 1. The write thus depends on
+/// the private counter, so a checkpoint that mangled private state would
+/// change the event stream, not just fail quietly.
+struct SteppedGrind {
+    n: usize,
+    target: Word,
+}
+
+impl Program for SteppedGrind {
+    type Private = u64;
+    fn shared_size(&self) -> usize {
+        self.n
+    }
+    fn on_start(&self, _pid: Pid) -> u64 {
+        0
+    }
+    fn plan(&self, pid: Pid, _st: &u64, values: &[Word], reads: &mut ReadSet) {
+        if values.is_empty() {
+            reads.push(pid.0 % self.n);
+        }
+    }
+    fn execute(&self, pid: Pid, st: &mut u64, values: &[Word], writes: &mut WriteSet) -> Step {
+        *st += 1;
+        if values[0] < self.target {
+            let bump = if st.is_multiple_of(3) { 2 } else { 1 };
+            writes.push(pid.0 % self.n, (values[0] + bump).min(self.target));
+        }
+        Step::Continue
+    }
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        (0..self.n).all(|i| mem.peek(i) >= self.target)
+    }
+}
+
+/// Build a *legal* pre-committed fault schedule from raw fuzz input (the
+/// same construction as `properties.rs`): alternating fails/restarts
+/// respecting per-processor liveness, processor 0 immune, everyone revived
+/// at the end so the computation can finish.
+fn legal_schedule(p: usize, raw: Vec<(usize, bool)>) -> FailurePattern {
+    let mut alive = vec![true; p];
+    let mut pattern = FailurePattern::new();
+    let raw_len = raw.len();
+    for (t, (pid_raw, restart)) in raw.into_iter().enumerate() {
+        let pid = pid_raw % p;
+        if pid == 0 {
+            continue; // keep processor 0 immune for liveness
+        }
+        if alive[pid] && !restart {
+            alive[pid] = false;
+            pattern.push(FailureEvent {
+                kind: FailureKind::Failure { point: FailPoint::BeforeWrites },
+                pid,
+                time: t as u64,
+            });
+        } else if !alive[pid] && restart {
+            alive[pid] = true;
+            pattern.push(FailureEvent { kind: FailureKind::Restart, pid, time: t as u64 + 1 });
+        }
+    }
+    let heal_time = raw_len as u64 + 2;
+    for (pid, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
+            pattern.push(FailureEvent { kind: FailureKind::Restart, pid, time: heal_time });
+        }
+    }
+    pattern
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Pause anywhere, checkpoint through JSON, restore into fresh machine
+    /// + adversary, finish: the concatenated trace and every observable are
+    /// identical to the uninterrupted run.
+    #[test]
+    fn interrupted_and_resumed_run_is_bit_identical(
+        p in 1usize..12,
+        target in 1u64..6,
+        pause_at in 0u64..40,
+        raw in proptest::collection::vec((1usize..12, any::<bool>()), 0..48),
+    ) {
+        let pattern = legal_schedule(p, raw);
+        let limits = RunLimits { max_cycles: 1_000_000 };
+        let prog = SteppedGrind { n: p, target };
+
+        // Uninterrupted reference run.
+        let mut straight = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let mut trace_s = TraceRecorder::unbounded();
+        let report_s = straight
+            .run_observed(&mut ScheduledAdversary::new(pattern.clone()), limits, &mut trace_s)
+            .unwrap();
+
+        // Interrupted run: pause at the fuzzed tick (if the run lives that
+        // long), snapshot, JSON round-trip, restore into a FRESH machine
+        // and a FRESH adversary rebuilt from the same schedule — exactly
+        // what a resuming process does — then run to completion.
+        let mut first = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let mut adv1 = ScheduledAdversary::new(pattern.clone());
+        let mut trace_a = TraceRecorder::unbounded();
+        let status = first
+            .run_controlled(&mut adv1, limits, &mut trace_a, |cycle| {
+                if cycle >= pause_at { RunControl::Pause } else { RunControl::Continue }
+            })
+            .unwrap();
+
+        let (report_r, trace_b, mem_r) = match status {
+            RunStatus::Completed(report) => {
+                // Finished before the pause tick: the interrupted path
+                // degenerates to a plain run.
+                let mem = first.memory().as_slice().to_vec();
+                (report, TraceRecorder::unbounded(), mem)
+            }
+            RunStatus::Paused { cycle } => {
+                prop_assert!(cycle >= pause_at);
+                let ck = first.save_checkpoint(&adv1).unwrap();
+                let ck = Checkpoint::from_json(&ck.to_json()).unwrap();
+                let mut second = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+                let mut adv2 = ScheduledAdversary::new(pattern.clone());
+                second.restore_checkpoint(&ck, &mut adv2).unwrap();
+                let mut trace_b = TraceRecorder::unbounded();
+                let report = second.run_observed(&mut adv2, limits, &mut trace_b).unwrap();
+                let mem = second.memory().as_slice().to_vec();
+                (report, trace_b, mem)
+            }
+        };
+
+        prop_assert_eq!(report_s.outcome, report_r.outcome);
+        prop_assert_eq!(report_s.stats, report_r.stats);
+        prop_assert_eq!(report_s.pattern.events(), report_r.pattern.events());
+        prop_assert_eq!(report_s.per_processor, report_r.per_processor);
+        prop_assert_eq!(straight.memory().as_slice(), &mem_r[..]);
+        // The interrupted run's two trace halves concatenate to exactly the
+        // uninterrupted stream — the property the CLI's events-file
+        // truncate-and-append resume protocol relies on.
+        let stitched = format!("{}{}", trace_a.to_jsonl(), trace_b.to_jsonl());
+        prop_assert_eq!(trace_s.to_jsonl(), stitched);
+    }
+}

@@ -117,6 +117,20 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's internal state, for checkpointing. Feeding the
+        /// result to [`SmallRng::from_state`] resumes the stream exactly
+        /// where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a previously captured state.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
@@ -150,6 +164,18 @@ mod tests {
             a2.random_range(0u64..1000) == c.random_range(0u64..1000)
         });
         assert!(!equal, "different seeds should diverge");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.random_range(0u64..1000);
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
     }
 
     #[test]
