@@ -5,21 +5,30 @@
 use rfsp_adversary::Pigeonhole;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
-use rfsp_pram::{MemoryLayout, RunLimits};
+use rfsp_pram::{MemoryLayout, NoopObserver, Observer, RunLimits, WorkStats};
 
 use crate::{fmt, loglog_slope, print_table, run_write_all_with_observed, Algo, TelemetrySink};
 
-/// Completed work of the snapshot algorithm under the pigeonhole adversary
-/// (the snapshot machine has no event stream, so only stats are reported).
-pub fn snapshot_under_pigeonhole(n: usize) -> (u64, u64) {
+/// Stats of the snapshot algorithm under the pigeonhole adversary, with the
+/// run's event stream delivered to `observer` (the unified execution core
+/// gives the snapshot machine the same event stream as the word machine).
+pub fn snapshot_under_pigeonhole_observed(n: usize, observer: &mut dyn Observer) -> WorkStats {
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m = SnapshotMachine::new(&algo, n, 1).expect("snapshot machine");
     let mut adversary = Pigeonhole::new(tasks.x());
-    let report = m.run(&mut adversary).expect("snapshot run");
+    let report =
+        m.run_observed(&mut adversary, RunLimits::default(), observer).expect("snapshot run");
     assert!(tasks.all_written(m.memory()));
-    (report.stats.completed_work(), report.stats.pattern_size())
+    report.stats
+}
+
+/// Completed work and pattern size of the snapshot algorithm under the
+/// pigeonhole adversary (unobserved convenience wrapper).
+pub fn snapshot_under_pigeonhole(n: usize) -> (u64, u64) {
+    let stats = snapshot_under_pigeonhole_observed(n, &mut NoopObserver);
+    (stats.completed_work(), stats.pattern_size())
 }
 
 /// Run experiment E2.
@@ -33,7 +42,11 @@ pub fn run() {
     let mut snap_points = Vec::new();
     for &n in &sizes {
         let nlogn = n as f64 * (n as f64).log2();
-        let (snap_s, _) = snapshot_under_pigeonhole(n);
+        let snap_stats =
+            sink.observe_snapshot(format!("snapshot-pigeonhole-n{n}"), "snapshot", n, n, |obs| {
+                snapshot_under_pigeonhole_observed(n, obs)
+            });
+        let snap_s = snap_stats.completed_work();
         snap_points.push((n as f64, snap_s as f64));
         let mut cols = vec![n.to_string(), fmt(snap_s as f64 / nlogn)];
         for algo in [Algo::X, Algo::V, Algo::Interleaved] {

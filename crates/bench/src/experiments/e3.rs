@@ -4,20 +4,21 @@
 use rfsp_adversary::Pigeonhole;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
-use rfsp_pram::{MemoryLayout, NoFailures, WorkStats};
+use rfsp_pram::{MemoryLayout, NoFailures, Observer, RunLimits, WorkStats};
 
 use crate::{fmt, print_table, TelemetrySink};
 
-fn run_snapshot(n: usize, with_adversary: bool) -> WorkStats {
+fn run_snapshot(n: usize, with_adversary: bool, observer: &mut dyn Observer) -> WorkStats {
     let mut layout = MemoryLayout::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m = SnapshotMachine::new(&algo, n, 1).expect("snapshot machine");
+    let limits = RunLimits::default();
     let report = if with_adversary {
         let mut adversary = Pigeonhole::new(tasks.x());
-        m.run(&mut adversary).expect("snapshot run")
+        m.run_observed(&mut adversary, limits, observer).expect("snapshot run")
     } else {
-        m.run(&mut NoFailures).expect("snapshot run")
+        m.run_observed(&mut NoFailures, limits, observer).expect("snapshot run")
     };
     assert!(tasks.all_written(m.memory()));
     report.stats
@@ -31,11 +32,16 @@ pub fn run() {
     // snapshot machine, so even N = 65536 finishes in well under a second.
     for n in [256usize, 1024, 4096, 16384, 65536] {
         let nlogn = n as f64 * (n as f64).log2();
-        // The snapshot machine has no event stream: stats-only telemetry.
-        let adv_stats = run_snapshot(n, true);
-        let free_stats = run_snapshot(n, false);
-        sink.record_stats(format!("snapshot-pigeonhole-n{n}"), "snapshot", n, n, true, adv_stats);
-        sink.record_stats(format!("snapshot-nofail-n{n}"), "snapshot", n, n, true, free_stats);
+        // The unified core streams snapshot-model events like any other
+        // run, so both columns carry full per-tick telemetry.
+        let adv_stats =
+            sink.observe_snapshot(format!("snapshot-pigeonhole-n{n}"), "snapshot", n, n, |obs| {
+                run_snapshot(n, true, obs)
+            });
+        let free_stats =
+            sink.observe_snapshot(format!("snapshot-nofail-n{n}"), "snapshot", n, n, |obs| {
+                run_snapshot(n, false, obs)
+            });
         let s_adv = adv_stats.completed_work();
         let s_free = free_stats.completed_work();
         rows.push(vec![

@@ -20,6 +20,13 @@
 //! artifact — a *replay file* — is simply the offending [`SoakCase`];
 //! [`run_case`] on the parsed file reproduces the failure with no other
 //! state.
+//!
+//! Since the unified execution core, the harness also fuzzes the §3
+//! **snapshot machine** ([`SoakAlgo::Snapshot`]): those cases run the
+//! balanced-allocation algorithm under seeded random churn and cross-check
+//! the reference run against a kill/checkpoint/resume run through the same
+//! shared-core machinery (the snapshot engine is sequential-only, so the
+//! pooled and panic checks do not apply).
 
 // `SoakFailure` carries the whole offending case by value — it is the
 // replay artifact, and the error path is cold (one failure ends the
@@ -31,10 +38,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rfsp_adversary::RandomFaults;
+use rfsp_core::{SnapshotBalance, WriteAllTasks};
+use rfsp_pram::snapshot::SnapshotMachine;
 use rfsp_pram::{
-    CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, Machine, NoopObserver,
-    PanicPolicy, Pid, PramError, Program, ReadSet, RunControl, RunLimits, RunStatus,
-    ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
+    Checkpoint, CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, Machine,
+    MemoryLayout, NoopObserver, PanicPolicy, Pid, PramError, Program, ReadSet, RunControl,
+    RunLimits, RunStatus, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
 };
 use serde::{Deserialize, Serialize};
 
@@ -62,17 +71,24 @@ pub enum SoakAlgo {
         /// Program seed.
         seed: u64,
     },
+    /// The §3 snapshot-model balanced-allocation algorithm on
+    /// [`SnapshotMachine`]. The snapshot engine is sequential-only, so
+    /// these cases check the reference run against kill/checkpoint/resume
+    /// (the `threads` and `panic` fields are ignored).
+    Snapshot,
 }
 
 impl SoakAlgo {
-    /// The bench-runner algorithm this case targets.
-    pub fn to_algo(self) -> Algo {
+    /// The bench-runner (word-model) algorithm this case targets, or
+    /// `None` for the snapshot-machine lane.
+    pub fn to_algo(self) -> Option<Algo> {
         match self {
-            SoakAlgo::X => Algo::X,
-            SoakAlgo::V => Algo::V,
-            SoakAlgo::Interleaved => Algo::Interleaved,
-            SoakAlgo::XInPlace => Algo::XInPlace,
-            SoakAlgo::Acc { seed } => Algo::Acc(seed),
+            SoakAlgo::X => Some(Algo::X),
+            SoakAlgo::V => Some(Algo::V),
+            SoakAlgo::Interleaved => Some(Algo::Interleaved),
+            SoakAlgo::XInPlace => Some(Algo::XInPlace),
+            SoakAlgo::Acc { seed } => Some(Algo::Acc(seed)),
+            SoakAlgo::Snapshot => None,
         }
     }
 
@@ -398,6 +414,129 @@ fn compare(
     Ok(())
 }
 
+/// The snapshot-machine lane: reference run under recorded [`RandomFaults`]
+/// cross-checked against a kill/checkpoint/resume run — the two must agree
+/// on stats, pattern, per-processor work, and final memory, and the
+/// reference must satisfy the postcondition and accounting invariants.
+/// Both runs go through the unified execution core's shared run loop and
+/// checkpoint codec, so this certifies the snapshot side of that machinery
+/// the same way the word-model lane certifies its side.
+fn run_snapshot_case(case: &SoakCase) -> Result<CaseOutcome, SoakFailure> {
+    let fail = |check: &str, detail: String| SoakFailure {
+        case: case.clone(),
+        check: check.to_string(),
+        detail,
+    };
+    let limits = RunLimits { max_cycles: case.max_cycles };
+    let mut layout = MemoryLayout::new();
+    let tasks = WriteAllTasks::new(&mut layout, case.n);
+    let prog = SnapshotBalance::new(tasks, case.n);
+
+    // 1. Reference run, recording the adversary's decisions.
+    let mut m =
+        SnapshotMachine::new(&prog, case.p, 1).map_err(|e| fail("reference", e.to_string()))?;
+    let mut rec = DecisionRecorder::new(RandomFaults::new(
+        case.fail_rate,
+        case.restart_rate,
+        case.adversary_seed,
+    ));
+    let reference = match m.run_observed(&mut rec, limits, &mut NoopObserver) {
+        Ok(report) => report,
+        Err(PramError::CycleLimit { .. }) => {
+            return Ok(CaseOutcome::Skipped(format!(
+                "reference run exceeded {} cycles",
+                case.max_cycles
+            )))
+        }
+        Err(e) => return Err(fail("reference", e.to_string())),
+    };
+    let log = rec.into_pattern();
+    let ref_mem = m.memory().as_slice().to_vec();
+
+    // 2. Postcondition and accounting invariants on the reference report.
+    if !tasks.all_written(m.memory()) {
+        return Err(fail("postcondition", "array not fully written".to_string()));
+    }
+    if reference.stats.interrupted_cycles > reference.stats.failures {
+        return Err(fail(
+            "accounting",
+            format!(
+                "S' - S = {} interrupted cycles exceeds |failures| = {} (Remark 2 bound)",
+                reference.stats.interrupted_cycles, reference.stats.failures
+            ),
+        ));
+    }
+    if reference.stats.pattern_size() != reference.pattern.size() as u64 {
+        return Err(fail(
+            "accounting",
+            "pattern size counter disagrees with the recorded pattern".to_string(),
+        ));
+    }
+    if reference.per_processor.iter().sum::<u64>() != reference.stats.completed_cycles {
+        return Err(fail("accounting", "per-processor work does not sum to S".to_string()));
+    }
+    if log != reference.pattern {
+        return Err(fail(
+            "recorder",
+            "decision log diverges from the machine's recorded pattern".to_string(),
+        ));
+    }
+
+    // 3. Crash recovery: kill at a tick boundary, checkpoint, resume.
+    if let Some(kill_at) = case.kill_at {
+        let mut first = SnapshotMachine::new(&prog, case.p, 1)
+            .map_err(|e| fail("kill-resume", e.to_string()))?;
+        let mut adv = ScheduledAdversary::new(log.clone());
+        let mut armed = true;
+        let status = first
+            .run_controlled(&mut adv, limits, &mut NoopObserver, |cycle| {
+                if armed && cycle >= kill_at {
+                    armed = false;
+                    RunControl::Pause
+                } else {
+                    RunControl::Continue
+                }
+            })
+            .map_err(|e| fail("kill-resume", e.to_string()))?;
+        let (resumed, mem) = match status {
+            // Finished before the kill tick: nothing to resume.
+            RunStatus::Completed(report) => {
+                let mem = first.memory().as_slice().to_vec();
+                (report, mem)
+            }
+            RunStatus::Paused { .. } => (|| {
+                let ck = first.save_checkpoint(&adv)?;
+                // Round-trip through JSON: the on-disk format is part of
+                // what the harness certifies.
+                let ck = Checkpoint::from_json(&ck.to_json())?;
+                drop(first);
+                let mut second = SnapshotMachine::new(&prog, case.p, 1)?;
+                let mut adv2 = ScheduledAdversary::new(log.clone());
+                second.restore_checkpoint(&ck, &mut adv2)?;
+                let report = second.run_observed(&mut adv2, limits, &mut NoopObserver)?;
+                let mem = second.memory().as_slice().to_vec();
+                Ok::<_, PramError>((report, mem))
+            })()
+            .map_err(|e| fail("kill-resume", e.to_string()))?,
+        };
+        let mismatch = |what: &str| fail("kill-resume-equivalence", format!("{what} diverge"));
+        if resumed.stats != reference.stats {
+            return Err(mismatch("stats"));
+        }
+        if resumed.pattern != reference.pattern {
+            return Err(mismatch("recorded failure patterns"));
+        }
+        if resumed.per_processor != reference.per_processor {
+            return Err(mismatch("per-processor work decompositions"));
+        }
+        if mem != ref_mem {
+            return Err(mismatch("final shared memories"));
+        }
+    }
+
+    Ok(CaseOutcome::Passed { panic_fired: false })
+}
+
 /// Run every check of one scenario. This is both the soak loop body and
 /// the whole of `rfsp soak --replay`: a failure's [`SoakCase`] fed back in
 /// reproduces it exactly.
@@ -406,7 +545,9 @@ fn compare(
 ///
 /// [`SoakFailure`] when a cross-check or invariant breaks — the bug report.
 pub fn run_case(case: &SoakCase) -> Result<CaseOutcome, SoakFailure> {
-    let algo = case.algo.to_algo();
+    let Some(algo) = case.algo.to_algo() else {
+        return run_snapshot_case(case);
+    };
     let fail = |check: &str, detail: String| SoakFailure {
         case: case.clone(),
         check: check.to_string(),
@@ -529,11 +670,12 @@ pub struct SoakSummary {
 /// Derive the `i`-th randomized case from the master seed.
 pub fn generate_case(seed: u64, i: u64) -> SoakCase {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i));
-    let algo = match rng.random_range(0..5) {
+    let algo = match rng.random_range(0..6) {
         0 => SoakAlgo::X,
         1 => SoakAlgo::V,
         2 => SoakAlgo::Interleaved,
         3 => SoakAlgo::XInPlace,
+        4 => SoakAlgo::Snapshot,
         _ => SoakAlgo::Acc { seed: rng.random_range(1..u64::MAX) },
     };
     // Power-of-two sizes suit every algorithm (in-place X demands them).
@@ -656,6 +798,31 @@ mod tests {
         assert_eq!(seen, 6);
         assert_eq!(summary.passed + summary.skipped, 6);
         assert!(summary.passed > 0, "want at least one conclusive case");
+    }
+
+    /// The snapshot lane end to end: a hand-written high-churn case whose
+    /// kill tick lands mid-run, so the checkpoint/resume path really
+    /// executes (not the completed-before-kill degenerate branch).
+    #[test]
+    fn snapshot_lane_kill_resume_case_is_green() {
+        let case = SoakCase {
+            algo: SoakAlgo::Snapshot,
+            n: 48,
+            p: 8,
+            threads: 1,
+            fail_rate: 0.3,
+            restart_rate: 0.6,
+            adversary_seed: 99,
+            panic: None,
+            kill_at: Some(2),
+            max_cycles: 50_000,
+        };
+        let outcome = run_case(&case).expect("snapshot case passes");
+        assert!(matches!(outcome, CaseOutcome::Passed { panic_fired: false }));
+        // The replay file round-trips the new variant too.
+        let back = SoakCase::from_json(&case.to_json()).unwrap();
+        assert_eq!(back, case);
+        assert!(matches!(run_case(&back), Ok(CaseOutcome::Passed { .. })));
     }
 
     #[test]

@@ -35,8 +35,10 @@ pub struct BenchRun {
     pub verified: bool,
     /// The run's work and fault counters.
     pub stats: WorkStats,
-    /// Per-tick telemetry; `None` for runs measured through an engine that
-    /// does not stream events (e.g. the snapshot-model machine).
+    /// Per-tick telemetry; `None` for runs recorded through
+    /// [`TelemetrySink::record_stats`] (engines or summaries with no event
+    /// stream). Since the unified execution core, snapshot-model runs
+    /// stream the same events as word-model runs and carry a series too.
     pub series: Option<RunSeries>,
 }
 
@@ -116,6 +118,36 @@ impl TelemetrySink {
             series: Some(metrics.finish()),
         });
         Ok(run)
+    }
+
+    /// Like [`TelemetrySink::observe`] for runners that return bare
+    /// [`WorkStats`] instead of a [`WriteAllRun`] — the snapshot-model
+    /// experiments, whose runners assert their postcondition internally
+    /// (hence `verified: true`) and panic on failure. Runs `f` under a
+    /// per-tick metrics observer when active, a no-op observer otherwise.
+    pub fn observe_snapshot(
+        &mut self,
+        label: impl Into<String>,
+        algo: &str,
+        n: usize,
+        p: usize,
+        f: impl FnOnce(&mut dyn Observer) -> WorkStats,
+    ) -> WorkStats {
+        if !self.is_active() {
+            return f(&mut NoopObserver);
+        }
+        let mut metrics = MetricsObserver::new(p);
+        let stats = f(&mut metrics);
+        self.runs.push(BenchRun {
+            label: label.into(),
+            algo: algo.to_string(),
+            n: n as u64,
+            p: p as u64,
+            verified: true,
+            stats,
+            series: Some(metrics.finish()),
+        });
+        stats
     }
 
     /// Record a run whose series was collected by an externally managed
@@ -209,6 +241,28 @@ mod tests {
         assert!(run.verified);
         assert!(sink.runs().is_empty());
         assert!(sink.finish().is_none());
+    }
+
+    /// Snapshot-model runs go through the same observer pipeline as word
+    /// runs now: an active sink records a full per-tick series for them
+    /// (E2/E3's `BENCH_*.json` artifacts rely on this).
+    #[test]
+    fn snapshot_runs_carry_series() {
+        let dir = std::env::temp_dir().join("rfsp-bench-snap-sink-test");
+        let mut sink = TelemetrySink::with_dir("e3-test", &dir);
+        let stats = sink.observe_snapshot("snap-32", "snapshot", 32, 32, |obs| {
+            crate::experiments::e2::snapshot_under_pigeonhole_observed(32, obs)
+        });
+        let path = sink.finish().expect("artifact written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let artifact: BenchArtifact = serde::json::from_str(&text).unwrap();
+        let run = &artifact.runs[0];
+        assert!(run.verified);
+        assert_eq!(run.stats, stats);
+        let series = run.series.as_ref().expect("snapshot run has a series");
+        assert_eq!(series.processors, 32);
+        assert_eq!(series.last().expect("nonempty").s, stats.completed_cycles);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! (worker panics, simulated kill/resume) and cross-checks every run
 //! against a sequential reference: engine equivalence, panic-isolation
 //! equivalence, checkpoint/kill/resume equivalence, the Write-All
-//! postcondition, and the paper's accounting invariants. The first
-//! failing case is written as a minimal JSON replay file;
+//! postcondition, and the paper's accounting invariants. The case mix
+//! includes the §3 snapshot machine, whose kill/resume check exercises the
+//! unified execution core's checkpointing from the snapshot side. The
+//! first failing case is written as a minimal JSON replay file;
 //! `rfsp soak --replay FILE` reproduces it from that file alone.
 //!
 //! ```text

@@ -28,7 +28,11 @@ use crate::word::Word;
 
 /// Format version written into every checkpoint. Bump on any breaking
 /// layout change; restore refuses other versions.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: v1 — word machine only; v2 — adds the [`model`]
+/// tag (`Checkpoint::model`) so checkpoints from the word and snapshot
+/// machines cannot be restored into each other.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// One processor's checkpointed state.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -54,6 +58,10 @@ pub struct ProcCheckpoint {
 pub struct Checkpoint {
     /// Format version ([`CHECKPOINT_VERSION`]).
     pub version: u32,
+    /// Name of the [`ExecutionModel`](crate::ExecutionModel) the checkpoint
+    /// was taken under (`"word"` or `"snapshot"`); restore refuses a
+    /// checkpoint from a different model.
+    pub model: String,
     /// The tick at which the machine paused (the next tick to execute).
     pub cycle: u64,
     /// Concurrent-write semantics the run was using.
@@ -109,6 +117,7 @@ mod tests {
     fn sample() -> Checkpoint {
         Checkpoint {
             version: CHECKPOINT_VERSION,
+            model: "word".to_string(),
             cycle: 17,
             mode: WriteMode::Common,
             budget_reads: 4,

@@ -1,0 +1,314 @@
+//! Shared adversary-decision validation for both machine models.
+//!
+//! The word-model [`Machine`](crate::Machine) and the
+//! [`SnapshotMachine`](crate::SnapshotMachine) accept the same kinds of
+//! adversary decisions and must reject the same illegal ones: failing a
+//! processor that does not exist or is already stopped, restarting a live
+//! processor, placing a fail point after more writes than the cycle has,
+//! and schedules that violate the paper's progress condition (§2.1 2(i):
+//! every tick with activity must complete at least one update cycle). This
+//! module holds that validation once; [`Core::apply`](crate::exec::Core)
+//! calls [`resolve`] to turn a [`Decisions`] into per-processor
+//! [`CycleFate`]s or a [`PramError::InvalidAdversaryDecision`] /
+//! [`PramError::AdversaryStall`] / [`PramError::Deadlock`].
+
+use crate::adversary::{Decisions, FailPoint, ProcStatus, TentativeCycle};
+use crate::error::PramError;
+use crate::Result;
+
+/// Outcome of one processor's cycle after the adversary's decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CycleFate {
+    /// Not active this tick (failed or halted at tick start).
+    Idle,
+    /// Completed the whole cycle (possibly failed *after* it completed).
+    Completed,
+    /// Stopped before its reads: the processor executed nothing this tick,
+    /// so nothing is charged — not even partial work.
+    InterruptedBeforeReads,
+    /// Stopped after its reads and local computation, with this many of its
+    /// writes committed (possibly zero: stopped before the first write).
+    Interrupted { committed_writes: usize },
+}
+
+/// Validate `decisions` against this tick's machine state and fill the
+/// per-processor outcome buffers:
+///
+/// * `fates[i]` — every processor's [`CycleFate`];
+/// * `failed_now[i]` / `fail_points[i]` — which processors the adversary
+///   stopped this tick, and where;
+/// * `restarted[i]` — which processors restart (effective next tick).
+///
+/// `status` reports each processor's liveness *at the start of the tick*
+/// (decisions are validated against pre-tick state). The buffers must all
+/// have one entry per processor; they are fully overwritten.
+///
+/// # Errors
+///
+/// [`PramError::InvalidAdversaryDecision`] on an illegal failure or restart,
+/// [`PramError::AdversaryStall`] when an active tick completes no cycle (or
+/// everyone is failed with no restart), [`PramError::Deadlock`] when every
+/// processor halted voluntarily but the program is incomplete.
+// The argument list is the tick's full per-processor outcome surface —
+// bundling the four parallel buffers into a struct would just rename it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve(
+    cycle: u64,
+    decisions: &Decisions,
+    status: impl Fn(usize) -> ProcStatus,
+    tentative: &[Option<TentativeCycle>],
+    fates: &mut [CycleFate],
+    failed_now: &mut [bool],
+    fail_points: &mut [Option<FailPoint>],
+    restarted: &mut [bool],
+) -> Result<()> {
+    let p = tentative.len();
+    // --- Validate failures and compute each processor's fate. ---
+    for (i, fate) in fates.iter_mut().enumerate() {
+        *fate = if tentative[i].is_some() { CycleFate::Completed } else { CycleFate::Idle };
+    }
+    failed_now.fill(false);
+    fail_points.fill(None);
+    for &(pid, point) in &decisions.fails {
+        if pid.0 >= p {
+            return Err(PramError::InvalidAdversaryDecision {
+                cycle,
+                detail: format!("fail of unknown processor {pid}"),
+            });
+        }
+        if failed_now[pid.0] {
+            return Err(PramError::InvalidAdversaryDecision {
+                cycle,
+                detail: format!("duplicate failure of {pid}"),
+            });
+        }
+        match status(pid.0) {
+            ProcStatus::Failed => {
+                return Err(PramError::InvalidAdversaryDecision {
+                    cycle,
+                    detail: format!("failure of already failed {pid}"),
+                });
+            }
+            ProcStatus::Halted => {
+                // No cycle in flight; the processor simply stops.
+                failed_now[pid.0] = true;
+                fail_points[pid.0] = Some(point);
+                fates[pid.0] = CycleFate::Idle;
+            }
+            ProcStatus::Alive => {
+                let t = tentative[pid.0].as_ref().expect("alive processor has a tentative cycle");
+                let committed = match point {
+                    FailPoint::BeforeReads | FailPoint::BeforeWrites => 0,
+                    FailPoint::AfterWrite(k) => {
+                        if k == 0 || k > t.writes.len() {
+                            return Err(PramError::InvalidAdversaryDecision {
+                                cycle,
+                                detail: format!(
+                                    "{pid} failed after write {k} but the cycle has {} writes",
+                                    t.writes.len()
+                                ),
+                            });
+                        }
+                        k
+                    }
+                };
+                failed_now[pid.0] = true;
+                fail_points[pid.0] = Some(point);
+                fates[pid.0] = match point {
+                    // The processor never got to its reads: the whole cycle
+                    // is a no-op and charges nothing.
+                    FailPoint::BeforeReads => CycleFate::InterruptedBeforeReads,
+                    // Failing after the final write means the cycle
+                    // completed (and is charged) before the processor
+                    // stopped.
+                    FailPoint::AfterWrite(_) if committed == t.writes.len() => CycleFate::Completed,
+                    _ => CycleFate::Interrupted { committed_writes: committed },
+                };
+            }
+        }
+    }
+    // --- Validate restarts. ---
+    restarted.fill(false);
+    for &pid in &decisions.restarts {
+        if pid.0 >= p {
+            return Err(PramError::InvalidAdversaryDecision {
+                cycle,
+                detail: format!("restart of unknown processor {pid}"),
+            });
+        }
+        if restarted[pid.0] {
+            return Err(PramError::InvalidAdversaryDecision {
+                cycle,
+                detail: format!("duplicate restart of {pid}"),
+            });
+        }
+        let failed = status(pid.0) == ProcStatus::Failed || failed_now[pid.0];
+        if !failed {
+            return Err(PramError::InvalidAdversaryDecision {
+                cycle,
+                detail: format!("restart of non-failed {pid}"),
+            });
+        }
+        restarted[pid.0] = true;
+    }
+
+    // --- Progress condition (§2.1 2(i)). ---
+    let any_active = tentative.iter().any(|t| t.is_some());
+    let completing =
+        (0..p).filter(|&i| tentative[i].is_some() && fates[i] == CycleFate::Completed).count();
+    if any_active && completing == 0 {
+        return Err(PramError::AdversaryStall { cycle });
+    }
+    if !any_active {
+        let any_failed = (0..p).any(|i| status(i) == ProcStatus::Failed);
+        let any_restart = !decisions.restarts.is_empty();
+        if any_failed && !any_restart {
+            return Err(PramError::AdversaryStall { cycle });
+        }
+        if !any_failed {
+            // Everyone halted voluntarily but the program is incomplete.
+            return Err(PramError::Deadlock { cycle });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Pid;
+
+    /// One alive processor with a single pending write.
+    fn one_writer() -> Vec<Option<TentativeCycle>> {
+        let mut t = TentativeCycle::default();
+        t.writes.push(0, 1);
+        vec![Some(t)]
+    }
+
+    fn buffers(p: usize) -> (Vec<CycleFate>, Vec<bool>, Vec<Option<FailPoint>>, Vec<bool>) {
+        (vec![CycleFate::Idle; p], vec![false; p], vec![None; p], vec![false; p])
+    }
+
+    fn run(
+        decisions: &Decisions,
+        tentative: &[Option<TentativeCycle>],
+        status: impl Fn(usize) -> ProcStatus,
+    ) -> Result<Vec<CycleFate>> {
+        let (mut fates, mut failed_now, mut fail_points, mut restarted) = buffers(tentative.len());
+        resolve(
+            7,
+            decisions,
+            status,
+            tentative,
+            &mut fates,
+            &mut failed_now,
+            &mut fail_points,
+            &mut restarted,
+        )?;
+        Ok(fates)
+    }
+
+    /// A fail point after more writes than the cycle performed (including
+    /// the degenerate `AfterWrite(0)`) is rejected: the adversary cannot
+    /// "kill after a commit" that never happened.
+    #[test]
+    fn kill_after_commit_beyond_cycle_is_rejected() {
+        // Two alive processors so the survivor satisfies progress.
+        let mut tentative = one_writer();
+        tentative.push(one_writer().pop().unwrap());
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::AfterWrite(2));
+        let err = run(&d, &tentative, |_| ProcStatus::Alive).unwrap_err();
+        assert!(
+            matches!(&err, PramError::InvalidAdversaryDecision { cycle: 7, detail }
+                if detail.contains("after write 2") && detail.contains("1 writes")),
+            "{err:?}"
+        );
+
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::AfterWrite(0));
+        let err = run(&d, &tentative, |_| ProcStatus::Alive).unwrap_err();
+        assert!(matches!(err, PramError::InvalidAdversaryDecision { .. }), "{err:?}");
+    }
+
+    /// Killing exactly after the final write is legal — and the cycle
+    /// counts as completed.
+    #[test]
+    fn kill_after_final_write_completes_the_cycle() {
+        let mut tentative = one_writer();
+        tentative.push(one_writer().pop().unwrap());
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::AfterWrite(1));
+        let fates = run(&d, &tentative, |_| ProcStatus::Alive).unwrap();
+        assert_eq!(fates[0], CycleFate::Completed);
+    }
+
+    #[test]
+    fn restart_of_live_processor_is_rejected() {
+        let tentative = one_writer();
+        let mut d = Decisions::none();
+        d.restart(Pid(0));
+        let err = run(&d, &tentative, |_| ProcStatus::Alive).unwrap_err();
+        assert!(
+            matches!(&err, PramError::InvalidAdversaryDecision { detail, .. }
+                if detail.contains("restart of non-failed")),
+            "{err:?}"
+        );
+    }
+
+    /// Restarting a processor failed *this very tick* is legal.
+    #[test]
+    fn restart_of_just_failed_processor_is_accepted() {
+        let mut tentative = one_writer();
+        tentative.push(one_writer().pop().unwrap());
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::BeforeWrites).restart(Pid(0));
+        let fates = run(&d, &tentative, |_| ProcStatus::Alive).unwrap();
+        assert_eq!(fates[0], CycleFate::Interrupted { committed_writes: 0 });
+    }
+
+    /// Failing every active processor completes no cycle — the stall the
+    /// progress condition forbids.
+    #[test]
+    fn stalling_decisions_are_rejected() {
+        let mut tentative = one_writer();
+        tentative.push(one_writer().pop().unwrap());
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::BeforeWrites).fail(Pid(1), FailPoint::BeforeReads);
+        let err = run(&d, &tentative, |_| ProcStatus::Alive).unwrap_err();
+        assert_eq!(err, PramError::AdversaryStall { cycle: 7 });
+    }
+
+    /// An all-failed machine with no restart is also a stall; with every
+    /// processor voluntarily halted it is a deadlock instead.
+    #[test]
+    fn idle_machine_distinguishes_stall_from_deadlock() {
+        let tentative: Vec<Option<TentativeCycle>> = vec![None, None];
+        let err = run(&Decisions::none(), &tentative, |_| ProcStatus::Failed).unwrap_err();
+        assert_eq!(err, PramError::AdversaryStall { cycle: 7 });
+        let err = run(&Decisions::none(), &tentative, |_| ProcStatus::Halted).unwrap_err();
+        assert_eq!(err, PramError::Deadlock { cycle: 7 });
+    }
+
+    #[test]
+    fn duplicate_and_unknown_targets_are_rejected() {
+        let tentative = one_writer();
+        let mut d = Decisions::none();
+        d.fail(Pid(3), FailPoint::BeforeWrites);
+        let err = run(&d, &tentative, |_| ProcStatus::Alive).unwrap_err();
+        assert!(
+            matches!(&err, PramError::InvalidAdversaryDecision { detail, .. }
+                if detail.contains("unknown processor")),
+            "{err:?}"
+        );
+
+        let mut d = Decisions::none();
+        d.fail(Pid(0), FailPoint::BeforeWrites).fail(Pid(0), FailPoint::BeforeReads);
+        let err = run(&d, &tentative, |_| ProcStatus::Alive).unwrap_err();
+        assert!(
+            matches!(&err, PramError::InvalidAdversaryDecision { detail, .. }
+                if detail.contains("duplicate failure")),
+            "{err:?}"
+        );
+    }
+}

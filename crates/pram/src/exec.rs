@@ -1,22 +1,763 @@
-//! Execution backends.
+//! The model-generic execution core shared by both machine models.
 //!
-//! The machine has two ways to execute a tick's tentative phase:
+//! The paper's two machines — the word-model CRCW PRAM of §2 (Theorems
+//! 4.3/4.7) and the unit-cost-snapshot machine of §3 — share their entire
+//! synchronous phase structure: plan tentative update cycles for every
+//! alive processor, present the machine to the on-line adversary, validate
+//! its stop/restart decisions, merge the surviving write prefixes slot by
+//! slot under CRCW semantics, charge completed work, record the failure
+//! pattern, and apply restarts at the next tick boundary. [`Core`]
+//! implements that structure once; a model plugs in the parts that differ
+//! through the [`ExecutionModel`] trait (how a tentative cycle is computed,
+//! how interrupted work is charged, what its checkpoints look like).
 //!
-//! * **Sequential** — [`Machine::run`](crate::Machine::run) /
-//!   [`Machine::tick`](crate::Machine::tick): one host thread plays all `P`
-//!   processors. Deterministic and fastest for small `P`.
-//! * **Threaded** — [`Machine::run_threaded`](crate::Machine::run_threaded):
-//!   the tentative phase (plan → read → compute) of each tick is fanned out
-//!   over worker threads with `crossbeam` scoped threads; the adversary and
-//!   commit phases stay serial. Because the tentative phase only *reads*
-//!   the tick-start memory and writes disjoint per-processor slots, the
-//!   result is bit-identical to the sequential engine — the synchronous
-//!   PRAM semantics are preserved exactly while the heavy per-processor
-//!   work runs on real cores.
+//! Everything the engines had grown separately is therefore available to
+//! **every** model:
 //!
-//! Both backends share all accounting, adversary and conflict-resolution
-//! code, so every experiment can be cross-checked between them.
+//! * the run loop with [`RunLimits`], completion detection, and the
+//!   [`RunControl`] pause hook for checkpointed long runs;
+//! * [`Observer`] event emission — one stream, so word-model and
+//!   snapshot-model runs trace identically;
+//! * adversary-decision validation (shared with the models via
+//!   [`crate::decisions`]);
+//! * the incremental completion tracker: an [`UnvisitedIndex`] primed from
+//!   [`ExecutionModel::completion_hint`] and folded on every committed
+//!   write, replacing the O(N) `is_complete` scan with an O(1) emptiness
+//!   test;
+//! * versioned checkpoint save/restore tagged with the model's name
+//!   ([`ExecutionModel::MODEL`]), so a word checkpoint cannot be restored
+//!   into a snapshot machine or vice versa.
+//!
+//! The core stays **allocation-free in steady state**: all per-tick buffers
+//! (tentative cycles, fates, slot merges, failure scratch) live in the
+//! [`Core`] and are reused; index maintenance is O(committed writes)
+//! amortized per tick with in-place compaction. Backends differ only in the
+//! tentative phase they pass into [`Core::run_loop`] — the word machine's
+//! persistent worker pool farms that phase out to real threads, the
+//! sequential engines play it inline — so the event stream and all
+//! accounting are byte-identical across backends *by construction* (pinned
+//! by `tests/golden_equivalence.rs`).
 
-// The backends are implemented on `Machine` itself (see `machine.rs`); this
-// module exists to document them and to host future backends (e.g. a
-// lock-free asynchronous executor for Algorithm X).
+use serde::{Deserialize, Serialize};
+
+use crate::accounting::{RunOutcome, RunReport, WorkStats};
+use crate::adversary::{
+    Adversary, Decisions, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle,
+};
+use crate::checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
+use crate::decisions::{resolve, CycleFate};
+use crate::error::PramError;
+use crate::failure::{FailureEvent, FailureKind, FailurePattern};
+use crate::memory::SharedMemory;
+use crate::mode::WriteMode;
+use crate::trace::{Observer, TraceEvent};
+use crate::unvisited::UnvisitedIndex;
+use crate::word::{Pid, Word};
+use crate::{CompletionHint, Result};
+
+/// Safety limits for a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunLimits {
+    /// Abort with [`PramError::CycleLimit`] after this many ticks. Used by
+    /// experiments to demonstrate non-terminating executions (e.g.
+    /// algorithm W under restarts).
+    pub max_cycles: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_cycles: 100_000_000 }
+    }
+}
+
+/// Verdict of a `run_controlled` control callback, consulted once per tick
+/// at the tick boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunControl {
+    /// Execute the next tick.
+    Continue,
+    /// Return [`RunStatus::Paused`] without executing the tick. The machine
+    /// is left exactly at the tick boundary — checkpointable via
+    /// `save_checkpoint` and resumable by calling a run method again.
+    Pause,
+}
+
+/// How a controlled run ended.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The program completed; the report is the same one an uncontrolled
+    /// run would have produced.
+    Completed(RunReport),
+    /// The control callback paused the run before tick `cycle` executed.
+    Paused {
+        /// The next tick to execute.
+        cycle: u64,
+    },
+}
+
+/// What the pooled engine does when a worker thread catches a panic while
+/// playing a processor's tentative cycle (see
+/// [`Machine::run_threaded_isolated`](crate::Machine::run_threaded_isolated)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PanicPolicy {
+    /// Abort the run with [`PramError::WorkerPanic`], leaving the machine
+    /// at the failed tick's boundary with all pre-tick state restored.
+    #[default]
+    Surface,
+    /// Restore the pre-tick state, replay the tick on the sequential
+    /// engine, and finish the rest of the run sequentially. The run's
+    /// results are identical to an undisturbed run (the tick had committed
+    /// nothing when the panic fired); only wall-clock parallelism is lost.
+    FallbackSequential,
+}
+
+/// Internal per-processor slot.
+#[derive(Clone, Debug)]
+pub(crate) struct ProcSlot<S> {
+    pub(crate) status: ProcStatus,
+    /// Private memory; `None` while failed.
+    pub(crate) state: Option<S>,
+    pub(crate) completed: u64,
+}
+
+/// The parts of a machine model the shared [`Core`] cannot know: how one
+/// tentative cycle is computed, how interrupted work is charged, and how
+/// the model identifies itself in checkpoints.
+///
+/// Implemented by the word model (inside [`crate::machine`]) and the
+/// snapshot model (inside [`crate::snapshot`]); the public machines are
+/// thin wrappers pairing a model value with a [`Core`].
+pub trait ExecutionModel {
+    /// Per-processor private memory; lost on failure.
+    type Private: Clone + Send;
+
+    /// The model's name, written into checkpoints; restore refuses a
+    /// checkpoint taken under a different model.
+    const MODEL: &'static str;
+
+    /// Whether [`MachineView::unvisited`] exposes the completion tracker's
+    /// index to the adversary. The snapshot model does (the §3 adversaries
+    /// are defined on the unvisited set); the word model predates the index
+    /// and keeps its adversary view stable.
+    const ADVERSARY_SEES_INDEX: bool;
+
+    /// Fresh private state for processor `pid` (start and restart).
+    fn on_start(&self, pid: Pid) -> Self::Private;
+
+    /// Global completion predicate (uncharged).
+    fn is_complete(&self, mem: &SharedMemory) -> bool;
+
+    /// Per-cell completion decomposition; same contract as
+    /// [`Program::completion_hint`](crate::Program::completion_hint).
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint;
+
+    /// Phase 1 (sequential reference implementation): fill
+    /// `core.tentative[i]` for every alive processor from the tick-start
+    /// memory, advancing private states in place. Pooled backends substitute
+    /// their own phase via [`Core::run_loop`]'s `tentative` parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`] — typically budget or bounds violations.
+    fn tentative(&self, core: &mut Core<Self::Private>) -> Result<()>;
+
+    /// `S'` charge for a cycle interrupted after its reads with
+    /// `committed_writes` of its writes committed. The word model charges
+    /// `reads + 1 + committed`; the snapshot model's whole-memory read is
+    /// free and its unit of local computation is only charged on
+    /// completion, so it charges `committed` alone.
+    fn partial_instructions(t: &TentativeCycle, committed_writes: usize) -> u64;
+
+    /// `(reads, writes)` budget header for checkpoints. The snapshot model
+    /// has no read budget and reports `(0, write_budget)`.
+    fn checkpoint_budget(&self) -> (usize, usize);
+}
+
+/// The model-generic machine state and synchronous run loop.
+///
+/// A `Core` is the entire mutable state of a machine — shared memory,
+/// processor slots, accounting, the completion tracker, and every reused
+/// per-tick buffer. The public machines ([`Machine`](crate::Machine),
+/// [`SnapshotMachine`](crate::SnapshotMachine)) wrap a `Core` together with
+/// their [`ExecutionModel`] and delegate the phase structure here.
+#[derive(Debug)]
+pub struct Core<Pv> {
+    pub(crate) mem: SharedMemory,
+    pub(crate) mode: WriteMode,
+    /// Number of write slots merged per tick (the write half of the budget).
+    pub(crate) write_slots: usize,
+    pub(crate) procs: Vec<ProcSlot<Pv>>,
+    pub(crate) cycle: u64,
+    pub(crate) stats: WorkStats,
+    pub(crate) pattern: FailurePattern,
+    // Incremental completion tracker (see `ExecutionModel::completion_hint`):
+    // whether the model opted in, and the index of outstanding cells.
+    // Primed at construction and re-primed at every run entry.
+    pub(crate) tracked: bool,
+    pub(crate) unvisited: UnvisitedIndex,
+    // Reused per-tick buffers.
+    pub(crate) tentative: Vec<Option<TentativeCycle>>,
+    pub(crate) meta: Vec<ProcMeta>,
+    pub(crate) fates: Vec<CycleFate>,
+    pub(crate) slot_writes: Vec<(Pid, usize, Word)>,
+    pub(crate) failed_now: Vec<bool>,
+    pub(crate) fail_points: Vec<Option<FailPoint>>,
+    pub(crate) restarted: Vec<bool>,
+    pub(crate) events: Vec<FailureEvent>,
+}
+
+impl<Pv: Clone + Send> Core<Pv> {
+    /// Build a core for `model` with `processors` slots over `mem`,
+    /// merging `write_slots` write slots per tick under `mode`. The
+    /// completion tracker is primed immediately, so lock-step `tick` use
+    /// works without passing through a run entry.
+    pub(crate) fn new<M: ExecutionModel<Private = Pv>>(
+        model: &M,
+        processors: usize,
+        mem: SharedMemory,
+        mode: WriteMode,
+        write_slots: usize,
+    ) -> Self {
+        let procs = (0..processors)
+            .map(|i| ProcSlot {
+                status: ProcStatus::Alive,
+                state: Some(model.on_start(Pid(i))),
+                completed: 0,
+            })
+            .collect();
+        let mut core = Core {
+            mem,
+            mode,
+            write_slots,
+            procs,
+            cycle: 0,
+            stats: WorkStats::default(),
+            pattern: FailurePattern::new(),
+            tracked: false,
+            unvisited: UnvisitedIndex::new(0),
+            tentative: vec![None; processors],
+            meta: Vec::with_capacity(processors),
+            fates: vec![CycleFate::Idle; processors],
+            slot_writes: Vec::new(),
+            failed_now: vec![false; processors],
+            fail_points: vec![None; processors],
+            restarted: vec![false; processors],
+            events: Vec::new(),
+        };
+        core.init_tracker(model);
+        core
+    }
+
+    /// Classify every shared cell via [`ExecutionModel::completion_hint`]
+    /// and prime the unvisited index. The model is *tracked* iff it reports
+    /// at least one tracked cell; untracked models keep the full-scan
+    /// completion check and get no index.
+    pub(crate) fn init_tracker<M: ExecutionModel<Private = Pv>>(&mut self, model: &M) {
+        let mem = &self.mem;
+        let mut any_tracked = false;
+        self.unvisited.rebuild(mem.size(), |addr| {
+            match model.completion_hint(addr, mem.peek(addr)) {
+                CompletionHint::Untracked => false,
+                CompletionHint::Outstanding => {
+                    any_tracked = true;
+                    true
+                }
+                CompletionHint::Satisfied => {
+                    any_tracked = true;
+                    false
+                }
+            }
+        });
+        self.tracked = any_tracked;
+    }
+
+    /// O(1) completion test for tracked models (the index is empty), full
+    /// scan otherwise. Debug builds cross-check the index against
+    /// `is_complete`.
+    fn completion_reached<M: ExecutionModel<Private = Pv>>(&self, model: &M) -> bool {
+        if self.tracked {
+            let done = self.unvisited.is_empty();
+            debug_assert_eq!(
+                done,
+                model.is_complete(&self.mem),
+                "completion tracker diverged from is_complete at tick {} \
+                 ({} cells outstanding) — the hint contract is violated",
+                self.cycle,
+                self.unvisited.len(),
+            );
+            done
+        } else {
+            model.is_complete(&self.mem)
+        }
+    }
+
+    /// Build the completed-run report. The recorded failure pattern is
+    /// **moved** out of the core (it can be megabytes on adversarial runs);
+    /// the core's own pattern is left empty, so a subsequent continuation
+    /// run records a fresh pattern.
+    fn take_completed_report(&mut self) -> RunReport {
+        RunReport {
+            outcome: RunOutcome::Completed,
+            stats: self.stats,
+            pattern: std::mem::take(&mut self.pattern),
+            per_processor: self.procs.iter().map(|s| s.completed).collect(),
+        }
+    }
+
+    /// Phase 2a: present the machine to the adversary and collect its
+    /// decisions for this tick.
+    fn collect_decisions<M, A>(&mut self, adversary: &mut A) -> Decisions
+    where
+        M: ExecutionModel<Private = Pv>,
+        A: Adversary,
+    {
+        self.meta.clear();
+        self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
+            pid: Pid(i),
+            status: s.status,
+            completed_cycles: s.completed,
+        }));
+        let view = MachineView {
+            cycle: self.cycle,
+            processors: self.procs.len(),
+            mem: &self.mem,
+            procs: &self.meta,
+            tentative: &self.tentative,
+            unvisited: if M::ADVERSARY_SEES_INDEX && self.tracked {
+                Some(&self.unvisited)
+            } else {
+                None
+            },
+        };
+        adversary.decide(&view)
+    }
+
+    /// Execute exactly one observed tick: `TickStart`, the model's
+    /// sequential tentative phase, adversary decisions, validate/commit/
+    /// charge.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub(crate) fn tick_observed<M, A>(
+        &mut self,
+        model: &M,
+        adversary: &mut A,
+        observer: &mut dyn Observer,
+    ) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv>,
+        A: Adversary,
+    {
+        observer.event(TraceEvent::TickStart { cycle: self.cycle });
+        model.tentative(self)?;
+        let decisions = self.collect_decisions::<M, A>(adversary);
+        self.apply(model, decisions, observer)
+    }
+
+    /// The single run loop behind every public entry point of both
+    /// machines. Backends differ only in the `tentative` phase they pass
+    /// in, so the event stream and all accounting are shared by
+    /// construction. The `control` callback runs at the tick boundary —
+    /// after the completion and cycle-limit checks, before the tick's
+    /// `TickStart` event — so pausing and resuming produces, by
+    /// construction, the **concatenation** of the two runs' event streams,
+    /// which equals the uninterrupted run's stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`]; in particular [`PramError::CycleLimit`] when
+    /// `limits` are exhausted.
+    pub(crate) fn run_loop<M, A>(
+        &mut self,
+        model: &M,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+        mut tentative: impl FnMut(&mut Self) -> Result<()>,
+        mut control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus>
+    where
+        M: ExecutionModel<Private = Pv>,
+        A: Adversary,
+    {
+        self.init_tracker(model);
+        loop {
+            if self.completion_reached(model) {
+                observer.event(TraceEvent::Completed { cycle: self.cycle });
+                return Ok(RunStatus::Completed(self.take_completed_report()));
+            }
+            if self.cycle >= limits.max_cycles {
+                return Err(PramError::CycleLimit { cycles: limits.max_cycles });
+            }
+            if control(self.cycle) == RunControl::Pause {
+                return Ok(RunStatus::Paused { cycle: self.cycle });
+            }
+            observer.event(TraceEvent::TickStart { cycle: self.cycle });
+            tentative(self)?;
+            let decisions = self.collect_decisions::<M, A>(adversary);
+            self.apply(model, decisions, observer)?;
+        }
+    }
+
+    /// [`Core::run_loop`] without a pause hook, unwrapped to a
+    /// [`RunReport`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub(crate) fn run_to_completion<M, A>(
+        &mut self,
+        model: &M,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+        tentative: impl FnMut(&mut Self) -> Result<()>,
+    ) -> Result<RunReport>
+    where
+        M: ExecutionModel<Private = Pv>,
+        A: Adversary,
+    {
+        match self
+            .run_loop(model, adversary, limits, observer, tentative, |_| RunControl::Continue)?
+        {
+            RunStatus::Completed(report) => Ok(report),
+            RunStatus::Paused { .. } => unreachable!("the control callback never pauses"),
+        }
+    }
+
+    /// Phases 2b/3: validate the adversary's decisions (shared
+    /// [`crate::decisions`] logic), merge surviving write prefixes slot by
+    /// slot, charge work, fold commits into the completion tracker, record
+    /// the failure pattern, apply restarts.
+    pub(crate) fn apply<M>(
+        &mut self,
+        model: &M,
+        decisions: Decisions,
+        observer: &mut dyn Observer,
+    ) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv>,
+    {
+        let p = self.procs.len();
+        let procs = &self.procs;
+        resolve(
+            self.cycle,
+            &decisions,
+            |i| procs[i].status,
+            &self.tentative,
+            &mut self.fates,
+            &mut self.failed_now,
+            &mut self.fail_points,
+            &mut self.restarted,
+        )?;
+
+        // --- Commit surviving write prefixes, slot by slot. ---
+        for slot in 0..self.write_slots {
+            self.slot_writes.clear();
+            for i in 0..p {
+                let Some(t) = self.tentative[i].as_ref() else { continue };
+                if slot >= t.writes.len() {
+                    continue;
+                }
+                let survives_slot = match self.fates[i] {
+                    CycleFate::Completed => true,
+                    CycleFate::Interrupted { committed_writes } => slot < committed_writes,
+                    CycleFate::InterruptedBeforeReads | CycleFate::Idle => false,
+                };
+                if survives_slot {
+                    let (addr, value) = t.writes.writes()[slot];
+                    self.slot_writes.push((Pid(i), addr, value));
+                }
+            }
+            self.commit_slot(model, observer)?;
+        }
+
+        // --- Charge work, update processor states, record the pattern. ---
+        debug_assert!(self.events.is_empty());
+        for i in 0..p {
+            match self.fates[i] {
+                CycleFate::Idle => {}
+                CycleFate::Completed => {
+                    let t = self.tentative[i].as_ref().expect("completed cycle exists");
+                    observer.event(TraceEvent::CycleCompleted { cycle: self.cycle, pid: Pid(i) });
+                    self.stats.completed_cycles += 1;
+                    self.stats.charged_instructions += (t.reads.len() + 1 + t.writes.len()) as u64;
+                    self.mem.charge_reads(t.reads.len() as u64);
+                    self.procs[i].completed += 1;
+                    if t.halts {
+                        self.procs[i].status = ProcStatus::Halted;
+                    }
+                    // The post-cycle private state is already in the slot
+                    // (the tentative phase advances it in place).
+                }
+                CycleFate::InterruptedBeforeReads => {
+                    observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
+                    self.stats.interrupted_cycles += 1;
+                    // Stopped before the cycle began: zero instructions, so
+                    // zero partial work — explicitly, not via a sentinel.
+                }
+                CycleFate::Interrupted { committed_writes } => {
+                    let t = self.tentative[i].as_ref().expect("interrupted cycle exists");
+                    observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
+                    self.stats.interrupted_cycles += 1;
+                    // What an interrupted cycle is charged differs by model
+                    // (the snapshot's read and computation are free).
+                    self.stats.partial_instructions += M::partial_instructions(t, committed_writes);
+                    self.mem.charge_reads(t.reads.len() as u64);
+                }
+            }
+            if self.failed_now[i] {
+                self.procs[i].status = ProcStatus::Failed;
+                self.procs[i].state = None;
+                self.stats.failures += 1;
+                let point = self.fail_points[i].expect("failed processor has a recorded point");
+                observer.event(TraceEvent::Failure { cycle: self.cycle, pid: Pid(i), point });
+                self.events.push(FailureEvent {
+                    kind: FailureKind::Failure { point },
+                    pid: i,
+                    time: self.cycle,
+                });
+            }
+        }
+        for i in (0..p).filter(|&i| self.restarted[i]) {
+            observer.event(TraceEvent::Restart { cycle: self.cycle, pid: Pid(i) });
+            self.procs[i].status = ProcStatus::Alive;
+            self.procs[i].state = Some(model.on_start(Pid(i)));
+            self.stats.restarts += 1;
+            self.events.push(FailureEvent {
+                kind: FailureKind::Restart,
+                pid: i,
+                time: self.cycle + 1,
+            });
+        }
+        // Failure events at this tick precede restart events at tick+1, so
+        // pushing fails-then-restarts keeps the pattern time-ordered.
+        self.pattern.extend(self.events.drain(..));
+
+        self.cycle += 1;
+        self.stats.parallel_time = self.cycle;
+
+        // Restore the index's dense form for the next tick's views, and
+        // cross-check it against ground truth in debug builds.
+        if self.tracked {
+            self.unvisited.ensure_clean();
+            debug_assert!(
+                self.unvisited.matches(self.mem.size(), |addr| matches!(
+                    model.completion_hint(addr, self.mem.peek(addr)),
+                    CompletionHint::Outstanding
+                )),
+                "unvisited index diverged from the full scan after tick {}",
+                self.cycle - 1,
+            );
+        }
+        Ok(())
+    }
+
+    /// Merge one write slot under the core's CRCW semantics, apply it, and
+    /// fold each committed store into the completion tracker.
+    fn commit_slot<M>(&mut self, model: &M, observer: &mut dyn Observer) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv>,
+    {
+        // Group writers by address; within an address the lowest PID comes
+        // first, making ARBITRARY/PRIORITY resolution "first writer wins".
+        // (addr, pid) keys are unique, so the unstable sort is
+        // deterministic.
+        self.slot_writes.sort_unstable_by_key(|&(pid, addr, _)| (addr, pid));
+        let mut i = 0;
+        while i < self.slot_writes.len() {
+            let (pid, addr, value) = self.slot_writes[i];
+            let mut j = i + 1;
+            let chosen = (pid, value);
+            while j < self.slot_writes.len() {
+                let (pid2, addr2, value2) = self.slot_writes[j];
+                if addr2 != addr {
+                    break;
+                }
+                match self.mode {
+                    WriteMode::Common => {
+                        if value2 != chosen.1 {
+                            return Err(PramError::CommonWriteConflict {
+                                addr,
+                                cycle: self.cycle,
+                                first: (chosen.0, chosen.1),
+                                second: (pid2, value2),
+                            });
+                        }
+                    }
+                    WriteMode::Arbitrary | WriteMode::Priority => {
+                        // chosen stays: lowest PID wins and writers are in
+                        // PID order within equal addresses (see sort above).
+                    }
+                    WriteMode::Exclusive => {
+                        return Err(PramError::ExclusiveWriteConflict { addr, cycle: self.cycle });
+                    }
+                }
+                j += 1;
+            }
+            if self.tracked {
+                // Fold the committed write into the unvisited index
+                // *before* the store (the old value is still visible).
+                let old = model.completion_hint(addr, self.mem.peek(addr));
+                let new = model.completion_hint(addr, chosen.1);
+                match (old, new) {
+                    (CompletionHint::Outstanding, CompletionHint::Satisfied) => {
+                        self.unvisited.remove(addr);
+                    }
+                    (CompletionHint::Satisfied, CompletionHint::Outstanding) => {
+                        self.unvisited.insert(addr);
+                    }
+                    _ => {}
+                }
+            }
+            self.mem.store(addr, chosen.1)?;
+            observer.event(TraceEvent::Commit { cycle: self.cycle, addr, value: chosen.1 });
+            i = j;
+        }
+        Ok(())
+    }
+}
+
+impl<Pv> Core<Pv>
+where
+    Pv: Clone + Send + Serialize + Deserialize,
+{
+    /// Snapshot the core (and `adversary`) at the current tick boundary
+    /// into a versioned [`Checkpoint`] tagged with the model's name.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] if the adversary is not checkpointable
+    /// ([`Adversary::save_state`] returned `None`).
+    pub(crate) fn save_checkpoint<M, A>(&self, model: &M, adversary: &A) -> Result<Checkpoint>
+    where
+        M: ExecutionModel<Private = Pv>,
+        A: Adversary,
+    {
+        let adversary = adversary.save_state().ok_or_else(|| PramError::Checkpoint {
+            detail: "the adversary is not checkpointable (save_state returned None)".into(),
+        })?;
+        let (budget_reads, budget_writes) = model.checkpoint_budget();
+        Ok(Checkpoint {
+            version: CHECKPOINT_VERSION,
+            model: M::MODEL.to_string(),
+            cycle: self.cycle,
+            mode: self.mode,
+            budget_reads,
+            budget_writes,
+            mem: self.mem.as_slice().to_vec(),
+            mem_reads: self.mem.read_count(),
+            mem_writes: self.mem.write_count(),
+            stats: self.stats,
+            procs: self
+                .procs
+                .iter()
+                .map(|s| ProcCheckpoint {
+                    status: s.status,
+                    completed: s.completed,
+                    state: s.state.as_ref().map_or(serde::Value::Null, |st| st.to_value()),
+                })
+                .collect(),
+            pattern: self.pattern.clone(),
+            adversary,
+        })
+    }
+
+    /// Load `ck` into this core and `adversary`, resuming the checkpointed
+    /// run at its tick boundary. Everything is validated **before**
+    /// anything is mutated, so a failed restore leaves core and adversary
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] on a version, model or shape mismatch, an
+    /// undecodable private state, an illegal recorded failure pattern, or
+    /// an adversary that refuses the saved state.
+    pub(crate) fn restore_checkpoint<M, A>(
+        &mut self,
+        model: &M,
+        ck: &Checkpoint,
+        adversary: &mut A,
+    ) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv>,
+        A: Adversary,
+    {
+        let fail = |detail: String| PramError::Checkpoint { detail };
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(fail(format!(
+                "checkpoint version {} but this build reads version {CHECKPOINT_VERSION}",
+                ck.version
+            )));
+        }
+        if ck.model != M::MODEL {
+            return Err(fail(format!(
+                "checkpoint was taken under the \"{}\" model but this machine runs \"{}\"",
+                ck.model,
+                M::MODEL
+            )));
+        }
+        if ck.mem.len() != self.mem.size() {
+            return Err(fail(format!(
+                "checkpoint has {} memory cells but the machine has {}",
+                ck.mem.len(),
+                self.mem.size()
+            )));
+        }
+        if ck.procs.len() != self.procs.len() {
+            return Err(fail(format!(
+                "checkpoint has {} processors but the machine has {}",
+                ck.procs.len(),
+                self.procs.len()
+            )));
+        }
+        let (budget_reads, budget_writes) = model.checkpoint_budget();
+        if (ck.budget_reads, ck.budget_writes) != (budget_reads, budget_writes) {
+            return Err(fail(format!(
+                "checkpoint budget ({} reads / {} writes) differs from the machine's \
+                 ({} reads / {} writes)",
+                ck.budget_reads, ck.budget_writes, budget_reads, budget_writes
+            )));
+        }
+        if ck.mode != self.mode {
+            return Err(fail(format!(
+                "checkpoint write mode {} differs from the machine's {}",
+                ck.mode, self.mode
+            )));
+        }
+        ck.pattern
+            .validate(Some(self.procs.len()))
+            .map_err(|e| fail(format!("recorded pattern: {e}")))?;
+        let mut states: Vec<Option<Pv>> = Vec::with_capacity(ck.procs.len());
+        for (i, pc) in ck.procs.iter().enumerate() {
+            let state = match pc.status {
+                // A failed processor has no private memory; whatever the
+                // checkpoint stores for it is ignored.
+                ProcStatus::Failed => None,
+                ProcStatus::Alive | ProcStatus::Halted => Some(
+                    Pv::from_value(&pc.state)
+                        .map_err(|e| fail(format!("P{i}'s private state does not decode: {e}")))?,
+                ),
+            };
+            states.push(state);
+        }
+        adversary
+            .restore_state(&ck.adversary)
+            .map_err(|e| fail(format!("adversary restore failed: {e}")))?;
+        self.mem = SharedMemory::from_parts(ck.mem.clone(), ck.mem_reads, ck.mem_writes);
+        for ((slot, pc), state) in self.procs.iter_mut().zip(&ck.procs).zip(states) {
+            slot.status = pc.status;
+            slot.completed = pc.completed;
+            slot.state = state;
+        }
+        self.cycle = ck.cycle;
+        self.stats = ck.stats;
+        self.pattern = ck.pattern.clone();
+        // Re-prime the completion tracker from the restored memory: a stale
+        // index must never survive a restore (and lock-step `tick` use may
+        // not pass through a run entry).
+        self.init_tracker(model);
+        Ok(())
+    }
+}

@@ -61,6 +61,7 @@ pub mod accounting;
 pub mod adversary;
 pub mod checkpoint;
 pub mod cycle;
+mod decisions;
 pub mod error;
 pub mod exec;
 pub mod failure;
@@ -81,6 +82,7 @@ pub use adversary::{
 pub use checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
 pub use cycle::{CycleBudget, ReadSet, Step, ValueSet, WriteSet, MAX_READS, MAX_WRITES};
 pub use error::PramError;
+pub use exec::ExecutionModel;
 pub use failure::{
     DecisionRecorder, FailureEvent, FailureKind, FailurePattern, PatternError, ScheduledAdversary,
 };

@@ -1,4 +1,4 @@
-//! The synchronous restartable fail-stop machine executor.
+//! The word-model restartable fail-stop machine executor.
 //!
 //! Each tick the machine plays one update cycle for every alive processor:
 //!
@@ -12,114 +12,89 @@
 //!    under the machine's CRCW [`WriteMode`]; processors that completed
 //!    their cycle are charged; stopped processors lose their private state.
 //!
-//! Restarts take effect at the start of the following tick. The executor
-//! enforces the model's progress condition (§2.1 2(i)): every tick with any
+//! Restarts take effect at the start of the following tick, and the
+//! model's progress condition (§2.1 2(i)) is enforced: every tick with any
 //! activity must include at least one completed update cycle.
 //!
-//! The engine is built so a **steady-state tick performs no heap
-//! allocation and no thread spawn**: all per-tick buffers (tentative
-//! cycles, fates, slot merges, failure scratch) live in the [`Machine`] and
-//! are reused; the threaded backend parks a persistent
-//! [`TickPool`](crate::machine) of workers for the whole run; and programs
-//! that implement [`Program::completion_hint`] replace the per-tick
-//! O(memory) completion scan with an O(1) outstanding-cell counter.
+//! Since PR 5 the phase structure itself — run loop, adversary validation,
+//! commit merging, accounting, observers, checkpoints — lives in the
+//! model-generic [`Core`](crate::exec::Core) (see [`crate::exec`]), shared
+//! with the snapshot machine. This module contributes the *word model*:
+//! the charged read phase with its plan chain ([`tentative_for`]), the
+//! [`CycleBudget`] enforcement, and the pooled/panic-isolated backends that
+//! farm the tentative phase out to a persistent [`TickPool`] of workers.
+//!
+//! The engine remains built so a **steady-state tick performs no heap
+//! allocation and no thread spawn**: all per-tick buffers live in the core
+//! and are reused; the threaded backend parks its worker pool for the whole
+//! run; and programs that implement [`Program::completion_hint`] replace
+//! the per-tick O(memory) completion scan with an O(1) emptiness test on
+//! the incremental unvisited index.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
-use crate::accounting::{RunOutcome, RunReport, WorkStats};
-use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
-use crate::checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
+use crate::accounting::RunReport;
+use crate::adversary::{Adversary, ProcStatus, TentativeCycle};
+use crate::checkpoint::Checkpoint;
 use crate::cycle::{CycleBudget, ReadSet, Step, MAX_READS, MAX_WRITES};
 use crate::error::{BudgetKind, PramError};
-use crate::failure::{FailureEvent, FailureKind, FailurePattern};
+use crate::exec::{Core, ExecutionModel, ProcSlot};
 use crate::memory::SharedMemory;
 use crate::mode::WriteMode;
 use crate::pool::{panic_detail, PoolShutdown, TickPool};
-use crate::trace::{NoopObserver, Observer, TraceEvent};
+use crate::trace::{NoopObserver, Observer};
 use crate::word::{Pid, Word};
 use crate::{CompletionHint, Program, Result};
 
-/// Safety limits for a run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct RunLimits {
-    /// Abort with [`PramError::CycleLimit`] after this many ticks. Used by
-    /// experiments to demonstrate non-terminating executions (e.g.
-    /// algorithm W under restarts).
-    pub max_cycles: u64,
-}
+pub use crate::exec::{PanicPolicy, RunControl, RunLimits, RunStatus};
 
-impl Default for RunLimits {
-    fn default() -> Self {
-        RunLimits { max_cycles: 100_000_000 }
-    }
-}
-
-/// Verdict of a [`Machine::run_controlled`] control callback, consulted
-/// once per tick at the tick boundary.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum RunControl {
-    /// Execute the next tick.
-    Continue,
-    /// Return [`RunStatus::Paused`] without executing the tick. The machine
-    /// is left exactly at the tick boundary — checkpointable via
-    /// [`Machine::save_checkpoint`] and resumable by calling a run method
-    /// again.
-    Pause,
-}
-
-/// How a controlled run ended.
+/// The word model's [`ExecutionModel`]: a charged, budgeted read phase
+/// (the plan chain) followed by a budgeted write phase.
 #[derive(Debug)]
-pub enum RunStatus {
-    /// The program completed; the report is the same one
-    /// [`Machine::run`] would have produced.
-    Completed(RunReport),
-    /// The control callback paused the run before tick `cycle` executed.
-    Paused {
-        /// The next tick to execute.
-        cycle: u64,
-    },
+struct WordModel<'p, P: Program> {
+    program: &'p P,
+    budget: CycleBudget,
 }
 
-/// What the pooled engine does when a worker thread catches a panic while
-/// playing a processor's tentative cycle (see
-/// [`Machine::run_threaded_isolated`]).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum PanicPolicy {
-    /// Abort the run with [`PramError::WorkerPanic`], leaving the machine
-    /// at the failed tick's boundary with all pre-tick state restored.
-    #[default]
-    Surface,
-    /// Restore the pre-tick state, replay the tick on the sequential
-    /// engine, and finish the rest of the run sequentially. The run's
-    /// results are identical to an undisturbed run (the tick had committed
-    /// nothing when the panic fired); only wall-clock parallelism is lost.
-    FallbackSequential,
-}
+impl<'p, P: Program> ExecutionModel for WordModel<'p, P> {
+    type Private = P::Private;
 
-/// Internal per-processor slot.
-#[derive(Clone, Debug)]
-struct ProcSlot<S> {
-    status: ProcStatus,
-    /// Private memory; `None` while failed.
-    state: Option<S>,
-    completed: u64,
-}
+    const MODEL: &'static str = "word";
+    // The word adversary's view predates the unvisited index and stays
+    // stable: `MachineView::unvisited` is always `None` here.
+    const ADVERSARY_SEES_INDEX: bool = false;
 
-/// Outcome of one processor's cycle after the adversary's decision.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum CycleFate {
-    /// Not active this tick (failed or halted at tick start).
-    Idle,
-    /// Completed the whole cycle (possibly failed *after* it completed).
-    Completed,
-    /// Stopped before its reads: the processor executed nothing this tick,
-    /// so nothing is charged — not even partial work.
-    InterruptedBeforeReads,
-    /// Stopped after its reads and local computation, with this many of its
-    /// writes committed (possibly zero: stopped before the first write).
-    Interrupted { committed_writes: usize },
+    fn on_start(&self, pid: Pid) -> P::Private {
+        self.program.on_start(pid)
+    }
+
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        self.program.is_complete(mem)
+    }
+
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        self.program.completion_hint(addr, value)
+    }
+
+    fn tentative(&self, core: &mut Core<P::Private>) -> Result<()> {
+        let (mem, cycle) = (&core.mem, core.cycle);
+        for (i, (slot, out)) in core.procs.iter_mut().zip(core.tentative.iter_mut()).enumerate() {
+            tentative_for(self.program, mem, self.budget, cycle, Pid(i), slot, out)?;
+        }
+        Ok(())
+    }
+
+    fn partial_instructions(t: &TentativeCycle, committed_writes: usize) -> u64 {
+        // Reads and the local computation ran, plus the prefix of writes
+        // that committed.
+        (t.reads.len() + 1 + committed_writes) as u64
+    }
+
+    fn checkpoint_budget(&self) -> (usize, usize) {
+        (self.budget.reads, self.budget.writes)
+    }
 }
 
 /// A restartable fail-stop CRCW PRAM running one [`Program`].
@@ -127,28 +102,8 @@ enum CycleFate {
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Machine<'p, P: Program> {
-    program: &'p P,
-    mem: SharedMemory,
-    budget: CycleBudget,
-    mode: WriteMode,
-    procs: Vec<ProcSlot<P::Private>>,
-    cycle: u64,
-    stats: WorkStats,
-    pattern: FailurePattern,
-    // Incremental completion tracker (see `Program::completion_hint`):
-    // whether the program opted in, and how many tracked cells are still
-    // outstanding. (Re)initialized at every `run_core` entry.
-    tracked: bool,
-    outstanding: u64,
-    // Reused per-tick buffers.
-    tentative: Vec<Option<TentativeCycle>>,
-    meta: Vec<ProcMeta>,
-    fates: Vec<CycleFate>,
-    slot_writes: Vec<(Pid, usize, Word)>,
-    failed_now: Vec<bool>,
-    fail_points: Vec<Option<FailPoint>>,
-    restarted: Vec<bool>,
-    events: Vec<FailureEvent>,
+    model: WordModel<'p, P>,
+    core: Core<P::Private>,
 }
 
 impl<'p, P: Program> Machine<'p, P> {
@@ -178,67 +133,43 @@ impl<'p, P: Program> Machine<'p, P> {
         }
         let mut mem = SharedMemory::new(program.shared_size());
         program.init_memory(&mut mem);
-        let procs = (0..processors)
-            .map(|i| ProcSlot {
-                status: ProcStatus::Alive,
-                state: Some(program.on_start(Pid(i))),
-                completed: 0,
-            })
-            .collect();
-        Ok(Machine {
-            program,
-            mem,
-            budget,
-            mode: WriteMode::Common,
-            procs,
-            cycle: 0,
-            stats: WorkStats::default(),
-            pattern: FailurePattern::new(),
-            tracked: false,
-            outstanding: 0,
-            tentative: vec![None; processors],
-            meta: Vec::with_capacity(processors),
-            fates: vec![CycleFate::Idle; processors],
-            slot_writes: Vec::new(),
-            failed_now: vec![false; processors],
-            fail_points: vec![None; processors],
-            restarted: vec![false; processors],
-            events: Vec::new(),
-        })
+        let model = WordModel { program, budget };
+        let core = Core::new(&model, processors, mem, WriteMode::Common, budget.writes);
+        Ok(Machine { model, core })
     }
 
     /// Set the concurrent-write semantics (default: COMMON).
     pub fn set_write_mode(&mut self, mode: WriteMode) -> &mut Self {
-        self.mode = mode;
+        self.core.mode = mode;
         self
     }
 
     /// The shared memory (uncharged inspection).
     pub fn memory(&self) -> &SharedMemory {
-        &self.mem
+        &self.core.mem
     }
 
     /// Mutable shared memory, for test setup between runs.
     pub fn memory_mut(&mut self) -> &mut SharedMemory {
         // Direct pokes bypass the completion tracker; drop it so the next
         // run reclassifies every cell.
-        self.tracked = false;
-        &mut self.mem
+        self.core.tracked = false;
+        &mut self.core.mem
     }
 
     /// Number of processors `P`.
     pub fn processors(&self) -> usize {
-        self.procs.len()
+        self.core.procs.len()
     }
 
     /// Current tick.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.core.cycle
     }
 
     /// Accumulated work statistics.
-    pub fn stats(&self) -> &WorkStats {
-        &self.stats
+    pub fn stats(&self) -> &crate::accounting::WorkStats {
+        &self.core.stats
     }
 
     /// Status of processor `pid`.
@@ -247,7 +178,7 @@ impl<'p, P: Program> Machine<'p, P> {
     ///
     /// Panics if `pid` is out of range.
     pub fn proc_status(&self, pid: Pid) -> ProcStatus {
-        self.procs[pid.0].status
+        self.core.procs[pid.0].status
     }
 
     /// Run to completion under `adversary` with default [`RunLimits`].
@@ -286,58 +217,8 @@ impl<'p, P: Program> Machine<'p, P> {
         limits: RunLimits,
         observer: &mut dyn Observer,
     ) -> Result<RunReport> {
-        self.run_core(adversary, limits, observer, |m| m.tentative_phase())
-    }
-
-    /// The single run loop behind every public entry point — sequential and
-    /// threaded engines differ only in the `tentative` phase implementation
-    /// they pass in, so the event stream and all accounting are shared by
-    /// construction.
-    fn run_core<A: Adversary>(
-        &mut self,
-        adversary: &mut A,
-        limits: RunLimits,
-        observer: &mut dyn Observer,
-        tentative: impl FnMut(&mut Self) -> Result<()>,
-    ) -> Result<RunReport> {
-        match self
-            .run_core_controlled(adversary, limits, observer, tentative, |_| RunControl::Continue)?
-        {
-            RunStatus::Completed(report) => Ok(report),
-            RunStatus::Paused { .. } => unreachable!("the control callback never pauses"),
-        }
-    }
-
-    /// [`Machine::run_core`] with a pause hook. The control callback runs
-    /// at the tick boundary — after the completion and cycle-limit checks,
-    /// before the tick's `TickStart` event — so pausing and resuming
-    /// produces, by construction, the **concatenation** of the two runs'
-    /// event streams, which equals the uninterrupted run's stream.
-    fn run_core_controlled<A: Adversary>(
-        &mut self,
-        adversary: &mut A,
-        limits: RunLimits,
-        observer: &mut dyn Observer,
-        mut tentative: impl FnMut(&mut Self) -> Result<()>,
-        mut control: impl FnMut(u64) -> RunControl,
-    ) -> Result<RunStatus> {
-        self.init_completion_tracker();
-        loop {
-            if self.completion_reached() {
-                observer.event(TraceEvent::Completed { cycle: self.cycle });
-                return Ok(RunStatus::Completed(self.take_completed_report()));
-            }
-            if self.cycle >= limits.max_cycles {
-                return Err(PramError::CycleLimit { cycles: limits.max_cycles });
-            }
-            if control(self.cycle) == RunControl::Pause {
-                return Ok(RunStatus::Paused { cycle: self.cycle });
-            }
-            observer.event(TraceEvent::TickStart { cycle: self.cycle });
-            tentative(self)?;
-            let decisions = self.collect_decisions(adversary);
-            self.apply(decisions, observer)?;
-        }
+        let Machine { model, core } = self;
+        core.run_to_completion(model, adversary, limits, observer, |c| model.tentative(c))
     }
 
     /// Run under `adversary` until completion **or** until `control`
@@ -362,83 +243,8 @@ impl<'p, P: Program> Machine<'p, P> {
         observer: &mut dyn Observer,
         control: impl FnMut(u64) -> RunControl,
     ) -> Result<RunStatus> {
-        self.run_core_controlled(adversary, limits, observer, |m| m.tentative_phase(), control)
-    }
-
-    /// Classify every shared cell via [`Program::completion_hint`] and prime
-    /// the outstanding-cell counter. The program is *tracked* iff it reports
-    /// at least one tracked cell; untracked programs keep the full-scan
-    /// completion check.
-    fn init_completion_tracker(&mut self) {
-        self.tracked = false;
-        self.outstanding = 0;
-        for addr in 0..self.mem.size() {
-            match self.program.completion_hint(addr, self.mem.peek(addr)) {
-                CompletionHint::Untracked => {}
-                CompletionHint::Outstanding => {
-                    self.tracked = true;
-                    self.outstanding += 1;
-                }
-                CompletionHint::Satisfied => {
-                    self.tracked = true;
-                }
-            }
-        }
-    }
-
-    /// O(1) completion test for tracked programs, full scan otherwise. In
-    /// debug builds the counter is cross-checked against the full scan.
-    fn completion_reached(&self) -> bool {
-        if self.tracked {
-            let done = self.outstanding == 0;
-            debug_assert_eq!(
-                done,
-                self.program.is_complete(&self.mem),
-                "completion_hint tracker diverged from is_complete at tick {} \
-                 ({} cells outstanding) — the hint contract is violated",
-                self.cycle,
-                self.outstanding,
-            );
-            done
-        } else {
-            self.program.is_complete(&self.mem)
-        }
-    }
-
-    /// Build the completed-run report. The recorded failure pattern is
-    /// **moved** out of the machine (it can be megabytes on adversarial
-    /// runs); the machine's own pattern is left empty, so a subsequent
-    /// continuation run records a fresh pattern.
-    fn take_completed_report(&mut self) -> RunReport {
-        RunReport {
-            outcome: RunOutcome::Completed,
-            stats: self.stats,
-            pattern: std::mem::take(&mut self.pattern),
-            per_processor: self.procs.iter().map(|s| s.completed).collect(),
-        }
-    }
-
-    /// Phase 2a: present the machine to the adversary and collect its
-    /// decisions for this tick.
-    fn collect_decisions<A: Adversary>(
-        &mut self,
-        adversary: &mut A,
-    ) -> crate::adversary::Decisions {
-        self.meta.clear();
-        self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
-            pid: Pid(i),
-            status: s.status,
-            completed_cycles: s.completed,
-        }));
-        let view = MachineView {
-            cycle: self.cycle,
-            processors: self.procs.len(),
-            mem: &self.mem,
-            procs: &self.meta,
-            tentative: &self.tentative,
-            unvisited: None,
-        };
-        adversary.decide(&view)
+        let Machine { model, core } = self;
+        core.run_loop(model, adversary, limits, observer, |c| model.tentative(c), control)
     }
 
     /// Execute exactly one tick under `adversary`. Exposed for fine-grained
@@ -461,313 +267,7 @@ impl<'p, P: Program> Machine<'p, P> {
         adversary: &mut A,
         observer: &mut dyn Observer,
     ) -> Result<()> {
-        observer.event(TraceEvent::TickStart { cycle: self.cycle });
-        self.tentative_phase()?;
-        let decisions = self.collect_decisions(adversary);
-        self.apply(decisions, observer)
-    }
-
-    /// Phase 1: every alive processor tentatively plays its cycle against
-    /// the tick-start memory.
-    fn tentative_phase(&mut self) -> Result<()> {
-        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
-        for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
-            tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
-        }
-        Ok(())
-    }
-
-    /// [`Machine::tentative_phase`] with per-processor panic isolation: a
-    /// panic in program code surfaces as [`PramError::WorkerPanic`] naming
-    /// the processor, instead of unwinding through the run loop. Used by
-    /// the degraded path of [`Machine::run_threaded_isolated`].
-    fn tentative_phase_caught(&mut self) -> Result<()> {
-        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
-        for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
-            catch_unwind(AssertUnwindSafe(|| {
-                tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
-            }))
-            .unwrap_or_else(|payload| {
-                Err(PramError::WorkerPanic {
-                    pid: Some(Pid(i)),
-                    detail: panic_detail(payload.as_ref()),
-                })
-            })?;
-        }
-        Ok(())
-    }
-
-    /// Phases 2b/3: validate the adversary's decisions, merge surviving
-    /// writes, charge work, record the failure pattern, apply restarts.
-    fn apply(
-        &mut self,
-        decisions: crate::adversary::Decisions,
-        observer: &mut dyn Observer,
-    ) -> Result<()> {
-        let p = self.procs.len();
-        // --- Validate failures and compute each processor's fate. ---
-        for (i, fate) in self.fates.iter_mut().enumerate() {
-            *fate =
-                if self.tentative[i].is_some() { CycleFate::Completed } else { CycleFate::Idle };
-        }
-        self.failed_now.fill(false);
-        self.fail_points.fill(None);
-        for &(pid, point) in &decisions.fails {
-            if pid.0 >= p {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("fail of unknown processor {pid}"),
-                });
-            }
-            if self.failed_now[pid.0] {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("duplicate failure of {pid}"),
-                });
-            }
-            match self.procs[pid.0].status {
-                ProcStatus::Failed => {
-                    return Err(PramError::InvalidAdversaryDecision {
-                        cycle: self.cycle,
-                        detail: format!("failure of already failed {pid}"),
-                    });
-                }
-                ProcStatus::Halted => {
-                    // No cycle in flight; the processor simply stops.
-                    self.failed_now[pid.0] = true;
-                    self.fail_points[pid.0] = Some(point);
-                    self.fates[pid.0] = CycleFate::Idle;
-                }
-                ProcStatus::Alive => {
-                    let t = self.tentative[pid.0]
-                        .as_ref()
-                        .expect("alive processor has a tentative cycle");
-                    let committed = match point {
-                        FailPoint::BeforeReads | FailPoint::BeforeWrites => 0,
-                        FailPoint::AfterWrite(k) => {
-                            if k == 0 || k > t.writes.len() {
-                                return Err(PramError::InvalidAdversaryDecision {
-                                    cycle: self.cycle,
-                                    detail: format!(
-                                        "{pid} failed after write {k} but the cycle has {} writes",
-                                        t.writes.len()
-                                    ),
-                                });
-                            }
-                            k
-                        }
-                    };
-                    self.failed_now[pid.0] = true;
-                    self.fail_points[pid.0] = Some(point);
-                    self.fates[pid.0] = match point {
-                        // The processor never got to its reads: the whole
-                        // cycle is a no-op and charges nothing.
-                        FailPoint::BeforeReads => CycleFate::InterruptedBeforeReads,
-                        // Failing after the final write means the cycle
-                        // completed (and is charged) before the processor
-                        // stopped.
-                        FailPoint::AfterWrite(_) if committed == t.writes.len() => {
-                            CycleFate::Completed
-                        }
-                        _ => CycleFate::Interrupted { committed_writes: committed },
-                    };
-                }
-            }
-        }
-        // --- Validate restarts. ---
-        self.restarted.fill(false);
-        for &pid in &decisions.restarts {
-            if pid.0 >= p {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("restart of unknown processor {pid}"),
-                });
-            }
-            if self.restarted[pid.0] {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("duplicate restart of {pid}"),
-                });
-            }
-            let failed = self.procs[pid.0].status == ProcStatus::Failed || self.failed_now[pid.0];
-            if !failed {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("restart of non-failed {pid}"),
-                });
-            }
-            self.restarted[pid.0] = true;
-        }
-
-        // --- Progress condition (§2.1 2(i)). ---
-        let any_active = self.tentative.iter().any(|t| t.is_some());
-        let completing = (0..p)
-            .filter(|&i| self.tentative[i].is_some() && self.fates[i] == CycleFate::Completed)
-            .count();
-        if any_active && completing == 0 {
-            return Err(PramError::AdversaryStall { cycle: self.cycle });
-        }
-        if !any_active {
-            let any_failed = self.procs.iter().any(|s| s.status == ProcStatus::Failed);
-            let any_restart = !decisions.restarts.is_empty();
-            if any_failed && !any_restart {
-                return Err(PramError::AdversaryStall { cycle: self.cycle });
-            }
-            if !any_failed {
-                // Everyone halted voluntarily but the program is incomplete.
-                return Err(PramError::Deadlock { cycle: self.cycle });
-            }
-        }
-
-        // --- Commit surviving write prefixes, slot by slot. ---
-        let max_slots = self.budget.writes;
-        for slot in 0..max_slots {
-            self.slot_writes.clear();
-            for i in 0..p {
-                let Some(t) = self.tentative[i].as_ref() else { continue };
-                if slot >= t.writes.len() {
-                    continue;
-                }
-                let survives_slot = match self.fates[i] {
-                    CycleFate::Completed => true,
-                    CycleFate::Interrupted { committed_writes } => slot < committed_writes,
-                    CycleFate::InterruptedBeforeReads | CycleFate::Idle => false,
-                };
-                if survives_slot {
-                    let (addr, value) = t.writes.writes()[slot];
-                    self.slot_writes.push((Pid(i), addr, value));
-                }
-            }
-            self.commit_slot(observer)?;
-        }
-
-        // --- Charge work, update processor states, record the pattern. ---
-        debug_assert!(self.events.is_empty());
-        for i in 0..p {
-            match self.fates[i] {
-                CycleFate::Idle => {}
-                CycleFate::Completed => {
-                    let t = self.tentative[i].as_ref().expect("completed cycle exists");
-                    observer.event(TraceEvent::CycleCompleted { cycle: self.cycle, pid: Pid(i) });
-                    self.stats.completed_cycles += 1;
-                    self.stats.charged_instructions += (t.reads.len() + 1 + t.writes.len()) as u64;
-                    self.mem.charge_reads(t.reads.len() as u64);
-                    self.procs[i].completed += 1;
-                    if t.halts {
-                        self.procs[i].status = ProcStatus::Halted;
-                    }
-                    // The post-cycle private state is already in the slot
-                    // (the tentative phase advances it in place).
-                }
-                CycleFate::InterruptedBeforeReads => {
-                    observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
-                    self.stats.interrupted_cycles += 1;
-                    // Stopped before the cycle began: zero instructions, so
-                    // zero partial work — explicitly, not via a sentinel.
-                }
-                CycleFate::Interrupted { committed_writes } => {
-                    let t = self.tentative[i].as_ref().expect("interrupted cycle exists");
-                    observer.event(TraceEvent::CycleInterrupted { cycle: self.cycle, pid: Pid(i) });
-                    self.stats.interrupted_cycles += 1;
-                    // Reads and the local computation ran, plus the prefix
-                    // of writes that committed.
-                    self.stats.partial_instructions +=
-                        (t.reads.len() + 1 + committed_writes) as u64;
-                    self.mem.charge_reads(t.reads.len() as u64);
-                }
-            }
-            if self.failed_now[i] {
-                self.procs[i].status = ProcStatus::Failed;
-                self.procs[i].state = None;
-                self.stats.failures += 1;
-                let point = self.fail_points[i].expect("failed processor has a recorded point");
-                observer.event(TraceEvent::Failure { cycle: self.cycle, pid: Pid(i), point });
-                self.events.push(FailureEvent {
-                    kind: FailureKind::Failure { point },
-                    pid: i,
-                    time: self.cycle,
-                });
-            }
-        }
-        for i in (0..p).filter(|&i| self.restarted[i]) {
-            observer.event(TraceEvent::Restart { cycle: self.cycle, pid: Pid(i) });
-            self.procs[i].status = ProcStatus::Alive;
-            self.procs[i].state = Some(self.program.on_start(Pid(i)));
-            self.stats.restarts += 1;
-            self.events.push(FailureEvent {
-                kind: FailureKind::Restart,
-                pid: i,
-                time: self.cycle + 1,
-            });
-        }
-        // Failure events at this tick precede restart events at tick+1, so
-        // pushing fails-then-restarts keeps the pattern time-ordered.
-        self.pattern.extend(self.events.drain(..));
-
-        self.cycle += 1;
-        self.stats.parallel_time = self.cycle;
-        Ok(())
-    }
-
-    /// Merge one write slot under the machine's CRCW semantics and apply it.
-    fn commit_slot(&mut self, observer: &mut dyn Observer) -> Result<()> {
-        // Group writers by address; within an address the lowest PID comes
-        // first, making ARBITRARY/PRIORITY resolution "first writer wins".
-        // (addr, pid) keys are unique, so the unstable sort is
-        // deterministic.
-        self.slot_writes.sort_unstable_by_key(|&(pid, addr, _)| (addr, pid));
-        let mut i = 0;
-        while i < self.slot_writes.len() {
-            let (pid, addr, value) = self.slot_writes[i];
-            let mut j = i + 1;
-            let chosen = (pid, value);
-            while j < self.slot_writes.len() {
-                let (pid2, addr2, value2) = self.slot_writes[j];
-                if addr2 != addr {
-                    break;
-                }
-                match self.mode {
-                    WriteMode::Common => {
-                        if value2 != chosen.1 {
-                            return Err(PramError::CommonWriteConflict {
-                                addr,
-                                cycle: self.cycle,
-                                first: (chosen.0, chosen.1),
-                                second: (pid2, value2),
-                            });
-                        }
-                    }
-                    WriteMode::Arbitrary | WriteMode::Priority => {
-                        // chosen stays: lowest PID wins and writers are in
-                        // PID order within equal addresses (see sort above).
-                    }
-                    WriteMode::Exclusive => {
-                        return Err(PramError::ExclusiveWriteConflict { addr, cycle: self.cycle });
-                    }
-                }
-                j += 1;
-            }
-            if self.tracked {
-                // Fold the committed write into the outstanding-cell
-                // counter *before* the store (the old value is still
-                // visible).
-                let old = self.program.completion_hint(addr, self.mem.peek(addr));
-                let new = self.program.completion_hint(addr, chosen.1);
-                match (old, new) {
-                    (CompletionHint::Outstanding, CompletionHint::Satisfied) => {
-                        self.outstanding -= 1;
-                    }
-                    (CompletionHint::Satisfied, CompletionHint::Outstanding) => {
-                        self.outstanding += 1;
-                    }
-                    _ => {}
-                }
-            }
-            self.mem.store(addr, chosen.1)?;
-            observer.event(TraceEvent::Commit { cycle: self.cycle, addr, value: chosen.1 });
-            i = j;
-        }
-        Ok(())
+        self.core.tick_observed(&self.model, adversary, observer)
     }
 }
 
@@ -791,44 +291,21 @@ where
     /// [`PramError::Checkpoint`] if the adversary is not checkpointable
     /// ([`Adversary::save_state`] returned `None`).
     pub fn save_checkpoint<A: Adversary>(&self, adversary: &A) -> Result<Checkpoint> {
-        let adversary = adversary.save_state().ok_or_else(|| PramError::Checkpoint {
-            detail: "the adversary is not checkpointable (save_state returned None)".into(),
-        })?;
-        Ok(Checkpoint {
-            version: CHECKPOINT_VERSION,
-            cycle: self.cycle,
-            mode: self.mode,
-            budget_reads: self.budget.reads,
-            budget_writes: self.budget.writes,
-            mem: self.mem.as_slice().to_vec(),
-            mem_reads: self.mem.read_count(),
-            mem_writes: self.mem.write_count(),
-            stats: self.stats,
-            procs: self
-                .procs
-                .iter()
-                .map(|s| ProcCheckpoint {
-                    status: s.status,
-                    completed: s.completed,
-                    state: s.state.as_ref().map_or(serde::Value::Null, |st| st.to_value()),
-                })
-                .collect(),
-            pattern: self.pattern.clone(),
-            adversary,
-        })
+        self.core.save_checkpoint(&self.model, adversary)
     }
 
     /// Load `ck` into this machine and `adversary`, resuming the
     /// checkpointed run at its tick boundary.
     ///
     /// The machine must be built for the same program shape the checkpoint
-    /// was taken from: same memory size, processor count, cycle budget and
-    /// write mode. Everything is validated **before** anything is mutated,
-    /// so a failed restore leaves machine and adversary untouched.
+    /// was taken from: same model, memory size, processor count, cycle
+    /// budget and write mode. Everything is validated **before** anything
+    /// is mutated, so a failed restore leaves machine and adversary
+    /// untouched.
     ///
     /// # Errors
     ///
-    /// [`PramError::Checkpoint`] on a version or shape mismatch, an
+    /// [`PramError::Checkpoint`] on a version, model or shape mismatch, an
     /// undecodable private state, an illegal recorded failure pattern, or
     /// an adversary that refuses the saved state.
     pub fn restore_checkpoint<A: Adversary>(
@@ -836,72 +313,7 @@ where
         ck: &Checkpoint,
         adversary: &mut A,
     ) -> Result<()> {
-        let fail = |detail: String| PramError::Checkpoint { detail };
-        if ck.version != CHECKPOINT_VERSION {
-            return Err(fail(format!(
-                "checkpoint version {} but this build reads version {CHECKPOINT_VERSION}",
-                ck.version
-            )));
-        }
-        if ck.mem.len() != self.mem.size() {
-            return Err(fail(format!(
-                "checkpoint has {} memory cells but the machine has {}",
-                ck.mem.len(),
-                self.mem.size()
-            )));
-        }
-        if ck.procs.len() != self.procs.len() {
-            return Err(fail(format!(
-                "checkpoint has {} processors but the machine has {}",
-                ck.procs.len(),
-                self.procs.len()
-            )));
-        }
-        if (ck.budget_reads, ck.budget_writes) != (self.budget.reads, self.budget.writes) {
-            return Err(fail(format!(
-                "checkpoint budget ({} reads / {} writes) differs from the machine's \
-                 ({} reads / {} writes)",
-                ck.budget_reads, ck.budget_writes, self.budget.reads, self.budget.writes
-            )));
-        }
-        if ck.mode != self.mode {
-            return Err(fail(format!(
-                "checkpoint write mode {} differs from the machine's {}",
-                ck.mode, self.mode
-            )));
-        }
-        ck.pattern
-            .validate(Some(self.procs.len()))
-            .map_err(|e| fail(format!("recorded pattern: {e}")))?;
-        let mut states: Vec<Option<P::Private>> = Vec::with_capacity(ck.procs.len());
-        for (i, pc) in ck.procs.iter().enumerate() {
-            let state = match pc.status {
-                // A failed processor has no private memory; whatever the
-                // checkpoint stores for it is ignored.
-                ProcStatus::Failed => None,
-                ProcStatus::Alive | ProcStatus::Halted => Some(
-                    P::Private::from_value(&pc.state)
-                        .map_err(|e| fail(format!("P{i}'s private state does not decode: {e}")))?,
-                ),
-            };
-            states.push(state);
-        }
-        adversary
-            .restore_state(&ck.adversary)
-            .map_err(|e| fail(format!("adversary restore failed: {e}")))?;
-        self.mem = SharedMemory::from_parts(ck.mem.clone(), ck.mem_reads, ck.mem_writes);
-        for ((slot, pc), state) in self.procs.iter_mut().zip(&ck.procs).zip(states) {
-            slot.status = pc.status;
-            slot.completed = pc.completed;
-            slot.state = state;
-        }
-        self.cycle = ck.cycle;
-        self.stats = ck.stats;
-        self.pattern = ck.pattern.clone();
-        // The completion tracker is re-primed from memory at the next run
-        // entry; don't trust a stale counter across a restore.
-        self.tracked = false;
-        Ok(())
+        self.core.restore_checkpoint(&self.model, ck, adversary)
     }
 }
 
@@ -912,10 +324,10 @@ where
 /// buffer is inline, see [`crate::cycle`]).
 ///
 /// The private state is advanced **in place**: the pre-cycle state is never
-/// needed afterwards, because `apply` either adopts the post-cycle state
-/// (cycle completed) or discards the state entirely (the adversary stopped
-/// the processor, and a stopped processor loses its private memory — the
-/// model has no partial-progress private state).
+/// needed afterwards, because the commit phase either adopts the post-cycle
+/// state (cycle completed) or discards the state entirely (the adversary
+/// stopped the processor, and a stopped processor loses its private memory —
+/// the model has no partial-progress private state).
 fn tentative_for<P: Program>(
     program: &P,
     mem: &SharedMemory,
@@ -979,6 +391,30 @@ fn tentative_for<P: Program>(
     Ok(())
 }
 
+/// [`WordModel::tentative`] with per-processor panic isolation: a panic in
+/// program code surfaces as [`PramError::WorkerPanic`] naming the
+/// processor, instead of unwinding through the run loop. Used by the
+/// degraded path of [`Machine::run_threaded_isolated`].
+fn tentative_caught<P: Program>(
+    program: &P,
+    budget: CycleBudget,
+    core: &mut Core<P::Private>,
+) -> Result<()> {
+    let (mem, cycle) = (&core.mem, core.cycle);
+    for (i, (slot, out)) in core.procs.iter_mut().zip(core.tentative.iter_mut()).enumerate() {
+        catch_unwind(AssertUnwindSafe(|| {
+            tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(PramError::WorkerPanic {
+                pid: Some(Pid(i)),
+                detail: panic_detail(payload.as_ref()),
+            })
+        })?;
+    }
+    Ok(())
+}
+
 /// Raw-pointer wrapper for handing per-processor slots to pool workers.
 struct SendPtr<T>(*mut T);
 
@@ -1005,6 +441,73 @@ impl<T> SendPtr<T> {
 // alias the same element.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Parallel tentative phase: pool workers claim chunks of the processor
+/// range from the shared cursor and fill the corresponding tentative slots.
+fn tentative_pooled<P>(
+    program: &P,
+    budget: CycleBudget,
+    core: &mut Core<P::Private>,
+    pool: &TickPool,
+) -> Result<()>
+where
+    P: Program + Sync,
+    P::Private: Send,
+{
+    let p = core.procs.len();
+    let (mem, cycle) = (&core.mem, core.cycle);
+    let procs = SendPtr(core.procs.as_mut_ptr());
+    let tentative = SendPtr(core.tentative.as_mut_ptr());
+    pool.run_tick(p, &move |start: usize, end: usize| {
+        for i in start..end {
+            // SAFETY: the pool's cursor hands out disjoint [start, end)
+            // chunks within 0..p, so slot `i` is touched by exactly one
+            // worker this tick; `run_tick` blocks until every worker is
+            // done, so the pointers outlive all dereferences.
+            let slot = unsafe { &mut *procs.ptr().add(i) };
+            let out = unsafe { &mut *tentative.ptr().add(i) };
+            tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
+        }
+        Ok(())
+    })
+}
+
+/// [`tentative_pooled`] with per-processor panic isolation: each
+/// processor's cycle runs under `catch_unwind`, so a panicking program
+/// surfaces as [`PramError::WorkerPanic`] naming the processor.
+fn tentative_pooled_isolated<P>(
+    program: &P,
+    budget: CycleBudget,
+    core: &mut Core<P::Private>,
+    pool: &TickPool,
+) -> Result<()>
+where
+    P: Program + Sync,
+    P::Private: Send,
+{
+    let p = core.procs.len();
+    let (mem, cycle) = (&core.mem, core.cycle);
+    let procs = SendPtr(core.procs.as_mut_ptr());
+    let tentative = SendPtr(core.tentative.as_mut_ptr());
+    pool.run_tick(p, &move |start: usize, end: usize| {
+        for i in start..end {
+            // SAFETY: as in `tentative_pooled` — disjoint chunks, pointers
+            // outlive the tick.
+            let slot = unsafe { &mut *procs.ptr().add(i) };
+            let out = unsafe { &mut *tentative.ptr().add(i) };
+            catch_unwind(AssertUnwindSafe(|| {
+                tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(PramError::WorkerPanic {
+                    pid: Some(Pid(i)),
+                    detail: panic_detail(payload.as_ref()),
+                })
+            })?;
+        }
+        Ok(())
+    })
+}
 
 impl<'p, P> Machine<'p, P>
 where
@@ -1041,8 +544,8 @@ where
     /// [`Machine::run_threaded`] with an event stream: shares the
     /// sequential engine's run loop ([`Machine::run_observed`]), so for the
     /// same program and adversary both backends emit the **identical**
-    /// sequence of [`TraceEvent`]s — only the tentative phase is farmed out
-    /// to the worker pool.
+    /// sequence of [`TraceEvent`](crate::trace::TraceEvent)s — only the
+    /// tentative phase is farmed out to the worker pool.
     ///
     /// # Errors
     ///
@@ -1058,10 +561,12 @@ where
         if threads == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
         }
+        let Machine { model, core } = self;
         if threads == 1 {
             // A one-thread pool would pay wake/park synchronization for no
             // parallelism; the sequential phase is the same computation.
-            return self.run_core(adversary, limits, observer, |m| m.tentative_phase());
+            return core
+                .run_to_completion(model, adversary, limits, observer, |c| model.tentative(c));
         }
         let pool = TickPool::new(threads);
         std::thread::scope(|scope| {
@@ -1069,7 +574,9 @@ where
             for _ in 0..threads {
                 scope.spawn(|| pool.worker());
             }
-            self.run_core(adversary, limits, observer, |m| m.tentative_phase_pooled(&pool))
+            core.run_to_completion(model, adversary, limits, observer, |c| {
+                tentative_pooled(model.program, model.budget, c, &pool)
+            })
         })
     }
 
@@ -1092,12 +599,14 @@ where
         if threads == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
         }
+        let Machine { model, core } = self;
         if threads == 1 {
-            return self.run_core_controlled(
+            return core.run_loop(
+                model,
                 adversary,
                 limits,
                 observer,
-                |m| m.tentative_phase(),
+                |c| model.tentative(c),
                 control,
             );
         }
@@ -1107,11 +616,12 @@ where
             for _ in 0..threads {
                 scope.spawn(|| pool.worker());
             }
-            self.run_core_controlled(
+            core.run_loop(
+                model,
                 adversary,
                 limits,
                 observer,
-                |m| m.tentative_phase_pooled(&pool),
+                |c| tentative_pooled(model.program, model.budget, c, &pool),
                 control,
             )
         })
@@ -1177,40 +687,43 @@ where
         if threads == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one thread".into() });
         }
+        let Machine { model, core } = self;
         if threads == 1 {
-            return self.run_core_controlled(
+            return core.run_loop(
+                model,
                 adversary,
                 limits,
                 observer,
-                |m| m.tentative_phase_caught(),
+                |c| tentative_caught(model.program, model.budget, c),
                 control,
             );
         }
         let pool = TickPool::new(threads);
-        let mut backup: Vec<Option<P::Private>> = vec![None; self.procs.len()];
+        let mut backup: Vec<Option<P::Private>> = vec![None; core.procs.len()];
         let mut degraded = false;
         std::thread::scope(|scope| {
             let _shutdown = PoolShutdown(&pool);
             for _ in 0..threads {
                 scope.spawn(|| pool.worker());
             }
-            self.run_core_controlled(
+            core.run_loop(
+                model,
                 adversary,
                 limits,
                 observer,
-                |m| {
+                |c| {
                     if degraded {
-                        return m.tentative_phase_caught();
+                        return tentative_caught(model.program, model.budget, c);
                     }
                     // Snapshot every private state: the tentative phase
                     // advances states in place, so recovering from a panic
                     // mid-phase needs the pre-tick originals.
-                    for (saved, slot) in backup.iter_mut().zip(m.procs.iter()) {
+                    for (saved, slot) in backup.iter_mut().zip(c.procs.iter()) {
                         saved.clone_from(&slot.state);
                     }
-                    match m.tentative_phase_pooled_isolated(&pool) {
+                    match tentative_pooled_isolated(model.program, model.budget, c, &pool) {
                         Err(PramError::WorkerPanic { pid, detail }) => {
-                            for (slot, saved) in m.procs.iter_mut().zip(backup.iter()) {
+                            for (slot, saved) in c.procs.iter_mut().zip(backup.iter()) {
                                 slot.state.clone_from(saved);
                             }
                             match policy {
@@ -1221,7 +734,7 @@ where
                                     // from the restored pre-tick states —
                                     // nothing had committed, so the replay
                                     // is identical to a clean tick.
-                                    m.tentative_phase_caught()
+                                    tentative_caught(model.program, model.budget, c)
                                 }
                             }
                         }
@@ -1232,63 +745,13 @@ where
             )
         })
     }
-
-    /// Parallel tentative phase with per-processor panic isolation: like
-    /// [`Machine::tentative_phase_pooled`], but each processor's cycle runs
-    /// under `catch_unwind`, so a panicking program surfaces as
-    /// [`PramError::WorkerPanic`] naming the processor.
-    fn tentative_phase_pooled_isolated(&mut self, pool: &TickPool) -> Result<()> {
-        let p = self.procs.len();
-        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
-        let procs = SendPtr(self.procs.as_mut_ptr());
-        let tentative = SendPtr(self.tentative.as_mut_ptr());
-        pool.run_tick(p, &move |start: usize, end: usize| {
-            for i in start..end {
-                // SAFETY: as in `tentative_phase_pooled` — disjoint chunks,
-                // pointers outlive the tick.
-                let slot = unsafe { &mut *procs.ptr().add(i) };
-                let out = unsafe { &mut *tentative.ptr().add(i) };
-                catch_unwind(AssertUnwindSafe(|| {
-                    tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(PramError::WorkerPanic {
-                        pid: Some(Pid(i)),
-                        detail: panic_detail(payload.as_ref()),
-                    })
-                })?;
-            }
-            Ok(())
-        })
-    }
-
-    /// Parallel tentative phase: pool workers claim chunks of the processor
-    /// range from the shared cursor and fill the corresponding tentative
-    /// slots.
-    fn tentative_phase_pooled(&mut self, pool: &TickPool) -> Result<()> {
-        let p = self.procs.len();
-        let (program, mem, budget, cycle) = (self.program, &self.mem, self.budget, self.cycle);
-        let procs = SendPtr(self.procs.as_mut_ptr());
-        let tentative = SendPtr(self.tentative.as_mut_ptr());
-        pool.run_tick(p, &move |start: usize, end: usize| {
-            for i in start..end {
-                // SAFETY: the pool's cursor hands out disjoint [start, end)
-                // chunks within 0..p, so slot `i` is touched by exactly one
-                // worker this tick; `run_tick` blocks until every worker is
-                // done, so the pointers outlive all dereferences.
-                let slot = unsafe { &mut *procs.ptr().add(i) };
-                let out = unsafe { &mut *tentative.ptr().add(i) };
-                tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
-            }
-            Ok(())
-        })
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{Decisions, NoFailures};
+    use crate::accounting::RunOutcome;
+    use crate::adversary::{Decisions, FailPoint, MachineView, NoFailures};
     use crate::cycle::WriteSet;
     use crate::Program;
 
@@ -1667,7 +1130,7 @@ mod tests {
     }
 
     /// The tracked engine must behave exactly like the full-scan engine
-    /// (the run_core debug_assert also cross-checks the counter against
+    /// (the run-loop debug_assert also cross-checks the index against
     /// `is_complete` every tick).
     #[test]
     fn completion_hint_matches_full_scan() {
@@ -1682,7 +1145,7 @@ mod tests {
     }
 
     /// The tracker must survive a second run on the same machine (it is
-    /// re-primed from memory at every `run_core` entry).
+    /// re-primed from memory at every run entry).
     #[test]
     fn completion_tracker_reinitializes_between_runs() {
         let hinted = HintedCounter { n: 2, target: 1 };
@@ -1900,6 +1363,7 @@ mod tests {
             .unwrap();
         assert!(matches!(status, RunStatus::Paused { cycle: 1 }));
         let ck = Checkpoint::from_json(&m.save_checkpoint(&NoFailures).unwrap().to_json()).unwrap();
+        assert_eq!(ck.model, "word");
 
         // Wrong processor count.
         let mut wrong = Machine::new(&prog, 2, CycleBudget::PAPER).unwrap();

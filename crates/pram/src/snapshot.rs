@@ -16,27 +16,41 @@
 //! accounting is meaningless here (the word-model [`Machine`](crate::Machine)
 //! does charge its reads).
 //!
-//! Like the word machine since PR 2, the engine is allocation-free in
-//! steady state: per-tick buffers are hoisted onto the machine and reused,
-//! private states advance in place, and the [`FailurePattern`] is returned
-//! by move. Programs that implement
-//! [`SnapshotProgram::completion_hint`] additionally get an incremental
-//! [`UnvisitedIndex`] over the outstanding cells, maintained from committed
-//! writes in O(writes) per tick. The index replaces the O(N) `is_complete`
-//! scan with an O(1) emptiness test and is exposed to programs through the
-//! [`SnapshotView`] (and to adversaries through
-//! [`MachineView::unvisited`]), so the §3 algorithms and adversaries stop
-//! rescanning memory every tick. Debug builds cross-check the index against
-//! the full scan after every tick.
+//! Since PR 5 the machine is a thin wrapper over the model-generic
+//! [`Core`](crate::exec::Core): this module contributes only the *snapshot
+//! model* — the free whole-memory read phase and its `S'` charging rule —
+//! while the run loop, adversary validation, COMMON write merging,
+//! accounting and failure-pattern recording are the exact same code the
+//! word machine runs. That buys the snapshot machine everything the word
+//! engine had grown separately: [`Observer`] event streams
+//! ([`SnapshotMachine::run_observed`]), pausable runs
+//! ([`SnapshotMachine::run_controlled`]) and versioned checkpoint
+//! save/restore — all byte-identical in behavior to the pre-unification
+//! engine (pinned by `tests/golden_equivalence.rs`).
+//!
+//! The engine remains allocation-free in steady state: per-tick buffers
+//! live in the core and are reused, private states advance in place, and
+//! the [`FailurePattern`](crate::FailurePattern) is returned by move.
+//! Programs that implement [`SnapshotProgram::completion_hint`]
+//! additionally get an incremental [`UnvisitedIndex`] over the outstanding
+//! cells, maintained from committed writes in O(writes) per tick. The index
+//! replaces the O(N) `is_complete` scan with an O(1) emptiness test and is
+//! exposed to programs through the [`SnapshotView`] (and to adversaries
+//! through [`MachineView::unvisited`](crate::MachineView)), so the §3
+//! algorithms and adversaries stop rescanning memory every tick. Debug
+//! builds cross-check the index against the full scan after every tick.
 
-use crate::accounting::{RunOutcome, RunReport, WorkStats};
-use crate::adversary::{Adversary, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle};
+use serde::{Deserialize, Serialize};
+
+use crate::accounting::RunReport;
+use crate::adversary::{Adversary, TentativeCycle};
+use crate::checkpoint::Checkpoint;
 use crate::cycle::{Step, WriteSet};
 use crate::error::{BudgetKind, PramError};
-use crate::failure::{FailureEvent, FailureKind, FailurePattern};
-use crate::machine::RunLimits;
+use crate::exec::{Core, ExecutionModel, RunControl, RunLimits, RunStatus};
 use crate::memory::SharedMemory;
 use crate::mode::WriteMode;
+use crate::trace::{NoopObserver, Observer};
 use crate::unvisited::UnvisitedIndex;
 use crate::word::{Pid, Word};
 use crate::{CompletionHint, Result};
@@ -175,235 +189,55 @@ pub trait SnapshotProgram {
     /// `is_complete`). A program that opts in gets the O(1) completion test
     /// *and* the incremental [`UnvisitedIndex`] over its
     /// [`Outstanding`](CompletionHint::Outstanding) cells, exposed through
-    /// [`SnapshotView`] and [`MachineView::unvisited`].
+    /// [`SnapshotView`] and [`MachineView::unvisited`](crate::MachineView).
     fn completion_hint(&self, _addr: usize, _value: Word) -> CompletionHint {
         CompletionHint::Untracked
     }
 }
 
-/// Internal per-processor slot.
-#[derive(Clone, Debug)]
-struct Slot<S> {
-    status: ProcStatus,
-    state: Option<S>,
-    completed: u64,
-}
-
-/// Outcome of one processor's snapshot cycle after the adversary's
-/// decision. Unlike the word machine there is no `InterruptedBeforeReads`
-/// variant: the snapshot is free, so a cycle stopped before any write is
-/// charged zero partial work wherever the fail point fell.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum SnapshotFate {
-    /// Not active this tick (failed or halted at tick start).
-    Idle,
-    /// Completed the whole cycle (possibly failed *after* completing).
-    Completed,
-    /// Stopped with this many of its writes committed.
-    Interrupted { committed_writes: usize },
-}
-
-/// Executor for the snapshot model. Mirrors [`Machine`](crate::Machine)
-/// with the read phase replaced by a free whole-memory snapshot.
+/// The snapshot model's [`ExecutionModel`]: a free whole-memory read
+/// followed by a budgeted write phase, with `S'` charging only committed
+/// writes (the snapshot and the local computation are free until the cycle
+/// completes).
 #[derive(Debug)]
-pub struct SnapshotMachine<'p, P: SnapshotProgram> {
+struct SnapModel<'p, P: SnapshotProgram> {
     program: &'p P,
-    mem: SharedMemory,
     write_budget: usize,
-    procs: Vec<Slot<P::Private>>,
-    cycle: u64,
-    stats: WorkStats,
-    pattern: FailurePattern,
-    // Incremental completion tracking (see `SnapshotProgram::completion_hint`):
-    // whether the program opted in, and the index of outstanding cells.
-    // Primed at construction and re-primed at every run entry.
-    tracked: bool,
-    unvisited: UnvisitedIndex,
-    // Reused per-tick buffers.
-    tentative: Vec<Option<TentativeCycle>>,
-    meta: Vec<ProcMeta>,
-    fates: Vec<SnapshotFate>,
-    slot_writes: Vec<(Pid, usize, Word)>,
-    failed_now: Vec<bool>,
-    fail_points: Vec<Option<FailPoint>>,
-    restarted: Vec<bool>,
-    events: Vec<FailureEvent>,
 }
 
-impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
-    /// Build a snapshot machine with `processors` processors and the given
-    /// per-cycle write budget (the paper's exposition uses 2; Theorem 3.2's
-    /// algorithm needs only 1).
-    ///
-    /// # Errors
-    ///
-    /// [`PramError::InvalidConfig`] if `processors == 0` or
-    /// `write_budget == 0`.
-    pub fn new(program: &'p P, processors: usize, write_budget: usize) -> Result<Self> {
-        if processors == 0 {
-            return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
-        }
-        if write_budget == 0 {
-            return Err(PramError::InvalidConfig {
-                detail: "write budget must be positive".into(),
-            });
-        }
-        let mut mem = SharedMemory::new(program.shared_size());
-        program.init_memory(&mut mem);
-        let procs: Vec<Slot<P::Private>> = (0..processors)
-            .map(|i| Slot {
-                status: ProcStatus::Alive,
-                state: Some(program.on_start(Pid(i))),
-                completed: 0,
-            })
-            .collect();
-        let mut machine = SnapshotMachine {
-            program,
-            mem,
-            write_budget,
-            procs,
-            cycle: 0,
-            stats: WorkStats::default(),
-            pattern: FailurePattern::new(),
-            tracked: false,
-            unvisited: UnvisitedIndex::new(0),
-            tentative: vec![None; processors],
-            meta: Vec::with_capacity(processors),
-            fates: vec![SnapshotFate::Idle; processors],
-            slot_writes: Vec::new(),
-            failed_now: vec![false; processors],
-            fail_points: vec![None; processors],
-            restarted: vec![false; processors],
-            events: Vec::new(),
-        };
-        machine.init_index();
-        Ok(machine)
+impl<'p, P: SnapshotProgram> ExecutionModel for SnapModel<'p, P> {
+    type Private = P::Private;
+
+    const MODEL: &'static str = "snapshot";
+    // The §3 adversaries are defined on the unvisited set; expose the
+    // tracker's index through `MachineView::unvisited`.
+    const ADVERSARY_SEES_INDEX: bool = true;
+
+    fn on_start(&self, pid: Pid) -> P::Private {
+        self.program.on_start(pid)
     }
 
-    /// The shared memory (uncharged inspection).
-    pub fn memory(&self) -> &SharedMemory {
-        &self.mem
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        self.program.is_complete(mem)
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &WorkStats {
-        &self.stats
+    fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
+        self.program.completion_hint(addr, value)
     }
 
-    /// Run to completion under `adversary`.
-    ///
-    /// # Errors
-    ///
-    /// See [`PramError`].
-    pub fn run<A: Adversary>(&mut self, adversary: &mut A) -> Result<RunReport> {
-        self.run_with_limits(adversary, RunLimits::default())
-    }
-
-    /// Run with explicit limits.
-    ///
-    /// # Errors
-    ///
-    /// See [`PramError`].
-    pub fn run_with_limits<A: Adversary>(
-        &mut self,
-        adversary: &mut A,
-        limits: RunLimits,
-    ) -> Result<RunReport> {
-        self.init_index();
-        loop {
-            if self.completion_reached() {
-                return Ok(self.take_completed_report());
-            }
-            if self.cycle >= limits.max_cycles {
-                return Err(PramError::CycleLimit { cycles: limits.max_cycles });
-            }
-            self.tick(adversary)?;
-        }
-    }
-
-    /// Execute exactly one tick under `adversary` (no completion check).
-    /// Exposed for fine-grained tests and lock-step drivers; the index is
-    /// kept consistent, so ticks and runs interleave freely.
-    ///
-    /// # Errors
-    ///
-    /// See [`PramError`].
-    pub fn tick<A: Adversary>(&mut self, adversary: &mut A) -> Result<()> {
-        self.tentative_phase()?;
-        let decisions = self.collect_decisions(adversary);
-        self.apply(decisions)
-    }
-
-    /// Classify every shared cell via
-    /// [`SnapshotProgram::completion_hint`] and prime the unvisited index.
-    /// The program is *tracked* iff it reports at least one tracked cell;
-    /// untracked programs keep the full-scan completion check and get no
-    /// index.
-    fn init_index(&mut self) {
-        let (program, mem) = (self.program, &self.mem);
-        let mut any_tracked = false;
-        self.unvisited.rebuild(mem.size(), |addr| {
-            match program.completion_hint(addr, mem.peek(addr)) {
-                CompletionHint::Untracked => false,
-                CompletionHint::Outstanding => {
-                    any_tracked = true;
-                    true
-                }
-                CompletionHint::Satisfied => {
-                    any_tracked = true;
-                    false
-                }
-            }
-        });
-        self.tracked = any_tracked;
-    }
-
-    /// O(1) completion test for tracked programs (the index is empty), full
-    /// scan otherwise. Debug builds cross-check the index against
-    /// `is_complete`.
-    fn completion_reached(&self) -> bool {
-        if self.tracked {
-            let done = self.unvisited.is_empty();
-            debug_assert_eq!(
-                done,
-                self.program.is_complete(&self.mem),
-                "unvisited index diverged from is_complete at tick {} \
-                 ({} cells outstanding) — the hint contract is violated",
-                self.cycle,
-                self.unvisited.len(),
-            );
-            done
-        } else {
-            self.program.is_complete(&self.mem)
-        }
-    }
-
-    /// Build the completed-run report. As in the word machine, the failure
-    /// pattern is **moved** out (it can be megabytes on adversarial runs);
-    /// the machine's own pattern is left empty, so a continuation run
-    /// records a fresh pattern.
-    fn take_completed_report(&mut self) -> RunReport {
-        RunReport {
-            outcome: RunOutcome::Completed,
-            stats: self.stats,
-            pattern: std::mem::take(&mut self.pattern),
-            per_processor: self.procs.iter().map(|s| s.completed).collect(),
-        }
-    }
-
-    /// Phase 1: every alive processor tentatively plays its cycle against
-    /// the tick-start snapshot, advancing its private state **in place**
-    /// (a non-completing snapshot cycle only ever belongs to a processor
-    /// the adversary stopped, whose private state is discarded anyway).
-    fn tentative_phase(&mut self) -> Result<()> {
+    /// Every alive processor tentatively plays its cycle against the
+    /// tick-start snapshot, advancing its private state **in place** (a
+    /// non-completing snapshot cycle only ever belongs to a processor the
+    /// adversary stopped, whose private state is discarded anyway).
+    fn tentative(&self, core: &mut Core<P::Private>) -> Result<()> {
         let program = self.program;
-        let (budget, cycle, size) = (self.write_budget, self.cycle, self.mem.size());
+        let (budget, cycle, size) = (self.write_budget, core.cycle, core.mem.size());
         let view = SnapshotView {
-            mem: &self.mem,
-            unvisited: if self.tracked { Some(&self.unvisited) } else { None },
+            mem: &core.mem,
+            unvisited: if core.tracked { Some(&core.unvisited) } else { None },
         };
-        for (i, (slot, out)) in self.procs.iter_mut().zip(self.tentative.iter_mut()).enumerate() {
-            if slot.status != ProcStatus::Alive {
+        for (i, (slot, out)) in core.procs.iter_mut().zip(core.tentative.iter_mut()).enumerate() {
+            if slot.status != crate::adversary::ProcStatus::Alive {
                 *out = None;
                 continue;
             }
@@ -432,248 +266,190 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
         Ok(())
     }
 
-    /// Phase 2a: present the machine to the adversary (including the
-    /// unvisited index, when tracked) and collect its decisions.
-    fn collect_decisions<A: Adversary>(
-        &mut self,
-        adversary: &mut A,
-    ) -> crate::adversary::Decisions {
-        self.meta.clear();
-        self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
-            pid: Pid(i),
-            status: s.status,
-            completed_cycles: s.completed,
-        }));
-        let view = MachineView {
-            cycle: self.cycle,
-            processors: self.procs.len(),
-            mem: &self.mem,
-            procs: &self.meta,
-            tentative: &self.tentative,
-            unvisited: if self.tracked { Some(&self.unvisited) } else { None },
-        };
-        adversary.decide(&view)
+    fn partial_instructions(_t: &TentativeCycle, committed_writes: usize) -> u64 {
+        // The whole-memory read and the local computation are free by
+        // assumption; an interrupted cycle is charged only its committed
+        // write prefix.
+        committed_writes as u64
     }
 
-    /// Phases 2b/3: validate the adversary's decisions, merge surviving
-    /// write prefixes slot by slot, charge work, fold commits into the
-    /// unvisited index, record the failure pattern, apply restarts.
-    fn apply(&mut self, decisions: crate::adversary::Decisions) -> Result<()> {
-        let p = self.procs.len();
-        // --- Validate failures and compute each processor's fate. ---
-        for (i, fate) in self.fates.iter_mut().enumerate() {
-            *fate = if self.tentative[i].is_some() {
-                SnapshotFate::Completed
-            } else {
-                SnapshotFate::Idle
-            };
-        }
-        self.failed_now.fill(false);
-        self.fail_points.fill(None);
-        for &(pid, point) in &decisions.fails {
-            if pid.0 >= p || self.failed_now[pid.0] {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("bad failure target {pid}"),
-                });
-            }
-            match self.procs[pid.0].status {
-                ProcStatus::Failed => {
-                    return Err(PramError::InvalidAdversaryDecision {
-                        cycle: self.cycle,
-                        detail: format!("failure of already failed {pid}"),
-                    });
-                }
-                ProcStatus::Halted => {
-                    // No cycle in flight; the processor simply stops.
-                    self.failed_now[pid.0] = true;
-                    self.fail_points[pid.0] = Some(point);
-                }
-                ProcStatus::Alive => {
-                    let len = self.tentative[pid.0].as_ref().map_or(0, |t| t.writes.len());
-                    let committed = match point {
-                        FailPoint::BeforeReads | FailPoint::BeforeWrites => 0,
-                        FailPoint::AfterWrite(k) => {
-                            if k == 0 || k > len {
-                                return Err(PramError::InvalidAdversaryDecision {
-                                    cycle: self.cycle,
-                                    detail: format!("{pid}: bad fail point"),
-                                });
-                            }
-                            k
-                        }
-                    };
-                    self.failed_now[pid.0] = true;
-                    self.fail_points[pid.0] = Some(point);
-                    // Failing after the final write of a non-empty cycle
-                    // means the cycle completed (and is charged) before the
-                    // processor stopped; a cycle stopped at zero committed
-                    // writes is interrupted even when it had no writes.
-                    self.fates[pid.0] = if committed == len && committed > 0 {
-                        SnapshotFate::Completed
-                    } else {
-                        SnapshotFate::Interrupted { committed_writes: committed }
-                    };
-                }
-            }
-        }
-        // --- Validate restarts. ---
-        self.restarted.fill(false);
-        for &pid in &decisions.restarts {
-            let failed = pid.0 < p
-                && (self.procs[pid.0].status == ProcStatus::Failed || self.failed_now[pid.0]);
-            if !failed || self.restarted[pid.0] {
-                return Err(PramError::InvalidAdversaryDecision {
-                    cycle: self.cycle,
-                    detail: format!("bad restart target {pid}"),
-                });
-            }
-            self.restarted[pid.0] = true;
-        }
+    fn checkpoint_budget(&self) -> (usize, usize) {
+        // No read budget in this model.
+        (0, self.write_budget)
+    }
+}
 
-        // --- Progress condition (§2.1 2(i)). ---
-        let any_active = self.tentative.iter().any(|t| t.is_some());
-        let completing = self.fates.iter().filter(|&&f| f == SnapshotFate::Completed).count();
-        if any_active && completing == 0 {
-            return Err(PramError::AdversaryStall { cycle: self.cycle });
-        }
-        if !any_active {
-            let any_failed = self.procs.iter().any(|s| s.status == ProcStatus::Failed);
-            if any_failed && decisions.restarts.is_empty() {
-                return Err(PramError::AdversaryStall { cycle: self.cycle });
-            }
-            if !any_failed {
-                return Err(PramError::Deadlock { cycle: self.cycle });
-            }
-        }
+/// Executor for the snapshot model. Mirrors [`Machine`](crate::Machine)
+/// with the read phase replaced by a free whole-memory snapshot; both are
+/// wrappers over the same [`Core`](crate::exec::Core).
+#[derive(Debug)]
+pub struct SnapshotMachine<'p, P: SnapshotProgram> {
+    model: SnapModel<'p, P>,
+    core: Core<P::Private>,
+}
 
-        // --- Commit surviving write prefixes, slot by slot (COMMON
-        // semantics: the snapshot algorithms of §3 are COMMON-legal). ---
-        for slot in 0..self.write_budget {
-            self.slot_writes.clear();
-            for i in 0..p {
-                let Some(t) = self.tentative[i].as_ref() else { continue };
-                if slot >= t.writes.len() {
-                    continue;
-                }
-                let survives = match self.fates[i] {
-                    SnapshotFate::Completed => true,
-                    SnapshotFate::Interrupted { committed_writes } => slot < committed_writes,
-                    SnapshotFate::Idle => false,
-                };
-                if survives {
-                    let (addr, value) = t.writes.writes()[slot];
-                    self.slot_writes.push((Pid(i), addr, value));
-                }
-            }
-            self.commit_slot()?;
+impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
+    /// Build a snapshot machine with `processors` processors and the given
+    /// per-cycle write budget (the paper's exposition uses 2; Theorem 3.2's
+    /// algorithm needs only 1).
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::InvalidConfig`] if `processors == 0` or
+    /// `write_budget == 0`.
+    pub fn new(program: &'p P, processors: usize, write_budget: usize) -> Result<Self> {
+        if processors == 0 {
+            return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
         }
-
-        // --- Charge work, update processor states, record the pattern. ---
-        debug_assert!(self.events.is_empty());
-        for i in 0..p {
-            match self.fates[i] {
-                SnapshotFate::Idle => {}
-                SnapshotFate::Completed => {
-                    let t = self.tentative[i].as_ref().expect("completed cycle exists");
-                    self.stats.completed_cycles += 1;
-                    self.stats.charged_instructions += (1 + t.writes.len()) as u64;
-                    self.procs[i].completed += 1;
-                    if t.halts {
-                        self.procs[i].status = ProcStatus::Halted;
-                    }
-                    // The post-cycle private state is already in the slot
-                    // (the tentative phase advances it in place).
-                }
-                SnapshotFate::Interrupted { committed_writes } => {
-                    self.stats.interrupted_cycles += 1;
-                    self.stats.partial_instructions += committed_writes as u64;
-                }
-            }
-            if self.failed_now[i] {
-                self.procs[i].status = ProcStatus::Failed;
-                self.procs[i].state = None;
-                self.stats.failures += 1;
-                let point = self.fail_points[i].expect("failed processor has a recorded point");
-                self.events.push(FailureEvent {
-                    kind: FailureKind::Failure { point },
-                    pid: i,
-                    time: self.cycle,
-                });
-            }
-        }
-        for i in (0..p).filter(|&i| self.restarted[i]) {
-            self.procs[i].status = ProcStatus::Alive;
-            self.procs[i].state = Some(self.program.on_start(Pid(i)));
-            self.stats.restarts += 1;
-            self.events.push(FailureEvent {
-                kind: FailureKind::Restart,
-                pid: i,
-                time: self.cycle + 1,
+        if write_budget == 0 {
+            return Err(PramError::InvalidConfig {
+                detail: "write budget must be positive".into(),
             });
         }
-        // Failure events at this tick precede restart events at tick+1, so
-        // pushing fails-then-restarts keeps the pattern time-ordered.
-        self.pattern.extend(self.events.drain(..));
-        self.cycle += 1;
-        self.stats.parallel_time = self.cycle;
-
-        // Restore the index's dense form for next tick's views, and
-        // cross-check it against ground truth in debug builds.
-        if self.tracked {
-            self.unvisited.ensure_clean();
-            debug_assert!(
-                self.unvisited.matches(self.mem.size(), |addr| matches!(
-                    self.program.completion_hint(addr, self.mem.peek(addr)),
-                    CompletionHint::Outstanding
-                )),
-                "unvisited index diverged from the full scan after tick {}",
-                self.cycle - 1,
-            );
-        }
-        Ok(())
+        let mut mem = SharedMemory::new(program.shared_size());
+        program.init_memory(&mut mem);
+        let model = SnapModel { program, write_budget };
+        // The §3 snapshot algorithms are COMMON-legal; the machine always
+        // checks COMMON semantics.
+        let core = Core::new(&model, processors, mem, SNAPSHOT_WRITE_MODE, write_budget);
+        Ok(SnapshotMachine { model, core })
     }
 
-    /// Merge one write slot under COMMON semantics, apply it, and fold each
-    /// committed store into the unvisited index.
-    fn commit_slot(&mut self) -> Result<()> {
-        // (addr, pid) keys are unique, so the unstable sort is
-        // deterministic.
-        self.slot_writes.sort_unstable_by_key(|&(pid, addr, _)| (addr, pid));
-        let mut i = 0;
-        while i < self.slot_writes.len() {
-            let (pid0, addr, v0) = self.slot_writes[i];
-            let mut j = i + 1;
-            while j < self.slot_writes.len() && self.slot_writes[j].1 == addr {
-                if self.slot_writes[j].2 != v0 {
-                    return Err(PramError::CommonWriteConflict {
-                        addr,
-                        cycle: self.cycle,
-                        first: (pid0, v0),
-                        second: (self.slot_writes[j].0, self.slot_writes[j].2),
-                    });
-                }
-                j += 1;
-            }
-            if self.tracked {
-                // Fold the committed write into the index *before* the
-                // store (the old value is still visible).
-                let old = self.program.completion_hint(addr, self.mem.peek(addr));
-                let new = self.program.completion_hint(addr, v0);
-                match (old, new) {
-                    (CompletionHint::Outstanding, CompletionHint::Satisfied) => {
-                        self.unvisited.remove(addr);
-                    }
-                    (CompletionHint::Satisfied, CompletionHint::Outstanding) => {
-                        self.unvisited.insert(addr);
-                    }
-                    _ => {}
-                }
-            }
-            self.mem.store(addr, v0)?;
-            i = j;
-        }
-        Ok(())
+    /// The shared memory (uncharged inspection).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.core.mem
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &crate::accounting::WorkStats {
+        &self.core.stats
+    }
+
+    /// Current tick.
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// Run to completion under `adversary`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run<A: Adversary>(&mut self, adversary: &mut A) -> Result<RunReport> {
+        self.run_with_limits(adversary, RunLimits::default())
+    }
+
+    /// Run with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run_with_limits<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+    ) -> Result<RunReport> {
+        self.run_observed(adversary, limits, &mut NoopObserver)
+    }
+
+    /// Like [`SnapshotMachine::run_with_limits`], streaming every machine
+    /// event — cycle completions, failures, restarts, committed writes — to
+    /// `observer` (see [`crate::trace`]). The event vocabulary is shared
+    /// with the word machine, so one trace/telemetry pipeline serves both
+    /// models.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run_observed<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport> {
+        let SnapshotMachine { model, core } = self;
+        core.run_to_completion(model, adversary, limits, observer, |c| model.tentative(c))
+    }
+
+    /// Run under `adversary` until completion **or** until `control`
+    /// requests a pause at a tick boundary — the snapshot counterpart of
+    /// [`Machine::run_controlled`](crate::Machine::run_controlled), with
+    /// the same pause/checkpoint/resume contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn run_controlled<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        observer: &mut dyn Observer,
+        control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus> {
+        let SnapshotMachine { model, core } = self;
+        core.run_loop(model, adversary, limits, observer, |c| model.tentative(c), control)
+    }
+
+    /// Execute exactly one tick under `adversary` (no completion check).
+    /// Exposed for fine-grained tests and lock-step drivers; the completion
+    /// tracker is kept consistent, so ticks and runs interleave freely.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn tick<A: Adversary>(&mut self, adversary: &mut A) -> Result<()> {
+        self.tick_observed(adversary, &mut NoopObserver)
+    }
+
+    /// [`SnapshotMachine::tick`] with an event stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub fn tick_observed<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        observer: &mut dyn Observer,
+    ) -> Result<()> {
+        self.core.tick_observed(&self.model, adversary, observer)
+    }
+}
+
+impl<'p, P> SnapshotMachine<'p, P>
+where
+    P: SnapshotProgram,
+    P::Private: Serialize + Deserialize,
+{
+    /// Snapshot the machine (and `adversary`) at the current tick boundary
+    /// into a versioned [`Checkpoint`] tagged `"snapshot"` — same format
+    /// and same contract as
+    /// [`Machine::save_checkpoint`](crate::Machine::save_checkpoint); the
+    /// model tag keeps word and snapshot checkpoints from being restored
+    /// into each other.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] if the adversary is not checkpointable.
+    pub fn save_checkpoint<A: Adversary>(&self, adversary: &A) -> Result<Checkpoint> {
+        self.core.save_checkpoint(&self.model, adversary)
+    }
+
+    /// Load `ck` into this machine and `adversary`, resuming the
+    /// checkpointed run at its tick boundary. Everything is validated
+    /// **before** anything is mutated, so a failed restore leaves machine
+    /// and adversary untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::Checkpoint`] on a version, model or shape mismatch, an
+    /// undecodable private state, an illegal recorded failure pattern, or
+    /// an adversary that refuses the saved state.
+    pub fn restore_checkpoint<A: Adversary>(
+        &mut self,
+        ck: &Checkpoint,
+        adversary: &mut A,
+    ) -> Result<()> {
+        self.core.restore_checkpoint(&self.model, ck, adversary)
     }
 }
 
@@ -684,6 +460,7 @@ pub const SNAPSHOT_WRITE_MODE: WriteMode = WriteMode::Common;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accounting::RunOutcome;
     use crate::adversary::NoFailures;
     use crate::word::Word;
 
@@ -802,7 +579,7 @@ mod tests {
         let report = m.run(&mut NoFailures).unwrap();
         assert!(report.pattern.is_empty());
         // A continuation run on the same machine starts a fresh pattern.
-        assert!(m.pattern.is_empty());
+        assert!(m.core.pattern.is_empty());
     }
 
     #[test]
