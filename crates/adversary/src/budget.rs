@@ -88,13 +88,13 @@ mod tests {
     use super::*;
     use crate::thrashing::Thrashing;
     use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine};
 
     #[test]
     fn budget_caps_the_pattern() {
         let n = 64;
         let p = 16;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
@@ -109,7 +109,7 @@ mod tests {
     fn zero_budget_passes_nothing() {
         let n = 16;
         let p = 4;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();

@@ -84,7 +84,7 @@ pub fn offline_random(
 mod tests {
     use super::*;
     use rfsp_core::{AccOptions, AlgoAcc, WriteAllTasks};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine};
 
     #[test]
     fn schedule_is_legal_and_replayable() {
@@ -103,7 +103,7 @@ mod tests {
     fn acc_is_efficient_against_offline_restarts() {
         let n = 64;
         let p = 8;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoAcc::new(&mut layout, tasks, AccOptions { seed: 5 });
         let mut adv = offline_random(p, 100_000, 0.2, 0.5, 123);

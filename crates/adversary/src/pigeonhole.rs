@@ -195,14 +195,14 @@ mod tests {
     use super::*;
     use rfsp_core::{AlgoX, SnapshotBalance, WriteAllTasks, XOptions};
     use rfsp_pram::snapshot::SnapshotMachine;
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine};
 
     #[test]
     fn forces_superlinear_work_on_snapshot_algorithm() {
         // Even with unit-cost snapshots (the strongest model), work must be
         // ~N log N, not N.
         let n = 256;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = SnapshotBalance::new(tasks, n);
         let mut m = SnapshotMachine::new(&algo, n, 1).unwrap();
@@ -217,7 +217,7 @@ mod tests {
     #[test]
     fn x_still_terminates_under_pigeonhole() {
         let n = 64;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
         let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
@@ -230,7 +230,7 @@ mod tests {
     fn halving_structure_bounds_progress_per_tick() {
         // Each tick at most ⌈U/2⌉ of U unvisited cells can be completed.
         let n = 128;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = SnapshotBalance::new(tasks, n);
         let mut m = SnapshotMachine::new(&algo, n, 1).unwrap();

@@ -134,13 +134,13 @@ impl Adversary for RandomFaults {
 mod tests {
     use super::*;
     use rfsp_core::{AlgoV, AlgoX, WriteAllTasks, XOptions};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine};
 
     #[test]
     fn x_completes_under_heavy_random_churn() {
         let n = 64;
         let p = 16;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
@@ -154,7 +154,7 @@ mod tests {
     fn v_completes_under_budgeted_churn() {
         let n = 128;
         let p = 8;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoV::new(&mut layout, tasks, p);
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
@@ -170,7 +170,7 @@ mod tests {
     fn budget_zero_means_no_failures() {
         let n = 32;
         let p = 4;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
@@ -195,7 +195,7 @@ mod tests {
 
         let n = 64;
         let p = 16;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
 
@@ -224,7 +224,7 @@ mod tests {
 
         let n = 64;
         let p = 8;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
 

@@ -103,12 +103,12 @@ impl Adversary for Stalking {
 mod tests {
     use super::*;
     use rfsp_core::{AccOptions, AlgoAcc, AlgoX, WriteAllTasks, XOptions};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout, RunLimits};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine, RunLimits};
 
     #[test]
     fn x_shrugs_off_the_stalker() {
         let n = 32;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
         let mut adversary = Stalking::new(tasks.x(), n - 1, StalkingMode::Restart);
@@ -123,7 +123,7 @@ mod tests {
     fn acc_suffers_under_fail_stop_stalking() {
         let n = 16;
         let p = 8;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoAcc::new(&mut layout, tasks, AccOptions { seed: 42 });
         let mut adversary = Stalking::new(tasks.x(), n - 1, StalkingMode::FailStop);
@@ -143,7 +143,7 @@ mod tests {
         // the mechanism works for a small instance.
         let n = 8;
         let p = 2;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoAcc::new(&mut layout, tasks, AccOptions { seed: 7 });
         let mut adversary = Stalking::new(tasks.x(), n - 1, StalkingMode::Restart);

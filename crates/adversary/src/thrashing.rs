@@ -16,10 +16,10 @@ use rfsp_pram::{Adversary, Decisions, FailPoint, MachineView};
 /// ```
 /// use rfsp_adversary::Thrashing;
 /// use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-/// use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+/// use rfsp_pram::{CycleBudget, Machine, LayoutBuilder};
 ///
 /// # fn main() -> Result<(), rfsp_pram::PramError> {
-/// let mut layout = MemoryLayout::new();
+/// let mut layout = LayoutBuilder::new();
 /// let tasks = WriteAllTasks::new(&mut layout, 32);
 /// let algo = AlgoX::new(&mut layout, tasks, 32, XOptions::default());
 /// let mut machine = Machine::new(&algo, 32, CycleBudget::PAPER)?;
@@ -84,13 +84,13 @@ impl Adversary for Thrashing {
 mod tests {
     use super::*;
     use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine};
 
     #[test]
     fn one_completion_per_tick_and_huge_s_prime() {
         let n = 32;
         let p = 32;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn rotating_survivor_also_terminates() {
         let n = 16;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
         let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();

@@ -87,10 +87,10 @@ impl Adversary for XKiller {
 mod tests {
     use super::*;
     use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine};
 
     fn run(n: usize) -> (u64, u64) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
         let mut adversary = XKiller::new(tasks.x(), *algo.layout(), algo.tree());
@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn processor_zero_is_never_failed() {
         let n = 32;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
         let mut adversary = XKiller::new(tasks.x(), *algo.layout(), algo.tree());

@@ -20,7 +20,7 @@ use rfsp_adversary::Pigeonhole;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::reference::ReferenceSnapshotMachine;
 use rfsp_pram::snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
-use rfsp_pram::{MemoryLayout, NoFailures, Pid, SharedMemory, Step, WorkStats, WriteSet};
+use rfsp_pram::{LayoutBuilder, NoFailures, Pid, SharedMemory, Step, WorkStats, WriteSet};
 use serde::{Deserialize, Serialize};
 
 /// The size where old and new engines are compared head to head.
@@ -36,7 +36,7 @@ fn sizes() -> Vec<usize> {
 
 /// One full run of the indexed machine; returns its stats.
 fn run_new(n: usize, pigeonhole: bool) -> WorkStats {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m = SnapshotMachine::new(&algo, n, 1).expect("snapshot machine");
@@ -91,7 +91,7 @@ impl SnapshotProgram for ScanBalance {
 /// One full run of the preserved pre-rewrite engine driving the
 /// pre-rewrite program body; returns its stats.
 fn run_reference(n: usize, pigeonhole: bool) -> WorkStats {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = ScanBalance { tasks, p: n };
     let mut m = ReferenceSnapshotMachine::new(&algo, n, 1).expect("reference machine");

@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfsp_bench::{TelemetrySink, TickEngine, WriteAllRun};
 use rfsp_core::{TrivialAssign, WriteAllTasks};
 use rfsp_pram::{
-    CycleBudget, Machine, MemoryLayout, NoFailures, NoopObserver, Observer, PramError, RunLimits,
+    CycleBudget, LayoutBuilder, Machine, NoFailures, NoopObserver, Observer, PramError, RunLimits,
 };
 
 /// Cells per processor: every run is exactly 64 full-width ticks.
@@ -46,7 +46,7 @@ fn run_once(
     observer: &mut dyn Observer,
 ) -> Result<WriteAllRun, PramError> {
     let n = CELLS_PER_PROC * p;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = TrivialAssign::new(tasks, p);
     let mut m = Machine::new(&algo, p, CycleBudget::PAPER)?;

@@ -1,0 +1,119 @@
+//! Throughput regression guard for the flat-layout tick engine.
+//!
+//! The bank-partitioned memory backend must not tax the flat layout: the
+//! flat fast paths (single bank, bulk counters, contiguous `as_slice`)
+//! keep the pre-banking cost, and this guard pins that claim in CI.
+//!
+//! It measures ns/tick of the no-failure Write-All baseline
+//! ([`TrivialAssign`], the `BENCH_TICK` workload) under the flat layout
+//! and compares against the committed baseline
+//! `crates/bench/baseline/tick_flat.json`. The run fails (exit 1) when
+//! the measured cost exceeds `baseline × RFSP_GUARD_RATIO` (default 4 —
+//! generous, because CI hosts vary; the guard catches algorithmic
+//! regressions, not machine noise). `RFSP_GUARD_UPDATE=1` re-blesses the
+//! baseline with the current measurement.
+//!
+//! As a machine-independent cross-check it also measures the banked
+//! layout *in the same process* and fails if banking costs more than
+//! `RFSP_GUARD_BANKED_RATIO` (default 4) times flat — both numbers come
+//! from the same host, so this ratio is stable where absolute times are
+//! not.
+
+use std::time::Instant;
+
+use rfsp_core::{TrivialAssign, WriteAllTasks};
+use rfsp_pram::{CycleBudget, LayoutBuilder, Machine, MemoryLayout, NoFailures};
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct Baseline {
+    /// Blessed flat-layout cost in ns/tick.
+    ns_per_tick: u64,
+}
+
+const CELLS_PER_PROC: usize = 64;
+const PROCESSORS: usize = 256;
+const REPS: usize = 5;
+
+/// One full run; returns (elapsed ns, ticks).
+fn run_once(layout: MemoryLayout) -> (u128, u64) {
+    let n = CELLS_PER_PROC * PROCESSORS;
+    let mut lb = LayoutBuilder::new();
+    let tasks = WriteAllTasks::new(&mut lb, n);
+    let algo = TrivialAssign::new(tasks, PROCESSORS);
+    let mut m =
+        Machine::with_layout(&algo, PROCESSORS, CycleBudget::PAPER, layout).expect("valid layout");
+    let start = Instant::now();
+    let report = m.run(&mut NoFailures).expect("guard run");
+    let elapsed = start.elapsed().as_nanos();
+    assert!(tasks.all_written(m.memory()), "write-all postcondition failed");
+    (elapsed, report.stats.parallel_time)
+}
+
+/// Best-of-`REPS` ns/tick — the minimum is the least-noisy estimator for
+/// a short CPU-bound loop.
+fn measure(layout: MemoryLayout) -> f64 {
+    (0..REPS)
+        .map(|_| {
+            let (ns, ticks) = run_once(layout);
+            ns as f64 / ticks.max(1) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn env_ratio(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline").join("tick_flat.json")
+}
+
+fn main() {
+    let flat = measure(MemoryLayout::Flat);
+    let banked = measure(MemoryLayout::banked(PROCESSORS));
+    println!("flat   : {flat:.1} ns/tick");
+    println!("banked : {banked:.1} ns/tick ({:.2}x flat)", banked / flat);
+
+    let path = baseline_path();
+    if std::env::var_os("RFSP_GUARD_UPDATE").is_some() {
+        let blessed = Baseline { ns_per_tick: flat.ceil() as u64 };
+        std::fs::create_dir_all(path.parent().unwrap()).expect("baseline dir");
+        std::fs::write(&path, serde::json::to_string_pretty(&blessed)).expect("write baseline");
+        println!("blessed {} at {} ns/tick", path.display(), blessed.ns_per_tick);
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no committed baseline at {} ({e}); run with RFSP_GUARD_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    let baseline: Baseline = serde::json::from_str(&text).expect("parse baseline");
+    let ratio = env_ratio("RFSP_GUARD_RATIO", 4.0);
+    let limit = baseline.ns_per_tick as f64 * ratio;
+    println!("baseline: {} ns/tick (limit {limit:.0} = {ratio}x)", baseline.ns_per_tick);
+
+    let mut failed = false;
+    if flat > limit {
+        eprintln!(
+            "FAIL: flat layout {flat:.1} ns/tick exceeds {limit:.0} ({ratio}x committed baseline {}) — \
+             the flat fast path regressed; investigate or re-bless with RFSP_GUARD_UPDATE=1",
+            baseline.ns_per_tick
+        );
+        failed = true;
+    }
+    let banked_ratio = env_ratio("RFSP_GUARD_BANKED_RATIO", 4.0);
+    if banked > flat * banked_ratio {
+        eprintln!(
+            "FAIL: banked layout is {:.2}x flat (limit {banked_ratio}x) — bank address arithmetic got too expensive",
+            banked / flat
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: flat tick throughput within {ratio}x of baseline, banked within {banked_ratio}x of flat");
+}

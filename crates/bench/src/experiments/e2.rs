@@ -5,7 +5,7 @@
 use rfsp_adversary::Pigeonhole;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
-use rfsp_pram::{MemoryLayout, NoopObserver, Observer, RunLimits, WorkStats};
+use rfsp_pram::{LayoutBuilder, NoopObserver, Observer, RunLimits, WorkStats};
 
 use crate::{fmt, loglog_slope, print_table, run_write_all_with_observed, Algo, TelemetrySink};
 
@@ -13,7 +13,7 @@ use crate::{fmt, loglog_slope, print_table, run_write_all_with_observed, Algo, T
 /// run's event stream delivered to `observer` (the unified execution core
 /// gives the snapshot machine the same event stream as the word machine).
 pub fn snapshot_under_pigeonhole_observed(n: usize, observer: &mut dyn Observer) -> WorkStats {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m = SnapshotMachine::new(&algo, n, 1).expect("snapshot machine");

@@ -4,12 +4,12 @@
 use rfsp_adversary::Pigeonhole;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
-use rfsp_pram::{MemoryLayout, NoFailures, Observer, RunLimits, WorkStats};
+use rfsp_pram::{LayoutBuilder, NoFailures, Observer, RunLimits, WorkStats};
 
 use crate::{fmt, print_table, TelemetrySink};
 
 fn run_snapshot(n: usize, with_adversary: bool, observer: &mut dyn Observer) -> WorkStats {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m = SnapshotMachine::new(&algo, n, 1).expect("snapshot machine");

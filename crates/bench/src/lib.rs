@@ -13,8 +13,8 @@ use rfsp_core::{
     AccOptions, AlgoAcc, AlgoV, AlgoW, AlgoX, AlgoXInPlace, Interleaved, WriteAllTasks, XOptions,
 };
 use rfsp_pram::{
-    Adversary, CycleBudget, Machine, MemoryLayout, NoopObserver, Observer, PramError, Program,
-    RunLimits, RunReport,
+    Adversary, CycleBudget, LayoutBuilder, Machine, MemoryLayout, NoopObserver, Observer,
+    PramError, Program, RunLimits, RunReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -209,7 +209,42 @@ where
     F: FnOnce(&WriteAllSetup) -> A,
     A: Adversary,
 {
-    let mut layout = MemoryLayout::new();
+    run_write_all_layout_observed(
+        algo,
+        engine,
+        MemoryLayout::Flat,
+        n,
+        p,
+        make_adversary,
+        limits,
+        observer,
+    )
+}
+
+/// [`run_write_all_engine_observed`] with an explicit [`MemoryLayout`]:
+/// the machine's shared memory is partitioned per `layout`, so per-bank
+/// counters (and any attached network meter) reflect a real bank mapping.
+/// Flat and banked layouts produce bit-identical runs.
+///
+/// # Errors
+///
+/// As [`run_write_all`]; additionally rejects invalid layouts.
+#[allow(clippy::too_many_arguments)]
+pub fn run_write_all_layout_observed<F, A>(
+    algo: Algo,
+    engine: TickEngine,
+    mem_layout: MemoryLayout,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     match algo {
         Algo::X => {
@@ -217,7 +252,7 @@ where
             let setup =
                 WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -225,7 +260,7 @@ where
             let prog = AlgoV::new(&mut layout, tasks, p);
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -233,7 +268,7 @@ where
             let prog = AlgoW::new(&mut layout, tasks, p);
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -246,7 +281,7 @@ where
             };
             let mut adversary = make_adversary(&setup);
             let budget = prog.required_budget();
-            let mut m = Machine::new(&prog, p, budget)?;
+            let mut m = Machine::with_layout(&prog, p, budget, mem_layout)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -254,7 +289,7 @@ where
             let prog = AlgoXInPlace::new(&mut layout, tasks, p);
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -262,7 +297,7 @@ where
             let prog = AlgoAcc::new(&mut layout, tasks, AccOptions { seed });
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
-            let mut m = Machine::new(&prog, p, CycleBudget::PAPER)?;
+            let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -300,7 +335,7 @@ pub fn with_write_all_program<V: WriteAllVisitor>(
     p: usize,
     visitor: V,
 ) -> V::Out {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     match algo {
         Algo::X => {
@@ -384,7 +419,7 @@ where
     A: Adversary,
 {
     assert!(matches!(algo, Algo::X), "options apply to algorithm X only");
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let prog = AlgoX::new(&mut layout, tasks, p, opts);
     let setup = WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
@@ -537,6 +572,24 @@ mod tests {
         assert_eq!(seq.report.stats, pooled.report.stats);
         assert_eq!(TickEngine::Pooled { threads: 3 }.label(), "pool3");
         assert_eq!(TickEngine::Sequential.label(), "seq");
+    }
+
+    #[test]
+    fn banked_layout_matches_flat_runner() {
+        let flat = run_write_all(Algo::X, 32, 8, &mut NoFailures, RunLimits::default()).unwrap();
+        let banked = run_write_all_layout_observed(
+            Algo::X,
+            TickEngine::Sequential,
+            MemoryLayout::banked(4),
+            32,
+            8,
+            |_| NoFailures,
+            RunLimits::default(),
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert!(banked.verified);
+        assert_eq!(flat.report.stats, banked.report.stats);
     }
 
     #[test]

@@ -41,9 +41,9 @@ use rfsp_adversary::RandomFaults;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
 use rfsp_pram::{
-    Checkpoint, CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, Machine,
-    MemoryLayout, NoopObserver, PanicPolicy, Pid, PramError, Program, ReadSet, RunControl,
-    RunLimits, RunStatus, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
+    Checkpoint, CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, LayoutBuilder,
+    Machine, NoopObserver, PanicPolicy, Pid, PramError, Program, ReadSet, RunControl, RunLimits,
+    RunStatus, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
 };
 use serde::{Deserialize, Serialize};
 
@@ -428,7 +428,7 @@ fn run_snapshot_case(case: &SoakCase) -> Result<CaseOutcome, SoakFailure> {
         detail,
     };
     let limits = RunLimits { max_cycles: case.max_cycles };
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, case.n);
     let prog = SnapshotBalance::new(tasks, case.n);
 

@@ -23,7 +23,7 @@ use rfsp_bench::{run_write_all_with_observed, WriteAllSetup};
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
 use rfsp_pram::{
-    MemoryLayout, MetricsObserver, NoFailures, Observer, RunLimits, Tee, TraceRecorder, WorkStats,
+    LayoutBuilder, MetricsObserver, NoFailures, Observer, RunLimits, Tee, TraceRecorder, WorkStats,
 };
 
 use crate::args::{ArgError, Args};
@@ -47,7 +47,7 @@ fn run_snapshot(
     max_cycles: u64,
     observer: &mut dyn Observer,
 ) -> Result<WorkStats, ArgError> {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m =

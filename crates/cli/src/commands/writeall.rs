@@ -3,11 +3,26 @@
 use rfsp_adversary::{
     offline_random, Budgeted, Pigeonhole, RandomFaults, Stalking, StalkingMode, Thrashing, XKiller,
 };
-use rfsp_bench::{run_write_all_engine_observed, Algo, TickEngine, WriteAllSetup};
-use rfsp_pram::{Adversary, NoFailures, NoopObserver, RunLimits, ScheduledAdversary};
+use rfsp_bench::{run_write_all_layout_observed, Algo, TickEngine, WriteAllSetup};
+use rfsp_pram::{Adversary, MemoryLayout, NoFailures, NoopObserver, RunLimits, ScheduledAdversary};
 
 use crate::args::{ArgError, Args};
 use crate::pattern_io;
+
+/// Parse `--banks B [--interleave I]` into a [`MemoryLayout`] (flat when
+/// `--banks` is absent or 1 with word interleaving).
+pub(crate) fn parse_layout(args: &Args) -> Result<MemoryLayout, ArgError> {
+    let banks: usize = args.get_parsed("banks", 1)?;
+    let interleave: usize = args.get_parsed("interleave", 1)?;
+    if banks == 0 || interleave == 0 {
+        return Err(ArgError("--banks and --interleave must be at least 1".into()));
+    }
+    Ok(if banks == 1 && interleave == 1 {
+        MemoryLayout::Flat
+    } else {
+        MemoryLayout::Banked { banks, interleave }
+    })
+}
 
 pub(crate) fn parse_algo(name: &str) -> Result<Algo, ArgError> {
     Ok(match name {
@@ -90,11 +105,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("--threads must be at least 1".into()));
     }
     let engine = if threads == 1 { TickEngine::Sequential } else { TickEngine::Pooled { threads } };
+    let mem_layout = parse_layout(args)?;
 
     let mut build_err = None;
-    let result = run_write_all_engine_observed(
+    let result = run_write_all_layout_observed(
         algo,
         engine,
+        mem_layout,
         n,
         p,
         |setup| match build_adversary(args, setup, n) {
@@ -118,6 +135,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let s = run.report.stats.completed_work();
     println!("algorithm       : {}", algo.name());
     println!("tick engine     : {}", engine.label());
+    println!("memory layout   : {mem_layout}");
     println!("instance        : N = {n}, P = {p}");
     println!("adversary       : {}", args.get_or("adversary", "none"));
     println!("completed work S: {s}");

@@ -48,6 +48,11 @@ COMMANDS:
                --record-pattern FILE --replay-pattern FILE --max-cycles C
                --threads T        tick engine: 1 = sequential (default),
                                   T > 1 = persistent worker pool
+               --banks B          partition shared memory into B banks
+                                  (default 1 = flat); runs are bit-
+                                  identical across layouts
+               --interleave I     cells per block in the block-cyclic
+                                  bank mapping (default 1 = word)
   simulate     execute a PRAM kernel fault-tolerantly (Theorem 4.1)
                --kernel prefix|sum|max|sort|listrank|matvec|components
                --n SIZE --p PROCS --engine x|v|vx
@@ -151,6 +156,27 @@ mod tests {
             .unwrap();
         dispatch(&a).unwrap();
         let a = Args::parse(["writeall", "--n", "32", "--p", "8", "--threads", "0"]).unwrap();
+        assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn banked_writeall_runs_end_to_end() {
+        let a = Args::parse([
+            "writeall",
+            "--n",
+            "32",
+            "--p",
+            "8",
+            "--algo",
+            "x",
+            "--banks",
+            "4",
+            "--interleave",
+            "2",
+        ])
+        .unwrap();
+        dispatch(&a).unwrap();
+        let a = Args::parse(["writeall", "--n", "32", "--p", "8", "--banks", "0"]).unwrap();
         assert!(dispatch(&a).is_err());
     }
 

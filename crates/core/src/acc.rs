@@ -22,7 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rfsp_pram::{
-    CompletionHint, MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet,
+    CompletionHint, LayoutBuilder, Pid, Program, ReadSet, Region, SharedMemory, Step, Word,
+    WriteSet,
 };
 
 use crate::tasks::TaskSet;
@@ -121,7 +122,7 @@ impl<T: TaskSet> AlgoAcc<T> {
     /// # Panics
     ///
     /// Panics if `tasks` is empty or multi-round.
-    pub fn new(layout: &mut MemoryLayout, tasks: T, opts: AccOptions) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, tasks: T, opts: AccOptions) -> Self {
         assert!(!tasks.is_empty(), "ACC needs at least one task");
         assert_eq!(tasks.rounds(), 1, "ACC supports a single round");
         let tree = HeapTree::with_leaves(tasks.len());
@@ -272,7 +273,7 @@ mod tests {
     use rfsp_pram::{CycleBudget, Machine, NoFailures};
 
     fn build(n: usize) -> (WriteAllTasks, AlgoAcc<WriteAllTasks>) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoAcc::new(&mut layout, tasks, AccOptions::default());
         (tasks, algo)
@@ -303,10 +304,10 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_runs() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 64);
-        let a1 = AlgoAcc::new(&mut MemoryLayout::new(), tasks, AccOptions { seed: 1 });
-        let a2 = AlgoAcc::new(&mut MemoryLayout::new(), tasks, AccOptions { seed: 2 });
+        let a1 = AlgoAcc::new(&mut LayoutBuilder::new(), tasks, AccOptions { seed: 1 });
+        let a2 = AlgoAcc::new(&mut LayoutBuilder::new(), tasks, AccOptions { seed: 2 });
         let w1 = {
             let mut m = Machine::new(&a1, 8, CycleBudget::PAPER).unwrap();
             m.run(&mut NoFailures).unwrap().stats.completed_cycles

@@ -35,7 +35,7 @@
 //! terminate under an *infinite* adversary (the paper interleaves it with
 //! algorithm X, see [`crate::interleaved`]).
 
-use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{LayoutBuilder, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
 
 use crate::tasks::TaskSet;
 use crate::tree::HeapTree;
@@ -113,10 +113,10 @@ pub enum VPrivate {
 ///
 /// ```
 /// use rfsp_core::{AlgoV, WriteAllTasks};
-/// use rfsp_pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+/// use rfsp_pram::{CycleBudget, Machine, LayoutBuilder, NoFailures};
 ///
 /// # fn main() -> Result<(), rfsp_pram::PramError> {
-/// let mut layout = MemoryLayout::new();
+/// let mut layout = LayoutBuilder::new();
 /// let tasks = WriteAllTasks::new(&mut layout, 128);
 /// let algo = AlgoV::new(&mut layout, tasks, 16);
 /// let mut machine = Machine::new(&algo, 16, CycleBudget::PAPER)?;
@@ -146,7 +146,7 @@ impl<T: TaskSet> AlgoV<T> {
     /// # Panics
     ///
     /// Panics if `tasks` is empty or `p == 0`.
-    pub fn new(layout: &mut MemoryLayout, tasks: T, p: usize) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, tasks: T, p: usize) -> Self {
         let round = layout.alloc(1);
         Self::new_with_round(layout, tasks, p, round)
     }
@@ -157,7 +157,7 @@ impl<T: TaskSet> AlgoV<T> {
     /// # Panics
     ///
     /// Panics if `tasks` is empty, `p == 0`, or `round` is not one cell.
-    pub fn new_with_round(layout: &mut MemoryLayout, tasks: T, p: usize, round: Region) -> Self {
+    pub fn new_with_round(layout: &mut LayoutBuilder, tasks: T, p: usize, round: Region) -> Self {
         assert!(!tasks.is_empty(), "algorithm V needs at least one task");
         assert!(p > 0, "algorithm V needs at least one processor");
         assert_eq!(round.len(), 1, "the round region is a single cell");
@@ -477,7 +477,7 @@ mod tests {
     };
 
     fn build(n: usize, p: usize) -> (WriteAllTasks, AlgoV<WriteAllTasks>) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoV::new(&mut layout, tasks, p);
         (tasks, algo)

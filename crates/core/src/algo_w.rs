@@ -21,7 +21,7 @@
 //! resynchronize — the minimal extension the paper sketches) precisely so
 //! the experiments can measure V against it.
 
-use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{LayoutBuilder, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
 
 use crate::algo_v::balanced_split;
 use crate::tasks::TaskSet;
@@ -85,7 +85,7 @@ impl<T: TaskSet> AlgoW<T> {
     ///
     /// Panics if `tasks` is empty, `p == 0`, or the task set is
     /// multi-round (W is a single-round baseline).
-    pub fn new(layout: &mut MemoryLayout, tasks: T, p: usize) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, tasks: T, p: usize) -> Self {
         assert!(!tasks.is_empty(), "algorithm W needs at least one task");
         assert!(p > 0, "algorithm W needs at least one processor");
         assert_eq!(tasks.rounds(), 1, "algorithm W supports a single round");
@@ -323,7 +323,7 @@ mod tests {
     };
 
     fn build(n: usize, p: usize) -> (WriteAllTasks, AlgoW<WriteAllTasks>) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoW::new(&mut layout, tasks, p);
         (tasks, algo)
@@ -392,10 +392,10 @@ mod tests {
 
     #[test]
     fn iteration_is_longer_than_v() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 256);
         let w = AlgoW::new(&mut layout, tasks, 16);
-        let mut layout2 = MemoryLayout::new();
+        let mut layout2 = LayoutBuilder::new();
         let tasks2 = WriteAllTasks::new(&mut layout2, 256);
         let v = crate::algo_v::AlgoV::new(&mut layout2, tasks2, 16);
         assert!(w.iteration_ticks() > v.iteration_ticks());

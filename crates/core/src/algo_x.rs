@@ -31,7 +31,7 @@
 //!   the §4.3 simulation. For one round (plain Write-All), the layout and
 //!   cycle structure reduce to Figure 5 verbatim.
 
-use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{LayoutBuilder, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
 
 use crate::tasks::TaskSet;
 use crate::tree::HeapTree;
@@ -70,10 +70,10 @@ pub struct XLayout {
 ///
 /// ```
 /// use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-/// use rfsp_pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+/// use rfsp_pram::{CycleBudget, Machine, LayoutBuilder, NoFailures};
 ///
 /// # fn main() -> Result<(), rfsp_pram::PramError> {
-/// let mut layout = MemoryLayout::new();
+/// let mut layout = LayoutBuilder::new();
 /// let tasks = WriteAllTasks::new(&mut layout, 64);
 /// let algo = AlgoX::new(&mut layout, tasks, 8, XOptions::default());
 /// let mut machine = Machine::new(&algo, 8, CycleBudget::PAPER)?;
@@ -102,7 +102,7 @@ impl<T: TaskSet> AlgoX<T> {
     /// # Panics
     ///
     /// Panics if `tasks` is empty or `p == 0`.
-    pub fn new(layout: &mut MemoryLayout, tasks: T, p: usize, opts: XOptions) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, tasks: T, p: usize, opts: XOptions) -> Self {
         let round = layout.alloc(1);
         Self::new_with_round(layout, tasks, p, opts, round)
     }
@@ -117,7 +117,7 @@ impl<T: TaskSet> AlgoX<T> {
     /// Panics if `tasks` is empty, `p == 0`, or `round` is not exactly one
     /// cell.
     pub fn new_with_round(
-        layout: &mut MemoryLayout,
+        layout: &mut LayoutBuilder,
         tasks: T,
         p: usize,
         opts: XOptions,
@@ -415,8 +415,8 @@ mod tests {
         Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, NoFailures, RunOutcome,
     };
 
-    fn build(n: usize, p: usize) -> (MemoryLayout, WriteAllTasks, AlgoX<WriteAllTasks>) {
-        let mut layout = MemoryLayout::new();
+    fn build(n: usize, p: usize) -> (LayoutBuilder, WriteAllTasks, AlgoX<WriteAllTasks>) {
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         (layout, tasks, algo)
@@ -454,7 +454,7 @@ mod tests {
 
     #[test]
     fn spread_initial_option_still_completes() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 32);
         let algo = AlgoX::new(
             &mut layout,
@@ -568,7 +568,7 @@ mod tests {
     #[test]
     fn counting_variant_solves_write_all() {
         for (n, p) in [(8usize, 8usize), (37, 5), (64, 16), (1, 1)] {
-            let mut layout = MemoryLayout::new();
+            let mut layout = LayoutBuilder::new();
             let tasks = WriteAllTasks::new(&mut layout, n);
             let algo = AlgoX::new(
                 &mut layout,
@@ -584,7 +584,7 @@ mod tests {
 
     #[test]
     fn counting_variant_survives_churn() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 64);
         let algo =
             AlgoX::new(&mut layout, tasks, 16, XOptions { counting: true, ..Default::default() });
@@ -626,7 +626,7 @@ mod tests {
                 1
             }
         }
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 8);
         let _ = AlgoX::new(
             &mut layout,
@@ -649,7 +649,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one task")]
     fn rejects_empty_task_set() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 0);
         let _ = AlgoX::new(&mut layout, tasks, 1, XOptions::default());
     }

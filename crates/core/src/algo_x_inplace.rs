@@ -16,7 +16,8 @@
 //! from `3N + P` cells to `N + P`.
 
 use rfsp_pram::{
-    CompletionHint, MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet,
+    CompletionHint, LayoutBuilder, Pid, Program, ReadSet, Region, SharedMemory, Step, Word,
+    WriteSet,
 };
 
 use crate::tasks::WriteAllTasks;
@@ -40,7 +41,7 @@ impl AlgoXInPlace {
     /// # Panics
     ///
     /// Panics if the array length is not a power of two ≥ 4 or `p == 0`.
-    pub fn new(layout: &mut MemoryLayout, tasks: WriteAllTasks, p: usize) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, tasks: WriteAllTasks, p: usize) -> Self {
         let n = tasks.x().len();
         assert!(n >= 4 && n.is_power_of_two(), "in-place X needs a power-of-two array (>= 4)");
         assert!(p > 0, "need at least one processor");
@@ -173,7 +174,7 @@ mod tests {
     use rfsp_pram::{CycleBudget, Machine, NoFailures};
 
     fn build(n: usize, p: usize) -> (WriteAllTasks, AlgoXInPlace) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoXInPlace::new(&mut layout, tasks, p);
         (tasks, algo)
@@ -234,7 +235,7 @@ mod tests {
         let inplace = m.run(&mut NoFailures).unwrap().stats.completed_work();
         assert!(tasks.all_written(m.memory()));
 
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = crate::algo_x::AlgoX::new(&mut layout, tasks, p, Default::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();

@@ -15,7 +15,7 @@
 //! over the *same* task array but keep disjoint bookkeeping, so whichever
 //! half finishes first ends the computation.
 
-use rfsp_pram::{MemoryLayout, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
+use rfsp_pram::{LayoutBuilder, Pid, Program, ReadSet, Region, SharedMemory, Step, Word, WriteSet};
 
 use crate::algo_v::{AlgoV, VPrivate};
 use crate::algo_x::{AlgoX, XOptions};
@@ -32,10 +32,10 @@ pub struct InterleavedLayout {
 ///
 /// ```
 /// use rfsp_core::{Interleaved, WriteAllTasks};
-/// use rfsp_pram::{Machine, MemoryLayout, NoFailures};
+/// use rfsp_pram::{Machine, LayoutBuilder, NoFailures};
 ///
 /// # fn main() -> Result<(), rfsp_pram::PramError> {
-/// let mut layout = MemoryLayout::new();
+/// let mut layout = LayoutBuilder::new();
 /// let tasks = WriteAllTasks::new(&mut layout, 64);
 /// let algo = Interleaved::new(&mut layout, tasks, 8);
 /// let budget = algo.required_budget(); // one extra read/write for parity
@@ -60,7 +60,7 @@ impl<T: TaskSet + Clone> Interleaved<T> {
     /// # Panics
     ///
     /// Panics if `tasks` is empty or `p == 0`.
-    pub fn new(layout: &mut MemoryLayout, tasks: T, p: usize) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, tasks: T, p: usize) -> Self {
         let parity = layout.alloc(1);
         // Both halves advance ONE shared round counter: multi-round task
         // state (register checkpoints, staging) is shared, so the halves
@@ -165,7 +165,7 @@ mod tests {
     use rfsp_pram::{Adversary, Decisions, FailPoint, Machine, MachineView, NoFailures};
 
     fn build(n: usize, p: usize) -> (WriteAllTasks, Interleaved<WriteAllTasks>) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = Interleaved::new(&mut layout, tasks, p);
         (tasks, algo)
@@ -238,14 +238,14 @@ mod tests {
             r.stats.completed_cycles
         };
         let x_work = {
-            let mut layout = MemoryLayout::new();
+            let mut layout = LayoutBuilder::new();
             let tasks = WriteAllTasks::new(&mut layout, n);
             let algo = crate::algo_x::AlgoX::new(&mut layout, tasks, p, Default::default());
             let mut m = Machine::new(&algo, p, rfsp_pram::CycleBudget::PAPER).unwrap();
             m.run(&mut NoFailures).unwrap().stats.completed_cycles
         };
         let v_work = {
-            let mut layout = MemoryLayout::new();
+            let mut layout = LayoutBuilder::new();
             let tasks = WriteAllTasks::new(&mut layout, n);
             let algo = crate::algo_v::AlgoV::new(&mut layout, tasks, p);
             let mut m = Machine::new(&algo, p, rfsp_pram::CycleBudget::PAPER).unwrap();

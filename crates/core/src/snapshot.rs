@@ -92,11 +92,11 @@ impl SnapshotProgram for SnapshotBalance {
 mod tests {
     use super::*;
     use rfsp_pram::snapshot::SnapshotMachine;
-    use rfsp_pram::{MemoryLayout, NoFailures, RunOutcome};
+    use rfsp_pram::{LayoutBuilder, NoFailures, RunOutcome};
 
     #[test]
     fn completes_in_one_cycle_with_p_equal_n() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 32);
         let algo = SnapshotBalance::new(tasks, 32);
         let mut m = SnapshotMachine::new(&algo, 32, 1).unwrap();
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn completes_with_few_processors() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 40);
         let algo = SnapshotBalance::new(tasks, 3);
         let mut m = SnapshotMachine::new(&algo, 3, 1).unwrap();
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn balanced_assignment_is_spread() {
         // With U = P, processor i takes exactly the i-th unvisited cell.
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 4);
         let algo = SnapshotBalance::new(tasks, 4);
         let mem = SharedMemory::new(layout.total());
@@ -143,7 +143,7 @@ mod tests {
         // Partially-visited instance: the indexed and bare views must agree
         // on every processor's pick (the debug_asserts inside the view
         // helpers additionally cross-check on the indexed path).
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 12);
         let algo = SnapshotBalance::new(tasks, 5);
         let mut mem = SharedMemory::new(layout.total());

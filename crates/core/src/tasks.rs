@@ -8,7 +8,7 @@
 //! components of the PRAM steps"). [`TaskSet`] captures the contract;
 //! [`WriteAllTasks`] is the canonical instance.
 
-use rfsp_pram::{CompletionHint, MemoryLayout, ReadSet, Region, SharedMemory, Word, WriteSet};
+use rfsp_pram::{CompletionHint, LayoutBuilder, ReadSet, Region, SharedMemory, Word, WriteSet};
 
 /// An array of idempotent tasks, each executable within one update cycle.
 ///
@@ -89,9 +89,9 @@ impl<T: TaskSet + ?Sized> TaskSet for &T {
 /// The Write-All problem itself: task `i` writes 1 into `x[i]`.
 ///
 /// ```
-/// use rfsp_pram::MemoryLayout;
+/// use rfsp_pram::LayoutBuilder;
 /// use rfsp_core::tasks::{TaskSet, WriteAllTasks};
-/// let mut layout = MemoryLayout::new();
+/// let mut layout = LayoutBuilder::new();
 /// let tasks = WriteAllTasks::new(&mut layout, 100);
 /// assert_eq!(tasks.len(), 100);
 /// assert_eq!(tasks.x().len(), 100);
@@ -103,7 +103,7 @@ pub struct WriteAllTasks {
 
 impl WriteAllTasks {
     /// Allocate the Write-All array `x[0..n)` from `layout`.
-    pub fn new(layout: &mut MemoryLayout, n: usize) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, n: usize) -> Self {
         WriteAllTasks { x: layout.alloc(n) }
     }
 
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn write_all_task_protocol() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 4);
         let mut mem = SharedMemory::new(layout.total());
 
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn budgets_are_declared() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 1);
         assert_eq!(tasks.max_reads(), 1);
         assert_eq!(tasks.max_writes(), 1);

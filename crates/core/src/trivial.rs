@@ -90,11 +90,11 @@ impl Program for TrivialAssign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout, NoFailures, PramError};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, Machine, NoFailures, PramError};
 
     #[test]
     fn optimal_without_failures() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 64);
         let algo = TrivialAssign::new(tasks, 16);
         let mut m = Machine::new(&algo, 16, CycleBudget::PAPER).unwrap();
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn ragged_blocks_cover_everything() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 10);
         let algo = TrivialAssign::new(tasks, 4);
         let mut m = Machine::new(&algo, 4, CycleBudget::PAPER).unwrap();
@@ -131,7 +131,7 @@ mod tests {
                 d
             }
         }
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 8);
         let algo = TrivialAssign::new(tasks, 4);
         let mut m = Machine::new(&algo, 4, CycleBudget::PAPER).unwrap();

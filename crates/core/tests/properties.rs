@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use rfsp_core::tree::HeapTree;
 use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
 use rfsp_pram::{
-    Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, MemoryLayout, Word,
+    Adversary, CycleBudget, Decisions, FailPoint, LayoutBuilder, Machine, MachineView, Word,
 };
 
 proptest! {
@@ -152,7 +152,7 @@ proptest! {
         p in 1usize..24,
         period in 2u64..6,
     ) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let tree = algo.tree();

@@ -24,5 +24,5 @@
 pub mod meter;
 pub mod omega;
 
-pub use meter::{NetworkMeter, NetworkProfile};
+pub use meter::{metered_run, NetworkMeter, NetworkProfile};
 pub use omega::{OmegaNetwork, RouteStats};

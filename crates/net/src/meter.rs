@@ -7,8 +7,22 @@
 //! update cycle. The wrapped adversary's decisions are forwarded
 //! unchanged, so the measured execution is byte-identical to the unmetered
 //! one.
+//!
+//! With [`NetworkMeter::with_layout`] the meter routes each packet to the
+//! cell's **actual** memory bank under the machine's
+//! [`MemoryLayout`] — the profile then comes from the same bank mapping
+//! the machine charges its per-bank counters against. Without a layout
+//! (or with [`MemoryLayout::Flat`]) the meter keeps the historical
+//! word-interleaved approximation `bank = addr mod K`.
+//!
+//! [`metered_run`] is the supported entry point for profiling: it builds
+//! and runs a real word machine with the meter installed, and every
+//! failure surfaces as a [`PramError`] instead of aborting.
 
-use rfsp_pram::{Adversary, Decisions, MachineView};
+use rfsp_pram::{
+    Adversary, CycleBudget, Decisions, Machine, MachineView, MemoryLayout, PramError, Program,
+    RunReport,
+};
 
 use crate::omega::{OmegaNetwork, RouteStats};
 
@@ -44,13 +58,35 @@ impl NetworkProfile {
 pub struct NetworkMeter<A> {
     inner: A,
     net: OmegaNetwork,
+    layout: MemoryLayout,
     profile: NetworkProfile,
+    // Reused per-tick packet buffers: metering stays allocation-free in
+    // steady state, like the machine it observes.
+    read_buf: Vec<(usize, usize)>,
+    write_buf: Vec<(usize, usize)>,
 }
 
 impl<A: Adversary> NetworkMeter<A> {
-    /// Meter `inner`'s run through `net`.
+    /// Meter `inner`'s run through `net` with the historical
+    /// word-interleaved bank approximation (`bank = addr mod K`).
     pub fn new(inner: A, net: OmegaNetwork) -> Self {
-        NetworkMeter { inner, net, profile: NetworkProfile::default() }
+        NetworkMeter {
+            inner,
+            net,
+            layout: MemoryLayout::Flat,
+            profile: NetworkProfile::default(),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+        }
+    }
+
+    /// Route packets to each cell's actual bank under `layout` (pass the
+    /// machine's layout). [`MemoryLayout::Flat`] keeps the `addr mod K`
+    /// approximation — a flat memory has one real bank, which would fold
+    /// the whole network onto a single port and measure nothing.
+    pub fn with_layout(mut self, layout: MemoryLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// The profile so far.
@@ -69,12 +105,23 @@ impl<A: Adversary> NetworkMeter<A> {
         self.profile.combined += stats.combined;
         *tick_total += stats.network_cycles;
     }
+
+    fn route(&self, batch: &[(usize, usize)]) -> RouteStats {
+        match self.layout {
+            MemoryLayout::Flat => self.net.route(batch),
+            layout @ MemoryLayout::Banked { .. } => {
+                self.net.route_with(batch, |addr| layout.bank_of(addr))
+            }
+        }
+    }
 }
 
 impl<A: Adversary> Adversary for NetworkMeter<A> {
     fn decide(&mut self, view: &MachineView<'_>) -> Decisions {
-        let mut reads: Vec<(usize, usize)> = Vec::new();
-        let mut writes: Vec<(usize, usize)> = Vec::new();
+        let mut reads = std::mem::take(&mut self.read_buf);
+        let mut writes = std::mem::take(&mut self.write_buf);
+        reads.clear();
+        writes.clear();
         for (pid, t) in view.tentative.iter().enumerate() {
             let Some(t) = t.as_ref() else { continue };
             for &addr in t.reads.addrs() {
@@ -85,34 +132,65 @@ impl<A: Adversary> Adversary for NetworkMeter<A> {
             }
         }
         let mut tick_total = 0;
-        let r = self.net.route(&reads);
+        let r = self.route(&reads);
         self.absorb(r, &mut tick_total);
-        let w = self.net.route(&writes);
+        let w = self.route(&writes);
         self.absorb(w, &mut tick_total);
+        self.read_buf = reads;
+        self.write_buf = writes;
         self.profile.ticks += 1;
         self.profile.worst_tick = self.profile.worst_tick.max(tick_total);
         self.inner.decide(view)
     }
 }
 
+/// Build a word [`Machine`] for `program` with memory laid out per
+/// `layout`, run it to completion under `adversary` with every charged
+/// access batch metered through `net`, and return the run report together
+/// with the network profile.
+///
+/// The profile comes from the *real* execution — the meter observes the
+/// exact tentative cycles the machine commits, with packets routed to the
+/// banks the layout actually maps each cell to — not from a standalone
+/// replay.
+///
+/// # Errors
+///
+/// Any [`PramError`] from machine construction (invalid processor count,
+/// budget or layout) or from the run itself; nothing panics on the
+/// metering path.
+pub fn metered_run<P: Program, A: Adversary>(
+    program: &P,
+    processors: usize,
+    budget: CycleBudget,
+    layout: MemoryLayout,
+    net: OmegaNetwork,
+    adversary: A,
+) -> Result<(RunReport, NetworkProfile), PramError> {
+    let mut machine = Machine::with_layout(program, processors, budget, layout)?;
+    let mut meter = NetworkMeter::new(adversary, net).with_layout(layout);
+    let report = machine.run(&mut meter)?;
+    Ok((report, meter.profile()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rfsp_core::{AlgoX, WriteAllTasks, XOptions};
-    use rfsp_pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+    use rfsp_pram::{CycleBudget, LayoutBuilder, NoFailures};
 
     fn profile(p: usize, combining: bool) -> NetworkProfile {
         let n = 256;
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let net =
             if combining { OmegaNetwork::new(p) } else { OmegaNetwork::new(p).without_combining() };
-        let mut meter = NetworkMeter::new(NoFailures, net);
-        let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
-        m.run(&mut meter).unwrap();
-        assert!(tasks.all_written(m.memory()));
-        meter.profile()
+        let (report, profile) =
+            metered_run(&algo, p, CycleBudget::PAPER, MemoryLayout::Flat, net, NoFailures)
+                .expect("metered run failed");
+        assert!(report.stats.completed_cycles > 0);
+        profile
     }
 
     #[test]
@@ -120,7 +198,7 @@ mod tests {
         let n = 128;
         let p = 16;
         let work = |metered: bool| {
-            let mut layout = MemoryLayout::new();
+            let mut layout = LayoutBuilder::new();
             let tasks = WriteAllTasks::new(&mut layout, n);
             let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
             let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
@@ -154,5 +232,84 @@ mod tests {
         // cycles when nonempty.
         assert!(p.slowdown() >= 5.0, "slowdown {}", p.slowdown());
         assert!(p.worst_tick >= 10);
+    }
+
+    /// A banked machine's profile equals the flat profile when the bank
+    /// mapping coincides with the `addr mod K` approximation, and the run
+    /// statistics are identical either way.
+    #[test]
+    fn banked_layout_routes_to_real_banks() {
+        let p = 16;
+        let n = 256;
+        let build = || {
+            let mut layout = LayoutBuilder::new();
+            let tasks = WriteAllTasks::new(&mut layout, n);
+            AlgoX::new(&mut layout, tasks, p, XOptions::default())
+        };
+        let flat = build();
+        let (flat_report, flat_profile) = metered_run(
+            &flat,
+            p,
+            CycleBudget::PAPER,
+            MemoryLayout::Flat,
+            OmegaNetwork::new(p),
+            NoFailures,
+        )
+        .unwrap();
+        let banked = build();
+        let (banked_report, banked_profile) = metered_run(
+            &banked,
+            p,
+            CycleBudget::PAPER,
+            MemoryLayout::banked(p),
+            OmegaNetwork::new(p),
+            NoFailures,
+        )
+        .unwrap();
+        // Word-interleaved over K = ports is exactly the approximation.
+        assert_eq!(flat_profile, banked_profile);
+        assert_eq!(flat_report.stats, banked_report.stats);
+        // A coarser banking (fewer banks than ports) concentrates traffic:
+        // congestion can only grow or stay equal.
+        let coarse = build();
+        let (_, coarse_profile) = metered_run(
+            &coarse,
+            p,
+            CycleBudget::PAPER,
+            MemoryLayout::banked(2),
+            OmegaNetwork::new(p),
+            NoFailures,
+        )
+        .unwrap();
+        assert!(coarse_profile.network_cycles >= banked_profile.network_cycles);
+    }
+
+    /// Satellite 3: a metering failure surfaces as a `PramError` instead
+    /// of aborting — here, an invalid machine configuration.
+    #[test]
+    fn metered_run_propagates_errors() {
+        let mut layout = LayoutBuilder::new();
+        let tasks = WriteAllTasks::new(&mut layout, 8);
+        let algo = AlgoX::new(&mut layout, tasks, 4, XOptions::default());
+        let err = metered_run(
+            &algo,
+            0, // zero processors is an invalid configuration
+            CycleBudget::PAPER,
+            MemoryLayout::Flat,
+            OmegaNetwork::new(4),
+            NoFailures,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PramError::InvalidConfig { .. }), "{err:?}");
+        let err = metered_run(
+            &algo,
+            4,
+            CycleBudget::PAPER,
+            MemoryLayout::Banked { banks: 0, interleave: 1 },
+            OmegaNetwork::new(4),
+            NoFailures,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PramError::InvalidConfig { .. }), "{err:?}");
     }
 }

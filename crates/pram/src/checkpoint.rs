@@ -23,6 +23,7 @@ use crate::accounting::WorkStats;
 use crate::adversary::ProcStatus;
 use crate::error::PramError;
 use crate::failure::FailurePattern;
+use crate::memory::MemoryLayout;
 use crate::mode::WriteMode;
 use crate::word::Word;
 
@@ -31,8 +32,10 @@ use crate::word::Word;
 ///
 /// Version history: v1 — word machine only; v2 — adds the [`model`]
 /// tag (`Checkpoint::model`) so checkpoints from the word and snapshot
-/// machines cannot be restored into each other.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// machines cannot be restored into each other; v3 — records the
+/// [`MemoryLayout`] and replaces the two global read/write counters with
+/// per-bank counter vectors (restore refuses cross-layout resumes).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// One processor's checkpointed state.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -70,12 +73,18 @@ pub struct Checkpoint {
     pub budget_reads: usize,
     /// Write half of the cycle budget.
     pub budget_writes: usize,
-    /// Shared-memory cells.
+    /// Physical memory layout of the run. Restore refuses a checkpoint
+    /// taken under a different layout: the per-bank counters below are
+    /// meaningless under any other bank mapping.
+    pub layout: MemoryLayout,
+    /// Shared-memory cells — always the merged, address-ordered image,
+    /// whatever the physical layout.
     pub mem: Vec<Word>,
-    /// Charged read count at the pause point.
-    pub mem_reads: u64,
-    /// Charged (committed) write count at the pause point.
-    pub mem_writes: u64,
+    /// Charged read count per bank at the pause point (one entry for the
+    /// flat layout).
+    pub bank_reads: Vec<u64>,
+    /// Charged (committed) write count per bank at the pause point.
+    pub bank_writes: Vec<u64>,
     /// Accumulated work statistics.
     pub stats: WorkStats,
     /// Per-processor status and private state, indexed by PID.
@@ -122,9 +131,10 @@ mod tests {
             mode: WriteMode::Common,
             budget_reads: 4,
             budget_writes: 2,
+            layout: MemoryLayout::Banked { banks: 2, interleave: 1 },
             mem: vec![0, 1, 2, 3],
-            mem_reads: 9,
-            mem_writes: 5,
+            bank_reads: vec![5, 4],
+            bank_writes: vec![2, 3],
             stats: WorkStats { completed_cycles: 12, parallel_time: 17, ..Default::default() },
             procs: vec![
                 ProcCheckpoint { status: ProcStatus::Alive, completed: 12, state: Value::UInt(3) },

@@ -111,13 +111,28 @@ pub enum PanicPolicy {
     FallbackSequential,
 }
 
-/// Internal per-processor slot.
+/// Processor bookkeeping in structure-of-arrays form.
+///
+/// Each of the core's hot loops touches exactly one of these arrays — the
+/// adversary view reads statuses, the tentative phase mutates private
+/// states, charging bumps completed counts — so keeping them in separate
+/// dense vectors makes every scan contiguous instead of striding over a
+/// padded per-processor struct (and lets the pooled backend hand workers a
+/// raw pointer into the states alone while statuses stay a shared slice).
 #[derive(Clone, Debug)]
-pub(crate) struct ProcSlot<S> {
-    pub(crate) status: ProcStatus,
-    /// Private memory; `None` while failed.
-    pub(crate) state: Option<S>,
-    pub(crate) completed: u64,
+pub(crate) struct ProcSoA<S> {
+    /// Liveness, indexed by PID.
+    pub(crate) status: Vec<ProcStatus>,
+    /// Private memory, indexed by PID; `None` while failed.
+    pub(crate) state: Vec<Option<S>>,
+    /// Completed update cycles charged, indexed by PID.
+    pub(crate) completed: Vec<u64>,
+}
+
+impl<S> ProcSoA<S> {
+    pub(crate) fn len(&self) -> usize {
+        self.status.len()
+    }
 }
 
 /// The parts of a machine model the shared [`Core`] cannot know: how one
@@ -186,7 +201,7 @@ pub struct Core<Pv> {
     pub(crate) mode: WriteMode,
     /// Number of write slots merged per tick (the write half of the budget).
     pub(crate) write_slots: usize,
-    pub(crate) procs: Vec<ProcSlot<Pv>>,
+    pub(crate) procs: ProcSoA<Pv>,
     pub(crate) cycle: u64,
     pub(crate) stats: WorkStats,
     pub(crate) pattern: FailurePattern,
@@ -218,13 +233,11 @@ impl<Pv: Clone + Send> Core<Pv> {
         mode: WriteMode,
         write_slots: usize,
     ) -> Self {
-        let procs = (0..processors)
-            .map(|i| ProcSlot {
-                status: ProcStatus::Alive,
-                state: Some(model.on_start(Pid(i))),
-                completed: 0,
-            })
-            .collect();
+        let procs = ProcSoA {
+            status: vec![ProcStatus::Alive; processors],
+            state: (0..processors).map(|i| Some(model.on_start(Pid(i)))).collect(),
+            completed: vec![0; processors],
+        };
         let mut core = Core {
             mem,
             mode,
@@ -255,8 +268,11 @@ impl<Pv: Clone + Send> Core<Pv> {
     pub(crate) fn init_tracker<M: ExecutionModel<Private = Pv>>(&mut self, model: &M) {
         let mem = &self.mem;
         let mut any_tracked = false;
-        self.unvisited.rebuild(mem.size(), |addr| {
-            match model.completion_hint(addr, mem.peek(addr)) {
+        // Walk the memory in bank-aligned chunks: each chunk is one
+        // contiguous slice of its bank, so a banked layout is classified
+        // without the per-address bank mapping.
+        self.unvisited.rebuild_from_chunks(mem.size(), mem.chunks(), |addr, value| {
+            match model.completion_hint(addr, value) {
                 CompletionHint::Untracked => false,
                 CompletionHint::Outstanding => {
                     any_tracked = true;
@@ -300,7 +316,7 @@ impl<Pv: Clone + Send> Core<Pv> {
             outcome: RunOutcome::Completed,
             stats: self.stats,
             pattern: std::mem::take(&mut self.pattern),
-            per_processor: self.procs.iter().map(|s| s.completed).collect(),
+            per_processor: self.procs.completed.clone(),
         }
     }
 
@@ -312,11 +328,13 @@ impl<Pv: Clone + Send> Core<Pv> {
         A: Adversary,
     {
         self.meta.clear();
-        self.meta.extend(self.procs.iter().enumerate().map(|(i, s)| ProcMeta {
-            pid: Pid(i),
-            status: s.status,
-            completed_cycles: s.completed,
-        }));
+        self.meta.extend(self.procs.status.iter().zip(&self.procs.completed).enumerate().map(
+            |(i, (&status, &completed))| ProcMeta {
+                pid: Pid(i),
+                status,
+                completed_cycles: completed,
+            },
+        ));
         let view = MachineView {
             cycle: self.cycle,
             processors: self.procs.len(),
@@ -440,11 +458,11 @@ impl<Pv: Clone + Send> Core<Pv> {
         M: ExecutionModel<Private = Pv>,
     {
         let p = self.procs.len();
-        let procs = &self.procs;
+        let statuses = &self.procs.status;
         resolve(
             self.cycle,
             &decisions,
-            |i| procs[i].status,
+            |i| statuses[i],
             &self.tentative,
             &mut self.fates,
             &mut self.failed_now,
@@ -483,10 +501,10 @@ impl<Pv: Clone + Send> Core<Pv> {
                     observer.event(TraceEvent::CycleCompleted { cycle: self.cycle, pid: Pid(i) });
                     self.stats.completed_cycles += 1;
                     self.stats.charged_instructions += (t.reads.len() + 1 + t.writes.len()) as u64;
-                    self.mem.charge_reads(t.reads.len() as u64);
-                    self.procs[i].completed += 1;
+                    self.mem.charge_reads_at(t.reads.addrs());
+                    self.procs.completed[i] += 1;
                     if t.halts {
-                        self.procs[i].status = ProcStatus::Halted;
+                        self.procs.status[i] = ProcStatus::Halted;
                     }
                     // The post-cycle private state is already in the slot
                     // (the tentative phase advances it in place).
@@ -504,12 +522,12 @@ impl<Pv: Clone + Send> Core<Pv> {
                     // What an interrupted cycle is charged differs by model
                     // (the snapshot's read and computation are free).
                     self.stats.partial_instructions += M::partial_instructions(t, committed_writes);
-                    self.mem.charge_reads(t.reads.len() as u64);
+                    self.mem.charge_reads_at(t.reads.addrs());
                 }
             }
             if self.failed_now[i] {
-                self.procs[i].status = ProcStatus::Failed;
-                self.procs[i].state = None;
+                self.procs.status[i] = ProcStatus::Failed;
+                self.procs.state[i] = None;
                 self.stats.failures += 1;
                 let point = self.fail_points[i].expect("failed processor has a recorded point");
                 observer.event(TraceEvent::Failure { cycle: self.cycle, pid: Pid(i), point });
@@ -522,8 +540,8 @@ impl<Pv: Clone + Send> Core<Pv> {
         }
         for i in (0..p).filter(|&i| self.restarted[i]) {
             observer.event(TraceEvent::Restart { cycle: self.cycle, pid: Pid(i) });
-            self.procs[i].status = ProcStatus::Alive;
-            self.procs[i].state = Some(model.on_start(Pid(i)));
+            self.procs.status[i] = ProcStatus::Alive;
+            self.procs.state[i] = Some(model.on_start(Pid(i)));
             self.stats.restarts += 1;
             self.events.push(FailureEvent {
                 kind: FailureKind::Restart,
@@ -639,6 +657,7 @@ where
             detail: "the adversary is not checkpointable (save_state returned None)".into(),
         })?;
         let (budget_reads, budget_writes) = model.checkpoint_budget();
+        let (bank_reads, bank_writes) = self.mem.bank_counters().into_iter().unzip();
         Ok(Checkpoint {
             version: CHECKPOINT_VERSION,
             model: M::MODEL.to_string(),
@@ -646,17 +665,23 @@ where
             mode: self.mode,
             budget_reads,
             budget_writes,
-            mem: self.mem.as_slice().to_vec(),
-            mem_reads: self.mem.read_count(),
-            mem_writes: self.mem.write_count(),
+            layout: self.mem.layout(),
+            // The merged, address-ordered image — the same bytes whatever
+            // the physical layout.
+            mem: self.mem.to_vec(),
+            bank_reads,
+            bank_writes,
             stats: self.stats,
             procs: self
                 .procs
+                .status
                 .iter()
-                .map(|s| ProcCheckpoint {
-                    status: s.status,
-                    completed: s.completed,
-                    state: s.state.as_ref().map_or(serde::Value::Null, |st| st.to_value()),
+                .zip(&self.procs.completed)
+                .zip(&self.procs.state)
+                .map(|((&status, &completed), state)| ProcCheckpoint {
+                    status,
+                    completed,
+                    state: state.as_ref().map_or(serde::Value::Null, |st| st.to_value()),
                 })
                 .collect(),
             pattern: self.pattern.clone(),
@@ -696,6 +721,15 @@ where
                 "checkpoint was taken under the \"{}\" model but this machine runs \"{}\"",
                 ck.model,
                 M::MODEL
+            )));
+        }
+        if ck.layout != self.mem.layout() {
+            return Err(fail(format!(
+                "checkpoint was taken under the {} memory layout but this machine uses {} — \
+                 cross-layout restore is not supported; rebuild the machine with the \
+                 checkpoint's layout",
+                ck.layout,
+                self.mem.layout()
             )));
         }
         if ck.mem.len() != self.mem.size() {
@@ -742,14 +776,24 @@ where
             };
             states.push(state);
         }
+        // Rebuild the memory *before* mutating the adversary: `from_parts`
+        // validates the cell image and per-bank counter shapes, and a
+        // failure there must leave everything untouched.
+        let mem = SharedMemory::from_parts(
+            ck.layout,
+            self.mem.size(),
+            &ck.mem,
+            &ck.bank_reads,
+            &ck.bank_writes,
+        )?;
         adversary
             .restore_state(&ck.adversary)
             .map_err(|e| fail(format!("adversary restore failed: {e}")))?;
-        self.mem = SharedMemory::from_parts(ck.mem.clone(), ck.mem_reads, ck.mem_writes);
-        for ((slot, pc), state) in self.procs.iter_mut().zip(&ck.procs).zip(states) {
-            slot.status = pc.status;
-            slot.completed = pc.completed;
-            slot.state = state;
+        self.mem = mem;
+        for (i, (pc, state)) in ck.procs.iter().zip(states).enumerate() {
+            self.procs.status[i] = pc.status;
+            self.procs.completed[i] = pc.completed;
+            self.procs.state[i] = state;
         }
         self.cycle = ck.cycle;
         self.stats = ck.stats;

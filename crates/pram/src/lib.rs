@@ -87,9 +87,9 @@ pub use failure::{
     DecisionRecorder, FailureEvent, FailureKind, FailurePattern, PatternError, ScheduledAdversary,
 };
 pub use machine::{Machine, PanicPolicy, RunControl, RunLimits, RunStatus};
-pub use memory::SharedMemory;
+pub use memory::{CellChunks, MemoryLayout, SharedMemory};
 pub use mode::WriteMode;
-pub use region::{MemoryLayout, Region};
+pub use region::{LayoutBuilder, Region};
 pub use snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 pub use trace::{
     MetricsObserver, NoopObserver, Observer, RunSeries, Tee, TickMetrics, TraceEvent, TraceLog,

@@ -40,8 +40,8 @@ use crate::adversary::{Adversary, ProcStatus, TentativeCycle};
 use crate::checkpoint::Checkpoint;
 use crate::cycle::{CycleBudget, ReadSet, Step, MAX_READS, MAX_WRITES};
 use crate::error::{BudgetKind, PramError};
-use crate::exec::{Core, ExecutionModel, ProcSlot};
-use crate::memory::SharedMemory;
+use crate::exec::{Core, ExecutionModel};
+use crate::memory::{MemoryLayout, SharedMemory};
 use crate::mode::WriteMode;
 use crate::pool::{panic_detail, PoolShutdown, TickPool};
 use crate::trace::{NoopObserver, Observer};
@@ -80,8 +80,11 @@ impl<'p, P: Program> ExecutionModel for WordModel<'p, P> {
 
     fn tentative(&self, core: &mut Core<P::Private>) -> Result<()> {
         let (mem, cycle) = (&core.mem, core.cycle);
-        for (i, (slot, out)) in core.procs.iter_mut().zip(core.tentative.iter_mut()).enumerate() {
-            tentative_for(self.program, mem, self.budget, cycle, Pid(i), slot, out)?;
+        let statuses = &core.procs.status;
+        for (i, (state, out)) in
+            core.procs.state.iter_mut().zip(core.tentative.iter_mut()).enumerate()
+        {
+            tentative_for(self.program, mem, self.budget, cycle, Pid(i), statuses[i], state, out)?;
         }
         Ok(())
     }
@@ -119,6 +122,25 @@ impl<'p, P: Program> Machine<'p, P> {
     /// not fit the inline cycle buffers
     /// ([`CycleBudget::fits_inline`]).
     pub fn new(program: &'p P, processors: usize, budget: CycleBudget) -> Result<Self> {
+        Self::with_layout(program, processors, budget, MemoryLayout::Flat)
+    }
+
+    /// [`Machine::new`] with an explicit [`MemoryLayout`]. The layout is a
+    /// physical property only — addresses, CRCW semantics and results are
+    /// identical to the flat machine — but reads and writes are charged to
+    /// per-bank counters and the Omega network meter (`rfsp-net`) routes
+    /// packets to the cells' actual banks.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::new`], plus [`PramError::InvalidConfig`] for invalid
+    /// layout parameters ([`MemoryLayout::validate`]).
+    pub fn with_layout(
+        program: &'p P,
+        processors: usize,
+        budget: CycleBudget,
+        layout: MemoryLayout,
+    ) -> Result<Self> {
         if processors == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
         }
@@ -131,7 +153,7 @@ impl<'p, P: Program> Machine<'p, P> {
                 ),
             });
         }
-        let mut mem = SharedMemory::new(program.shared_size());
+        let mut mem = SharedMemory::with_layout(program.shared_size(), layout)?;
         program.init_memory(&mut mem);
         let model = WordModel { program, budget };
         let core = Core::new(&model, processors, mem, WriteMode::Common, budget.writes);
@@ -178,7 +200,7 @@ impl<'p, P: Program> Machine<'p, P> {
     ///
     /// Panics if `pid` is out of range.
     pub fn proc_status(&self, pid: Pid) -> ProcStatus {
-        self.core.procs[pid.0].status
+        self.core.procs.status[pid.0]
     }
 
     /// Run to completion under `adversary` with default [`RunLimits`].
@@ -328,20 +350,22 @@ where
 /// state (cycle completed) or discards the state entirely (the adversary
 /// stopped the processor, and a stopped processor loses its private memory —
 /// the model has no partial-progress private state).
+#[allow(clippy::too_many_arguments)] // the split-borrowed SoA fields arrive separately by design
 fn tentative_for<P: Program>(
     program: &P,
     mem: &SharedMemory,
     budget: CycleBudget,
     cycle: u64,
     pid: Pid,
-    slot: &mut ProcSlot<P::Private>,
+    status: ProcStatus,
+    state: &mut Option<P::Private>,
     out: &mut Option<TentativeCycle>,
 ) -> Result<()> {
-    if slot.status != ProcStatus::Alive {
+    if status != ProcStatus::Alive {
         *out = None;
         return Ok(());
     }
-    let state = slot.state.as_mut().expect("alive processor must have private state");
+    let state = state.as_mut().expect("alive processor must have private state");
     let t = out.get_or_insert_with(TentativeCycle::default);
     t.reads.clear();
     t.values.clear();
@@ -401,9 +425,11 @@ fn tentative_caught<P: Program>(
     core: &mut Core<P::Private>,
 ) -> Result<()> {
     let (mem, cycle) = (&core.mem, core.cycle);
-    for (i, (slot, out)) in core.procs.iter_mut().zip(core.tentative.iter_mut()).enumerate() {
+    let statuses = &core.procs.status;
+    for (i, (state, out)) in core.procs.state.iter_mut().zip(core.tentative.iter_mut()).enumerate()
+    {
         catch_unwind(AssertUnwindSafe(|| {
-            tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
+            tentative_for(program, mem, budget, cycle, Pid(i), statuses[i], state, out)
         }))
         .unwrap_or_else(|payload| {
             Err(PramError::WorkerPanic {
@@ -415,7 +441,10 @@ fn tentative_caught<P: Program>(
     Ok(())
 }
 
-/// Raw-pointer wrapper for handing per-processor slots to pool workers.
+/// Raw-pointer wrapper for handing per-processor state slots to pool
+/// workers. With the structure-of-arrays processor state only the private
+/// states need the pointer: statuses are read-only during the tentative
+/// phase and are shared as a plain slice.
 struct SendPtr<T>(*mut T);
 
 // Manual impls: the derives would demand `T: Copy`, but the pointer itself
@@ -456,17 +485,19 @@ where
 {
     let p = core.procs.len();
     let (mem, cycle) = (&core.mem, core.cycle);
-    let procs = SendPtr(core.procs.as_mut_ptr());
+    let statuses: &[ProcStatus] = &core.procs.status;
+    let states = SendPtr(core.procs.state.as_mut_ptr());
     let tentative = SendPtr(core.tentative.as_mut_ptr());
     pool.run_tick(p, &move |start: usize, end: usize| {
+        #[allow(clippy::needless_range_loop)] // `i` also offsets the raw SoA pointers
         for i in start..end {
             // SAFETY: the pool's cursor hands out disjoint [start, end)
             // chunks within 0..p, so slot `i` is touched by exactly one
             // worker this tick; `run_tick` blocks until every worker is
             // done, so the pointers outlive all dereferences.
-            let slot = unsafe { &mut *procs.ptr().add(i) };
+            let state = unsafe { &mut *states.ptr().add(i) };
             let out = unsafe { &mut *tentative.ptr().add(i) };
-            tentative_for(program, mem, budget, cycle, Pid(i), slot, out)?;
+            tentative_for(program, mem, budget, cycle, Pid(i), statuses[i], state, out)?;
         }
         Ok(())
     })
@@ -487,16 +518,18 @@ where
 {
     let p = core.procs.len();
     let (mem, cycle) = (&core.mem, core.cycle);
-    let procs = SendPtr(core.procs.as_mut_ptr());
+    let statuses: &[ProcStatus] = &core.procs.status;
+    let states = SendPtr(core.procs.state.as_mut_ptr());
     let tentative = SendPtr(core.tentative.as_mut_ptr());
     pool.run_tick(p, &move |start: usize, end: usize| {
+        #[allow(clippy::needless_range_loop)] // `i` also offsets the raw SoA pointers
         for i in start..end {
             // SAFETY: as in `tentative_pooled` — disjoint chunks, pointers
             // outlive the tick.
-            let slot = unsafe { &mut *procs.ptr().add(i) };
+            let state = unsafe { &mut *states.ptr().add(i) };
             let out = unsafe { &mut *tentative.ptr().add(i) };
             catch_unwind(AssertUnwindSafe(|| {
-                tentative_for(program, mem, budget, cycle, Pid(i), slot, out)
+                tentative_for(program, mem, budget, cycle, Pid(i), statuses[i], state, out)
             }))
             .unwrap_or_else(|payload| {
                 Err(PramError::WorkerPanic {
@@ -718,13 +751,13 @@ where
                     // Snapshot every private state: the tentative phase
                     // advances states in place, so recovering from a panic
                     // mid-phase needs the pre-tick originals.
-                    for (saved, slot) in backup.iter_mut().zip(c.procs.iter()) {
-                        saved.clone_from(&slot.state);
+                    for (saved, state) in backup.iter_mut().zip(c.procs.state.iter()) {
+                        saved.clone_from(state);
                     }
                     match tentative_pooled_isolated(model.program, model.budget, c, &pool) {
                         Err(PramError::WorkerPanic { pid, detail }) => {
-                            for (slot, saved) in c.procs.iter_mut().zip(backup.iter()) {
-                                slot.state.clone_from(saved);
+                            for (state, saved) in c.procs.state.iter_mut().zip(backup.iter()) {
+                                state.clone_from(saved);
                             }
                             match policy {
                                 PanicPolicy::Surface => Err(PramError::WorkerPanic { pid, detail }),
@@ -1242,6 +1275,41 @@ mod tests {
             assert_eq!(report.stats, expected.stats);
             assert_eq!(report.per_processor, expected.per_processor);
             assert_eq!(m.memory().as_slice(), reference.memory().as_slice());
+        });
+    }
+
+    /// The sequential replay after a worker panic re-runs the *tentative*
+    /// phase only — nothing had committed, so the memory read/write
+    /// counters (total and per-bank) must equal an uninterrupted run's,
+    /// not charge the tick twice.
+    #[test]
+    fn panic_fallback_does_not_double_charge_counters() {
+        with_quiet_panics(|| {
+            let layout = MemoryLayout::Banked { banks: 3, interleave: 1 };
+            let clean = Counter { n: 8, target: 4 };
+            let mut reference =
+                Machine::with_layout(&clean, 8, CycleBudget::PAPER, layout).unwrap();
+            reference.run(&mut NoFailures).unwrap();
+
+            let trapped = BoobyTrap {
+                n: 8,
+                target: 4,
+                victim: 3,
+                fired: std::sync::atomic::AtomicBool::new(false),
+            };
+            let mut m = Machine::with_layout(&trapped, 8, CycleBudget::PAPER, layout).unwrap();
+            m.run_threaded_isolated(
+                &mut NoFailures,
+                RunLimits::default(),
+                4,
+                PanicPolicy::FallbackSequential,
+                &mut NoopObserver,
+            )
+            .unwrap();
+            assert!(trapped.fired.load(std::sync::atomic::Ordering::SeqCst));
+            assert_eq!(m.memory().read_count(), reference.memory().read_count());
+            assert_eq!(m.memory().write_count(), reference.memory().write_count());
+            assert_eq!(m.memory().bank_counters(), reference.memory().bank_counters());
         });
     }
 

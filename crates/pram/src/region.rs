@@ -1,7 +1,7 @@
 //! Shared-memory layout: named regions handed out by a bump allocator.
 //!
 //! Algorithms carve shared memory into arrays (the Write-All array `x`, the
-//! progress heap `d`, the location array `w`, …). A [`MemoryLayout`] assigns
+//! progress heap `d`, the location array `w`, …). A [`LayoutBuilder`] assigns
 //! each a disjoint [`Region`]; regions translate element indices to absolute
 //! cell addresses, so adversaries and tests can inspect an algorithm's data
 //! structures by name.
@@ -76,8 +76,8 @@ impl Region {
 /// Bump allocator assigning disjoint regions of a single shared memory.
 ///
 /// ```
-/// use rfsp_pram::MemoryLayout;
-/// let mut layout = MemoryLayout::new();
+/// use rfsp_pram::LayoutBuilder;
+/// let mut layout = LayoutBuilder::new();
 /// let x = layout.alloc(8);
 /// let d = layout.alloc(15);
 /// assert_eq!(x.at(0), 0);
@@ -85,11 +85,11 @@ impl Region {
 /// assert_eq!(layout.total(), 23);
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct MemoryLayout {
+pub struct LayoutBuilder {
     next: usize,
 }
 
-impl MemoryLayout {
+impl LayoutBuilder {
     /// A fresh layout starting at address 0.
     pub fn new() -> Self {
         Self::default()
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn regions_are_disjoint_and_ordered() {
-        let mut l = MemoryLayout::new();
+        let mut l = LayoutBuilder::new();
         let a = l.alloc(3);
         let b = l.alloc(2);
         assert_eq!((a.base(), a.len()), (0, 3));
@@ -128,14 +128,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of region")]
     fn at_checks_bounds() {
-        let mut l = MemoryLayout::new();
+        let mut l = LayoutBuilder::new();
         let a = l.alloc(1);
         a.at(1);
     }
 
     #[test]
     fn snapshot_reads_contents() {
-        let mut l = MemoryLayout::new();
+        let mut l = LayoutBuilder::new();
         let _pad = l.alloc(2);
         let r = l.alloc(2);
         let mut m = SharedMemory::new(l.total());

@@ -48,7 +48,7 @@ use crate::checkpoint::Checkpoint;
 use crate::cycle::{Step, WriteSet};
 use crate::error::{BudgetKind, PramError};
 use crate::exec::{Core, ExecutionModel, RunControl, RunLimits, RunStatus};
-use crate::memory::SharedMemory;
+use crate::memory::{MemoryLayout, SharedMemory};
 use crate::mode::WriteMode;
 use crate::trace::{NoopObserver, Observer};
 use crate::unvisited::UnvisitedIndex;
@@ -146,12 +146,50 @@ impl<'a> SnapshotView<'a> {
         }
     }
 
+    // The scan fallbacks run inside the tentative phase, so they iterate
+    // the memory's bank-aligned chunks ([`SharedMemory::chunks`]): each
+    // chunk is one contiguous slice of its bank, avoiding a per-address
+    // bank mapping on banked layouts (and a per-address bounds check on
+    // flat ones).
+
     fn scan_count(&self, region: crate::Region) -> usize {
-        (0..region.len()).filter(|&i| self.mem.peek(region.at(i)) == 0).count()
+        let mut count = 0;
+        for (_, cells) in self.region_chunks(region) {
+            count += cells.iter().filter(|&&v| v == 0).count();
+        }
+        count
     }
 
-    fn scan_nth(&self, region: crate::Region, k: usize) -> Option<usize> {
-        (0..region.len()).map(|i| region.at(i)).filter(|&a| self.mem.peek(a) == 0).nth(k)
+    fn scan_nth(&self, region: crate::Region, mut k: usize) -> Option<usize> {
+        for (base, cells) in self.region_chunks(region) {
+            for (off, &v) in cells.iter().enumerate() {
+                if v == 0 {
+                    if k == 0 {
+                        return Some(base + off);
+                    }
+                    k -= 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// The memory's bank-aligned chunks clipped to `region`, in ascending
+    /// address order.
+    fn region_chunks(
+        &self,
+        region: crate::Region,
+    ) -> impl Iterator<Item = (usize, &'a [Word])> + 'a {
+        let (start, end) = (region.base(), region.base() + region.len());
+        self.mem
+            .chunks()
+            .skip_while(move |&(base, cells)| base + cells.len() <= start)
+            .take_while(move |&(base, _)| base < end)
+            .map(move |(base, cells)| {
+                let lo = start.max(base) - base;
+                let hi = (end.min(base + cells.len())) - base;
+                (base + lo, &cells[lo..hi])
+            })
     }
 }
 
@@ -236,12 +274,15 @@ impl<'p, P: SnapshotProgram> ExecutionModel for SnapModel<'p, P> {
             mem: &core.mem,
             unvisited: if core.tracked { Some(&core.unvisited) } else { None },
         };
-        for (i, (slot, out)) in core.procs.iter_mut().zip(core.tentative.iter_mut()).enumerate() {
-            if slot.status != crate::adversary::ProcStatus::Alive {
+        let statuses = &core.procs.status;
+        for (i, (state, out)) in
+            core.procs.state.iter_mut().zip(core.tentative.iter_mut()).enumerate()
+        {
+            if statuses[i] != crate::adversary::ProcStatus::Alive {
                 *out = None;
                 continue;
             }
-            let state = slot.state.as_mut().expect("alive processor has private state");
+            let state = state.as_mut().expect("alive processor has private state");
             let t = out.get_or_insert_with(TentativeCycle::default);
             t.reads.clear();
             t.values.clear();
@@ -298,6 +339,25 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
     /// [`PramError::InvalidConfig`] if `processors == 0` or
     /// `write_budget == 0`.
     pub fn new(program: &'p P, processors: usize, write_budget: usize) -> Result<Self> {
+        Self::with_layout(program, processors, write_budget, MemoryLayout::Flat)
+    }
+
+    /// [`SnapshotMachine::new`] with an explicit [`MemoryLayout`] — the
+    /// snapshot counterpart of
+    /// [`Machine::with_layout`](crate::Machine::with_layout); the layout
+    /// changes only where cells physically live and which bank counters
+    /// writes charge (snapshot reads stay uncharged).
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotMachine::new`], plus [`PramError::InvalidConfig`] for
+    /// invalid layout parameters.
+    pub fn with_layout(
+        program: &'p P,
+        processors: usize,
+        write_budget: usize,
+        layout: MemoryLayout,
+    ) -> Result<Self> {
         if processors == 0 {
             return Err(PramError::InvalidConfig { detail: "need at least one processor".into() });
         }
@@ -306,7 +366,7 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
                 detail: "write budget must be positive".into(),
             });
         }
-        let mut mem = SharedMemory::new(program.shared_size());
+        let mut mem = SharedMemory::with_layout(program.shared_size(), layout)?;
         program.init_memory(&mut mem);
         let model = SnapModel { program, write_budget };
         // The §3 snapshot algorithms are COMMON-legal; the machine always

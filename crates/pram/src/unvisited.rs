@@ -42,6 +42,7 @@
 //! `Vec` growth).
 
 use crate::region::Region;
+use crate::word::Word;
 
 /// Sentinel for "address not in the set" in the position map.
 const ABSENT: usize = usize::MAX;
@@ -88,6 +89,35 @@ impl UnvisitedIndex {
             if is_outstanding(addr) {
                 self.pos[addr] = self.items.len();
                 self.items.push(addr);
+            }
+        }
+        self.live = self.items.len();
+        self.holes = false;
+        self.unsorted = false;
+    }
+
+    /// [`UnvisitedIndex::rebuild`] fed from bank-aligned cell chunks
+    /// (`(base_addr, cells)` in ascending address order, e.g.
+    /// [`SharedMemory::chunks`](crate::SharedMemory::chunks)): the
+    /// classifier gets each cell's value directly from the contiguous
+    /// chunk, so a banked memory is reclassified without paying the
+    /// per-address bank mapping. O(size).
+    pub fn rebuild_from_chunks<'a>(
+        &mut self,
+        size: usize,
+        chunks: impl Iterator<Item = (usize, &'a [Word])>,
+        mut is_outstanding: impl FnMut(usize, Word) -> bool,
+    ) {
+        self.items.clear();
+        self.pos.clear();
+        self.pos.resize(size, ABSENT);
+        for (base, cells) in chunks {
+            for (off, &value) in cells.iter().enumerate() {
+                let addr = base + off;
+                if is_outstanding(addr, value) {
+                    self.pos[addr] = self.items.len();
+                    self.items.push(addr);
+                }
             }
         }
         self.live = self.items.len();
@@ -265,7 +295,7 @@ impl UnvisitedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::region::MemoryLayout;
+    use crate::region::LayoutBuilder;
 
     fn fresh(live: &[usize], size: usize) -> UnvisitedIndex {
         let mut idx = UnvisitedIndex::new(size);
@@ -333,7 +363,7 @@ mod tests {
 
     #[test]
     fn region_slicing_is_contiguous() {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let a = layout.alloc(4);
         let b = layout.alloc(4);
         let idx = fresh(&[1, 2, 5, 6], layout.total());

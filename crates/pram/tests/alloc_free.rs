@@ -15,7 +15,7 @@ use std::sync::Mutex;
 
 use rfsp_pram::snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 use rfsp_pram::{
-    CompletionHint, CycleBudget, Machine, MemoryLayout, NoFailures, Pid, Program, ReadSet, Region,
+    CompletionHint, CycleBudget, LayoutBuilder, Machine, NoFailures, Pid, Program, ReadSet, Region,
     RunLimits, SharedMemory, Step, Word, WriteSet,
 };
 
@@ -152,7 +152,7 @@ fn snapshot_steady_state_ticks_do_not_allocate() {
     // strictly inside the run, and every tick commits p index removals
     // followed by a compaction in `ensure_clean`.
     let n = 80 * p;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let x = layout.alloc(n);
     let prog = SnapWriteAll { x, p };
     let mut m = SnapshotMachine::new(&prog, p, 1).unwrap();

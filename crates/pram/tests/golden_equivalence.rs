@@ -20,8 +20,8 @@ use std::path::PathBuf;
 use rfsp_pram::snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 use rfsp_pram::{
     CompletionHint, CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, Machine,
-    Pid, Program, ReadSet, RunLimits, RunReport, ScheduledAdversary, SharedMemory, Step,
-    TraceRecorder, Word, WriteSet,
+    MemoryLayout, Pid, Program, ReadSet, RunLimits, RunReport, ScheduledAdversary, SharedMemory,
+    Step, TraceRecorder, Word, WriteSet,
 };
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -47,6 +47,8 @@ fn check_golden(name: &str, actual: &str) {
 }
 
 /// Canonical text rendering of everything a run makes observable.
+/// `to_vec()` merges banked layouts into address order, so a banked run
+/// summarizes — and must stay — byte-identical to the flat fixture.
 fn summary(events_jsonl: &str, report: &RunReport, mem: &SharedMemory) -> String {
     format!(
         "== events ==\n{events_jsonl}== stats ==\n{:?}\n== pattern ==\n{:?}\n\
@@ -54,7 +56,7 @@ fn summary(events_jsonl: &str, report: &RunReport, mem: &SharedMemory) -> String
         report.stats,
         report.pattern,
         report.per_processor,
-        mem.as_slice(),
+        mem.to_vec(),
         mem.read_count(),
         mem.write_count(),
     )
@@ -133,8 +135,15 @@ fn word_schedule() -> FailurePattern {
 fn word_summary(
     run: impl FnOnce(&mut Machine<'_, Duo>, &mut ScheduledAdversary, &mut TraceRecorder) -> RunReport,
 ) -> String {
+    word_summary_layout(MemoryLayout::Flat, run)
+}
+
+fn word_summary_layout(
+    layout: MemoryLayout,
+    run: impl FnOnce(&mut Machine<'_, Duo>, &mut ScheduledAdversary, &mut TraceRecorder) -> RunReport,
+) -> String {
     let prog = Duo { p: 4, target: 3 };
-    let mut m = Machine::new(&prog, 4, CycleBudget::PAPER).unwrap();
+    let mut m = Machine::with_layout(&prog, 4, CycleBudget::PAPER, layout).unwrap();
     let mut adv = ScheduledAdversary::new(word_schedule());
     let mut trace = TraceRecorder::unbounded();
     let report = run(&mut m, &mut adv, &mut trace);
@@ -153,6 +162,27 @@ fn word_sequential_matches_golden() {
 #[test]
 fn word_pooled_matches_golden() {
     let actual = word_summary(|m, adv, trace| {
+        m.run_threaded_observed(adv, RunLimits::default(), 3, trace).unwrap()
+    });
+    check_golden("golden_word.txt", &actual);
+}
+
+/// Bank-partitioning the shared memory must not change a single observable
+/// byte: the same fixture the flat layout pins, under an uneven
+/// block-cyclic layout (8 cells over 3 banks of 2-cell blocks).
+#[test]
+fn word_banked_matches_golden() {
+    let layout = MemoryLayout::Banked { banks: 3, interleave: 2 };
+    let actual = word_summary_layout(layout, |m, adv, trace| {
+        m.run_observed(adv, RunLimits::default(), trace).unwrap()
+    });
+    check_golden("golden_word.txt", &actual);
+}
+
+#[test]
+fn word_pooled_banked_matches_golden() {
+    let layout = MemoryLayout::Banked { banks: 3, interleave: 2 };
+    let actual = word_summary_layout(layout, |m, adv, trace| {
         m.run_threaded_observed(adv, RunLimits::default(), 3, trace).unwrap()
     });
     check_golden("golden_word.txt", &actual);
@@ -218,6 +248,19 @@ fn snapshot_schedule() -> FailurePattern {
 fn snapshot_matches_golden() {
     let prog = SnapHinted { n: 12 };
     let mut m = SnapshotMachine::new(&prog, 4, 1).unwrap();
+    let mut adv = ScheduledAdversary::new(snapshot_schedule());
+    let report = m.run(&mut adv).unwrap();
+    let actual = summary("", &report, m.memory());
+    check_golden("golden_snapshot.txt", &actual);
+}
+
+/// The snapshot machine over a banked memory — including its chunk-wise
+/// fallback scans — pins to the same fixture as the flat run.
+#[test]
+fn snapshot_banked_matches_golden() {
+    let prog = SnapHinted { n: 12 };
+    let layout = MemoryLayout::Banked { banks: 4, interleave: 1 };
+    let mut m = SnapshotMachine::with_layout(&prog, 4, 1, layout).unwrap();
     let mut adv = ScheduledAdversary::new(snapshot_schedule());
     let report = m.run(&mut adv).unwrap();
     let actual = summary("", &report, m.memory());

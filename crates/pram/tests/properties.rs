@@ -2,16 +2,16 @@
 
 use proptest::prelude::*;
 use rfsp_pram::{
-    CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, Machine, MemoryLayout, Pid,
+    CycleBudget, FailPoint, FailureEvent, FailureKind, FailurePattern, LayoutBuilder, Machine, Pid,
     Program, ReadSet, RunLimits, ScheduledAdversary, SharedMemory, Step, TraceRecorder, Word,
     WriteMode, WriteSet,
 };
 
 proptest! {
-    /// MemoryLayout hands out disjoint, densely packed regions in order.
+    /// LayoutBuilder hands out disjoint, densely packed regions in order.
     #[test]
     fn layout_regions_are_disjoint_and_dense(sizes in proptest::collection::vec(0usize..100, 0..32)) {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let regions: Vec<_> = sizes.iter().map(|&s| layout.alloc(s)).collect();
         let mut expected_base = 0;
         for (r, &s) in regions.iter().zip(&sizes) {

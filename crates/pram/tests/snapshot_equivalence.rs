@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use rfsp_pram::snapshot::reference::ReferenceSnapshotMachine;
 use rfsp_pram::snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 use rfsp_pram::{
-    CompletionHint, FailPoint, FailureEvent, FailureKind, FailurePattern, MemoryLayout, Pid,
+    CompletionHint, FailPoint, FailureEvent, FailureKind, FailurePattern, LayoutBuilder, Pid,
     Region, RunLimits, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
 };
 
@@ -119,7 +119,7 @@ proptest! {
     ) {
         let pattern = legal_schedule(p, raw);
         let limits = RunLimits { max_cycles: 1_000_000 };
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let x = layout.alloc(n);
         let prog = SnapWriteAll { x, hinted };
 

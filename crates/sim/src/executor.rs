@@ -15,7 +15,7 @@
 
 use rfsp_core::{AlgoV, AlgoX, Interleaved, XOptions};
 use rfsp_pram::{
-    Adversary, Machine, MemoryLayout, NoopObserver, Observer, PramError, Program, RunLimits,
+    Adversary, LayoutBuilder, Machine, NoopObserver, Observer, PramError, Program, RunLimits,
     RunReport, Word, WriteMode,
 };
 
@@ -152,7 +152,7 @@ where
     }
     let sim_processors = prog.processors();
     let sim_steps = prog.steps();
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = SimTasks::new(&mut layout, prog);
 
     // A small shim is needed because each engine is a different Program

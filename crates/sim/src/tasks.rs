@@ -28,7 +28,7 @@
 //! progress heaps store round numbers too).
 
 use rfsp_core::TaskSet;
-use rfsp_pram::{MemoryLayout, ReadSet, Region, SharedMemory, Word, WriteSet};
+use rfsp_pram::{LayoutBuilder, ReadSet, Region, SharedMemory, Word, WriteSet};
 
 use crate::program::{Regs, SimProgram, SimWrite};
 
@@ -98,7 +98,7 @@ impl<P: SimProgram> SimTasks<P> {
     ///
     /// Panics if the program exceeds the packing limits: ≥ 1 processor,
     /// memory < 65 535 cells, τ ≤ 32 766 steps.
-    pub fn new(layout: &mut MemoryLayout, prog: P) -> Self {
+    pub fn new(layout: &mut LayoutBuilder, prog: P) -> Self {
         let n = prog.processors();
         assert!(n > 0, "simulated program needs at least one processor");
         assert!(

@@ -10,7 +10,7 @@
 
 use rfsp::adversary::{Pigeonhole, RandomFaults, Thrashing, XKiller};
 use rfsp::core::{AlgoV, AlgoW, AlgoX, Interleaved, WriteAllTasks, XOptions};
-use rfsp::pram::{Adversary, CycleBudget, Machine, MemoryLayout, NoFailures, RunLimits};
+use rfsp::pram::{Adversary, CycleBudget, LayoutBuilder, Machine, NoFailures, RunLimits};
 
 const N: usize = 512;
 const P: usize = 512;
@@ -34,7 +34,7 @@ fn cell(
         Option<rfsp::core::HeapTree>,
     ) -> Box<dyn Adversary>,
 ) -> u64 {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, N);
     match algo {
         "X" => {

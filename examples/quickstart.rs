@@ -10,7 +10,7 @@
 
 use rfsp::adversary::RandomFaults;
 use rfsp::core::{AlgoX, WriteAllTasks, XOptions};
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine, NoFailures};
 
 fn main() -> Result<(), rfsp::pram::PramError> {
     let n = 1024; // array size  (the paper's N)
@@ -18,7 +18,7 @@ fn main() -> Result<(), rfsp::pram::PramError> {
 
     // Lay out shared memory: the Write-All array x[0..N), then algorithm
     // X's bookkeeping (progress heap d, location array w).
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
 
@@ -40,7 +40,7 @@ fn main() -> Result<(), rfsp::pram::PramError> {
     println!("  overhead ratio σ        = {:.3}", report.overhead_ratio(n as u64));
 
     // For contrast: the same instance with no failures.
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
     let mut machine = Machine::new(&algo, p, CycleBudget::PAPER)?;

@@ -11,14 +11,14 @@
 
 use rfsp::adversary::{Stalking, StalkingMode};
 use rfsp::core::{AccOptions, AlgoAcc, AlgoX, WriteAllTasks, XOptions};
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout, PramError, RunLimits};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine, PramError, RunLimits};
 
 const N: usize = 32;
 const P: usize = 6;
 const LIMIT: u64 = 1_000_000;
 
 fn stalk_x(mode: StalkingMode) -> String {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, N);
     let prog = AlgoX::new(&mut layout, tasks, P, XOptions::default());
     let mut adv = Stalking::new(tasks.x(), N - 1, mode);
@@ -33,7 +33,7 @@ fn stalk_x(mode: StalkingMode) -> String {
 }
 
 fn stalk_acc(mode: StalkingMode, seed: u64) -> String {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, N);
     let prog = AlgoAcc::new(&mut layout, tasks, AccOptions { seed });
     let mut adv = Stalking::new(tasks.x(), N - 1, mode);

@@ -11,7 +11,7 @@
 
 use rfsp::core::{AlgoX, WriteAllTasks, XOptions};
 use rfsp::pram::{
-    Adversary, CycleBudget, Decisions, FailPoint, Machine, MachineView, MemoryLayout, Pid,
+    Adversary, CycleBudget, Decisions, FailPoint, LayoutBuilder, Machine, MachineView, Pid,
     ProcStatus, Program,
 };
 
@@ -34,7 +34,7 @@ impl Adversary for HalfChurn {
 }
 
 fn main() {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, N);
     let algo = AlgoX::new(&mut layout, tasks, P, XOptions::default());
     let tree = algo.tree();

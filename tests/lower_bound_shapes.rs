@@ -4,14 +4,14 @@
 use rfsp::adversary::{Pigeonhole, Thrashing, XKiller};
 use rfsp::core::{AlgoX, SnapshotBalance, WriteAllTasks, XOptions};
 use rfsp::pram::snapshot::SnapshotMachine;
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine};
 
 /// Theorem 3.1 + 3.2: the snapshot model pins Write-All at Θ(N log N).
 #[test]
 fn snapshot_model_is_theta_n_log_n() {
     let mut ratios = Vec::new();
     for n in [128usize, 256, 512, 1024] {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = SnapshotBalance::new(tasks, n);
         let mut m = SnapshotMachine::new(&algo, n, 1).unwrap();
@@ -35,7 +35,7 @@ fn snapshot_model_is_theta_n_log_n() {
 #[test]
 fn thrashing_separates_s_from_s_prime() {
     let n = 256usize;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
     let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
@@ -53,7 +53,7 @@ fn thrashing_separates_s_from_s_prime() {
 fn x_killer_exponent_brackets_log2_3() {
     let mut points = Vec::new();
     for n in [64usize, 128, 256, 512] {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
         let mut adv = XKiller::new(tasks.x(), *algo.layout(), algo.tree());
@@ -81,7 +81,7 @@ fn x_killer_exponent_brackets_log2_3() {
 fn overlapping_pids_cost_at_most_double() {
     let n = 128usize;
     let work = |p: usize| {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();

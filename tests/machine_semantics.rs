@@ -4,7 +4,7 @@
 
 use rfsp::adversary::RandomFaults;
 use rfsp::core::{AlgoV, AlgoX, WriteAllTasks, XOptions};
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout, RunLimits, ScheduledAdversary, WriteMode};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine, RunLimits, ScheduledAdversary, WriteMode};
 
 /// The threaded execution backend is bit-identical to the sequential one,
 /// including under an adversarial schedule (replayed so both backends see
@@ -15,7 +15,7 @@ fn threaded_backend_matches_sequential_under_faults() {
     let p = 32usize;
     // First, record a pattern with a live random adversary.
     let pattern = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut adv = RandomFaults::new(0.2, 0.5, 7);
@@ -24,7 +24,7 @@ fn threaded_backend_matches_sequential_under_faults() {
     };
     // Sequential replay.
     let (seq_stats, seq_mem) = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut adv = ScheduledAdversary::new(pattern.clone());
@@ -34,7 +34,7 @@ fn threaded_backend_matches_sequential_under_faults() {
     };
     // Threaded replay across several thread counts.
     for threads in [1usize, 2, 3, 8] {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut adv = ScheduledAdversary::new(pattern.clone());
@@ -50,7 +50,7 @@ fn threaded_backend_matches_sequential_under_faults() {
 #[test]
 fn shipped_algorithms_are_common_legal() {
     for seed in 0..5u64 {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, 150);
         let prog = AlgoV::new(&mut layout, tasks, 30);
         let mut adv = RandomFaults::new(0.25, 0.7, seed);
@@ -64,7 +64,7 @@ fn shipped_algorithms_are_common_legal() {
 /// ARBITRARY mode runs the same algorithms unchanged (COMMON ⊆ ARBITRARY).
 #[test]
 fn arbitrary_mode_subsumes_common_algorithms() {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, 64);
     let prog = AlgoX::new(&mut layout, tasks, 16, XOptions::default());
     let mut adv = RandomFaults::new(0.1, 0.6, 3);
@@ -78,7 +78,7 @@ fn arbitrary_mode_subsumes_common_algorithms() {
 #[test]
 fn fail_points_inside_cycles_are_all_exercised() {
     use rfsp::pram::{FailPoint, FailureKind};
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, 120);
     let prog = AlgoV::new(&mut layout, tasks, 24);
     let mut adv = RandomFaults::new(0.3, 0.6, 0xFEED);
@@ -106,7 +106,7 @@ fn fail_points_inside_cycles_are_all_exercised() {
 #[test]
 fn trace_log_matches_work_stats() {
     use rfsp::pram::{RunLimits, TraceEvent, TraceLog};
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, 100);
     let prog = AlgoX::new(&mut layout, tasks, 20, XOptions::default());
     let mut adv = RandomFaults::new(0.2, 0.6, 0xBEEF);
@@ -140,7 +140,7 @@ fn threaded_backend_matches_for_v_and_interleaved() {
     let p = 16usize;
     // V.
     let pattern = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoV::new(&mut layout, tasks, p);
         let mut adv = RandomFaults::new(0.15, 0.6, 21);
@@ -148,7 +148,7 @@ fn threaded_backend_matches_for_v_and_interleaved() {
         m.run(&mut adv).unwrap().pattern
     };
     let seq = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoV::new(&mut layout, tasks, p);
         let mut adv = ScheduledAdversary::new(pattern.clone());
@@ -156,7 +156,7 @@ fn threaded_backend_matches_for_v_and_interleaved() {
         m.run(&mut adv).unwrap().stats
     };
     let par = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoV::new(&mut layout, tasks, p);
         let mut adv = ScheduledAdversary::new(pattern.clone());
@@ -167,7 +167,7 @@ fn threaded_backend_matches_for_v_and_interleaved() {
     // Interleaved.
     let (seq, par) = {
         let run = |threads: Option<usize>| {
-            let mut layout = MemoryLayout::new();
+            let mut layout = LayoutBuilder::new();
             let tasks = WriteAllTasks::new(&mut layout, n);
             let prog = Interleaved::new(&mut layout, tasks, p);
             let budget = prog.required_budget();
@@ -193,7 +193,7 @@ fn threaded_event_stream_is_byte_identical_to_sequential() {
     let n = 180usize;
     let p = 24usize;
     let pattern = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut adv = RandomFaults::new(0.2, 0.5, 0xA11CE);
@@ -202,7 +202,7 @@ fn threaded_event_stream_is_byte_identical_to_sequential() {
     };
     assert!(!pattern.is_empty(), "the adversary must actually interfere");
     let capture = |threads: Option<usize>| {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut adv = ScheduledAdversary::new(pattern.clone());
@@ -241,7 +241,7 @@ fn v_allocation_is_balanced() {
     use rfsp::pram::NoFailures;
     let n = 2048usize;
     let p = 32usize;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let prog = AlgoV::new(&mut layout, tasks, p);
     let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
@@ -257,7 +257,7 @@ fn v_allocation_is_balanced() {
 fn x_killer_skews_per_processor_work() {
     use rfsp::adversary::XKiller;
     let n = 128usize;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let prog = AlgoX::new(&mut layout, tasks, n, XOptions::default());
     let mut adv = XKiller::new(tasks.x(), *prog.layout(), prog.tree());

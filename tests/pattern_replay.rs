@@ -5,10 +5,10 @@
 
 use rfsp::adversary::RandomFaults;
 use rfsp::core::{AlgoV, AlgoX, WriteAllTasks, XOptions};
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout, ScheduledAdversary, Word};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine, ScheduledAdversary, Word};
 
 fn run_x(n: usize, p: usize) -> (rfsp::pram::RunReport, Vec<Word>) {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let prog = AlgoX::new(&mut layout, tasks, p, XOptions::default());
     let mut adv = RandomFaults::new(0.15, 0.6, 0xDECAF);
@@ -22,7 +22,7 @@ fn recorded_pattern_replays_identically_x() {
     let (original, mem) = run_x(96, 24);
     assert!(original.stats.pattern_size() > 0, "need a nontrivial pattern");
 
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, 96);
     let prog = AlgoX::new(&mut layout, tasks, 24, XOptions::default());
     let mut replay_adv = ScheduledAdversary::new(original.pattern.clone());
@@ -40,7 +40,7 @@ fn recorded_pattern_replays_identically_v() {
     let n = 128;
     let p = 16;
     let original = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoV::new(&mut layout, tasks, p);
         let mut adv = RandomFaults::new(0.1, 0.8, 42);
@@ -48,7 +48,7 @@ fn recorded_pattern_replays_identically_v() {
         m.run(&mut adv).unwrap()
     };
     let replayed = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let prog = AlgoV::new(&mut layout, tasks, p);
         let mut adv = ScheduledAdversary::new(original.pattern.clone());

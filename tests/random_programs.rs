@@ -93,7 +93,7 @@ proptest! {
 /// processor state survives real-processor failures bit for bit.
 #[test]
 fn register_checkpoints_survive_churn() {
-    use rfsp::pram::MemoryLayout;
+    use rfsp::pram::LayoutBuilder;
     use rfsp::sim::SimTasks;
 
     let prog = RandomProgram { n: 24, steps: 5, seed: 0xABCD };
@@ -119,7 +119,7 @@ fn register_checkpoints_survive_churn() {
     }
 
     // Faulty run, then extract the checkpointed registers.
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = SimTasks::new(&mut layout, prog.clone());
     let algo = rfsp::core::AlgoX::new(&mut layout, tasks.clone(), 6, Default::default());
     let budget = algo.required_budget();

@@ -7,12 +7,12 @@
 use rfsp::adversary::{Pigeonhole, Thrashing, XKiller};
 use rfsp::core::{AlgoV, AlgoX, SnapshotBalance, WriteAllTasks, XOptions};
 use rfsp::pram::snapshot::SnapshotMachine;
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout, NoFailures};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine, NoFailures};
 
 #[test]
 fn x_killer_pin() {
     let n = 512usize;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
     let mut adv = XKiller::new(tasks.x(), *algo.layout(), algo.tree());
@@ -25,7 +25,7 @@ fn x_killer_pin() {
 #[test]
 fn thrashing_pin() {
     let n = 256usize;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = AlgoX::new(&mut layout, tasks, n, XOptions::default());
     let mut m = Machine::new(&algo, n, CycleBudget::PAPER).unwrap();
@@ -37,7 +37,7 @@ fn thrashing_pin() {
 #[test]
 fn snapshot_pigeonhole_pin() {
     let n = 1024usize;
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let algo = SnapshotBalance::new(tasks, n);
     let mut m = SnapshotMachine::new(&algo, n, 1).unwrap();
@@ -52,14 +52,14 @@ fn failure_free_pins() {
     let n = 2048usize;
     let p = 128usize;
     let x = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
         m.run(&mut NoFailures).unwrap().completed_work()
     };
     let v = {
-        let mut layout = MemoryLayout::new();
+        let mut layout = LayoutBuilder::new();
         let tasks = WriteAllTasks::new(&mut layout, n);
         let algo = AlgoV::new(&mut layout, tasks, p);
         let mut m = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();

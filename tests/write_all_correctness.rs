@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rfsp::adversary::RandomFaults;
 use rfsp::core::{AlgoV, AlgoW, AlgoX, AlgoXInPlace, Interleaved, WriteAllTasks, XOptions};
-use rfsp::pram::{CycleBudget, Machine, MemoryLayout, RunLimits, RunReport};
+use rfsp::pram::{CycleBudget, LayoutBuilder, Machine, RunLimits, RunReport};
 
 #[derive(Clone, Copy, Debug)]
 enum Which {
@@ -18,7 +18,7 @@ enum Which {
 }
 
 fn run(which: Which, n: usize, p: usize, p_fail: f64, p_restart: f64, seed: u64) -> RunReport {
-    let mut layout = MemoryLayout::new();
+    let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     let mut adv = RandomFaults::new(p_fail, p_restart, seed);
     let limits = RunLimits { max_cycles: 5_000_000 };
