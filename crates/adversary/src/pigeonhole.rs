@@ -86,14 +86,14 @@ impl Adversary for Pigeonhole {
         // otherwise. `indexed` additionally carries the rank of x's first
         // unvisited cell, turning address → slot into O(1) rank lookups.
         let indexed = view.unvisited.map(|idx| (idx, idx.range_in(self.x).start));
-        let cells: &[usize] = match indexed {
-            Some((idx, _)) => idx.slice_in(self.x),
+        let u = match indexed {
+            Some((idx, _)) => idx.count_in(self.x),
             None => {
                 self.scan.clear();
                 self.scan.extend(
                     (0..self.x.len()).map(|i| self.x.at(i)).filter(|&a| view.mem.peek(a) == 0),
                 );
-                &self.scan
+                self.scan.len()
             }
         };
         #[cfg(debug_assertions)]
@@ -102,9 +102,12 @@ impl Adversary for Pigeonhole {
                 .map(|i| self.x.at(i))
                 .filter(|&a| view.mem.peek(a) == 0)
                 .collect();
-            assert_eq!(cells, &fresh[..], "unvisited index diverged from the memory scan");
+            let agrees = match indexed {
+                Some((idx, _)) => idx.slice_in(self.x).iter().eq(fresh.iter().copied()),
+                None => self.scan == fresh,
+            };
+            assert!(agrees, "unvisited index diverged from the memory scan");
         }
-        let u = cells.len();
         if u <= self.floor {
             return d;
         }
@@ -112,7 +115,8 @@ impl Adversary for Pigeonhole {
             // Fallback slot lookup: region offset → slot (MAX = visited).
             self.slot_of.clear();
             self.slot_of.resize(self.x.len(), usize::MAX);
-            for (k, &addr) in cells.iter().enumerate() {
+            for k in 0..self.scan.len() {
+                let addr = self.scan[k];
                 self.slot_of[self.x.index_of(addr)] = k;
             }
         }

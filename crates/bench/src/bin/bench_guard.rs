@@ -1,28 +1,40 @@
-//! Throughput regression guard for the flat-layout tick engine.
+//! Throughput regression guard for the tick engine's hot paths.
 //!
-//! The bank-partitioned memory backend must not tax the flat layout: the
-//! flat fast paths (single bank, bulk counters, contiguous `as_slice`)
-//! keep the pre-banking cost, and this guard pins that claim in CI.
+//! Three claims, each pinned in CI:
 //!
-//! It measures ns/tick of the no-failure Write-All baseline
-//! ([`TrivialAssign`], the `BENCH_TICK` workload) under the flat layout
-//! and compares against the committed baseline
-//! `crates/bench/baseline/tick_flat.json`. The run fails (exit 1) when
-//! the measured cost exceeds `baseline × RFSP_GUARD_RATIO` (default 4 —
-//! generous, because CI hosts vary; the guard catches algorithmic
-//! regressions, not machine noise). `RFSP_GUARD_UPDATE=1` re-blesses the
-//! baseline with the current measurement.
+//! 1. **Flat tick cost** — the bank-partitioned memory backend must not
+//!    tax the flat layout. Measures ns/tick of the no-failure Write-All
+//!    baseline ([`TrivialAssign`], the `BENCH_TICK` workload) under the
+//!    flat layout against the committed baseline
+//!    `crates/bench/baseline/tick_flat.json`; fails when the measured cost
+//!    exceeds `baseline × RFSP_GUARD_RATIO` (default 4 — generous, because
+//!    CI hosts vary; the guard catches algorithmic regressions, not
+//!    machine noise).
+//! 2. **Scale kernel cost** — the batched tentative-phase kernels must
+//!    keep per-cell cost flat at scale. Measures ns/cell of the same
+//!    workload at the `BENCH_SCALE.json` geometry (`N = 2^20`, 4096 cells
+//!    per processor, sequential engine) against
+//!    `crates/bench/baseline/scale_word_flat.json`, gated by the same
+//!    `RFSP_GUARD_RATIO`.
+//! 3. **Relative checks** (machine-independent, both sides measured in
+//!    the same process): the banked layout must cost at most
+//!    `RFSP_GUARD_BANKED_RATIO` (default 4) times flat, and the pooled
+//!    engine at 2 threads must keep parallel efficiency — sequential time
+//!    over `2 ×` pooled time — at or above `RFSP_GUARD_EFF_FLOOR`
+//!    (default 0.10; a deliberately low floor, since a single-core CI
+//!    host makes pooling pure overhead and the check then only catches
+//!    pathological coordination regressions). Relative checks are
+//!    noise-sensitive, so a failure triggers ONE full re-measure of both
+//!    sides — both attempts are logged — and only a repeated failure
+//!    fails the guard.
 //!
-//! As a machine-independent cross-check it also measures the banked
-//! layout *in the same process* and fails if banking costs more than
-//! `RFSP_GUARD_BANKED_RATIO` (default 4) times flat — both numbers come
-//! from the same host, so this ratio is stable where absolute times are
-//! not.
+//! `RFSP_GUARD_UPDATE=1` re-blesses both committed baselines with the
+//! current measurements.
 
 use std::time::Instant;
 
 use rfsp_core::{TrivialAssign, WriteAllTasks};
-use rfsp_pram::{CycleBudget, LayoutBuilder, Machine, MemoryLayout, NoFailures};
+use rfsp_pram::{CycleBudget, LayoutBuilder, Machine, MemoryLayout, NoFailures, RunLimits};
 use serde::{Deserialize, Serialize};
 
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -31,9 +43,22 @@ struct Baseline {
     ns_per_tick: u64,
 }
 
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct ScaleBaseline {
+    /// Blessed sequential flat word-model cost in milli-ns/cell at the
+    /// scale geometry (fixed-point: 1000 = 1 ns/cell; the integer keeps
+    /// the artifact stable under sub-ns kernels).
+    milli_ns_per_cell: u64,
+}
+
 const CELLS_PER_PROC: usize = 64;
 const PROCESSORS: usize = 256;
 const REPS: usize = 5;
+
+/// The `BENCH_SCALE.json` geometry, small-N point.
+const SCALE_N: usize = 1 << 20;
+const SCALE_CELLS_PER_PROC: usize = 4096;
+const SCALE_REPS: usize = 3;
 
 /// One full run; returns (elapsed ns, ticks).
 fn run_once(layout: MemoryLayout) -> (u128, u64) {
@@ -61,39 +86,116 @@ fn measure(layout: MemoryLayout) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// One flat word-model run at the scale geometry; returns ns/cell.
+fn scale_run_once(threads: usize) -> f64 {
+    let p = SCALE_N / SCALE_CELLS_PER_PROC;
+    let mut lb = LayoutBuilder::new();
+    let tasks = WriteAllTasks::new(&mut lb, SCALE_N);
+    let algo = TrivialAssign::new(tasks, p);
+    let mut m = Machine::new(&algo, p, CycleBudget::PAPER).expect("valid machine");
+    let start = Instant::now();
+    if threads == 1 {
+        m.run(&mut NoFailures).expect("guard run");
+    } else {
+        m.run_threaded(&mut NoFailures, RunLimits::default(), threads).expect("guard run");
+    }
+    let elapsed = start.elapsed().as_nanos();
+    assert!(tasks.all_written(m.memory()), "write-all postcondition failed");
+    elapsed as f64 / SCALE_N as f64
+}
+
+/// Best-of-`SCALE_REPS` ns/cell at the scale geometry.
+fn measure_scale(threads: usize) -> f64 {
+    (0..SCALE_REPS).map(|_| scale_run_once(threads)).fold(f64::INFINITY, f64::min)
+}
+
 fn env_ratio(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn baseline_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline").join("tick_flat.json")
+fn baseline_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline")
+}
+
+/// A relative (same-process, two-sided) check with one retry: measure,
+/// test, and on failure re-measure both sides once — logging both
+/// attempts — before declaring a real regression. Returns `true` on
+/// failure.
+fn relative_check_with_retry(
+    name: &str,
+    mut measure_both: impl FnMut() -> (f64, f64),
+    first: (f64, f64),
+    ok: impl Fn(f64, f64) -> bool,
+    describe_failure: impl Fn(f64, f64),
+) -> bool {
+    if ok(first.0, first.1) {
+        return false;
+    }
+    println!(
+        "retry: {name} failed on first attempt ({:.2} vs {:.2}); re-measuring both sides once",
+        first.0, first.1
+    );
+    let second = measure_both();
+    println!(
+        "retry: {name} attempt 1 = ({:.2}, {:.2}), attempt 2 = ({:.2}, {:.2})",
+        first.0, first.1, second.0, second.1
+    );
+    if ok(second.0, second.1) {
+        println!("retry: {name} passed on re-measure; treating first attempt as noise");
+        return false;
+    }
+    describe_failure(second.0, second.1);
+    true
 }
 
 fn main() {
     let flat = measure(MemoryLayout::Flat);
     let banked = measure(MemoryLayout::banked(PROCESSORS));
-    println!("flat   : {flat:.1} ns/tick");
-    println!("banked : {banked:.1} ns/tick ({:.2}x flat)", banked / flat);
+    let scale_seq = measure_scale(1);
+    let scale_pool2 = measure_scale(2);
+    println!("flat        : {flat:.1} ns/tick");
+    println!("banked      : {banked:.1} ns/tick ({:.2}x flat)", banked / flat);
+    println!("scale seq   : {scale_seq:.3} ns/cell (N = 2^20, flat word model)");
+    println!(
+        "scale pool2 : {scale_pool2:.3} ns/cell (efficiency {:.2})",
+        scale_seq / (2.0 * scale_pool2)
+    );
 
-    let path = baseline_path();
+    let dir = baseline_dir();
+    let tick_path = dir.join("tick_flat.json");
+    let scale_path = dir.join("scale_word_flat.json");
     if std::env::var_os("RFSP_GUARD_UPDATE").is_some() {
+        std::fs::create_dir_all(&dir).expect("baseline dir");
         let blessed = Baseline { ns_per_tick: flat.ceil() as u64 };
-        std::fs::create_dir_all(path.parent().unwrap()).expect("baseline dir");
-        std::fs::write(&path, serde::json::to_string_pretty(&blessed)).expect("write baseline");
-        println!("blessed {} at {} ns/tick", path.display(), blessed.ns_per_tick);
+        std::fs::write(&tick_path, serde::json::to_string_pretty(&blessed))
+            .expect("write baseline");
+        println!("blessed {} at {} ns/tick", tick_path.display(), blessed.ns_per_tick);
+        let blessed = ScaleBaseline { milli_ns_per_cell: (scale_seq * 1000.0).ceil() as u64 };
+        std::fs::write(&scale_path, serde::json::to_string_pretty(&blessed))
+            .expect("write baseline");
+        println!("blessed {} at {} milli-ns/cell", scale_path.display(), blessed.milli_ns_per_cell);
         return;
     }
 
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "no committed baseline at {} ({e}); run with RFSP_GUARD_UPDATE=1 to create it",
-            path.display()
-        )
-    });
-    let baseline: Baseline = serde::json::from_str(&text).expect("parse baseline");
+    let read_baseline = |path: &std::path::Path| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            panic!(
+                "no committed baseline at {} ({e}); run with RFSP_GUARD_UPDATE=1 to create it",
+                path.display()
+            )
+        })
+    };
+    let baseline: Baseline = serde::json::from_str(&read_baseline(&tick_path)).expect("baseline");
+    let scale_baseline: ScaleBaseline =
+        serde::json::from_str(&read_baseline(&scale_path)).expect("baseline");
     let ratio = env_ratio("RFSP_GUARD_RATIO", 4.0);
     let limit = baseline.ns_per_tick as f64 * ratio;
+    let scale_limit = scale_baseline.milli_ns_per_cell as f64 / 1000.0 * ratio;
     println!("baseline: {} ns/tick (limit {limit:.0} = {ratio}x)", baseline.ns_per_tick);
+    println!(
+        "baseline: {:.3} ns/cell at scale (limit {scale_limit:.3} = {ratio}x)",
+        scale_baseline.milli_ns_per_cell as f64 / 1000.0
+    );
 
     let mut failed = false;
     if flat > limit {
@@ -104,16 +206,50 @@ fn main() {
         );
         failed = true;
     }
-    let banked_ratio = env_ratio("RFSP_GUARD_BANKED_RATIO", 4.0);
-    if banked > flat * banked_ratio {
+    if scale_seq > scale_limit {
         eprintln!(
-            "FAIL: banked layout is {:.2}x flat (limit {banked_ratio}x) — bank address arithmetic got too expensive",
-            banked / flat
+            "FAIL: scale kernel {scale_seq:.3} ns/cell exceeds {scale_limit:.3} ({ratio}x committed \
+             baseline) — the batched tentative-phase kernel regressed; investigate or re-bless \
+             with RFSP_GUARD_UPDATE=1"
         );
         failed = true;
     }
+
+    let banked_ratio = env_ratio("RFSP_GUARD_BANKED_RATIO", 4.0);
+    failed |= relative_check_with_retry(
+        "banked/flat ratio",
+        || (measure(MemoryLayout::Flat), measure(MemoryLayout::banked(PROCESSORS))),
+        (flat, banked),
+        |f, b| b <= f * banked_ratio,
+        |f, b| {
+            eprintln!(
+                "FAIL: banked layout is {:.2}x flat (limit {banked_ratio}x) — bank address \
+                 arithmetic got too expensive",
+                b / f
+            );
+        },
+    );
+
+    let eff_floor = env_ratio("RFSP_GUARD_EFF_FLOOR", 0.10);
+    failed |= relative_check_with_retry(
+        "pooled efficiency",
+        || (measure_scale(1), measure_scale(2)),
+        (scale_seq, scale_pool2),
+        |seq, pool| seq / (2.0 * pool) >= eff_floor,
+        |seq, pool| {
+            eprintln!(
+                "FAIL: pooled efficiency {:.3} at 2 threads below floor {eff_floor} — the worker \
+                 pool's per-tick coordination cost regressed",
+                seq / (2.0 * pool)
+            );
+        },
+    );
+
     if failed {
         std::process::exit(1);
     }
-    println!("OK: flat tick throughput within {ratio}x of baseline, banked within {banked_ratio}x of flat");
+    println!(
+        "OK: tick and scale throughput within {ratio}x of baselines, banked within \
+         {banked_ratio}x of flat, pooled efficiency >= {eff_floor}"
+    );
 }

@@ -244,6 +244,52 @@ where
     F: FnOnce(&WriteAllSetup) -> A,
     A: Adversary,
 {
+    run_write_all_tuned_observed(
+        algo,
+        engine,
+        mem_layout,
+        MachineTuning::default(),
+        n,
+        p,
+        make_adversary,
+        limits,
+        observer,
+    )
+}
+
+/// Machine knobs the run recipe forwards verbatim (all default to the
+/// machine's own defaults).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachineTuning {
+    /// Tentative-phase batch width ([`Machine::set_batch_width`]); `None`
+    /// keeps the machine default, `Some(1)` forces the scalar reference
+    /// path.
+    pub batch_width: Option<usize>,
+}
+
+/// [`run_write_all_layout_observed`] with explicit [`MachineTuning`]; the
+/// knobs are behavior-invariant (batch width only changes how the
+/// tentative phase is vectorized, not what it computes).
+///
+/// # Errors
+///
+/// As [`run_write_all`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_write_all_tuned_observed<F, A>(
+    algo: Algo,
+    engine: TickEngine,
+    mem_layout: MemoryLayout,
+    tuning: MachineTuning,
+    n: usize,
+    p: usize,
+    make_adversary: F,
+    limits: RunLimits,
+    observer: &mut dyn Observer,
+) -> Result<WriteAllRun, PramError>
+where
+    F: FnOnce(&WriteAllSetup) -> A,
+    A: Adversary,
+{
     let mut layout = LayoutBuilder::new();
     let tasks = WriteAllTasks::new(&mut layout, n);
     match algo {
@@ -253,6 +299,9 @@ where
                 WriteAllSetup { tasks, x_layout: Some(*prog.layout()), tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
+            if let Some(w) = tuning.batch_width {
+                m.set_batch_width(w);
+            }
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -261,6 +310,9 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
+            if let Some(w) = tuning.batch_width {
+                m.set_batch_width(w);
+            }
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -269,6 +321,9 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
+            if let Some(w) = tuning.batch_width {
+                m.set_batch_width(w);
+            }
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -282,6 +337,9 @@ where
             let mut adversary = make_adversary(&setup);
             let budget = prog.required_budget();
             let mut m = Machine::with_layout(&prog, p, budget, mem_layout)?;
+            if let Some(w) = tuning.batch_width {
+                m.set_batch_width(w);
+            }
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -290,6 +348,9 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
+            if let Some(w) = tuning.batch_width {
+                m.set_batch_width(w);
+            }
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }
@@ -298,6 +359,9 @@ where
             let setup = WriteAllSetup { tasks, x_layout: None, tree: Some(prog.tree()) };
             let mut adversary = make_adversary(&setup);
             let mut m = Machine::with_layout(&prog, p, CycleBudget::PAPER, mem_layout)?;
+            if let Some(w) = tuning.batch_width {
+                m.set_batch_width(w);
+            }
             let report = engine.drive(&mut m, &mut adversary, limits, observer)?;
             Ok(WriteAllRun { report, verified: tasks.all_written(m.memory()) })
         }

@@ -3,7 +3,7 @@
 use rfsp_adversary::{
     offline_random, Budgeted, Pigeonhole, RandomFaults, Stalking, StalkingMode, Thrashing, XKiller,
 };
-use rfsp_bench::{run_write_all_layout_observed, Algo, TickEngine, WriteAllSetup};
+use rfsp_bench::{run_write_all_tuned_observed, Algo, MachineTuning, TickEngine, WriteAllSetup};
 use rfsp_pram::{Adversary, MemoryLayout, NoFailures, NoopObserver, RunLimits, ScheduledAdversary};
 
 use crate::args::{ArgError, Args};
@@ -106,12 +106,18 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     }
     let engine = if threads == 1 { TickEngine::Sequential } else { TickEngine::Pooled { threads } };
     let mem_layout = parse_layout(args)?;
+    // 0 = keep the machine default; 1 = the scalar reference path (the
+    // differential-testing toggle).
+    let batch_width: usize = args.get_parsed("batch-width", 0)?;
+    let tuning =
+        MachineTuning { batch_width: if batch_width == 0 { None } else { Some(batch_width) } };
 
     let mut build_err = None;
-    let result = run_write_all_layout_observed(
+    let result = run_write_all_tuned_observed(
         algo,
         engine,
         mem_layout,
+        tuning,
         n,
         p,
         |setup| match build_adversary(args, setup, n) {

@@ -53,6 +53,9 @@ COMMANDS:
                                   identical across layouts
                --interleave I     cells per block in the block-cyclic
                                   bank mapping (default 1 = word)
+               --batch-width W    tentative-phase batch width (default:
+                                  machine default; 1 = scalar reference
+                                  path); behavior-invariant
   simulate     execute a PRAM kernel fault-tolerantly (Theorem 4.1)
                --kernel prefix|sum|max|sort|listrank|matvec|components
                --n SIZE --p PROCS --engine x|v|vx

@@ -86,6 +86,10 @@ impl SnapshotProgram for SnapshotBalance {
     fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
         self.tasks.completion_hint(addr, value)
     }
+
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        self.tasks.completion_masks(base, values)
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,38 @@ impl WriteAllTasks {
             CompletionHint::Untracked
         }
     }
+
+    /// Branch-free lane classifier for the machine's batched completion
+    /// tracker ([`Program::completion_masks`](rfsp_pram::Program::completion_masks)):
+    /// the lane's overlap with the contiguous array region is computed once
+    /// (instead of a per-cell `contains`), and within the overlap each
+    /// cell's status is a pure bit select on `value == 1` — a tight loop of
+    /// compares and shifts the compiler autovectorizes. Agrees cell-wise
+    /// with [`WriteAllTasks::completion_hint`] by construction.
+    pub fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        let (x_lo, x_hi) = (self.x.base(), self.x.base() + self.x.len());
+        let lane_end = base + values.len();
+        let lo = x_lo.clamp(base, lane_end) - base;
+        let hi = x_hi.clamp(base, lane_end) - base;
+        // Tracked cells = the lane's overlap with x, as one contiguous run
+        // of set bits.
+        let tracked = ones(hi) & !ones(lo);
+        let mut outstanding = 0u64;
+        for (j, &v) in values[lo..hi].iter().enumerate() {
+            outstanding |= u64::from(v != 1) << (lo + j);
+        }
+        (outstanding & tracked, tracked)
+    }
+}
+
+/// The low `k` bits set (`k <= 64`), without the `1 << 64` overflow.
+#[inline(always)]
+fn ones(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
 }
 
 impl TaskSet for WriteAllTasks {
@@ -208,6 +240,28 @@ mod tests {
         assert!(!tasks.is_done(&mem, 1, 0));
         assert_eq!(tasks.unvisited(&mem), 3);
         assert!(!tasks.all_written(&mem));
+    }
+
+    /// The branch-free lane classifier agrees with the scalar hint on every
+    /// lane position, including lanes that only partially overlap `x`,
+    /// miss it entirely, or cover its edges.
+    #[test]
+    fn completion_masks_agree_with_scalar_hints() {
+        let mut layout = LayoutBuilder::new();
+        let _pad = layout.alloc(5); // put x away from address 0
+        let tasks = WriteAllTasks::new(&mut layout, 70);
+        let total = layout.total() + 8; // extend past x's end too
+        let values: Vec<Word> = (0..total as Word).map(|v| v % 2).collect();
+        for lane_len in [1, 3, 64] {
+            for base in 0..=(total - lane_len) {
+                let lane = &values[base..base + lane_len];
+                let got = tasks.completion_masks(base, lane);
+                let expected = rfsp_pram::fold_completion_masks(base, lane, |a, v| {
+                    tasks.completion_hint(a, v)
+                });
+                assert_eq!(got, expected, "lane base {base} len {lane_len}");
+            }
+        }
     }
 
     #[test]

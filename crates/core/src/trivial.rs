@@ -85,6 +85,10 @@ impl Program for TrivialAssign {
     fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
         self.tasks.completion_hint(addr, value)
     }
+
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        self.tasks.completion_masks(base, values)
+    }
 }
 
 #[cfg(test)]

@@ -63,9 +63,10 @@ pub(crate) fn resolve(
     restarted: &mut [bool],
 ) -> Result<()> {
     let p = tentative.len();
-    // --- Validate failures and compute each processor's fate. ---
-    for (i, fate) in fates.iter_mut().enumerate() {
-        *fate = if tentative[i].is_some() { CycleFate::Completed } else { CycleFate::Idle };
+    // --- Initialize each processor's fate (branch-free: a select on
+    // "has a tentative cycle", so the P-length sweep autovectorizes). ---
+    for (fate, t) in fates.iter_mut().zip(tentative) {
+        *fate = [CycleFate::Idle, CycleFate::Completed][usize::from(t.is_some())];
     }
     failed_now.fill(false);
     fail_points.fill(None);
@@ -152,10 +153,15 @@ pub(crate) fn resolve(
         restarted[pid.0] = true;
     }
 
-    // --- Progress condition (§2.1 2(i)). ---
-    let any_active = tentative.iter().any(|t| t.is_some());
-    let completing =
-        (0..p).filter(|&i| tentative[i].is_some() && fates[i] == CycleFate::Completed).count();
+    // --- Progress condition (§2.1 2(i)). One fused branch-free sweep
+    // computes both counts instead of two short-circuiting passes. ---
+    let (mut active, mut completing) = (0usize, 0usize);
+    for (t, &fate) in tentative.iter().zip(fates.iter()) {
+        let has_cycle = t.is_some();
+        active += usize::from(has_cycle);
+        completing += usize::from(has_cycle && fate == CycleFate::Completed);
+    }
+    let any_active = active != 0;
     if any_active && completing == 0 {
         return Err(PramError::AdversaryStall { cycle });
     }

@@ -48,7 +48,7 @@ use crate::checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
 use crate::decisions::{resolve, CycleFate};
 use crate::error::PramError;
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
-use crate::memory::SharedMemory;
+use crate::memory::{MemoryLayout, SharedMemory};
 use crate::mode::WriteMode;
 use crate::trace::{Observer, TraceEvent};
 use crate::unvisited::UnvisitedIndex;
@@ -166,6 +166,17 @@ pub trait ExecutionModel {
     /// [`Program::completion_hint`](crate::Program::completion_hint).
     fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint;
 
+    /// Batched [`completion_hint`](ExecutionModel::completion_hint) over
+    /// one contiguous lane of at most 64 cells starting at `base`: returns
+    /// `(outstanding, tracked)` bit masks where bit `j` describes cell
+    /// `base + j`. Must agree cell-wise with `completion_hint` — debug
+    /// builds assert it when the batched tracker path runs. Models forward
+    /// to their program, so a program can supply a branch-free classifier
+    /// the compiler autovectorizes.
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        crate::fold_completion_masks(base, values, |addr, value| self.completion_hint(addr, value))
+    }
+
     /// Phase 1 (sequential reference implementation): fill
     /// `core.tentative[i]` for every alive processor from the tick-start
     /// memory, advancing private states in place. Pooled backends substitute
@@ -210,15 +221,50 @@ pub struct Core<Pv> {
     // Primed at construction and re-primed at every run entry.
     pub(crate) tracked: bool,
     pub(crate) unvisited: UnvisitedIndex,
+    /// Lane width of the batched kernels. The default
+    /// ([`DEFAULT_BATCH_WIDTH`]) selects the lane-mask batched paths and
+    /// aligns pooled chunk claiming; `1` selects the scalar reference
+    /// paths. Behavior is identical either way (pinned by the
+    /// batched-vs-scalar differential proptests); only the instruction
+    /// stream differs.
+    pub(crate) batch_width: usize,
     // Reused per-tick buffers.
     pub(crate) tentative: Vec<Option<TentativeCycle>>,
     pub(crate) meta: Vec<ProcMeta>,
     pub(crate) fates: Vec<CycleFate>,
     pub(crate) slot_writes: Vec<(Pid, usize, Word)>,
+    /// Processors with at least one surviving write this tick (compact
+    /// list, built by the batch pre-pass in [`Core::apply`]).
+    pub(crate) active: Vec<u32>,
+    /// Per-processor surviving-write count for the current tick.
+    pub(crate) surviving: Vec<u32>,
     pub(crate) failed_now: Vec<bool>,
     pub(crate) fail_points: Vec<Option<FailPoint>>,
     pub(crate) restarted: Vec<bool>,
     pub(crate) events: Vec<FailureEvent>,
+}
+
+/// Default lane width of the batched tentative-phase kernels: one `u64`
+/// mask worth of cells.
+pub const DEFAULT_BATCH_WIDTH: usize = crate::unvisited::LANE_WIDTH;
+
+/// Pooled chunk alignment is capped so huge `batch_width × interleave`
+/// combinations cannot serialize a run into one chunk.
+const MAX_CHUNK_ALIGN: usize = 1 << 16;
+
+fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        return a.max(b);
+    }
+    a / gcd(a, b) * b
 }
 
 impl<Pv: Clone + Send> Core<Pv> {
@@ -233,6 +279,8 @@ impl<Pv: Clone + Send> Core<Pv> {
         mode: WriteMode,
         write_slots: usize,
     ) -> Self {
+        // The batch pre-pass keeps its compact processor list in u32.
+        assert!(processors <= u32::MAX as usize, "processor count exceeds u32 range");
         let procs = ProcSoA {
             status: vec![ProcStatus::Alive; processors],
             state: (0..processors).map(|i| Some(model.on_start(Pid(i)))).collect(),
@@ -248,10 +296,13 @@ impl<Pv: Clone + Send> Core<Pv> {
             pattern: FailurePattern::new(),
             tracked: false,
             unvisited: UnvisitedIndex::new(0),
+            batch_width: DEFAULT_BATCH_WIDTH,
             tentative: vec![None; processors],
             meta: Vec::with_capacity(processors),
             fates: vec![CycleFate::Idle; processors],
             slot_writes: Vec::new(),
+            active: Vec::with_capacity(processors),
+            surviving: vec![0; processors],
             failed_now: vec![false; processors],
             fail_points: vec![None; processors],
             restarted: vec![false; processors],
@@ -267,12 +318,38 @@ impl<Pv: Clone + Send> Core<Pv> {
     /// completion check and get no index.
     pub(crate) fn init_tracker<M: ExecutionModel<Private = Pv>>(&mut self, model: &M) {
         let mem = &self.mem;
-        let mut any_tracked = false;
-        // Walk the memory in bank-aligned chunks: each chunk is one
-        // contiguous slice of its bank, so a banked layout is classified
-        // without the per-address bank mapping.
-        self.unvisited.rebuild_from_chunks(mem.size(), mem.chunks(), |addr, value| {
-            match model.completion_hint(addr, value) {
+        // Both paths walk the memory in bank-aligned chunks: each chunk is
+        // one contiguous slice of its bank, so a banked layout is
+        // classified without the per-address bank mapping.
+        if self.batch_width > 1 {
+            // Batched path: 64-cell lanes classified into bit masks by
+            // `completion_masks`, whose hot implementations are
+            // branch-free (see `WriteAllTasks::completion_masks`).
+            let mut tracked_bits = 0u64;
+            self.unvisited.rebuild_from_chunks_batched(mem.size(), mem.chunks(), |base, lane| {
+                let (outstanding, tracked) = model.completion_masks(base, lane);
+                #[cfg(debug_assertions)]
+                {
+                    let expected = crate::fold_completion_masks(base, lane, |addr, value| {
+                        model.completion_hint(addr, value)
+                    });
+                    assert_eq!(
+                        (outstanding, tracked),
+                        expected,
+                        "completion_masks disagrees with completion_hint on lane at {base}",
+                    );
+                }
+                tracked_bits |= tracked;
+                outstanding
+            });
+            self.tracked = tracked_bits != 0;
+        } else {
+            // Scalar reference path (`batch_width == 1`), kept verbatim for
+            // the batched-vs-scalar differential proptests.
+            let mut any_tracked = false;
+            self.unvisited.rebuild_from_chunks(mem.size(), mem.chunks(), |addr, value| match model
+                .completion_hint(addr, value)
+            {
                 CompletionHint::Untracked => false,
                 CompletionHint::Outstanding => {
                     any_tracked = true;
@@ -282,9 +359,24 @@ impl<Pv: Clone + Send> Core<Pv> {
                     any_tracked = true;
                     false
                 }
-            }
-        });
-        self.tracked = any_tracked;
+            });
+            self.tracked = any_tracked;
+        }
+    }
+
+    /// Chunk alignment for the pooled tentative phase: a multiple of the
+    /// batch width (so a worker's chunk is whole lanes) and, on banked
+    /// layouts, of the bank interleave (so a lane never straddles a bank
+    /// boundary inside a chunk). Capped at a constant so pathological
+    /// `batch_width × interleave` combinations cannot serialize a run into
+    /// one chunk.
+    pub(crate) fn chunk_align(&self) -> usize {
+        let base = self.batch_width.max(1);
+        let align = match self.mem.layout() {
+            MemoryLayout::Banked { interleave, .. } => lcm(base, interleave),
+            _ => base,
+        };
+        align.min(MAX_CHUNK_ALIGN)
     }
 
     /// O(1) completion test for tracked models (the index is empty), full
@@ -470,26 +562,57 @@ impl<Pv: Clone + Send> Core<Pv> {
             &mut self.restarted,
         )?;
 
-        // --- Commit surviving write prefixes, slot by slot. ---
-        for slot in 0..self.write_slots {
-            self.slot_writes.clear();
-            for i in 0..p {
-                let Some(t) = self.tentative[i].as_ref() else { continue };
-                if slot >= t.writes.len() {
-                    continue;
+        // --- Batch pre-pass: fold each processor's fate into a surviving-
+        // write count once, instead of re-deriving it `write_slots` times.
+        // The per-slot merge below then touches only the compact list of
+        // processors that commit anything this tick, rather than striding
+        // over all P tentative slots per write slot.
+        self.active.clear();
+        let mut max_slots = 0;
+        for i in 0..p {
+            let n = match self.fates[i] {
+                CycleFate::Completed => {
+                    self.tentative[i].as_ref().expect("completed cycle exists").writes.len()
                 }
-                let survives_slot = match self.fates[i] {
-                    CycleFate::Completed => true,
-                    CycleFate::Interrupted { committed_writes } => slot < committed_writes,
-                    CycleFate::InterruptedBeforeReads | CycleFate::Idle => false,
-                };
-                if survives_slot {
+                CycleFate::Interrupted { committed_writes } => {
+                    // Validated against the write count by `resolve`, but
+                    // clamp anyway: `surviving` is the sole bound the slot
+                    // loop indexes `writes()` with.
+                    let t = self.tentative[i].as_ref().expect("interrupted cycle exists");
+                    committed_writes.min(t.writes.len())
+                }
+                CycleFate::InterruptedBeforeReads | CycleFate::Idle => 0,
+            };
+            self.surviving[i] = n as u32;
+            if n > 0 {
+                self.active.push(i as u32);
+                max_slots = max_slots.max(n);
+            }
+        }
+
+        // A cycle's writes are budget-checked in the tentative phase and
+        // `resolve` bounds committed prefixes by the cycle's write count,
+        // so no survivor can exceed the write-slot budget.
+        debug_assert!(max_slots <= self.write_slots);
+
+        // --- Commit surviving write prefixes, slot by slot. ---
+        // (`active` is detached during the loop so `commit_slot` can borrow
+        // the rest of the core mutably; it is a reused buffer, so put it
+        // back afterwards.)
+        let active = std::mem::take(&mut self.active);
+        for slot in 0..max_slots {
+            self.slot_writes.clear();
+            for &iu in &active {
+                let i = iu as usize;
+                if slot < self.surviving[i] as usize {
+                    let t = self.tentative[i].as_ref().expect("active cycle exists");
                     let (addr, value) = t.writes.writes()[slot];
                     self.slot_writes.push((Pid(i), addr, value));
                 }
             }
             self.commit_slot(model, observer)?;
         }
+        self.active = active;
 
         // --- Charge work, update processor states, record the pattern. ---
         debug_assert!(self.events.is_empty());
@@ -556,10 +679,19 @@ impl<Pv: Clone + Send> Core<Pv> {
         self.cycle += 1;
         self.stats.parallel_time = self.cycle;
 
-        // Restore the index's dense form for the next tick's views, and
-        // cross-check it against ground truth in debug builds.
+        // Restore the index's dense form for the next tick's views — but
+        // only when the model has a reader: the snapshot model selects
+        // from the index during its tentative phase and exposes it to the
+        // adversary, so it must be dense at every tick boundary. The word
+        // model only folds O(1) updates in and tests emptiness, and
+        // compacting its tombstones every tick would put an O(N) scan on
+        // the hot path — its index stays lazily dirty instead. Debug
+        // builds always compact so the ground-truth cross-check below can
+        // run.
         if self.tracked {
-            self.unvisited.ensure_clean();
+            if M::ADVERSARY_SEES_INDEX || cfg!(debug_assertions) {
+                self.unvisited.ensure_clean();
+            }
             debug_assert!(
                 self.unvisited.matches(self.mem.size(), |addr| matches!(
                     model.completion_hint(addr, self.mem.peek(addr)),

@@ -82,7 +82,7 @@ pub use adversary::{
 pub use checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
 pub use cycle::{CycleBudget, ReadSet, Step, ValueSet, WriteSet, MAX_READS, MAX_WRITES};
 pub use error::PramError;
-pub use exec::ExecutionModel;
+pub use exec::{ExecutionModel, DEFAULT_BATCH_WIDTH};
 pub use failure::{
     DecisionRecorder, FailureEvent, FailureKind, FailurePattern, PatternError, ScheduledAdversary,
 };
@@ -95,7 +95,7 @@ pub use trace::{
     MetricsObserver, NoopObserver, Observer, RunSeries, Tee, TickMetrics, TraceEvent, TraceLog,
     TraceRecorder,
 };
-pub use unvisited::UnvisitedIndex;
+pub use unvisited::{AddrSlice, UnvisitedIndex, LANE_WIDTH};
 pub use word::{Pid, Word};
 
 /// Crate-level result alias.
@@ -229,4 +229,50 @@ pub trait Program {
     fn completion_hint(&self, _addr: usize, _value: Word) -> CompletionHint {
         CompletionHint::Untracked
     }
+
+    /// Batched [`completion_hint`](Program::completion_hint) over one
+    /// contiguous lane of at most 64 cells starting at `base`: returns
+    /// `(outstanding, tracked)` bit masks where bit `j` describes cell
+    /// `base + j` holding `values[j]` — set in `outstanding` iff the cell
+    /// would report [`CompletionHint::Outstanding`], set in `tracked` iff
+    /// it would report anything but [`CompletionHint::Untracked`].
+    ///
+    /// The machine's batched kernels (the default; see
+    /// [`Machine::set_batch_width`](crate::Machine::set_batch_width)) prime
+    /// the completion tracker through this method, 64 cells per call. The
+    /// default folds `completion_hint` cell by cell and is always correct;
+    /// programs on the hot path override it with a branch-free classifier
+    /// the compiler can autovectorize (see `WriteAllTasks` in `rfsp-core`).
+    /// Overrides **must agree cell-wise with `completion_hint`** — debug
+    /// builds assert it on every lane.
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        fold_completion_masks(base, values, |addr, value| self.completion_hint(addr, value))
+    }
+}
+
+/// Fold a per-cell [`CompletionHint`] classifier into the
+/// `(outstanding, tracked)` lane masks of
+/// [`Program::completion_masks`] — the shared scalar reference
+/// implementation behind every `completion_masks` default.
+pub fn fold_completion_masks(
+    base: usize,
+    values: &[Word],
+    mut hint: impl FnMut(usize, Word) -> CompletionHint,
+) -> (u64, u64) {
+    debug_assert!(values.len() <= 64, "a lane holds at most 64 cells");
+    let mut outstanding = 0u64;
+    let mut tracked = 0u64;
+    for (j, &value) in values.iter().enumerate() {
+        match hint(base + j, value) {
+            CompletionHint::Untracked => {}
+            CompletionHint::Outstanding => {
+                outstanding |= 1 << j;
+                tracked |= 1 << j;
+            }
+            CompletionHint::Satisfied => {
+                tracked |= 1 << j;
+            }
+        }
+    }
+    (outstanding, tracked)
 }

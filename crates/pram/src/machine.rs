@@ -78,6 +78,10 @@ impl<'p, P: Program> ExecutionModel for WordModel<'p, P> {
         self.program.completion_hint(addr, value)
     }
 
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        self.program.completion_masks(base, values)
+    }
+
     fn tentative(&self, core: &mut Core<P::Private>) -> Result<()> {
         let (mem, cycle) = (&core.mem, core.cycle);
         let statuses = &core.procs.status;
@@ -163,6 +167,19 @@ impl<'p, P: Program> Machine<'p, P> {
     /// Set the concurrent-write semantics (default: COMMON).
     pub fn set_write_mode(&mut self, mode: WriteMode) -> &mut Self {
         self.core.mode = mode;
+        self
+    }
+
+    /// Override the batched-kernel lane width (default:
+    /// [`DEFAULT_BATCH_WIDTH`](crate::DEFAULT_BATCH_WIDTH)). `1` selects
+    /// the scalar reference kernels; any other value selects the lane-mask
+    /// batched kernels and sets the pooled engine's chunk alignment.
+    /// Behavior is identical for every width — only the instruction stream
+    /// and chunk boundaries differ (pinned by the batched-vs-scalar
+    /// differential proptests); exposed for testing and benchmarking via
+    /// `writeall --batch-width`.
+    pub fn set_batch_width(&mut self, width: usize) -> &mut Self {
+        self.core.batch_width = width.max(1);
         self
     }
 
@@ -351,6 +368,7 @@ where
 /// stopped the processor, and a stopped processor loses its private memory —
 /// the model has no partial-progress private state).
 #[allow(clippy::too_many_arguments)] // the split-borrowed SoA fields arrive separately by design
+#[inline]
 fn tentative_for<P: Program>(
     program: &P,
     mem: &SharedMemory,
@@ -484,11 +502,14 @@ where
     P::Private: Send,
 {
     let p = core.procs.len();
+    // Align worker chunks to the batch width (× bank interleave on banked
+    // layouts): whole lanes per worker, no lane split across banks.
+    let align = core.chunk_align();
     let (mem, cycle) = (&core.mem, core.cycle);
     let statuses: &[ProcStatus] = &core.procs.status;
     let states = SendPtr(core.procs.state.as_mut_ptr());
     let tentative = SendPtr(core.tentative.as_mut_ptr());
-    pool.run_tick(p, &move |start: usize, end: usize| {
+    pool.run_tick(p, align, &move |start: usize, end: usize| {
         #[allow(clippy::needless_range_loop)] // `i` also offsets the raw SoA pointers
         for i in start..end {
             // SAFETY: the pool's cursor hands out disjoint [start, end)
@@ -517,11 +538,12 @@ where
     P::Private: Send,
 {
     let p = core.procs.len();
+    let align = core.chunk_align();
     let (mem, cycle) = (&core.mem, core.cycle);
     let statuses: &[ProcStatus] = &core.procs.status;
     let states = SendPtr(core.procs.state.as_mut_ptr());
     let tentative = SendPtr(core.tentative.as_mut_ptr());
-    pool.run_tick(p, &move |start: usize, end: usize| {
+    pool.run_tick(p, align, &move |start: usize, end: usize| {
         #[allow(clippy::needless_range_loop)] // `i` also offsets the raw SoA pointers
         for i in start..end {
             // SAFETY: as in `tentative_pooled` — disjoint chunks, pointers

@@ -125,14 +125,29 @@ impl TickPool {
     /// and block until every index has been processed (or a worker
     /// errored). Callers regain exclusive access to everything the job
     /// borrows once this returns.
-    pub(crate) fn run_tick(&self, len: usize, job: &Job<'_>) -> Result<(), PramError> {
+    ///
+    /// Every chunk boundary falls on a multiple of `align` (the final chunk
+    /// may be shorter): the batched kernels pass their batch width — times
+    /// the bank interleave on banked layouts — so one worker's chunk is
+    /// whole lanes and never splits a lane across banks. `align` is also
+    /// the minimum chunk size, which keeps tiny index spaces with many
+    /// threads from degenerating into per-index claims.
+    pub(crate) fn run_tick(
+        &self,
+        len: usize,
+        align: usize,
+        job: &Job<'_>,
+    ) -> Result<(), PramError> {
         if len == 0 {
             return Ok(());
         }
         // Chunks are sized to give each worker several claims per tick —
         // dynamic enough to absorb uneven cycles, coarse enough to keep
-        // cursor traffic negligible.
-        let chunk = len.div_ceil(self.threads * 4).max(1);
+        // cursor traffic negligible — then rounded up to the alignment.
+        // The cursor starts at 0 and advances in whole chunks, so an
+        // aligned chunk size makes every boundary aligned.
+        let align = align.max(1);
+        let chunk = len.div_ceil(self.threads * 4).max(1).next_multiple_of(align);
         self.cursor.store(0, Ordering::Relaxed);
         self.stop.store(false, Ordering::Relaxed);
         self.len.store(len, Ordering::Relaxed);
@@ -259,7 +274,7 @@ mod tests {
                     }
                     Ok(())
                 };
-                pool.run_tick(hits.len(), &job).unwrap();
+                pool.run_tick(hits.len(), 1, &job).unwrap();
             }
         });
         for h in &hits {
@@ -282,7 +297,7 @@ mod tests {
                     Ok(())
                 }
             };
-            pool.run_tick(64, &job).unwrap_err()
+            pool.run_tick(64, 1, &job).unwrap_err()
         });
         assert!(matches!(err, PramError::AddressOutOfBounds { .. }));
     }
@@ -308,7 +323,7 @@ mod tests {
                 }
                 Ok(())
             };
-            let err = pool.run_tick(64, &bomb).unwrap_err();
+            let err = pool.run_tick(64, 1, &bomb).unwrap_err();
             assert!(
                 matches!(&err, PramError::WorkerPanic { pid: None, detail }
                     if detail.contains("injected worker fault")),
@@ -321,12 +336,47 @@ mod tests {
                 }
                 Ok(())
             };
-            pool.run_tick(hits.len(), &job).unwrap();
+            pool.run_tick(hits.len(), 1, &job).unwrap();
         });
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
         std::panic::set_hook(prev);
+    }
+
+    /// Chunk boundaries fall on multiples of `align`, the minimum chunk is
+    /// one align unit, and a tiny index space with many threads no longer
+    /// degenerates into 1-index claims (`len.div_ceil(threads * 4)` alone
+    /// yields chunk = 1 for len = 7, threads = 3).
+    #[test]
+    fn chunks_are_aligned_and_clamped() {
+        let pool = TickPool::new(3);
+        let claims = Mutex::new(Vec::new());
+        let hits: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            let _guard = PoolShutdown(&pool);
+            for _ in 0..3 {
+                scope.spawn(|| pool.worker());
+            }
+            let job = |start: usize, end: usize| {
+                claims.lock().unwrap().push((start, end));
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            };
+            pool.run_tick(hits.len(), 4, &job).unwrap();
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "every index exactly once");
+        }
+        let claims = claims.into_inner().unwrap();
+        for &(start, end) in &claims {
+            assert_eq!(start % 4, 0, "chunk start {start} not aligned");
+            // Non-final chunks span exactly whole align units.
+            assert!(end == hits.len() || (end - start) % 4 == 0, "ragged interior chunk");
+            assert!(end - start >= 4 || end == hits.len(), "chunk below one align unit");
+        }
     }
 
     #[test]
@@ -337,7 +387,7 @@ mod tests {
             for _ in 0..2 {
                 scope.spawn(|| pool.worker());
             }
-            pool.run_tick(0, &|_, _| Ok(())).unwrap();
+            pool.run_tick(0, 64, &|_, _| Ok(())).unwrap();
         });
     }
 }

@@ -134,7 +134,7 @@ impl<'a> SnapshotView<'a> {
     pub fn nth_unvisited_in(&self, region: crate::Region, k: usize) -> Option<usize> {
         match self.unvisited {
             Some(idx) => {
-                let got = idx.slice_in(region).get(k).copied();
+                let got = idx.slice_in(region).get(k);
                 debug_assert_eq!(
                     got,
                     self.scan_nth(region, k),
@@ -231,6 +231,15 @@ pub trait SnapshotProgram {
     fn completion_hint(&self, _addr: usize, _value: Word) -> CompletionHint {
         CompletionHint::Untracked
     }
+
+    /// Batched [`completion_hint`](SnapshotProgram::completion_hint) over
+    /// one lane of at most 64 contiguous cells — same contract and same
+    /// default as [`Program::completion_masks`](crate::Program::completion_masks):
+    /// returns `(outstanding, tracked)` bit masks where bit `j` describes
+    /// cell `base + j`, and must agree cell-wise with `completion_hint`.
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        crate::fold_completion_masks(base, values, |addr, value| self.completion_hint(addr, value))
+    }
 }
 
 /// The snapshot model's [`ExecutionModel`]: a free whole-memory read
@@ -261,6 +270,10 @@ impl<'p, P: SnapshotProgram> ExecutionModel for SnapModel<'p, P> {
 
     fn completion_hint(&self, addr: usize, value: Word) -> CompletionHint {
         self.program.completion_hint(addr, value)
+    }
+
+    fn completion_masks(&self, base: usize, values: &[Word]) -> (u64, u64) {
+        self.program.completion_masks(base, values)
     }
 
     /// Every alive processor tentatively plays its cycle against the
@@ -373,6 +386,15 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
         // checks COMMON semantics.
         let core = Core::new(&model, processors, mem, SNAPSHOT_WRITE_MODE, write_budget);
         Ok(SnapshotMachine { model, core })
+    }
+
+    /// Override the batched-kernel lane width — the snapshot counterpart of
+    /// [`Machine::set_batch_width`](crate::Machine::set_batch_width), with
+    /// the same contract: `1` selects the scalar reference path, any other
+    /// value the lane-mask batched path; behavior is identical either way.
+    pub fn set_batch_width(&mut self, width: usize) -> &mut Self {
+        self.core.batch_width = width.max(1);
+        self
     }
 
     /// The shared memory (uncharged inspection).

@@ -16,14 +16,16 @@
 //! * [`rank_of`](UnvisitedIndex::rank_of) — position of an address within
 //!   the unvisited list, O(1);
 //! * [`slice_in`](UnvisitedIndex::slice_in) — the unvisited addresses
-//!   inside a [`Region`], as one contiguous slice (two binary searches).
+//!   inside a [`Region`], as one contiguous [`AddrSlice`] (two binary
+//!   searches).
 //!
 //! # Representation
 //!
 //! A dense `items` vector of live addresses plus a `pos` position map
-//! (`pos[addr]` = slot in `items`, or [`ABSENT`]). Removal is a *tombstone*:
-//! the position-map entry is cleared in O(1) and the stale `items` slot is
-//! left behind; an element at slot `r` is live iff `pos[items[r]] == r`.
+//! (`pos[addr]` = slot in `items`, or an absent sentinel). Removal is a
+//! *tombstone*: the position-map entry is cleared in O(1) and the stale
+//! `items` slot is left behind; an element at slot `r` is live iff
+//! `pos[items[r]] == r`.
 //! [`ensure_clean`](UnvisitedIndex::ensure_clean) compacts the tombstones
 //! away in place (and re-sorts after out-of-order inserts), restoring the
 //! dense ascending-address form the accessors require. A plain swap-remove
@@ -31,6 +33,13 @@
 //! order — and position order is load-bearing: the §3 balanced-allocation
 //! rule and the pigeonhole adversary's tie-breaking are both defined on
 //! cells *numbered by position*.
+//!
+//! Both vectors are **width-generic**: an index over an address space of
+//! `size <= u32::MAX` stores addresses and slots as `u32`, halving the hot
+//! working set the rebuild and the per-tick accessors stream over; larger
+//! spaces fall back to `usize` words. The width is an internal property of
+//! the storage — every public accessor speaks `usize` addresses, and slice
+//! views are returned as the width-erased [`AddrSlice`].
 //!
 //! Each tick the machine performs O(committed writes) removals/inserts and
 //! one `ensure_clean`; compaction is O(pending tombstones + live) and every
@@ -44,20 +53,54 @@
 use crate::region::Region;
 use crate::word::Word;
 
-/// Sentinel for "address not in the set" in the position map.
-const ABSENT: usize = usize::MAX;
+/// Storage word for the packed index: addresses and slot numbers are kept
+/// in this width. `ABSENT` marks "address not in the set" in the position
+/// map; it can never collide with a real slot because slots are bounded by
+/// the address-space size, which fits the width by construction.
+trait IndexWord: Copy + Ord {
+    const ABSENT: Self;
+    fn from_usize(v: usize) -> Self;
+    fn to_usize(self) -> usize;
+}
 
-/// A dense set of shared-memory addresses in ascending order with O(1)
-/// rank/select, O(1) amortized removal and insertion, and contiguous
-/// per-[`Region`] slicing. See the [module docs](self) for the
-/// representation and cost model.
+impl IndexWord for u32 {
+    const ABSENT: Self = u32::MAX;
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        v as u32
+    }
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl IndexWord for usize {
+    const ABSENT: Self = usize::MAX;
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self
+    }
+}
+
+/// Largest address space the `u32` representation can hold: every address
+/// is `< size <= u32::MAX`, so `u32::MAX` itself stays free for the absent
+/// sentinel.
+const NARROW_LIMIT: usize = u32::MAX as usize;
+
+/// The width-generic storage behind [`UnvisitedIndex`]; see the module
+/// docs for the representation and cost model.
 #[derive(Clone, Debug, Default)]
-pub struct UnvisitedIndex {
+struct Packed<W: IndexWord> {
     /// Live addresses in ascending order, possibly interleaved with stale
-    /// (tombstoned) entries until the next [`UnvisitedIndex::ensure_clean`].
-    items: Vec<usize>,
-    /// `pos[addr]` = slot of `addr` in `items`, or [`ABSENT`].
-    pos: Vec<usize>,
+    /// (tombstoned) entries until the next `ensure_clean`.
+    items: Vec<W>,
+    /// `pos[addr]` = slot of `addr` in `items`, or `W::ABSENT`.
+    pos: Vec<W>,
     /// Number of live addresses (maintained eagerly, valid even when dirty).
     live: usize,
     /// Whether `items` contains tombstoned entries.
@@ -66,34 +109,279 @@ pub struct UnvisitedIndex {
     unsorted: bool,
 }
 
-impl UnvisitedIndex {
-    /// An empty index over the address space `0..size`.
-    pub fn new(size: usize) -> Self {
-        UnvisitedIndex {
+impl<W: IndexWord> Packed<W> {
+    fn new(size: usize) -> Self {
+        Packed {
             items: Vec::new(),
-            pos: vec![ABSENT; size],
+            pos: vec![W::ABSENT; size],
             live: 0,
             holes: false,
             unsorted: false,
         }
     }
 
-    /// Reclassify the whole address space: afterwards the index contains
-    /// exactly the addresses for which `is_outstanding` returns `true`,
-    /// clean and in ascending order. O(size).
-    pub fn rebuild(&mut self, size: usize, mut is_outstanding: impl FnMut(usize) -> bool) {
+    fn reset(&mut self, size: usize) {
         self.items.clear();
         self.pos.clear();
-        self.pos.resize(size, ABSENT);
-        for addr in 0..size {
-            if is_outstanding(addr) {
-                self.pos[addr] = self.items.len();
-                self.items.push(addr);
-            }
-        }
+        self.pos.resize(size, W::ABSENT);
+    }
+
+    fn seal(&mut self) {
         self.live = self.items.len();
         self.holes = false;
         self.unsorted = false;
+    }
+
+    #[inline]
+    fn push_addr(&mut self, addr: usize) {
+        self.pos[addr] = W::from_usize(self.items.len());
+        self.items.push(W::from_usize(addr));
+    }
+
+    fn rebuild(&mut self, size: usize, mut is_outstanding: impl FnMut(usize) -> bool) {
+        self.reset(size);
+        for addr in 0..size {
+            if is_outstanding(addr) {
+                self.push_addr(addr);
+            }
+        }
+        self.seal();
+    }
+
+    fn rebuild_from_chunks<'a>(
+        &mut self,
+        size: usize,
+        chunks: impl Iterator<Item = (usize, &'a [Word])>,
+        mut is_outstanding: impl FnMut(usize, Word) -> bool,
+    ) {
+        self.reset(size);
+        for (base, cells) in chunks {
+            for (off, &value) in cells.iter().enumerate() {
+                let addr = base + off;
+                if is_outstanding(addr, value) {
+                    self.push_addr(addr);
+                }
+            }
+        }
+        self.seal();
+    }
+
+    fn rebuild_from_chunks_batched<'a>(
+        &mut self,
+        size: usize,
+        chunks: impl Iterator<Item = (usize, &'a [Word])>,
+        mut lane_mask: impl FnMut(usize, &'a [Word]) -> u64,
+    ) {
+        self.reset(size);
+        for (chunk_base, cells) in chunks {
+            let mut base = chunk_base;
+            for lane in cells.chunks(LANE_WIDTH) {
+                let mut mask = lane_mask(base, lane);
+                debug_assert!(
+                    lane.len() == LANE_WIDTH || mask >> lane.len() == 0,
+                    "lane mask has bits beyond the lane's {} cells",
+                    lane.len()
+                );
+                // Iterate the set bits in ascending order: appends stay
+                // sorted, so the rebuilt index is clean by construction.
+                while mask != 0 {
+                    let j = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    self.push_addr(base + j);
+                }
+                base += lane.len();
+            }
+        }
+        self.seal();
+    }
+
+    #[inline]
+    fn contains(&self, addr: usize) -> bool {
+        self.pos.get(addr).is_some_and(|&p| p != W::ABSENT)
+    }
+
+    fn is_clean(&self) -> bool {
+        !self.holes && !self.unsorted
+    }
+
+    fn insert(&mut self, addr: usize) -> bool {
+        assert!(addr < self.pos.len(), "address {addr} outside indexed space");
+        if self.pos[addr] != W::ABSENT {
+            return false;
+        }
+        if self.items.len() == self.items.capacity() && self.holes {
+            // Reuse tombstone slack before letting the buffer grow.
+            self.compact();
+        }
+        self.push_addr(addr);
+        self.live += 1;
+        if !self.unsorted {
+            // An append extending the ascending tail keeps the index clean;
+            // with holes present the tail entry may be stale, so be
+            // conservative.
+            let extends_tail = !self.holes
+                && (self.items.len() < 2 || self.items[self.items.len() - 2] < W::from_usize(addr));
+            self.unsorted = !extends_tail;
+        }
+        true
+    }
+
+    fn remove(&mut self, addr: usize) -> bool {
+        if !self.contains(addr) {
+            return false;
+        }
+        self.pos[addr] = W::ABSENT;
+        self.live -= 1;
+        self.holes = true;
+        true
+    }
+
+    fn ensure_clean(&mut self) {
+        if self.holes {
+            self.compact();
+        }
+        if self.unsorted {
+            self.items.sort_unstable();
+            for (slot, &addr) in self.items.iter().enumerate() {
+                self.pos[addr.to_usize()] = W::from_usize(slot);
+            }
+            self.unsorted = false;
+        }
+    }
+
+    /// Drop tombstoned entries in place. An entry at slot `r` is live iff
+    /// `pos[items[r]] == r`; live entries keep their relative order.
+    fn compact(&mut self) {
+        let mut w = 0;
+        for r in 0..self.items.len() {
+            let addr = self.items[r];
+            if self.pos[addr.to_usize()] == W::from_usize(r) {
+                self.items[w] = addr;
+                self.pos[addr.to_usize()] = W::from_usize(w);
+                w += 1;
+            }
+        }
+        self.items.truncate(w);
+        self.holes = false;
+    }
+
+    #[inline]
+    fn select(&self, k: usize) -> usize {
+        debug_assert!(self.is_clean(), "select on a dirty index — call ensure_clean first");
+        self.items[k].to_usize()
+    }
+
+    #[inline]
+    fn rank_of(&self, addr: usize) -> Option<usize> {
+        debug_assert!(self.is_clean(), "rank_of on a dirty index — call ensure_clean first");
+        match self.pos.get(addr) {
+            Some(&p) if p != W::ABSENT => Some(p.to_usize()),
+            _ => None,
+        }
+    }
+
+    fn range_in(&self, region: Region) -> std::ops::Range<usize> {
+        debug_assert!(self.is_clean(), "range_in on a dirty index — call ensure_clean first");
+        let lo = self.items.partition_point(|&a| a.to_usize() < region.base());
+        let hi = self.items.partition_point(|&a| a.to_usize() < region.base() + region.len());
+        lo..hi
+    }
+
+    fn matches(&self, size: usize, mut is_outstanding: impl FnMut(usize) -> bool) -> bool {
+        if !self.is_clean() || self.pos.len() != size || self.items.len() != self.live {
+            return false;
+        }
+        let mut expected = 0;
+        for addr in 0..size {
+            if is_outstanding(addr) != self.contains(addr) {
+                return false;
+            }
+            if self.contains(addr) && self.items[self.pos[addr].to_usize()].to_usize() != addr {
+                return false;
+            }
+            if is_outstanding(addr) {
+                expected += 1;
+            }
+        }
+        expected == self.live && self.items.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+/// Width of one lane of the batched rebuild
+/// ([`UnvisitedIndex::rebuild_from_chunks_batched`]): cells are classified
+/// 64 at a time into one `u64` bit mask.
+pub const LANE_WIDTH: usize = 64;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Address space fits `u32` (`size <= u32::MAX`): half-width storage.
+    Narrow(Packed<u32>),
+    /// Full-width fallback for larger address spaces.
+    Wide(Packed<usize>),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Narrow(Packed::default())
+    }
+}
+
+/// Dispatch a method body over whichever packed representation is active.
+macro_rules! on_repr {
+    ($self:expr, $p:ident => $body:expr) => {
+        match &$self.repr {
+            Repr::Narrow($p) => $body,
+            Repr::Wide($p) => $body,
+        }
+    };
+}
+
+macro_rules! on_repr_mut {
+    ($self:expr, $p:ident => $body:expr) => {
+        match &mut $self.repr {
+            Repr::Narrow($p) => $body,
+            Repr::Wide($p) => $body,
+        }
+    };
+}
+
+/// A dense set of shared-memory addresses in ascending order with O(1)
+/// rank/select, O(1) amortized removal and insertion, and contiguous
+/// per-[`Region`] slicing. See the [module docs](self) for the
+/// representation and cost model.
+#[derive(Clone, Debug, Default)]
+pub struct UnvisitedIndex {
+    repr: Repr,
+}
+
+impl UnvisitedIndex {
+    /// An empty index over the address space `0..size`. Spaces of at most
+    /// `u32::MAX` addresses use the half-width `u32` storage.
+    pub fn new(size: usize) -> Self {
+        let repr = if size <= NARROW_LIMIT {
+            Repr::Narrow(Packed::new(size))
+        } else {
+            Repr::Wide(Packed::new(size))
+        };
+        UnvisitedIndex { repr }
+    }
+
+    /// Re-select the storage width for `size`, reusing the existing
+    /// buffers when the width is unchanged.
+    fn set_width(&mut self, size: usize) {
+        match (&mut self.repr, size <= NARROW_LIMIT) {
+            (Repr::Narrow(_), true) | (Repr::Wide(_), false) => {}
+            (repr, true) => *repr = Repr::Narrow(Packed::new(size)),
+            (repr, false) => *repr = Repr::Wide(Packed::new(size)),
+        }
+    }
+
+    /// Reclassify the whole address space: afterwards the index contains
+    /// exactly the addresses for which `is_outstanding` returns `true`,
+    /// clean and in ascending order. O(size).
+    pub fn rebuild(&mut self, size: usize, is_outstanding: impl FnMut(usize) -> bool) {
+        self.set_width(size);
+        on_repr_mut!(self, p => p.rebuild(size, is_outstanding));
     }
 
     /// [`UnvisitedIndex::rebuild`] fed from bank-aligned cell chunks
@@ -106,38 +394,47 @@ impl UnvisitedIndex {
         &mut self,
         size: usize,
         chunks: impl Iterator<Item = (usize, &'a [Word])>,
-        mut is_outstanding: impl FnMut(usize, Word) -> bool,
+        is_outstanding: impl FnMut(usize, Word) -> bool,
     ) {
-        self.items.clear();
-        self.pos.clear();
-        self.pos.resize(size, ABSENT);
-        for (base, cells) in chunks {
-            for (off, &value) in cells.iter().enumerate() {
-                let addr = base + off;
-                if is_outstanding(addr, value) {
-                    self.pos[addr] = self.items.len();
-                    self.items.push(addr);
-                }
-            }
-        }
-        self.live = self.items.len();
-        self.holes = false;
-        self.unsorted = false;
+        self.set_width(size);
+        on_repr_mut!(self, p => p.rebuild_from_chunks(size, chunks, is_outstanding));
+    }
+
+    /// Batched [`UnvisitedIndex::rebuild_from_chunks`]: each chunk is
+    /// processed in fixed-width lanes of up to [`LANE_WIDTH`] cells, and
+    /// the classifier answers per lane with one `u64` bit mask (bit `j`
+    /// set iff cell `lane_base + j` is outstanding). The mask's set bits
+    /// are drained with `trailing_zeros`, so a mostly-satisfied memory
+    /// costs O(size / 64) mask computations plus O(outstanding) pushes —
+    /// and the classifier body is a tight, branch-free loop the compiler
+    /// can autovectorize. Produces exactly the same index as the scalar
+    /// rebuild for a classifier that agrees cell-wise.
+    pub fn rebuild_from_chunks_batched<'a>(
+        &mut self,
+        size: usize,
+        chunks: impl Iterator<Item = (usize, &'a [Word])>,
+        lane_mask: impl FnMut(usize, &'a [Word]) -> u64,
+    ) {
+        self.set_width(size);
+        on_repr_mut!(self, p => p.rebuild_from_chunks_batched(size, chunks, lane_mask));
     }
 
     /// Number of addresses in the set. Valid even while dirty.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.live
+        on_repr!(self, p => p.live)
     }
 
     /// Whether the set is empty. Valid even while dirty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
     /// Whether `addr` is in the set. O(1), valid even while dirty.
+    #[inline]
     pub fn contains(&self, addr: usize) -> bool {
-        self.pos.get(addr).is_some_and(|&p| p != ABSENT)
+        on_repr!(self, p => p.contains(addr))
     }
 
     /// Whether the dense accessors ([`select`](UnvisitedIndex::select),
@@ -145,7 +442,7 @@ impl UnvisitedIndex {
     /// [`as_slice`](UnvisitedIndex::as_slice),
     /// [`slice_in`](UnvisitedIndex::slice_in)) may be used right now.
     pub fn is_clean(&self) -> bool {
-        !self.holes && !self.unsorted
+        on_repr!(self, p => p.is_clean())
     }
 
     /// Add `addr` to the set. Returns `false` (no-op) if already present.
@@ -156,70 +453,20 @@ impl UnvisitedIndex {
     /// Panics if `addr` is outside the address space the index was built
     /// over.
     pub fn insert(&mut self, addr: usize) -> bool {
-        assert!(addr < self.pos.len(), "address {addr} outside indexed space");
-        if self.pos[addr] != ABSENT {
-            return false;
-        }
-        if self.items.len() == self.items.capacity() && self.holes {
-            // Reuse tombstone slack before letting the buffer grow.
-            self.compact();
-        }
-        self.pos[addr] = self.items.len();
-        self.items.push(addr);
-        self.live += 1;
-        if !self.unsorted {
-            // An append extending the ascending tail keeps the index clean;
-            // with holes present the tail entry may be stale, so be
-            // conservative.
-            let extends_tail =
-                !self.holes && (self.items.len() < 2 || self.items[self.items.len() - 2] < addr);
-            self.unsorted = !extends_tail;
-        }
-        true
+        on_repr_mut!(self, p => p.insert(addr))
     }
 
     /// Remove `addr` from the set (tombstone; O(1)). Returns `false`
     /// (no-op) if not present.
     pub fn remove(&mut self, addr: usize) -> bool {
-        if !self.contains(addr) {
-            return false;
-        }
-        self.pos[addr] = ABSENT;
-        self.live -= 1;
-        self.holes = true;
-        true
+        on_repr_mut!(self, p => p.remove(addr))
     }
 
     /// Restore the dense ascending form: drop tombstones in place and
     /// re-sort if inserts appended out of order. O(pending work); a no-op
     /// when already clean. Performs no allocation.
     pub fn ensure_clean(&mut self) {
-        if self.holes {
-            self.compact();
-        }
-        if self.unsorted {
-            self.items.sort_unstable();
-            for (slot, &addr) in self.items.iter().enumerate() {
-                self.pos[addr] = slot;
-            }
-            self.unsorted = false;
-        }
-    }
-
-    /// Drop tombstoned entries in place. An entry at slot `r` is live iff
-    /// `pos[items[r]] == r`; live entries keep their relative order.
-    fn compact(&mut self) {
-        let mut w = 0;
-        for r in 0..self.items.len() {
-            let addr = self.items[r];
-            if self.pos[addr] == r {
-                self.items[w] = addr;
-                self.pos[addr] = w;
-                w += 1;
-            }
-        }
-        self.items.truncate(w);
-        self.holes = false;
+        on_repr_mut!(self, p => p.ensure_clean());
     }
 
     /// The `k`-th address in ascending order (0-based). O(1).
@@ -228,39 +475,40 @@ impl UnvisitedIndex {
     ///
     /// Panics if `k >= len()`. Debug builds additionally assert the index
     /// is clean.
+    #[inline]
     pub fn select(&self, k: usize) -> usize {
-        debug_assert!(self.is_clean(), "select on a dirty index — call ensure_clean first");
-        self.items[k]
+        on_repr!(self, p => p.select(k))
     }
 
     /// Rank of `addr` within the ascending order, if present. O(1).
+    #[inline]
     pub fn rank_of(&self, addr: usize) -> Option<usize> {
-        debug_assert!(self.is_clean(), "rank_of on a dirty index — call ensure_clean first");
-        match self.pos.get(addr) {
-            Some(&p) if p != ABSENT => Some(p),
-            _ => None,
-        }
+        on_repr!(self, p => p.rank_of(addr))
     }
 
-    /// All addresses in ascending order.
-    pub fn as_slice(&self) -> &[usize] {
+    /// All addresses in ascending order, as a width-erased view.
+    pub fn as_slice(&self) -> AddrSlice<'_> {
         debug_assert!(self.is_clean(), "as_slice on a dirty index — call ensure_clean first");
-        &self.items
+        match &self.repr {
+            Repr::Narrow(p) => AddrSlice::Narrow(&p.items),
+            Repr::Wide(p) => AddrSlice::Wide(&p.items),
+        }
     }
 
     /// The rank range occupied by addresses inside `region`: two binary
     /// searches, O(log len).
     pub fn range_in(&self, region: Region) -> std::ops::Range<usize> {
-        debug_assert!(self.is_clean(), "range_in on a dirty index — call ensure_clean first");
-        let lo = self.items.partition_point(|&a| a < region.base());
-        let hi = self.items.partition_point(|&a| a < region.base() + region.len());
-        lo..hi
+        on_repr!(self, p => p.range_in(region))
     }
 
-    /// The addresses inside `region`, ascending, as one contiguous slice.
-    pub fn slice_in(&self, region: Region) -> &[usize] {
+    /// The addresses inside `region`, ascending, as one contiguous
+    /// width-erased view.
+    pub fn slice_in(&self, region: Region) -> AddrSlice<'_> {
         let range = self.range_in(region);
-        &self.items[range]
+        match &self.repr {
+            Repr::Narrow(p) => AddrSlice::Narrow(&p.items[range]),
+            Repr::Wide(p) => AddrSlice::Wide(&p.items[range]),
+        }
     }
 
     /// Number of addresses inside `region`. O(log len).
@@ -272,23 +520,91 @@ impl UnvisitedIndex {
     /// the `0..size` address space, and contains exactly the addresses for
     /// which `is_outstanding` holds, in strictly ascending order. Intended
     /// for `debug_assert!` use by the machine.
-    pub fn matches(&self, size: usize, mut is_outstanding: impl FnMut(usize) -> bool) -> bool {
-        if !self.is_clean() || self.pos.len() != size || self.items.len() != self.live {
-            return false;
+    pub fn matches(&self, size: usize, is_outstanding: impl FnMut(usize) -> bool) -> bool {
+        on_repr!(self, p => p.matches(size, is_outstanding))
+    }
+
+    /// Force the full-width `usize` representation regardless of size —
+    /// test hook so the wide code paths are exercised on small spaces.
+    #[cfg(test)]
+    fn force_wide(&mut self) {
+        if let Repr::Narrow(p) = &self.repr {
+            let mut wide = Packed::<usize>::new(p.pos.len());
+            wide.items = p.items.iter().map(|&a| a as usize).collect();
+            for (addr, &slot) in p.pos.iter().enumerate() {
+                wide.pos[addr] = if slot == u32::MAX { usize::MAX } else { slot as usize };
+            }
+            wide.live = p.live;
+            wide.holes = p.holes;
+            wide.unsorted = p.unsorted;
+            self.repr = Repr::Wide(wide);
         }
-        let mut expected = 0;
-        for addr in 0..size {
-            if is_outstanding(addr) != self.contains(addr) {
-                return false;
-            }
-            if self.contains(addr) && self.items[self.pos[addr]] != addr {
-                return false;
-            }
-            if is_outstanding(addr) {
-                expected += 1;
-            }
+    }
+}
+
+/// A width-erased view of a contiguous run of index entries: the borrow
+/// either points at `u32` or `usize` storage, and every accessor speaks
+/// `usize` addresses. Replaces the `&[usize]` slices the index returned
+/// before the storage became width-generic.
+#[derive(Clone, Copy, Debug)]
+pub enum AddrSlice<'a> {
+    /// Borrowed half-width storage.
+    Narrow(&'a [u32]),
+    /// Borrowed full-width storage.
+    Wide(&'a [usize]),
+}
+
+impl<'a> AddrSlice<'a> {
+    /// Number of addresses in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            AddrSlice::Narrow(s) => s.len(),
+            AddrSlice::Wide(s) => s.len(),
         }
-        expected == self.live && self.items.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th address of the view, if in bounds.
+    #[inline]
+    pub fn get(&self, k: usize) -> Option<usize> {
+        match self {
+            AddrSlice::Narrow(s) => s.get(k).map(|&a| a as usize),
+            AddrSlice::Wide(s) => s.get(k).copied(),
+        }
+    }
+
+    /// The addresses in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + 'a {
+        // Both arms widen to one concrete iterator type via Either-style
+        // chaining: map each narrow item up front.
+        let (narrow, wide) = match self {
+            AddrSlice::Narrow(s) => (Some(s.iter()), None),
+            AddrSlice::Wide(s) => (None, Some(s.iter())),
+        };
+        narrow.into_iter().flatten().map(|&a| a as usize).chain(wide.into_iter().flatten().copied())
+    }
+
+    /// The addresses as an owned `Vec<usize>`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl PartialEq<&[usize]> for AddrSlice<'_> {
+    fn eq(&self, other: &&[usize]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl<const N: usize> PartialEq<&[usize; N]> for AddrSlice<'_> {
+    fn eq(&self, other: &&[usize; N]) -> bool {
+        *self == &other[..]
     }
 }
 
@@ -376,28 +692,36 @@ mod tests {
 
     #[test]
     fn interleaved_churn_matches_ground_truth() {
-        let size = 64;
-        let mut idx = UnvisitedIndex::new(size);
-        idx.rebuild(size, |_| true);
-        let mut truth: Vec<bool> = vec![true; size];
-        // Deterministic churn: walk a fixed stride, toggling membership.
-        let mut a = 17usize;
-        for step in 0..500 {
-            a = (a * 31 + 7) % size;
-            if truth[a] {
-                idx.remove(a);
-                truth[a] = false;
-            } else {
-                idx.insert(a);
-                truth[a] = true;
+        for wide in [false, true] {
+            let size = 64;
+            let mut idx = UnvisitedIndex::new(size);
+            if wide {
+                idx.force_wide();
             }
-            if step % 7 == 0 {
-                idx.ensure_clean();
+            idx.rebuild(size, |_| true);
+            if wide {
+                idx.force_wide();
             }
-            assert_eq!(idx.len(), truth.iter().filter(|&&t| t).count());
+            let mut truth: Vec<bool> = vec![true; size];
+            // Deterministic churn: walk a fixed stride, toggling membership.
+            let mut a = 17usize;
+            for step in 0..500 {
+                a = (a * 31 + 7) % size;
+                if truth[a] {
+                    idx.remove(a);
+                    truth[a] = false;
+                } else {
+                    idx.insert(a);
+                    truth[a] = true;
+                }
+                if step % 7 == 0 {
+                    idx.ensure_clean();
+                }
+                assert_eq!(idx.len(), truth.iter().filter(|&&t| t).count());
+            }
+            idx.ensure_clean();
+            assert!(idx.matches(size, |addr| truth[addr]));
         }
-        idx.ensure_clean();
-        assert!(idx.matches(size, |addr| truth[addr]));
     }
 
     #[test]
@@ -405,5 +729,131 @@ mod tests {
     fn insert_out_of_space_panics() {
         let mut idx = UnvisitedIndex::new(2);
         idx.insert(2);
+    }
+
+    /// The wide (usize) representation answers every accessor identically
+    /// to the narrow one.
+    #[test]
+    fn wide_representation_matches_narrow() {
+        let narrow = fresh(&[1, 3, 5, 9], 12);
+        let mut wide = fresh(&[1, 3, 5, 9], 12);
+        wide.force_wide();
+        assert_eq!(narrow.len(), wide.len());
+        assert_eq!(narrow.as_slice().to_vec(), wide.as_slice().to_vec());
+        for k in 0..narrow.len() {
+            assert_eq!(narrow.select(k), wide.select(k));
+        }
+        for addr in 0..12 {
+            assert_eq!(narrow.rank_of(addr), wide.rank_of(addr));
+            assert_eq!(narrow.contains(addr), wide.contains(addr));
+        }
+        let mut layout = LayoutBuilder::new();
+        let r = layout.alloc(6);
+        assert_eq!(narrow.slice_in(r).to_vec(), wide.slice_in(r).to_vec());
+        assert!(wide.matches(12, |a| [1, 3, 5, 9].contains(&a)));
+    }
+
+    /// `select(k)` edge cases: the last element, one past the end (panics),
+    /// and an index drained to empty.
+    #[test]
+    fn select_last_element_is_in_bounds() {
+        let idx = fresh(&[2, 4, 6], 8);
+        assert_eq!(idx.select(idx.len() - 1), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn select_at_len_panics() {
+        let idx = fresh(&[2, 4, 6], 8);
+        let _ = idx.select(idx.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn select_on_empty_index_panics() {
+        let mut idx = fresh(&[0, 1], 2);
+        idx.remove(0);
+        idx.remove(1);
+        idx.ensure_clean();
+        assert!(idx.is_empty());
+        let _ = idx.select(0);
+    }
+
+    /// `rank_of` edge cases: address beyond the indexed space, address
+    /// inside the space but absent, and a fully drained index.
+    #[test]
+    fn rank_of_out_of_range_and_drained() {
+        let mut idx = fresh(&[0, 1], 2);
+        assert_eq!(idx.rank_of(99), None, "address outside the space is absent, not a panic");
+        idx.remove(0);
+        idx.remove(1);
+        idx.ensure_clean();
+        assert!(idx.is_empty());
+        assert_eq!(idx.rank_of(0), None);
+        assert_eq!(idx.rank_of(1), None);
+        assert_eq!(idx.as_slice(), &[] as &[usize]);
+        assert_eq!(idx.count_in(Region::EMPTY), 0);
+        // A drained index accepts re-inserts and comes back clean.
+        assert!(idx.insert(1));
+        idx.ensure_clean();
+        assert_eq!(idx.rank_of(1), Some(0));
+    }
+
+    /// `rebuild_from_chunks` with chunk boundaries that do not divide the
+    /// region size, plus empty trailing chunks, matches the plain rebuild.
+    #[test]
+    fn rebuild_from_ragged_chunks_matches_plain_rebuild() {
+        let size = 11;
+        let values: Vec<Word> = (0..size as Word).map(|v| v % 3).collect();
+        // Ragged chunking: 4 + 5 + 2 cells, then two empty trailing chunks.
+        let chunks: Vec<(usize, &[Word])> = vec![
+            (0, &values[0..4]),
+            (4, &values[4..9]),
+            (9, &values[9..11]),
+            (11, &values[11..]),
+            (11, &[]),
+        ];
+        let mut chunked = UnvisitedIndex::new(size);
+        chunked.rebuild_from_chunks(size, chunks.iter().copied(), |_, v| v == 0);
+        let mut plain = UnvisitedIndex::new(size);
+        plain.rebuild(size, |a| values[a] == 0);
+        assert_eq!(chunked.as_slice().to_vec(), plain.as_slice().to_vec());
+        assert!(chunked.matches(size, |a| values[a] == 0));
+
+        // The batched lane-mask rebuild agrees cell-for-cell too.
+        let mut batched = UnvisitedIndex::new(size);
+        batched.rebuild_from_chunks_batched(size, chunks.iter().copied(), |base, lane| {
+            let mut mask = 0u64;
+            for (j, &v) in lane.iter().enumerate() {
+                mask |= u64::from(v == 0) << j;
+                let _ = base;
+            }
+            mask
+        });
+        assert_eq!(batched.as_slice().to_vec(), plain.as_slice().to_vec());
+    }
+
+    /// The batched rebuild splits chunks into [`LANE_WIDTH`]-cell lanes
+    /// with correct bases, including a final partial lane.
+    #[test]
+    fn batched_rebuild_lane_bases_and_partial_lane() {
+        let size = LANE_WIDTH * 2 + 7;
+        let values: Vec<Word> = (0..size).map(|a| u64::from(a % 5 == 0)).collect();
+        let chunk: Vec<(usize, &[Word])> = vec![(0, &values[..])];
+        let mut seen_bases = Vec::new();
+        let mut idx = UnvisitedIndex::new(size);
+        idx.rebuild_from_chunks_batched(size, chunk.into_iter(), |base, lane| {
+            seen_bases.push((base, lane.len()));
+            let mut mask = 0u64;
+            for (j, &v) in lane.iter().enumerate() {
+                mask |= u64::from(v == 0) << j;
+            }
+            mask
+        });
+        assert_eq!(
+            seen_bases,
+            vec![(0, LANE_WIDTH), (LANE_WIDTH, LANE_WIDTH), (2 * LANE_WIDTH, 7)]
+        );
+        assert!(idx.matches(size, |a| a % 5 != 0));
     }
 }
