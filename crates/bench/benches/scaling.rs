@@ -23,8 +23,16 @@
 //! same process, so the ratios are host-independent even where absolute
 //! times are not.
 //!
+//! The artifact records the measuring host (logical cores, active
+//! `RFSP_*` tuning) so consumers can tell real parallelism from a host
+//! that could never express it.
+//!
 //! Set `RFSP_BENCH_QUICK=1` to shrink the sweep to seconds (CI smoke
-//! mode); `RFSP_BENCH_DIR` chooses the artifact directory (default `.`).
+//! mode); in quick mode the run additionally **asserts** speedup > 1 at
+//! 4 threads for the largest quick size whenever the host has at least 4
+//! logical cores, so the CI bench job's exit code gates scaling
+//! regressions. `RFSP_BENCH_DIR` chooses the artifact directory
+//! (default `.`).
 
 use std::time::Instant;
 
@@ -59,6 +67,16 @@ struct ScaleArtifact {
     experiment: String,
     cells_per_proc: u64,
     quick: bool,
+    /// Logical CPUs of the measuring host. Consumers (`bench_guard`, the
+    /// CI smoke gate) must not hold speedup expectations the recording
+    /// host could not physically express: a row measured with
+    /// `threads > host_logical_cores` documents coordination overhead,
+    /// not parallelism.
+    host_logical_cores: u64,
+    /// `RFSP_*` tuning environment active during the measurement, as
+    /// sorted `KEY=VALUE` strings — so a blessed artifact records whether
+    /// the pool was forced, degraded or left at its defaults.
+    host_tuning: Vec<String>,
     rows: Vec<ScaleRow>,
 }
 
@@ -66,10 +84,29 @@ fn quick() -> bool {
     std::env::var_os("RFSP_BENCH_QUICK").is_some()
 }
 
+fn host_logical_cores() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64
+}
+
+fn host_tuning() -> Vec<String> {
+    let mut vars: Vec<String> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("RFSP_"))
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    vars.sort();
+    vars
+}
+
 /// Word-model sizes for the flat sweep (the tentpole reaches `2^28`).
+///
+/// Quick mode keeps two tiny smoke points but tops out at `2^23`: large
+/// enough that a tick's work (~100µs) clears the adaptive inline-degrade
+/// threshold, so the CI smoke gate below measures the actual parallel
+/// engine instead of the deliberate single-worker fallback — while one
+/// point stays a few seconds, not minutes.
 fn word_sizes() -> Vec<usize> {
     if quick() {
-        vec![1 << 12, 1 << 14]
+        vec![1 << 12, 1 << 14, 1 << 23]
     } else {
         vec![1 << 20, 1 << 24, 1 << 28]
     }
@@ -98,7 +135,7 @@ fn snapshot_sizes() -> Vec<usize> {
 
 fn thread_sweep() -> Vec<usize> {
     if quick() {
-        vec![1, 2]
+        vec![1, 2, 4]
     } else {
         vec![1, 2, 4, 8]
     }
@@ -235,6 +272,8 @@ fn main() {
         experiment: "SCALE".to_string(),
         cells_per_proc: CELLS_PER_PROC as u64,
         quick: quick(),
+        host_logical_cores: host_logical_cores(),
+        host_tuning: host_tuning(),
         rows,
     };
     let dir = std::env::var("RFSP_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
@@ -244,4 +283,48 @@ fn main() {
         .and_then(|()| std::fs::write(&path, json))
         .expect("write artifact");
     println!("wrote {}", path.display());
+
+    // CI smoke gate (quick mode only): on a host that can actually run 4
+    // workers concurrently, the pooled engine must beat sequential at the
+    // largest quick size — a real measured speedup, asserted so the bench
+    // job's exit code gates the merge. A smaller host cannot express the
+    // expectation at all (the adaptive degrade then runs the tick inline
+    // by design), so it skips loudly instead of asserting on numbers the
+    // hardware cannot produce.
+    if quick() {
+        let smoke_threads = 4u64;
+        let largest = *word_sizes().iter().max().expect("non-empty sweep") as u64;
+        if artifact.host_logical_cores >= smoke_threads {
+            let row = artifact
+                .rows
+                .iter()
+                .find(|r| {
+                    r.model == "word"
+                        && r.layout == "flat"
+                        && r.n == largest
+                        && r.threads == smoke_threads
+                })
+                .expect("quick sweep covers 4 threads at its largest flat size");
+            assert!(
+                row.speedup_vs_1t > 1.0,
+                "CI scaling smoke: pooled speedup {:.3}x at {} threads (n=2^{}) did not beat \
+                 sequential on a {}-core host",
+                row.speedup_vs_1t,
+                smoke_threads,
+                largest.trailing_zeros(),
+                artifact.host_logical_cores,
+            );
+            println!(
+                "smoke OK: speedup {:.2}x at {smoke_threads} threads (n=2^{})",
+                row.speedup_vs_1t,
+                largest.trailing_zeros()
+            );
+        } else {
+            println!(
+                "SKIP: scaling smoke needs {smoke_threads} logical cores, host has {} — \
+                 speedup > 1 is unmeasurable here",
+                artifact.host_logical_cores
+            );
+        }
+    }
 }

@@ -28,6 +28,16 @@
 //!    sides — both attempts are logged — and only a repeated failure
 //!    fails the guard.
 //!
+//! 4. **Committed scaling artifact** — the blessed
+//!    `crates/bench/artifacts/BENCH_SCALE.json` must show the pooled
+//!    engine at `speedup_vs_1t >= 1.0` for every flat word row with
+//!    `N >= 2^24` and `threads >= 2` whose thread count the recording
+//!    host could actually run (`host_logical_cores >= threads`); rows
+//!    beyond the recorded core count are skipped loudly. And on a live
+//!    host with 2+ logical cores, the measured 2-thread run must beat
+//!    sequential (`RFSP_GUARD_SPEEDUP_FLOOR`, default 1.0) — with the
+//!    same one-retry noise policy as the other relative checks.
+//!
 //! `RFSP_GUARD_UPDATE=1` re-blesses both committed baselines with the
 //! current measurements.
 
@@ -49,6 +59,25 @@ struct ScaleBaseline {
     /// scale geometry (fixed-point: 1000 = 1 ns/cell; the integer keeps
     /// the artifact stable under sub-ns kernels).
     milli_ns_per_cell: u64,
+}
+
+/// The subset of a `BENCH_SCALE.json` row the guard consumes (extra
+/// fields in the artifact are ignored by the deserializer).
+#[derive(Clone, Debug, Deserialize)]
+struct ScaleRow {
+    model: String,
+    layout: String,
+    n: u64,
+    threads: u64,
+    speedup_vs_1t: f64,
+}
+
+/// The committed scaling artifact, `crates/bench/artifacts/BENCH_SCALE.json`.
+#[derive(Clone, Debug, Deserialize)]
+struct ScaleArtifact {
+    quick: bool,
+    host_logical_cores: u64,
+    rows: Vec<ScaleRow>,
 }
 
 const CELLS_PER_PROC: usize = 64;
@@ -148,6 +177,65 @@ fn relative_check_with_retry(
     true
 }
 
+/// Gate the **committed** `BENCH_SCALE.json`: every blessed flat
+/// word-model row with `N >= 2^24` and `threads >= 2` must show
+/// `speedup_vs_1t >= 1.0` — the pooled engine may never lose to the
+/// sequential engine at scale. Rows whose thread count exceeds the
+/// recording host's logical cores are skipped loudly: such a row
+/// documents the adaptive inline degrade, not parallelism, and holding
+/// it to a speedup floor would reward faking the measurement. Returns
+/// `true` on failure.
+fn check_committed_scaling() -> bool {
+    const SPEEDUP_FLOOR_N: u64 = 1 << 24;
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts").join("BENCH_SCALE.json");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no committed scaling artifact at {} ({e}); run the scaling bench and commit it",
+            path.display()
+        )
+    });
+    let artifact: ScaleArtifact = serde::json::from_str(&raw).expect("scale artifact");
+    assert!(!artifact.quick, "the committed BENCH_SCALE.json must come from a full sweep");
+    let mut failed = false;
+    let mut gated = 0usize;
+    for row in &artifact.rows {
+        if row.model != "word" || row.layout != "flat" {
+            continue;
+        }
+        if row.n < SPEEDUP_FLOOR_N || row.threads < 2 {
+            continue;
+        }
+        if artifact.host_logical_cores < row.threads {
+            println!(
+                "SKIP: blessed speedup floor for n=2^{} threads={} — the recording host had \
+                 {} logical core(s)",
+                row.n.trailing_zeros(),
+                row.threads,
+                artifact.host_logical_cores
+            );
+            continue;
+        }
+        gated += 1;
+        if row.speedup_vs_1t < 1.0 {
+            eprintln!(
+                "FAIL: committed BENCH_SCALE.json shows speedup {:.3}x at n=2^{} threads={} \
+                 (recorded on a {}-core host) — the blessed artifact must demonstrate the pooled \
+                 engine beating sequential at scale; re-measure on capable hardware",
+                row.speedup_vs_1t,
+                row.n.trailing_zeros(),
+                row.threads,
+                artifact.host_logical_cores
+            );
+            failed = true;
+        }
+    }
+    if gated > 0 && !failed {
+        println!("OK: {gated} blessed scaling rows at or above the 1.0x speedup floor");
+    }
+    failed
+}
+
 fn main() {
     let flat = measure(MemoryLayout::Flat);
     let banked = measure(MemoryLayout::banked(PROCESSORS));
@@ -244,6 +332,32 @@ fn main() {
             );
         },
     );
+
+    // On a host that can actually run two workers concurrently the floor
+    // is much stronger: the pooled engine must not lose to sequential at
+    // all. Single-core hosts skip (loudly) — there the adaptive degrade
+    // runs the tick inline and speedup > 1 is physically unmeasurable.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 2 {
+        let speedup_floor = env_ratio("RFSP_GUARD_SPEEDUP_FLOOR", 1.0);
+        failed |= relative_check_with_retry(
+            "pooled speedup",
+            || (measure_scale(1), measure_scale(2)),
+            (scale_seq, scale_pool2),
+            |seq, pool| seq / pool >= speedup_floor,
+            |seq, pool| {
+                eprintln!(
+                    "FAIL: pooled speedup {:.3}x at 2 threads below floor {speedup_floor} on a \
+                     {cores}-core host — the parallel tick engine regressed",
+                    seq / pool
+                );
+            },
+        );
+    } else {
+        println!("SKIP: live pooled-speedup floor needs >= 2 logical cores, host has {cores}");
+    }
+
+    failed |= check_committed_scaling();
 
     if failed {
         std::process::exit(1);

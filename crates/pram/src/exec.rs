@@ -31,12 +31,13 @@
 //! The core stays **allocation-free in steady state**: all per-tick buffers
 //! (tentative cycles, fates, slot merges, failure scratch) live in the
 //! [`Core`] and are reused; index maintenance is O(committed writes)
-//! amortized per tick with in-place compaction. Backends differ only in the
-//! tentative phase they pass into [`Core::run_loop`] — the word machine's
-//! persistent worker pool farms that phase out to real threads, the
-//! sequential engines play it inline — so the event stream and all
-//! accounting are byte-identical across backends *by construction* (pinned
-//! by `tests/golden_equivalence.rs`).
+//! amortized per tick with in-place compaction. Backends implement the
+//! [`Backend`] hooks passed into [`Core::run_loop`] — the word machine's
+//! persistent worker pool farms the tentative phase, the commit merge and
+//! the index rebuild out to real threads, the sequential engines play every
+//! phase inline — so the event stream and all accounting are byte-identical
+//! across backends *by construction* (pinned by
+//! `tests/golden_equivalence.rs`).
 
 use serde::{Deserialize, Serialize};
 
@@ -45,11 +46,16 @@ use crate::adversary::{
     Adversary, Decisions, FailPoint, MachineView, ProcMeta, ProcStatus, TentativeCycle,
 };
 use crate::checkpoint::{Checkpoint, ProcCheckpoint, CHECKPOINT_VERSION};
+use crate::commit::{CommitEntry, CommitScratch, SlotWinner};
+use crate::cycle::MAX_WRITES;
 use crate::decisions::{resolve, CycleFate};
 use crate::error::PramError;
 use crate::failure::{FailureEvent, FailureKind, FailurePattern};
 use crate::memory::{MemoryLayout, SharedMemory};
 use crate::mode::WriteMode;
+use crate::pool::{
+    SendPtr, TickPool, CLASS_COMMIT_MERGE, CLASS_COMMIT_SCAN, CLASS_COMMIT_STORE, CLASS_REBUILD,
+};
 use crate::trace::{Observer, TraceEvent};
 use crate::unvisited::UnvisitedIndex;
 use crate::word::{Pid, Word};
@@ -199,6 +205,53 @@ pub trait ExecutionModel {
     fn checkpoint_budget(&self) -> (usize, usize);
 }
 
+/// The three per-tick hooks a run backend supplies to [`Core::run_loop`]:
+/// how the completion tracker is primed at run entry, how the tentative
+/// phase executes, and how the tick's decisions are applied. The defaults
+/// are the sequential reference paths; the word machine's pooled backends
+/// (see `crate::machine`) override them with the worker-pool phases. Every
+/// override must be observationally identical to the default — event
+/// streams, stats, memory, and the index are pinned byte-identical by the
+/// golden and differential tests.
+pub(crate) trait Backend<M: ExecutionModel> {
+    /// Prime the completion tracker at run entry.
+    fn prime(&mut self, model: &M, core: &mut Core<M::Private>) {
+        core.init_tracker(model);
+    }
+
+    /// Phase 1: fill `core.tentative[i]` for every alive processor.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`] — typically budget or bounds violations.
+    fn tentative(&mut self, model: &M, core: &mut Core<M::Private>) -> Result<()>;
+
+    /// Phases 2b/3: validate decisions, commit, charge.
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    fn apply(
+        &mut self,
+        model: &M,
+        core: &mut Core<M::Private>,
+        decisions: Decisions,
+        observer: &mut dyn Observer,
+    ) -> Result<()> {
+        core.apply(model, decisions, observer)
+    }
+}
+
+/// The sequential backend: every phase plays inline through the reference
+/// implementations.
+pub(crate) struct SeqBackend;
+
+impl<M: ExecutionModel> Backend<M> for SeqBackend {
+    fn tentative(&mut self, model: &M, core: &mut Core<M::Private>) -> Result<()> {
+        model.tentative(core)
+    }
+}
+
 /// The model-generic machine state and synchronous run loop.
 ///
 /// A `Core` is the entire mutable state of a machine — shared memory,
@@ -242,6 +295,10 @@ pub struct Core<Pv> {
     pub(crate) fail_points: Vec<Option<FailPoint>>,
     pub(crate) restarted: Vec<bool>,
     pub(crate) events: Vec<FailureEvent>,
+    /// Per-worker buffers of the parallel commit (see [`crate::commit`]);
+    /// reused across ticks so the pooled apply stays allocation-free in
+    /// steady state.
+    pub(crate) commit: CommitScratch,
 }
 
 /// Default lane width of the batched tentative-phase kernels: one `u64`
@@ -251,6 +308,11 @@ pub const DEFAULT_BATCH_WIDTH: usize = crate::unvisited::LANE_WIDTH;
 /// Pooled chunk alignment is capped so huge `batch_width × interleave`
 /// combinations cannot serialize a run into one chunk.
 const MAX_CHUNK_ALIGN: usize = 1 << 16;
+
+/// Smallest address space worth sharding the index rebuild over the pool:
+/// below this the sequential rebuild finishes before the workers would wake
+/// up. Tests force the sharded path regardless via `RFSP_POOL_INLINE_NS=0`.
+const SHARDED_REBUILD_MIN: usize = 1 << 20;
 
 fn gcd(a: usize, b: usize) -> usize {
     let (mut a, mut b) = (a, b);
@@ -307,6 +369,7 @@ impl<Pv: Clone + Send> Core<Pv> {
             fail_points: vec![None; processors],
             restarted: vec![false; processors],
             events: Vec::new(),
+            commit: CommitScratch::default(),
         };
         core.init_tracker(model);
         core
@@ -466,7 +529,7 @@ impl<Pv: Clone + Send> Core<Pv> {
     }
 
     /// The single run loop behind every public entry point of both
-    /// machines. Backends differ only in the `tentative` phase they pass
+    /// machines. Backends differ only in the [`Backend`] hooks they pass
     /// in, so the event stream and all accounting are shared by
     /// construction. The `control` callback runs at the tick boundary —
     /// after the completion and cycle-limit checks, before the tick's
@@ -478,20 +541,21 @@ impl<Pv: Clone + Send> Core<Pv> {
     ///
     /// See [`PramError`]; in particular [`PramError::CycleLimit`] when
     /// `limits` are exhausted.
-    pub(crate) fn run_loop<M, A>(
+    pub(crate) fn run_loop<M, A, B>(
         &mut self,
         model: &M,
         adversary: &mut A,
         limits: RunLimits,
         observer: &mut dyn Observer,
-        mut tentative: impl FnMut(&mut Self) -> Result<()>,
+        backend: &mut B,
         mut control: impl FnMut(u64) -> RunControl,
     ) -> Result<RunStatus>
     where
         M: ExecutionModel<Private = Pv>,
         A: Adversary,
+        B: Backend<M>,
     {
-        self.init_tracker(model);
+        backend.prime(model, self);
         loop {
             if self.completion_reached(model) {
                 observer.event(TraceEvent::Completed { cycle: self.cycle });
@@ -504,9 +568,9 @@ impl<Pv: Clone + Send> Core<Pv> {
                 return Ok(RunStatus::Paused { cycle: self.cycle });
             }
             observer.event(TraceEvent::TickStart { cycle: self.cycle });
-            tentative(self)?;
+            backend.tentative(model, self)?;
             let decisions = self.collect_decisions::<M, A>(adversary);
-            self.apply(model, decisions, observer)?;
+            backend.apply(model, self, decisions, observer)?;
         }
     }
 
@@ -516,20 +580,21 @@ impl<Pv: Clone + Send> Core<Pv> {
     /// # Errors
     ///
     /// See [`PramError`].
-    pub(crate) fn run_to_completion<M, A>(
+    pub(crate) fn run_to_completion<M, A, B>(
         &mut self,
         model: &M,
         adversary: &mut A,
         limits: RunLimits,
         observer: &mut dyn Observer,
-        tentative: impl FnMut(&mut Self) -> Result<()>,
+        backend: &mut B,
     ) -> Result<RunReport>
     where
         M: ExecutionModel<Private = Pv>,
         A: Adversary,
+        B: Backend<M>,
     {
         match self
-            .run_loop(model, adversary, limits, observer, tentative, |_| RunControl::Continue)?
+            .run_loop(model, adversary, limits, observer, backend, |_| RunControl::Continue)?
         {
             RunStatus::Completed(report) => Ok(report),
             RunStatus::Paused { .. } => unreachable!("the control callback never pauses"),
@@ -549,6 +614,36 @@ impl<Pv: Clone + Send> Core<Pv> {
     where
         M: ExecutionModel<Private = Pv>,
     {
+        let max_slots = self.resolve_and_prepass(decisions)?;
+
+        // --- Commit surviving write prefixes, slot by slot. ---
+        // (`active` is detached during the loop so `commit_slot` can borrow
+        // the rest of the core mutably; it is a reused buffer, so put it
+        // back afterwards.)
+        let active = std::mem::take(&mut self.active);
+        for slot in 0..max_slots {
+            self.slot_writes.clear();
+            for &iu in &active {
+                let i = iu as usize;
+                if slot < self.surviving[i] as usize {
+                    let t = self.tentative[i].as_ref().expect("active cycle exists");
+                    let (addr, value) = t.writes.writes()[slot];
+                    self.slot_writes.push((Pid(i), addr, value));
+                }
+            }
+            self.commit_slot(model, observer)?;
+        }
+        self.active = active;
+
+        self.charge_and_finish(model, observer);
+        Ok(())
+    }
+
+    /// Phase 2b: validate the adversary's decisions and fold each
+    /// processor's fate into a surviving-write count once (instead of
+    /// re-deriving it `write_slots` times). Returns the maximum surviving
+    /// prefix length — the number of write slots the commit must merge.
+    fn resolve_and_prepass(&mut self, decisions: Decisions) -> Result<usize> {
         let p = self.procs.len();
         let statuses = &self.procs.status;
         resolve(
@@ -562,9 +657,7 @@ impl<Pv: Clone + Send> Core<Pv> {
             &mut self.restarted,
         )?;
 
-        // --- Batch pre-pass: fold each processor's fate into a surviving-
-        // write count once, instead of re-deriving it `write_slots` times.
-        // The per-slot merge below then touches only the compact list of
+        // The per-slot merge then touches only the compact list of
         // processors that commit anything this tick, rather than striding
         // over all P tentative slots per write slot.
         self.active.clear();
@@ -594,26 +687,16 @@ impl<Pv: Clone + Send> Core<Pv> {
         // `resolve` bounds committed prefixes by the cycle's write count,
         // so no survivor can exceed the write-slot budget.
         debug_assert!(max_slots <= self.write_slots);
+        Ok(max_slots)
+    }
 
-        // --- Commit surviving write prefixes, slot by slot. ---
-        // (`active` is detached during the loop so `commit_slot` can borrow
-        // the rest of the core mutably; it is a reused buffer, so put it
-        // back afterwards.)
-        let active = std::mem::take(&mut self.active);
-        for slot in 0..max_slots {
-            self.slot_writes.clear();
-            for &iu in &active {
-                let i = iu as usize;
-                if slot < self.surviving[i] as usize {
-                    let t = self.tentative[i].as_ref().expect("active cycle exists");
-                    let (addr, value) = t.writes.writes()[slot];
-                    self.slot_writes.push((Pid(i), addr, value));
-                }
-            }
-            self.commit_slot(model, observer)?;
-        }
-        self.active = active;
-
+    /// Phase 3: charge work, update processor states, record the failure
+    /// pattern, advance the clock, restore the index's dense form.
+    fn charge_and_finish<M>(&mut self, model: &M, observer: &mut dyn Observer)
+    where
+        M: ExecutionModel<Private = Pv>,
+    {
+        let p = self.procs.len();
         // --- Charge work, update processor states, record the pattern. ---
         debug_assert!(self.events.is_empty());
         for i in 0..p {
@@ -701,7 +784,6 @@ impl<Pv: Clone + Send> Core<Pv> {
                 self.cycle - 1,
             );
         }
-        Ok(())
     }
 
     /// Merge one write slot under the core's CRCW semantics, apply it, and
@@ -765,6 +847,472 @@ impl<Pv: Clone + Send> Core<Pv> {
             observer.event(TraceEvent::Commit { cycle: self.cycle, addr, value: chosen.1 });
             i = j;
         }
+        Ok(())
+    }
+
+    /// [`Core::apply`] with the commit merge farmed out to the worker pool.
+    ///
+    /// Observationally identical to the sequential apply on every
+    /// successful tick: same memory image, same `Commit` event stream (the
+    /// deterministic rank-ordered merge reproduces the slot-major,
+    /// address-ascending order), same stats and bank counters, same index
+    /// membership. On a CRCW conflict it reports the same error the
+    /// sequential scan would hit first; the machine state after an error is
+    /// unspecified under both backends (the sequential engine stops
+    /// mid-commit, this one withholds the whole tick's stores except those
+    /// of already-finished partitions — see DESIGN.md §15).
+    ///
+    /// # Errors
+    ///
+    /// See [`PramError`].
+    pub(crate) fn apply_pooled<M>(
+        &mut self,
+        model: &M,
+        decisions: Decisions,
+        observer: &mut dyn Observer,
+        pool: &TickPool,
+    ) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv> + Sync,
+    {
+        // On a host that cannot run workers concurrently the bucket/merge
+        // dance is pure overhead — fall back to the serial commit unless
+        // the tests force the parallel path.
+        if !pool.force_parallel() && !pool.multicore() {
+            return self.apply(model, decisions, observer);
+        }
+        let max_slots = self.resolve_and_prepass(decisions)?;
+        if max_slots > 0 {
+            self.commit_pooled(model, max_slots, observer, pool)?;
+        }
+        self.charge_and_finish(model, observer);
+        Ok(())
+    }
+
+    /// The parallel commit (see `crate::commit` for the buffer layout):
+    ///
+    /// 1. **Scan** — worker groups bucket the surviving writes of disjoint
+    ///    PID ranges by destination address partition.
+    /// 2. **Merge** — each address partition sorts its bucket rows by
+    ///    `(slot, addr, pid)` and resolves CRCW winners per `(slot, addr)`
+    ///    group, recording per-bank write deltas; conflicts are recorded,
+    ///    not applied.
+    /// 3. **Store** — each partition k-way-merges its per-slot winner lists
+    ///    by address, folds the completion-hint chain, and writes the final
+    ///    value per address through raw bank pointers. Runs only if no
+    ///    partition recorded a conflict.
+    ///
+    /// The coordinator then merges the accounting deltas, replays the
+    /// `Commit` events in slot-major rank order (partitions are contiguous
+    /// ascending address ranges, so this is exactly the sequential order),
+    /// and applies the net index operations.
+    fn commit_pooled<M>(
+        &mut self,
+        model: &M,
+        max_slots: usize,
+        observer: &mut dyn Observer,
+        pool: &TickPool,
+    ) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv> + Sync,
+    {
+        let groups = pool.threads();
+        let parts = pool.threads();
+        let p = self.procs.len();
+        let gsize = p.div_ceil(groups).max(1);
+        let size = self.mem.size();
+        // ceil(size/parts) guarantees addr / part_size < parts for every
+        // in-bounds address.
+        let part_size = size.div_ceil(parts).max(1);
+        let stride = self.write_slots.max(1);
+        debug_assert!(max_slots <= MAX_WRITES, "write budget exceeds the merge's head array");
+        let bank_count = self.mem.bank_count();
+        let layout = self.mem.layout();
+        let cycle = self.cycle;
+        let mode = self.mode;
+        let tracked = self.tracked;
+        self.commit.prepare(groups, parts, stride, bank_count);
+        self.mem.bank_cell_ptrs(&mut self.commit.bank_ptrs);
+
+        // --- Phase 1: scan. Group g owns PIDs [g*gsize, (g+1)*gsize) and
+        // bucket rows [g*parts, (g+1)*parts) — disjoint per group.
+        {
+            let tentative = &self.tentative;
+            let surviving = &self.surviving;
+            let buckets_ptr = SendPtr::new(self.commit.buckets.as_mut_ptr());
+            let errs_ptr = SendPtr::new(self.commit.errs.as_mut_ptr());
+            let scan = move |g0: usize, g1: usize| -> Result<()> {
+                for g in g0..g1 {
+                    // SAFETY: rows [g*parts, (g+1)*parts) and errs[g] are
+                    // owned exclusively by group g this epoch.
+                    let rows = unsafe {
+                        std::slice::from_raw_parts_mut(buckets_ptr.ptr().add(g * parts), parts)
+                    };
+                    let err = unsafe { &mut *errs_ptr.ptr().add(g) };
+                    *err = None;
+                    for row in rows.iter_mut() {
+                        row.clear();
+                    }
+                    for i in (g * gsize).min(p)..((g + 1) * gsize).min(p) {
+                        let n = surviving[i] as usize;
+                        if n == 0 {
+                            continue;
+                        }
+                        let t = tentative[i].as_ref().expect("surviving cycle exists");
+                        for (s, &(addr, value)) in t.writes.writes()[..n].iter().enumerate() {
+                            if addr >= size {
+                                // Defensive: the tentative phase bounds-
+                                // checks writes, but an out-of-bounds store
+                                // must error like the sequential commit,
+                                // not corrupt a bucket row. Keep the
+                                // group's minimum-(slot, addr) offender.
+                                let key = (s as u32, addr);
+                                if err.as_ref().is_none_or(|&(es, ea, _)| key < (es, ea)) {
+                                    *err = Some((
+                                        key.0,
+                                        key.1,
+                                        PramError::AddressOutOfBounds { addr, size },
+                                    ));
+                                }
+                                continue;
+                            }
+                            rows[addr / part_size].push(CommitEntry {
+                                slot: s as u32,
+                                addr,
+                                pid: i as u32,
+                                value,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            };
+            pool.run_tick(CLASS_COMMIT_SCAN, groups, 1, &scan)?;
+        }
+        if let Some(err) = self.commit.take_min_err() {
+            return Err(err);
+        }
+
+        // --- Phase 2: merge. Partition w owns the address range
+        // [w*part_size, (w+1)*part_size) and its own sorted/winners/deltas
+        // rows.
+        {
+            let buckets = &self.commit.buckets;
+            let sorted_ptr = SendPtr::new(self.commit.sorted.as_mut_ptr());
+            let winners_ptr = SendPtr::new(self.commit.winners.as_mut_ptr());
+            let deltas_ptr = SendPtr::new(self.commit.bank_deltas.as_mut_ptr());
+            let errs_ptr = SendPtr::new(self.commit.errs.as_mut_ptr());
+            let merge = move |w0: usize, w1: usize| -> Result<()> {
+                for w in w0..w1 {
+                    // SAFETY: sorted[w], winners[w*stride..], bank_deltas[w]
+                    // and errs[w] are owned exclusively by partition w.
+                    let sorted = unsafe { &mut *sorted_ptr.ptr().add(w) };
+                    let winners = unsafe {
+                        std::slice::from_raw_parts_mut(winners_ptr.ptr().add(w * stride), stride)
+                    };
+                    let deltas = unsafe { &mut *deltas_ptr.ptr().add(w) };
+                    let err = unsafe { &mut *errs_ptr.ptr().add(w) };
+                    *err = None;
+                    sorted.clear();
+                    for g in 0..groups {
+                        sorted.extend_from_slice(&buckets[g * parts + w]);
+                    }
+                    // (slot, addr, pid) keys are unique, so the unstable
+                    // sort is deterministic; within a (slot, addr) group the
+                    // lowest PID comes first, exactly like the sequential
+                    // per-slot sort.
+                    sorted.sort_unstable_by_key(|e| (e.slot, e.addr, e.pid));
+                    for row in winners[..max_slots].iter_mut() {
+                        row.clear();
+                    }
+                    deltas.clear();
+                    deltas.resize(bank_count, 0);
+                    let mut i = 0;
+                    'scan: while i < sorted.len() {
+                        let e = sorted[i];
+                        let mut j = i + 1;
+                        while j < sorted.len()
+                            && sorted[j].slot == e.slot
+                            && sorted[j].addr == e.addr
+                        {
+                            let e2 = sorted[j];
+                            match mode {
+                                WriteMode::Common => {
+                                    if e2.value != e.value {
+                                        *err = Some((
+                                            e.slot,
+                                            e.addr,
+                                            PramError::CommonWriteConflict {
+                                                addr: e.addr,
+                                                cycle,
+                                                first: (Pid(e.pid as usize), e.value),
+                                                second: (Pid(e2.pid as usize), e2.value),
+                                            },
+                                        ));
+                                        break 'scan;
+                                    }
+                                }
+                                WriteMode::Arbitrary | WriteMode::Priority => {
+                                    // Lowest PID (the group head) wins.
+                                }
+                                WriteMode::Exclusive => {
+                                    *err = Some((
+                                        e.slot,
+                                        e.addr,
+                                        PramError::ExclusiveWriteConflict { addr: e.addr, cycle },
+                                    ));
+                                    break 'scan;
+                                }
+                            }
+                            j += 1;
+                        }
+                        winners[e.slot as usize].push(SlotWinner { addr: e.addr, value: e.value });
+                        deltas[layout.bank_of(e.addr)] += 1;
+                        i = j;
+                    }
+                }
+                Ok(())
+            };
+            pool.run_tick(CLASS_COMMIT_MERGE, parts, 1, &merge)?;
+        }
+        if let Some(err) = self.commit.take_min_err() {
+            // The scan runs in (slot, addr) order and stops at its first
+            // conflict, so the minimum across partitions is exactly the
+            // error the sequential slot loop would return. No stores, no
+            // events, no accounting are applied for the failed tick.
+            return Err(err);
+        }
+
+        // --- Phase 3: store. Partition w writes only addresses inside its
+        // range; `locate` maps disjoint addresses to disjoint (bank, cell)
+        // slots, so the raw-pointer stores never race.
+        {
+            let winners = &self.commit.winners;
+            let bank_ptrs = &self.commit.bank_ptrs;
+            let ops_ptr = SendPtr::new(self.commit.index_ops.as_mut_ptr());
+            let store = move |w0: usize, w1: usize| -> Result<()> {
+                for w in w0..w1 {
+                    // SAFETY: index_ops[w] is owned exclusively by
+                    // partition w.
+                    let ops = unsafe { &mut *ops_ptr.ptr().add(w) };
+                    ops.clear();
+                    let rows = &winners[w * stride..w * stride + max_slots];
+                    let mut heads = [0usize; MAX_WRITES];
+                    loop {
+                        // Next address in the k-way merge of the per-slot
+                        // winner lists (each is address-ascending).
+                        let mut next: Option<usize> = None;
+                        for (s, row) in rows.iter().enumerate() {
+                            if let Some(wn) = row.get(heads[s]) {
+                                next = Some(next.map_or(wn.addr, |a: usize| a.min(wn.addr)));
+                            }
+                        }
+                        let Some(addr) = next else { break };
+                        let (bank, off) = layout.locate(addr);
+                        // SAFETY: addr is in partition w's range; see above.
+                        let cell = unsafe { bank_ptrs[bank].ptr().add(off) };
+                        let initial = unsafe { *cell };
+                        // Fold the slot chain exactly like the sequential
+                        // engine: each store's "old" value is the previous
+                        // slot's winner. Successive index operations for
+                        // one address strictly alternate remove/insert, so
+                        // membership after the chain equals membership
+                        // after the *last* operation alone — and insert/
+                        // remove are idempotent on membership, so the
+                        // coordinator applies just that one.
+                        let mut cur =
+                            if tracked { Some(model.completion_hint(addr, initial)) } else { None };
+                        let mut value = initial;
+                        let mut net: Option<bool> = None;
+                        for (s, row) in rows.iter().enumerate() {
+                            if let Some(wn) = row.get(heads[s]) {
+                                if wn.addr == addr {
+                                    heads[s] += 1;
+                                    value = wn.value;
+                                    if let Some(old) = cur {
+                                        let new = model.completion_hint(addr, wn.value);
+                                        match (old, new) {
+                                            (
+                                                CompletionHint::Outstanding,
+                                                CompletionHint::Satisfied,
+                                            ) => net = Some(false),
+                                            (
+                                                CompletionHint::Satisfied,
+                                                CompletionHint::Outstanding,
+                                            ) => net = Some(true),
+                                            _ => {}
+                                        }
+                                        cur = Some(new);
+                                    }
+                                }
+                            }
+                        }
+                        // SAFETY: as above — exclusive by address partition.
+                        unsafe { *cell = value };
+                        if let Some(insert) = net {
+                            ops.push((addr, insert));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            pool.run_tick(CLASS_COMMIT_STORE, parts, 1, &store)?;
+        }
+
+        // --- Deterministic rank-ordered merge on the coordinator. ---
+        for w in 0..parts {
+            let deltas = std::mem::take(&mut self.commit.bank_deltas[w]);
+            self.mem.add_bank_writes(&deltas);
+            self.commit.bank_deltas[w] = deltas;
+        }
+        // Slot-major, then partitions in rank order: partitions are
+        // contiguous ascending address ranges and each winner row is
+        // address-ascending, so this replays the sequential engine's
+        // slot-major address-ascending Commit stream byte for byte.
+        for s in 0..max_slots {
+            for w in 0..parts {
+                for wn in &self.commit.winners[w * stride + s] {
+                    observer.event(TraceEvent::Commit { cycle, addr: wn.addr, value: wn.value });
+                }
+            }
+        }
+        if tracked {
+            let commit = &self.commit;
+            let unvisited = &mut self.unvisited;
+            for w in 0..parts {
+                for &(addr, insert) in &commit.index_ops[w] {
+                    if insert {
+                        unvisited.insert(addr);
+                    } else {
+                        unvisited.remove(addr);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Core::init_tracker`] with the rebuild sharded across the pool when
+    /// the address space is large enough to pay for it (always, when the
+    /// tests force the parallel path). Falls back to the sequential rebuild
+    /// if a worker panics mid-fill (the classifier is model code).
+    pub(crate) fn init_tracker_pooled<M>(&mut self, model: &M, pool: &TickPool)
+    where
+        M: ExecutionModel<Private = Pv> + Sync,
+    {
+        let sharded = self.batch_width > 1
+            && (pool.force_parallel()
+                || (pool.multicore() && self.mem.size() >= SHARDED_REBUILD_MIN));
+        if !sharded || self.try_sharded_rebuild(model, pool).is_err() {
+            self.init_tracker(model);
+        }
+    }
+
+    /// The sharded rebuild: count outstanding cells per chunk-aligned
+    /// address partition, prefix-sum the counts into dense-items offsets in
+    /// rank order, then let each partition fill its own disjoint slice of
+    /// the index's dense form directly. The rank-ordered stitch is implicit
+    /// in the offsets: concatenating the partitions is exactly the
+    /// ascending dense form a sequential rebuild produces.
+    fn try_sharded_rebuild<M>(&mut self, model: &M, pool: &TickPool) -> Result<()>
+    where
+        M: ExecutionModel<Private = Pv> + Sync,
+    {
+        let parts = pool.threads();
+        let size = self.mem.size();
+        let align = self.chunk_align();
+        let part = size.div_ceil(parts).max(1).next_multiple_of(align);
+        let bounds = |w: usize| ((w * part).min(size), ((w + 1) * part).min(size));
+
+        // --- Pass 1: count outstanding cells and OR tracked bits per
+        // partition.
+        let mut counts: Vec<(usize, bool)> = vec![(0, false); parts];
+        {
+            let mem = &self.mem;
+            let counts_ptr = SendPtr::new(counts.as_mut_ptr());
+            let count = move |w0: usize, w1: usize| -> Result<()> {
+                for w in w0..w1 {
+                    let (lo, hi) = bounds(w);
+                    let mut outstanding_total = 0usize;
+                    let mut tracked_bits = 0u64;
+                    for (chunk_base, cells) in mem.chunks_in(lo, hi) {
+                        let mut base = chunk_base;
+                        for lane in cells.chunks(crate::unvisited::LANE_WIDTH) {
+                            let (outstanding, tracked) = model.completion_masks(base, lane);
+                            #[cfg(debug_assertions)]
+                            {
+                                let expected =
+                                    crate::fold_completion_masks(base, lane, |addr, value| {
+                                        model.completion_hint(addr, value)
+                                    });
+                                assert_eq!(
+                                    (outstanding, tracked),
+                                    expected,
+                                    "completion_masks disagrees with completion_hint at {base}",
+                                );
+                            }
+                            outstanding_total += outstanding.count_ones() as usize;
+                            tracked_bits |= tracked;
+                            base += lane.len();
+                        }
+                    }
+                    // SAFETY: counts[w] is owned exclusively by partition w;
+                    // the pool barrier publishes the writes.
+                    unsafe { *counts_ptr.ptr().add(w) = (outstanding_total, tracked_bits != 0) };
+                }
+                Ok(())
+            };
+            pool.run_tick(CLASS_REBUILD, parts, 1, &count)?;
+        }
+        let mut offsets = Vec::with_capacity(parts);
+        let mut total = 0usize;
+        for &(n, _) in &counts {
+            offsets.push(total);
+            total += n;
+        }
+
+        // --- Pass 2: raw fill. Partition w owns pos[lo..hi] and items
+        // slots [offsets[w], offsets[w] + counts[w]).
+        let raw = self.unvisited.begin_sharded_rebuild(size, total);
+        {
+            let mem = &self.mem;
+            let offsets = &offsets;
+            let counts = &counts;
+            let fill = move |w0: usize, w1: usize| -> Result<()> {
+                for w in w0..w1 {
+                    let (lo, hi) = bounds(w);
+                    // SAFETY: disjoint per-partition ranges, in bounds.
+                    unsafe { raw.clear_pos(lo, hi) };
+                    let mut slot = offsets[w];
+                    for (chunk_base, cells) in mem.chunks_in(lo, hi) {
+                        let mut base = chunk_base;
+                        for lane in cells.chunks(crate::unvisited::LANE_WIDTH) {
+                            let (mut mask, _) = model.completion_masks(base, lane);
+                            // Ascending set bits keep the partition's slice
+                            // of the dense form address-ordered.
+                            while mask != 0 {
+                                let j = mask.trailing_zeros() as usize;
+                                mask &= mask - 1;
+                                // SAFETY: slot stays inside the partition's
+                                // items range (pass 1 counted these bits).
+                                unsafe { raw.set(slot, base + j) };
+                                slot += 1;
+                            }
+                            base += lane.len();
+                        }
+                    }
+                    let _counted = counts[w].0;
+                    debug_assert_eq!(slot - offsets[w], _counted);
+                }
+                Ok(())
+            };
+            pool.run_tick(CLASS_REBUILD, parts, 1, &fill)?;
+        }
+        // SAFETY: every pos cell in [0, size) and items slot in [0, total)
+        // was written by exactly one partition; the pool barrier
+        // synchronized the writes.
+        unsafe { self.unvisited.finish_sharded_rebuild(size, total) };
+        self.tracked = counts.iter().any(|&(_, t)| t);
         Ok(())
     }
 }

@@ -21,8 +21,13 @@
 //! model-generic [`Core`](crate::exec::Core) (see [`crate::exec`]), shared
 //! with the snapshot machine. This module contributes the *word model*:
 //! the charged read phase with its plan chain ([`tentative_for`]), the
-//! [`CycleBudget`] enforcement, and the pooled/panic-isolated backends that
-//! farm the tentative phase out to a persistent [`TickPool`] of workers.
+//! [`CycleBudget`] enforcement, and the pooled/panic-isolated backends.
+//! The pooled backend farms the **whole tick** out to a persistent
+//! [`TickPool`] of workers: the tentative phase, the three-pass parallel
+//! commit (`Core::apply_pooled`) and the sharded completion-index rebuild
+//! (`Core::init_tracker_pooled`) all run on the same pool, with
+//! rank-ordered merges keeping every observable byte identical to the
+//! sequential engine.
 //!
 //! The engine remains built so a **steady-state tick performs no heap
 //! allocation and no thread spawn**: all per-tick buffers live in the core
@@ -36,14 +41,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use serde::{Deserialize, Serialize};
 
 use crate::accounting::RunReport;
-use crate::adversary::{Adversary, ProcStatus, TentativeCycle};
+use crate::adversary::{Adversary, Decisions, ProcStatus, TentativeCycle};
 use crate::checkpoint::Checkpoint;
 use crate::cycle::{CycleBudget, ReadSet, Step, MAX_READS, MAX_WRITES};
 use crate::error::{BudgetKind, PramError};
-use crate::exec::{Core, ExecutionModel};
+use crate::exec::{Backend, Core, ExecutionModel, SeqBackend};
 use crate::memory::{MemoryLayout, SharedMemory};
 use crate::mode::WriteMode;
-use crate::pool::{panic_detail, PoolShutdown, TickPool};
+use crate::pool::{panic_detail, PoolShutdown, SendPtr, TickPool, CLASS_TENTATIVE};
 use crate::trace::{NoopObserver, Observer};
 use crate::word::{Pid, Word};
 use crate::{CompletionHint, Program, Result};
@@ -257,7 +262,7 @@ impl<'p, P: Program> Machine<'p, P> {
         observer: &mut dyn Observer,
     ) -> Result<RunReport> {
         let Machine { model, core } = self;
-        core.run_to_completion(model, adversary, limits, observer, |c| model.tentative(c))
+        core.run_to_completion(model, adversary, limits, observer, &mut SeqBackend)
     }
 
     /// Run under `adversary` until completion **or** until `control`
@@ -283,7 +288,7 @@ impl<'p, P: Program> Machine<'p, P> {
         control: impl FnMut(u64) -> RunControl,
     ) -> Result<RunStatus> {
         let Machine { model, core } = self;
-        core.run_loop(model, adversary, limits, observer, |c| model.tentative(c), control)
+        core.run_loop(model, adversary, limits, observer, &mut SeqBackend, control)
     }
 
     /// Execute exactly one tick under `adversary`. Exposed for fine-grained
@@ -459,38 +464,11 @@ fn tentative_caught<P: Program>(
     Ok(())
 }
 
-/// Raw-pointer wrapper for handing per-processor state slots to pool
-/// workers. With the structure-of-arrays processor state only the private
-/// states need the pointer: statuses are read-only during the tentative
-/// phase and are shared as a plain slice.
-struct SendPtr<T>(*mut T);
-
-// Manual impls: the derives would demand `T: Copy`, but the pointer itself
-// is always copyable.
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    // Accessor (not field access) so closures capture the whole wrapper —
-    // Rust 2021's field-precise capture would otherwise grab the bare
-    // non-Sync pointer.
-    fn ptr(self) -> *mut T {
-        self.0
-    }
-}
-
-// SAFETY: every worker dereferences only the indices of its claimed chunks,
-// and the pool's cursor hands out disjoint chunks — no two workers ever
-// alias the same element.
-unsafe impl<T: Send> Send for SendPtr<T> {}
-unsafe impl<T: Send> Sync for SendPtr<T> {}
-
 /// Parallel tentative phase: pool workers claim chunks of the processor
 /// range from the shared cursor and fill the corresponding tentative slots.
+/// With the structure-of-arrays processor state only the private states
+/// need a raw [`SendPtr`]: statuses are read-only during the tentative
+/// phase and are shared as a plain slice.
 fn tentative_pooled<P>(
     program: &P,
     budget: CycleBudget,
@@ -507,9 +485,9 @@ where
     let align = core.chunk_align();
     let (mem, cycle) = (&core.mem, core.cycle);
     let statuses: &[ProcStatus] = &core.procs.status;
-    let states = SendPtr(core.procs.state.as_mut_ptr());
-    let tentative = SendPtr(core.tentative.as_mut_ptr());
-    pool.run_tick(p, align, &move |start: usize, end: usize| {
+    let states = SendPtr::new(core.procs.state.as_mut_ptr());
+    let tentative = SendPtr::new(core.tentative.as_mut_ptr());
+    pool.run_tick(CLASS_TENTATIVE, p, align, &move |start: usize, end: usize| {
         #[allow(clippy::needless_range_loop)] // `i` also offsets the raw SoA pointers
         for i in start..end {
             // SAFETY: the pool's cursor hands out disjoint [start, end)
@@ -541,9 +519,9 @@ where
     let align = core.chunk_align();
     let (mem, cycle) = (&core.mem, core.cycle);
     let statuses: &[ProcStatus] = &core.procs.status;
-    let states = SendPtr(core.procs.state.as_mut_ptr());
-    let tentative = SendPtr(core.tentative.as_mut_ptr());
-    pool.run_tick(p, align, &move |start: usize, end: usize| {
+    let states = SendPtr::new(core.procs.state.as_mut_ptr());
+    let tentative = SendPtr::new(core.tentative.as_mut_ptr());
+    pool.run_tick(CLASS_TENTATIVE, p, align, &move |start: usize, end: usize| {
         #[allow(clippy::needless_range_loop)] // `i` also offsets the raw SoA pointers
         for i in start..end {
             // SAFETY: as in `tentative_pooled` — disjoint chunks, pointers
@@ -564,16 +542,114 @@ where
     })
 }
 
+/// The fully pooled word backend: tentative phase, three-pass parallel
+/// commit and sharded index rebuild all run on the same worker pool.
+/// Results are pinned byte-identical to [`SeqBackend`] by the golden and
+/// differential tests.
+struct PooledBackend<'a> {
+    pool: &'a TickPool,
+}
+
+impl<'p, P> Backend<WordModel<'p, P>> for PooledBackend<'_>
+where
+    P: Program + Sync,
+    P::Private: Send,
+{
+    fn prime(&mut self, model: &WordModel<'p, P>, core: &mut Core<P::Private>) {
+        core.init_tracker_pooled(model, self.pool);
+    }
+
+    fn tentative(&mut self, model: &WordModel<'p, P>, core: &mut Core<P::Private>) -> Result<()> {
+        tentative_pooled(model.program, model.budget, core, self.pool)
+    }
+
+    fn apply(
+        &mut self,
+        model: &WordModel<'p, P>,
+        core: &mut Core<P::Private>,
+        decisions: Decisions,
+        observer: &mut dyn Observer,
+    ) -> Result<()> {
+        core.apply_pooled(model, decisions, observer, self.pool)
+    }
+}
+
+/// The sequential panic-isolating backend: [`tentative_caught`] wraps every
+/// processor's cycle in `catch_unwind`. Used for `threads == 1` isolated
+/// runs and as the degraded mode of [`IsolatedBackend`].
+struct CaughtBackend;
+
+impl<'p, P: Program> Backend<WordModel<'p, P>> for CaughtBackend {
+    fn tentative(&mut self, model: &WordModel<'p, P>, core: &mut Core<P::Private>) -> Result<()> {
+        tentative_caught(model.program, model.budget, core)
+    }
+}
+
+/// The pooled backend with per-processor panic isolation: each tick backs
+/// up every private state before the pooled tentative phase, restores them
+/// if a worker catches a panic, and then either surfaces the error or
+/// degrades permanently to the sequential caught engine per the
+/// [`PanicPolicy`].
+///
+/// Commit and rebuild deliberately keep the **sequential** defaults: the
+/// parallel commit stores through raw bank pointers and calls user
+/// completion hints, so a panic there could not be unwound to a clean tick
+/// boundary the way the tentative phase can.
+struct IsolatedBackend<'a, S> {
+    pool: &'a TickPool,
+    policy: PanicPolicy,
+    backup: Vec<Option<S>>,
+    degraded: bool,
+}
+
+impl<'p, P> Backend<WordModel<'p, P>> for IsolatedBackend<'_, P::Private>
+where
+    P: Program + Sync,
+    P::Private: Send,
+{
+    fn tentative(&mut self, model: &WordModel<'p, P>, core: &mut Core<P::Private>) -> Result<()> {
+        if self.degraded {
+            return tentative_caught(model.program, model.budget, core);
+        }
+        // Snapshot every private state: the tentative phase advances
+        // states in place, so recovering from a panic mid-phase needs the
+        // pre-tick originals.
+        for (saved, state) in self.backup.iter_mut().zip(core.procs.state.iter()) {
+            saved.clone_from(state);
+        }
+        match tentative_pooled_isolated(model.program, model.budget, core, self.pool) {
+            Err(PramError::WorkerPanic { pid, detail }) => {
+                for (state, saved) in core.procs.state.iter_mut().zip(self.backup.iter()) {
+                    state.clone_from(saved);
+                }
+                match self.policy {
+                    PanicPolicy::Surface => Err(PramError::WorkerPanic { pid, detail }),
+                    PanicPolicy::FallbackSequential => {
+                        self.degraded = true;
+                        // Replay the whole tick sequentially from the
+                        // restored pre-tick states — nothing had committed,
+                        // so the replay is identical to a clean tick.
+                        tentative_caught(model.program, model.budget, core)
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+}
+
 impl<'p, P> Machine<'p, P>
 where
     P: Program + Sync,
     P::Private: Send,
 {
-    /// Like [`Machine::run_with_limits`], but the tentative phase of every
-    /// tick is computed by a persistent pool of `threads` worker threads
-    /// claiming chunks of the processor range (the adversary and commit
-    /// phases stay serial, preserving the exact semantics and determinism
-    /// of the sequential engine).
+    /// Like [`Machine::run_with_limits`], but every heavy phase of the
+    /// tick — the tentative phase, the commit, and the completion-index
+    /// rebuild at run entry — is computed by a persistent pool of
+    /// `threads` worker threads claiming chunks from shared cursors. Only
+    /// the adversary consultation and the deterministic rank-ordered
+    /// merges stay on the coordinating thread, preserving the exact
+    /// semantics, event streams and determinism of the sequential engine.
     ///
     /// The workers are spawned **once per run** and parked between ticks,
     /// so a steady-state tick performs no thread spawns. `threads == 1`
@@ -620,18 +696,17 @@ where
         if threads == 1 {
             // A one-thread pool would pay wake/park synchronization for no
             // parallelism; the sequential phase is the same computation.
-            return core
-                .run_to_completion(model, adversary, limits, observer, |c| model.tentative(c));
+            return core.run_to_completion(model, adversary, limits, observer, &mut SeqBackend);
         }
         let pool = TickPool::new(threads);
         std::thread::scope(|scope| {
             let _shutdown = PoolShutdown(&pool);
-            for _ in 0..threads {
-                scope.spawn(|| pool.worker());
+            let pool = &pool;
+            for rank in 0..threads {
+                scope.spawn(move || pool.worker(rank));
             }
-            core.run_to_completion(model, adversary, limits, observer, |c| {
-                tentative_pooled(model.program, model.budget, c, &pool)
-            })
+            let mut backend = PooledBackend { pool };
+            core.run_to_completion(model, adversary, limits, observer, &mut backend)
         })
     }
 
@@ -656,29 +731,17 @@ where
         }
         let Machine { model, core } = self;
         if threads == 1 {
-            return core.run_loop(
-                model,
-                adversary,
-                limits,
-                observer,
-                |c| model.tentative(c),
-                control,
-            );
+            return core.run_loop(model, adversary, limits, observer, &mut SeqBackend, control);
         }
         let pool = TickPool::new(threads);
         std::thread::scope(|scope| {
             let _shutdown = PoolShutdown(&pool);
-            for _ in 0..threads {
-                scope.spawn(|| pool.worker());
+            let pool = &pool;
+            for rank in 0..threads {
+                scope.spawn(move || pool.worker(rank));
             }
-            core.run_loop(
-                model,
-                adversary,
-                limits,
-                observer,
-                |c| tentative_pooled(model.program, model.budget, c, &pool),
-                control,
-            )
+            let mut backend = PooledBackend { pool };
+            core.run_loop(model, adversary, limits, observer, &mut backend, control)
         })
     }
 
@@ -744,60 +807,22 @@ where
         }
         let Machine { model, core } = self;
         if threads == 1 {
-            return core.run_loop(
-                model,
-                adversary,
-                limits,
-                observer,
-                |c| tentative_caught(model.program, model.budget, c),
-                control,
-            );
+            return core.run_loop(model, adversary, limits, observer, &mut CaughtBackend, control);
         }
         let pool = TickPool::new(threads);
-        let mut backup: Vec<Option<P::Private>> = vec![None; core.procs.len()];
-        let mut degraded = false;
         std::thread::scope(|scope| {
             let _shutdown = PoolShutdown(&pool);
-            for _ in 0..threads {
-                scope.spawn(|| pool.worker());
+            let pool = &pool;
+            for rank in 0..threads {
+                scope.spawn(move || pool.worker(rank));
             }
-            core.run_loop(
-                model,
-                adversary,
-                limits,
-                observer,
-                |c| {
-                    if degraded {
-                        return tentative_caught(model.program, model.budget, c);
-                    }
-                    // Snapshot every private state: the tentative phase
-                    // advances states in place, so recovering from a panic
-                    // mid-phase needs the pre-tick originals.
-                    for (saved, state) in backup.iter_mut().zip(c.procs.state.iter()) {
-                        saved.clone_from(state);
-                    }
-                    match tentative_pooled_isolated(model.program, model.budget, c, &pool) {
-                        Err(PramError::WorkerPanic { pid, detail }) => {
-                            for (state, saved) in c.procs.state.iter_mut().zip(backup.iter()) {
-                                state.clone_from(saved);
-                            }
-                            match policy {
-                                PanicPolicy::Surface => Err(PramError::WorkerPanic { pid, detail }),
-                                PanicPolicy::FallbackSequential => {
-                                    degraded = true;
-                                    // Replay the whole tick sequentially
-                                    // from the restored pre-tick states —
-                                    // nothing had committed, so the replay
-                                    // is identical to a clean tick.
-                                    tentative_caught(model.program, model.budget, c)
-                                }
-                            }
-                        }
-                        other => other,
-                    }
-                },
-                control,
-            )
+            let mut backend = IsolatedBackend {
+                pool,
+                policy,
+                backup: vec![None; core.procs.len()],
+                degraded: false,
+            };
+            core.run_loop(model, adversary, limits, observer, &mut backend, control)
         })
     }
 }

@@ -5,30 +5,62 @@
 //! run the spawn/join cost dominated. [`TickPool`] replaces that with
 //! long-lived workers created once per run:
 //!
-//! * workers park on a condvar between ticks;
 //! * each tick the coordinator publishes one *job* (a borrowed closure
-//!   processing a half-open index range), bumps an epoch and wakes
-//!   everyone;
+//!   processing a half-open index range) and bumps a shared epoch counter;
 //! * workers claim chunks of the index space from a shared atomic cursor
 //!   (`fetch_add`), so a straggler chunk cannot serialize the tick;
-//! * the coordinator blocks until every worker has drained the cursor and
-//!   gone back to sleep, then reclaims exclusive access to the machine.
+//! * the coordinator waits until every worker has drained the cursor, then
+//!   reclaims exclusive access to the machine.
 //!
-//! A steady-state tick therefore performs **no thread spawns and no heap
-//! allocations** — the only per-tick synchronization is one mutex/condvar
-//! round-trip per worker plus the cursor traffic.
+//! The pool runs several job *classes* per tick (tentative phase, commit
+//! scan, commit merge, commit store, index rebuild), so the handoff latency
+//! is paid several times per tick and has to be cheap:
+//!
+//! * **spin-then-park barrier** — both sides spin on an atomic for a bounded
+//!   budget ([`RFSP_POOL_SPIN`]) before parking the OS thread, so the common
+//!   back-to-back-epoch case never enters the kernel. Parking uses the
+//!   Dekker-style *flag, recheck, park* sequence (all `SeqCst`) on both
+//!   sides, so a wakeup can never be lost; stale `unpark` tokens merely make
+//!   the next `park` return early, which the re-check loop absorbs. The
+//!   epoch counter is the coordinator-to-worker sense (workers compare it to
+//!   the last epoch they ran), and `active` is the worker-to-coordinator
+//!   sense (the last finisher unparks a parked coordinator).
+//! * **cache-line-padded atomics** — `epoch`, `active`, `cursor`, `stop`,
+//!   `len`/`chunk` and each worker's claim counter live on their own
+//!   128-byte lines so cursor traffic does not false-share with the epoch
+//!   line every worker spins on.
+//! * **adaptive inline degrade** — the pool keeps a per-class EWMA of
+//!   measured ns/item; when a class's predicted tick cost falls below
+//!   [`RFSP_POOL_INLINE_NS`] (or the host has one logical core), the
+//!   coordinator runs the job inline instead of waking anyone. Small-N-per
+//!   thread runs therefore degrade to single-worker execution instead of
+//!   paying coordination for nothing. `RFSP_POOL_INLINE_NS=0` disables
+//!   inlining (the differential tests force the pooled paths this way).
+//!
+//! A steady-state tick performs **no thread spawns and no heap
+//! allocations**; the error slot's mutex is only touched on the cold error
+//! path.
 //!
 //! # Safety protocol
 //!
 //! The job closure is published to the workers as a lifetime-erased raw
 //! pointer. This is sound because [`TickPool::run_tick`] does not return
-//! until every worker has finished the epoch (`active == 0`) and the job
-//! pointer is cleared under the same lock before the borrow it was created
-//! from ends. Workers never hold the pointer across epochs.
+//! until every worker has finished the epoch (`active == 0`), and the job
+//! slot is cleared before the borrow it was created from ends. Workers never
+//! hold the pointer across epochs: the `SeqCst` epoch bump publishes the
+//! slot, and a worker's final `active.fetch_sub` (release) happens-before
+//! the coordinator's `active` load (acquire) that lets `run_tick` return.
+//!
+//! [`RFSP_POOL_SPIN`]: PoolTuning#structfield.spin
+//! [`RFSP_POOL_INLINE_NS`]: PoolTuning#structfield.inline_ns
 
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::thread::Thread;
+use std::time::Instant;
 
 use crate::error::PramError;
 
@@ -44,6 +76,62 @@ pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A raw pointer that may cross thread boundaries.
+///
+/// The pooled kernels hand each worker a disjoint region of one allocation
+/// (processor states, commit buckets, index storage); the pool's barrier
+/// bounds every access, and disjointness is each call site's proof
+/// obligation — stated at the `unsafe` dereference, not here.
+pub(crate) struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    pub(crate) fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: sending the pointer is free; the call sites prove every
+// dereference is race-free (disjoint regions + the pool barrier).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Pad-and-align wrapper putting `T` on its own cache line (128 bytes
+/// covers the common 64-byte line and adjacent-line prefetchers).
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 /// The per-tick work item: process indices `[start, end)`.
 type Job<'a> = dyn Fn(usize, usize) -> Result<(), PramError> + Sync + 'a;
 
@@ -51,80 +139,189 @@ type Job<'a> = dyn Fn(usize, usize) -> Result<(), PramError> + Sync + 'a;
 #[derive(Clone, Copy)]
 struct JobPtr(*const Job<'static>);
 
-// SAFETY: the pointee is `Sync` (workers only get `&Job`) and the pool's
-// epoch protocol guarantees it outlives every dereference (see module docs).
-unsafe impl Send for JobPtr {}
+/// The published-job slot. Written only by the coordinator between epochs;
+/// read by workers strictly inside an epoch.
+struct JobCell(UnsafeCell<Option<JobPtr>>);
 
-struct PoolState {
-    /// Incremented once per published job; workers run at most one claim
-    /// loop per epoch.
-    epoch: u64,
-    /// The current job, present exactly while an epoch is in flight.
-    job: Option<JobPtr>,
-    /// Workers that have not yet finished the current epoch.
-    active: usize,
-    /// Set once at the end of the run; parked workers exit.
-    shutdown: bool,
-    /// First error any worker hit this epoch.
-    err: Option<PramError>,
+// SAFETY: the epoch protocol serializes all access — the coordinator writes
+// while no epoch is in flight (`active == 0`), publishes with the `SeqCst`
+// epoch bump, and workers only read between observing the bump and their
+// `active` decrement.
+unsafe impl Send for JobCell {}
+unsafe impl Sync for JobCell {}
+
+/// Job classes with independent cost models for the adaptive inline
+/// decision: items of different classes differ by orders of magnitude
+/// (a tentative item is one processor's update cycle, a rebuild item is
+/// one memory cell), so they must not share an EWMA.
+pub(crate) const CLASS_TENTATIVE: usize = 0;
+pub(crate) const CLASS_COMMIT_SCAN: usize = 1;
+pub(crate) const CLASS_COMMIT_MERGE: usize = 2;
+pub(crate) const CLASS_COMMIT_STORE: usize = 3;
+pub(crate) const CLASS_REBUILD: usize = 4;
+const NUM_CLASSES: usize = 5;
+
+/// Tuning knobs for the pool's barrier and inline degrade, normally read
+/// from the environment (tests construct them directly via
+/// [`TickPool::with_tuning`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PoolTuning {
+    /// Spin iterations before parking (both sides of the barrier).
+    /// Env: `RFSP_POOL_SPIN` (default 512).
+    pub(crate) spin: u32,
+    /// Inline threshold in nanoseconds: a job whose predicted cost (EWMA
+    /// ns/item × items) is below this runs on the coordinator without
+    /// waking workers. `0` disables inlining entirely. Env:
+    /// `RFSP_POOL_INLINE_NS` (default 50 000).
+    pub(crate) inline_ns: u64,
+    /// Logical cores on the host. A single-core host always inlines
+    /// (unless `inline_ns` is 0): worker threads cannot run concurrently
+    /// with the coordinator there, so every handoff is pure loss.
+    pub(crate) cores: usize,
+}
+
+impl PoolTuning {
+    pub(crate) fn from_env() -> Self {
+        fn env_u64(name: &str, default: u64) -> u64 {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        PoolTuning {
+            spin: env_u64("RFSP_POOL_SPIN", 512) as u32,
+            inline_ns: env_u64("RFSP_POOL_INLINE_NS", 50_000),
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+}
+
+/// Per-worker coordination slot, padded so one worker's claim counter and
+/// park flag never false-share with a neighbor's.
+#[derive(Default)]
+struct WorkerSlot {
+    /// Set by the worker just before parking; the coordinator only
+    /// `unpark`s workers whose flag is up.
+    parked: AtomicBool,
+    /// The worker's thread handle, registered on entry to
+    /// [`TickPool::worker`].
+    thread: OnceLock<Thread>,
+    /// Chunks this worker has claimed across all epochs (telemetry; lets
+    /// tests assert the pooled path actually ran).
+    claims: AtomicU64,
 }
 
 /// Shared coordination state for one run's worker pool. Lives on the
 /// coordinator's stack; workers borrow it through the thread scope.
 pub(crate) struct TickPool {
-    state: Mutex<PoolState>,
-    /// Wakes parked workers when a new epoch (or shutdown) is published.
-    work: Condvar,
-    /// Wakes the coordinator when the last worker finishes an epoch.
-    done: Condvar,
+    /// Incremented once per published pooled job; workers run at most one
+    /// claim loop per epoch. This is the coordinator→worker barrier sense.
+    epoch: CachePadded<AtomicU64>,
+    /// Workers that have not yet finished the current epoch; the
+    /// worker→coordinator barrier sense.
+    active: CachePadded<AtomicUsize>,
     /// Next unclaimed index of the current epoch.
-    cursor: AtomicUsize,
+    cursor: CachePadded<AtomicUsize>,
     /// Cooperative abort: set by the first worker that errors.
-    stop: AtomicBool,
+    stop: CachePadded<AtomicBool>,
     /// Index-space length of the current epoch.
-    len: AtomicUsize,
+    len: CachePadded<AtomicUsize>,
     /// Chunk size workers claim per `fetch_add`.
-    chunk: AtomicUsize,
+    chunk: CachePadded<AtomicUsize>,
+    /// Set once at the end of the run; spinning or parked workers exit.
+    shutdown: AtomicBool,
+    /// The current job, present exactly while an epoch is in flight.
+    job: JobCell,
+    /// First error any worker hit this epoch (cold path only).
+    err: Mutex<Option<PramError>>,
+    /// Coordinator park flag for the worker→coordinator half of the
+    /// barrier.
+    coord_parked: CachePadded<AtomicBool>,
+    /// The coordinator's thread handle ([`TickPool::run_tick`] must be
+    /// called from the thread that built the pool).
+    coord_thread: Thread,
+    workers: Vec<CachePadded<WorkerSlot>>,
     threads: usize,
+    tuning: PoolTuning,
+    /// Per-class EWMA of measured ns/item, stored as `f64` bits
+    /// (coordinator-only writes; 0 = no measurement yet).
+    ewma: [AtomicU64; NUM_CLASSES],
 }
 
 impl TickPool {
     /// A pool coordinating `threads` workers (callers spawn the workers and
-    /// point them at [`TickPool::worker`]).
+    /// point them at [`TickPool::worker`]), tuned from the environment.
     pub(crate) fn new(threads: usize) -> Self {
+        Self::with_tuning(threads, PoolTuning::from_env())
+    }
+
+    /// [`TickPool::new`] with explicit tuning — tests force the pooled
+    /// path (`inline_ns: 0`) or the inline path (`cores: 1`) regardless of
+    /// the host.
+    pub(crate) fn with_tuning(threads: usize, tuning: PoolTuning) -> Self {
         debug_assert!(threads >= 2, "one thread should use the sequential engine");
         TickPool {
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                job: None,
-                active: 0,
-                shutdown: false,
-                err: None,
-            }),
-            work: Condvar::new(),
-            done: Condvar::new(),
-            cursor: AtomicUsize::new(0),
-            stop: AtomicBool::new(false),
-            len: AtomicUsize::new(0),
-            chunk: AtomicUsize::new(1),
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            active: CachePadded::new(AtomicUsize::new(0)),
+            cursor: CachePadded::new(AtomicUsize::new(0)),
+            stop: CachePadded::new(AtomicBool::new(false)),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            chunk: CachePadded::new(AtomicUsize::new(1)),
+            shutdown: AtomicBool::new(false),
+            job: JobCell(UnsafeCell::new(None)),
+            err: Mutex::new(None),
+            coord_parked: CachePadded::new(AtomicBool::new(false)),
+            coord_thread: std::thread::current(),
+            workers: (0..threads).map(|_| CachePadded::new(WorkerSlot::default())).collect(),
             threads,
+            tuning,
+            ewma: Default::default(),
         }
     }
 
-    /// Lock the pool state, recovering from poisoning. The state is a set
-    /// of plain counters and flags with no invariants that a panic can
-    /// break mid-update (every mutation is a single field store), so a
-    /// poisoned mutex is safe to re-enter — panics in job closures are
-    /// additionally caught before they can unwind through a lock (see
-    /// [`TickPool::worker`]), making poisoning doubly unlikely.
-    fn lock(&self) -> MutexGuard<'_, PoolState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Number of workers the pool coordinates.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// Execute `job` over the index space `[0, len)` on the pool's workers
-    /// and block until every index has been processed (or a worker
-    /// errored). Callers regain exclusive access to everything the job
-    /// borrows once this returns.
+    /// `true` when inlining is disabled (`RFSP_POOL_INLINE_NS=0`): callers
+    /// use the pooled variants of phases whose parallel form is only worth
+    /// selecting on real multi-core work, so the tests exercise them
+    /// everywhere.
+    pub(crate) fn force_parallel(&self) -> bool {
+        self.tuning.inline_ns == 0
+    }
+
+    /// `true` when the host can actually run workers concurrently.
+    pub(crate) fn multicore(&self) -> bool {
+        self.tuning.cores > 1
+    }
+
+    /// Total chunks claimed by workers across all epochs (telemetry).
+    #[cfg(test)]
+    fn total_claims(&self) -> u64 {
+        self.workers.iter().map(|w| w.claims.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Predicted cost of `len` items of `class`, in ns (0 = unknown).
+    fn predicted_ns(&self, class: usize, len: usize) -> f64 {
+        f64::from_bits(self.ewma[class].load(Ordering::Relaxed)) * len as f64
+    }
+
+    /// Fold a measurement into the class's cost model.
+    fn observe(&self, class: usize, elapsed_ns: u64, len: usize) {
+        let per = elapsed_ns as f64 / len as f64;
+        let old = f64::from_bits(self.ewma[class].load(Ordering::Relaxed));
+        let new = if old == 0.0 { per } else { old + (per - old) * 0.25 };
+        self.ewma[class].store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Execute `job` over the index space `[0, len)` and block until every
+    /// index has been processed (or a worker errored). Callers regain
+    /// exclusive access to everything the job borrows once this returns.
+    ///
+    /// `class` selects the cost model for the adaptive inline decision:
+    /// when the class's measured EWMA predicts the whole job is cheaper
+    /// than the coordination handoff (`inline_ns`), or the host has a
+    /// single logical core, the coordinator runs the job itself —
+    /// identical semantics, no wakeups.
     ///
     /// Every chunk boundary falls on a multiple of `align` (the final chunk
     /// may be shorter): the batched kernels pass their batch width — times
@@ -134,6 +331,7 @@ impl TickPool {
     /// threads from degenerating into per-index claims.
     pub(crate) fn run_tick(
         &self,
+        class: usize,
         len: usize,
         align: usize,
         job: &Job<'_>,
@@ -141,6 +339,24 @@ impl TickPool {
         if len == 0 {
             return Ok(());
         }
+        let inline = self.tuning.inline_ns != 0 && {
+            let est = self.predicted_ns(class, len);
+            self.tuning.cores <= 1 || (est > 0.0 && est < self.tuning.inline_ns as f64)
+        };
+        let start = Instant::now();
+        if inline {
+            catch_unwind(AssertUnwindSafe(|| job(0, len))).unwrap_or_else(|payload| {
+                Err(PramError::WorkerPanic { pid: None, detail: panic_detail(payload.as_ref()) })
+            })?;
+        } else {
+            self.run_pooled(len, align, job)?;
+        }
+        self.observe(class, start.elapsed().as_nanos() as u64, len);
+        Ok(())
+    }
+
+    /// The pooled half of [`TickPool::run_tick`]: publish, wake, wait.
+    fn run_pooled(&self, len: usize, align: usize, job: &Job<'_>) -> Result<(), PramError> {
         // Chunks are sized to give each worker several claims per tick —
         // dynamic enough to absorb uneven cycles, coarse enough to keep
         // cursor traffic negligible — then rounded up to the alignment.
@@ -152,64 +368,116 @@ impl TickPool {
         self.stop.store(false, Ordering::Relaxed);
         self.len.store(len, Ordering::Relaxed);
         self.chunk.store(chunk, Ordering::Relaxed);
-        {
-            let mut st = self.lock();
-            // SAFETY (lifetime erasure): cleared below before `job`'s
-            // borrow ends; workers only dereference between the epoch bump
-            // and their `active` decrement.
-            let erased: *const Job<'static> = unsafe { std::mem::transmute(job as *const Job<'_>) };
-            st.job = Some(JobPtr(erased));
-            st.epoch += 1;
-            st.active = self.threads;
-            self.work.notify_all();
+        // SAFETY (lifetime erasure): cleared below before `job`'s borrow
+        // ends; workers only dereference between the epoch bump and their
+        // `active` decrement. No epoch is in flight here, so the slot write
+        // itself is unobserved.
+        unsafe {
+            let erased: *const Job<'static> = std::mem::transmute(job as *const Job<'_>);
+            *self.job.0.get() = Some(JobPtr(erased));
         }
-        let mut st = self.lock();
-        while st.active != 0 {
-            st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        self.active.store(self.threads, Ordering::SeqCst);
+        // Publish: the SeqCst bump is the release fence for every store
+        // above, matched by the workers' SeqCst epoch load.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for slot in &self.workers {
+            if slot.parked.load(Ordering::SeqCst) {
+                if let Some(t) = slot.thread.get() {
+                    t.unpark();
+                }
+            }
         }
-        st.job = None;
-        match st.err.take() {
+        // Wait: spin, then flag-recheck-park (lost wakeups are impossible:
+        // the last finisher decrements `active` *then* reads our flag with
+        // SeqCst, while we raise the flag *then* re-read `active`).
+        let mut spins = 0u32;
+        while self.active.load(Ordering::Acquire) != 0 {
+            if spins < self.tuning.spin {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            self.coord_parked.store(true, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) != 0 {
+                std::thread::park();
+            }
+            self.coord_parked.store(false, Ordering::SeqCst);
+        }
+        // SAFETY: every worker is done with the epoch (`active == 0`).
+        unsafe {
+            *self.job.0.get() = None;
+        }
+        let taken = self.err.lock().unwrap_or_else(PoisonError::into_inner).take();
+        match taken {
             Some(e) => Err(e),
             None => Ok(()),
         }
     }
 
-    /// Tell parked workers to exit. Idempotent; called by the run guard
+    /// Tell workers to exit. Idempotent; called by the run guard
     /// (including on unwind) so the surrounding thread scope can join.
     pub(crate) fn shutdown(&self) {
-        let mut st = self.lock();
-        st.shutdown = true;
-        self.work.notify_all();
+        self.shutdown.store(true, Ordering::SeqCst);
+        for slot in &self.workers {
+            // Unpark unconditionally: a stale token at worst makes a
+            // spinning worker's next park return immediately, and the
+            // flag-recheck on the worker side absorbs the race where it
+            // parks just after we read its flag.
+            if let Some(t) = slot.thread.get() {
+                t.unpark();
+            }
+        }
     }
 
-    /// Body of one pool worker: park until an epoch (or shutdown) is
-    /// published, claim chunks from the cursor, report back.
-    pub(crate) fn worker(&self) {
+    /// Body of pool worker `rank`: wait for an epoch (or shutdown) with a
+    /// spin-then-park loop, claim chunks from the cursor, report back.
+    pub(crate) fn worker(&self, rank: usize) {
+        let slot = &self.workers[rank];
+        slot.thread.get_or_init(std::thread::current);
         let mut seen = 0u64;
         loop {
-            let job = {
-                let mut st = self.lock();
-                loop {
-                    if st.shutdown {
-                        return;
-                    }
-                    if st.epoch != seen {
-                        seen = st.epoch;
-                        break st.job.expect("epoch published without a job");
-                    }
-                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            // Wait for a new epoch. Spin first; park only after the budget,
+            // with the Dekker flag-recheck so a publish between our check
+            // and the park cannot be lost.
+            let mut spins = 0u32;
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
                 }
-            };
+                let e = self.epoch.load(Ordering::SeqCst);
+                if e != seen {
+                    seen = e;
+                    break;
+                }
+                if spins < self.tuning.spin {
+                    spins += 1;
+                    std::hint::spin_loop();
+                    continue;
+                }
+                slot.parked.store(true, Ordering::SeqCst);
+                if self.epoch.load(Ordering::SeqCst) == seen
+                    && !self.shutdown.load(Ordering::SeqCst)
+                {
+                    std::thread::park();
+                }
+                slot.parked.store(false, Ordering::SeqCst);
+                spins = 0;
+            }
+            // SAFETY: the epoch bump published the slot; the coordinator
+            // will not clear it until our `active` decrement below.
+            let job = unsafe { (*self.job.0.get()).expect("epoch published without a job") };
             let len = self.len.load(Ordering::Relaxed);
             let chunk = self.chunk.load(Ordering::Relaxed);
             // SAFETY: see module docs — the coordinator keeps the pointee
             // alive until `active` reaches zero.
             let f = unsafe { &*job.0 };
+            let mut claims = 0u64;
             while !self.stop.load(Ordering::Relaxed) {
                 let start = self.cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= len {
                     break;
                 }
+                claims += 1;
                 // Catch panics escaping the job so a buggy closure degrades
                 // to an error instead of killing the worker (a dead worker
                 // would leave `active` forever nonzero and hang the
@@ -227,17 +495,22 @@ impl TickPool {
                     });
                 if let Err(e) = outcome {
                     self.stop.store(true, Ordering::Relaxed);
-                    let mut st = self.lock();
-                    if st.err.is_none() {
-                        st.err = Some(e);
+                    let mut slot = self.err.lock().unwrap_or_else(PoisonError::into_inner);
+                    if slot.is_none() {
+                        *slot = Some(e);
                     }
                     break;
                 }
             }
-            let mut st = self.lock();
-            st.active -= 1;
-            if st.active == 0 {
-                self.done.notify_all();
+            if claims != 0 {
+                slot.claims.fetch_add(claims, Ordering::Relaxed);
+            }
+            // Finish the epoch; wake the coordinator if it parked. SeqCst
+            // pairs with the coordinator's flag-then-recheck.
+            if self.active.fetch_sub(1, Ordering::SeqCst) == 1
+                && self.coord_parked.load(Ordering::SeqCst)
+            {
+                self.coord_thread.unpark();
             }
         }
     }
@@ -256,16 +529,21 @@ impl Drop for PoolShutdown<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+
+    /// Force the pooled path regardless of host core count.
+    fn pooled_tuning() -> PoolTuning {
+        PoolTuning { spin: 64, inline_ns: 0, cores: 8 }
+    }
 
     #[test]
     fn pool_processes_every_index_exactly_once() {
-        let pool = TickPool::new(3);
+        let pool = TickPool::with_tuning(3, pooled_tuning());
         let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|scope| {
             let _guard = PoolShutdown(&pool);
-            for _ in 0..3 {
-                scope.spawn(|| pool.worker());
+            let p = &pool;
+            for rank in 0..3 {
+                scope.spawn(move || p.worker(rank));
             }
             for _ in 0..50 {
                 let job = |start: usize, end: usize| {
@@ -274,21 +552,59 @@ mod tests {
                     }
                     Ok(())
                 };
-                pool.run_tick(hits.len(), 1, &job).unwrap();
+                pool.run_tick(CLASS_TENTATIVE, hits.len(), 1, &job).unwrap();
             }
+            assert!(pool.total_claims() > 0, "pooled path must claim chunks");
         });
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 50);
         }
     }
 
+    /// With a huge inline threshold the coordinator runs jobs itself: same
+    /// semantics, no worker claims.
+    #[test]
+    fn inline_degrade_runs_on_the_coordinator() {
+        let tuning = PoolTuning { spin: 64, inline_ns: u64::MAX, cores: 1 };
+        let pool = TickPool::with_tuning(2, tuning);
+        let hits: Vec<AtomicU64> = (0..32).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            let _guard = PoolShutdown(&pool);
+            let p = &pool;
+            for rank in 0..2 {
+                scope.spawn(move || p.worker(rank));
+            }
+            let job = |start: usize, end: usize| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            };
+            for _ in 0..8 {
+                pool.run_tick(CLASS_TENTATIVE, hits.len(), 1, &job).unwrap();
+            }
+            assert_eq!(pool.total_claims(), 0, "single-core host must inline every job");
+            // Inline errors surface exactly like pooled ones.
+            let err = pool
+                .run_tick(CLASS_COMMIT_SCAN, 4, 1, &|_, _| {
+                    Err(PramError::AddressOutOfBounds { addr: 9, size: 4 })
+                })
+                .unwrap_err();
+            assert!(matches!(err, PramError::AddressOutOfBounds { .. }));
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 8);
+        }
+    }
+
     #[test]
     fn pool_reports_the_first_error() {
-        let pool = TickPool::new(2);
+        let pool = TickPool::with_tuning(2, pooled_tuning());
         let err = std::thread::scope(|scope| {
             let _guard = PoolShutdown(&pool);
-            for _ in 0..2 {
-                scope.spawn(|| pool.worker());
+            let p = &pool;
+            for rank in 0..2 {
+                scope.spawn(move || p.worker(rank));
             }
             let job = |start: usize, _end: usize| {
                 if start >= 8 {
@@ -297,7 +613,7 @@ mod tests {
                     Ok(())
                 }
             };
-            pool.run_tick(64, 1, &job).unwrap_err()
+            pool.run_tick(CLASS_TENTATIVE, 64, 1, &job).unwrap_err()
         });
         assert!(matches!(err, PramError::AddressOutOfBounds { .. }));
     }
@@ -310,12 +626,13 @@ mod tests {
     fn panicking_job_reports_worker_panic_and_pool_survives() {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
-        let pool = TickPool::new(2);
+        let pool = TickPool::with_tuning(2, pooled_tuning());
         let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|scope| {
             let _guard = PoolShutdown(&pool);
-            for _ in 0..2 {
-                scope.spawn(|| pool.worker());
+            let p = &pool;
+            for rank in 0..2 {
+                scope.spawn(move || p.worker(rank));
             }
             let bomb = |start: usize, _end: usize| -> Result<(), PramError> {
                 if start == 0 {
@@ -323,7 +640,7 @@ mod tests {
                 }
                 Ok(())
             };
-            let err = pool.run_tick(64, 1, &bomb).unwrap_err();
+            let err = pool.run_tick(CLASS_TENTATIVE, 64, 1, &bomb).unwrap_err();
             assert!(
                 matches!(&err, PramError::WorkerPanic { pid: None, detail }
                     if detail.contains("injected worker fault")),
@@ -336,7 +653,7 @@ mod tests {
                 }
                 Ok(())
             };
-            pool.run_tick(hits.len(), 1, &job).unwrap();
+            pool.run_tick(CLASS_TENTATIVE, hits.len(), 1, &job).unwrap();
         });
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
@@ -350,13 +667,14 @@ mod tests {
     /// yields chunk = 1 for len = 7, threads = 3).
     #[test]
     fn chunks_are_aligned_and_clamped() {
-        let pool = TickPool::new(3);
+        let pool = TickPool::with_tuning(3, pooled_tuning());
         let claims = Mutex::new(Vec::new());
         let hits: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|scope| {
             let _guard = PoolShutdown(&pool);
-            for _ in 0..3 {
-                scope.spawn(|| pool.worker());
+            let p = &pool;
+            for rank in 0..3 {
+                scope.spawn(move || p.worker(rank));
             }
             let job = |start: usize, end: usize| {
                 claims.lock().unwrap().push((start, end));
@@ -365,7 +683,7 @@ mod tests {
                 }
                 Ok(())
             };
-            pool.run_tick(hits.len(), 4, &job).unwrap();
+            pool.run_tick(CLASS_TENTATIVE, hits.len(), 4, &job).unwrap();
         });
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1, "every index exactly once");
@@ -381,13 +699,14 @@ mod tests {
 
     #[test]
     fn empty_tick_is_a_noop() {
-        let pool = TickPool::new(2);
+        let pool = TickPool::with_tuning(2, pooled_tuning());
         std::thread::scope(|scope| {
             let _guard = PoolShutdown(&pool);
-            for _ in 0..2 {
-                scope.spawn(|| pool.worker());
+            let p = &pool;
+            for rank in 0..2 {
+                scope.spawn(move || p.worker(rank));
             }
-            pool.run_tick(0, 64, &|_, _| Ok(())).unwrap();
+            pool.run_tick(CLASS_TENTATIVE, 0, 64, &|_, _| Ok(())).unwrap();
         });
     }
 }

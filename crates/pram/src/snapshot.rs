@@ -47,7 +47,7 @@ use crate::adversary::{Adversary, TentativeCycle};
 use crate::checkpoint::Checkpoint;
 use crate::cycle::{Step, WriteSet};
 use crate::error::{BudgetKind, PramError};
-use crate::exec::{Core, ExecutionModel, RunControl, RunLimits, RunStatus};
+use crate::exec::{Core, ExecutionModel, RunControl, RunLimits, RunStatus, SeqBackend};
 use crate::memory::{MemoryLayout, SharedMemory};
 use crate::mode::WriteMode;
 use crate::trace::{NoopObserver, Observer};
@@ -450,7 +450,7 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
         observer: &mut dyn Observer,
     ) -> Result<RunReport> {
         let SnapshotMachine { model, core } = self;
-        core.run_to_completion(model, adversary, limits, observer, |c| model.tentative(c))
+        core.run_to_completion(model, adversary, limits, observer, &mut SeqBackend)
     }
 
     /// Run under `adversary` until completion **or** until `control`
@@ -469,7 +469,7 @@ impl<'p, P: SnapshotProgram> SnapshotMachine<'p, P> {
         control: impl FnMut(u64) -> RunControl,
     ) -> Result<RunStatus> {
         let SnapshotMachine { model, core } = self;
-        core.run_loop(model, adversary, limits, observer, |c| model.tentative(c), control)
+        core.run_loop(model, adversary, limits, observer, &mut SeqBackend, control)
     }
 
     /// Execute exactly one tick under `adversary` (no completion check).

@@ -50,6 +50,7 @@
 //! outstanding at once may grow the buffer, which is the usual amortized
 //! `Vec` growth).
 
+use crate::pool::SendPtr;
 use crate::region::Region;
 use crate::word::Word;
 
@@ -191,6 +192,36 @@ impl<W: IndexWord> Packed<W> {
                 }
                 base += lane.len();
             }
+        }
+        self.seal();
+    }
+
+    /// Start a sharded rebuild: clear both vectors, reserve capacity for
+    /// the final shape (`total` live items over a `size` address space) and
+    /// expose the spare capacity as raw pointers. The vectors keep length
+    /// 0 — the uninitialized capacity is only ever *written* through the
+    /// pointers, never read — until [`Packed::finish_fill`] commits the
+    /// lengths.
+    fn begin_fill(&mut self, size: usize, total: usize) -> (*mut W, *mut W) {
+        self.items.clear();
+        self.items.reserve(total);
+        self.pos.clear();
+        self.pos.reserve(size);
+        (self.items.as_mut_ptr(), self.pos.as_mut_ptr())
+    }
+
+    /// Commit a sharded rebuild.
+    ///
+    /// # Safety
+    ///
+    /// Every `items` slot in `[0, total)` and every `pos` cell in
+    /// `[0, size)` must have been initialized through the
+    /// [`Packed::begin_fill`] pointers since that call, with `total` and
+    /// `size` no larger than the capacities it reserved.
+    unsafe fn finish_fill(&mut self, size: usize, total: usize) {
+        unsafe {
+            self.items.set_len(total);
+            self.pos.set_len(size);
         }
         self.seal();
     }
@@ -524,6 +555,48 @@ impl UnvisitedIndex {
         on_repr!(self, p => p.matches(size, is_outstanding))
     }
 
+    /// Start a sharded (multi-worker) rebuild of the whole index: the
+    /// caller has pre-counted `total` outstanding addresses over the
+    /// `0..size` space and now wants each worker to fill a disjoint slice
+    /// of the dense form directly. Returns a width-erased [`RawFill`]
+    /// handle; workers write their partitions through it, and
+    /// [`UnvisitedIndex::finish_sharded_rebuild`] commits the result.
+    ///
+    /// The stitch is implicit in the addressing: partition `w` owns the
+    /// address range `[lo_w, hi_w)` and the items range
+    /// `[offset_w, offset_w + count_w)` where `offset_w` is the prefix sum
+    /// of the per-partition outstanding counts in rank order — so the
+    /// concatenation is exactly the ascending dense form a sequential
+    /// rebuild produces, with no data movement at the seam.
+    pub(crate) fn begin_sharded_rebuild(&mut self, size: usize, total: usize) -> RawFill {
+        self.set_width(size);
+        match &mut self.repr {
+            Repr::Narrow(p) => {
+                let (items, pos) = p.begin_fill(size, total);
+                RawFill::Narrow { items: SendPtr::new(items), pos: SendPtr::new(pos) }
+            }
+            Repr::Wide(p) => {
+                let (items, pos) = p.begin_fill(size, total);
+                RawFill::Wide { items: SendPtr::new(items), pos: SendPtr::new(pos) }
+            }
+        }
+    }
+
+    /// Commit a sharded rebuild started by
+    /// [`UnvisitedIndex::begin_sharded_rebuild`]; afterwards the index is
+    /// clean and dense.
+    ///
+    /// # Safety
+    ///
+    /// Every items slot in `[0, total)` and every position-map cell in
+    /// `[0, size)` must have been written through the [`RawFill`] handle
+    /// (via [`RawFill::clear_pos`] / [`RawFill::set`]) since the matching
+    /// `begin_sharded_rebuild(size, total)` call, and all worker writes
+    /// must have been synchronized-with (the pool barrier does this).
+    pub(crate) unsafe fn finish_sharded_rebuild(&mut self, size: usize, total: usize) {
+        on_repr_mut!(self, p => unsafe { p.finish_fill(size, total) });
+    }
+
     /// Force the full-width `usize` representation regardless of size —
     /// test hook so the wide code paths are exercised on small spaces.
     #[cfg(test)]
@@ -538,6 +611,69 @@ impl UnvisitedIndex {
             wide.holes = p.holes;
             wide.unsorted = p.unsorted;
             self.repr = Repr::Wide(wide);
+        }
+    }
+}
+
+/// Width-erased raw-pointer handle for a sharded index rebuild
+/// ([`UnvisitedIndex::begin_sharded_rebuild`]): `items` points at the
+/// dense-items spare capacity, `pos` at the position-map spare capacity.
+/// `Copy + Send + Sync` so every pool worker can hold one; soundness rests
+/// on workers writing disjoint ranges, which the caller proves.
+#[derive(Clone, Copy)]
+pub(crate) enum RawFill {
+    /// Half-width (`u32`) storage.
+    Narrow {
+        /// Dense-items buffer base.
+        items: SendPtr<u32>,
+        /// Position-map buffer base.
+        pos: SendPtr<u32>,
+    },
+    /// Full-width (`usize`) storage.
+    Wide {
+        /// Dense-items buffer base.
+        items: SendPtr<usize>,
+        /// Position-map buffer base.
+        pos: SendPtr<usize>,
+    },
+}
+
+impl RawFill {
+    /// Mark every address in `[lo, hi)` absent. All-ones bytes spell the
+    /// absent sentinel in both widths (`u32::MAX` / `usize::MAX`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must own `pos[lo..hi]` exclusively and `hi` must be
+    /// within the capacity reserved by `begin_sharded_rebuild`.
+    pub(crate) unsafe fn clear_pos(&self, lo: usize, hi: usize) {
+        match self {
+            RawFill::Narrow { pos, .. } => unsafe {
+                std::ptr::write_bytes(pos.ptr().add(lo), 0xFF, hi - lo);
+            },
+            RawFill::Wide { pos, .. } => unsafe {
+                std::ptr::write_bytes(pos.ptr().add(lo), 0xFF, hi - lo);
+            },
+        }
+    }
+
+    /// Record `addr` as the `slot`-th dense item (`items[slot] = addr`,
+    /// `pos[addr] = slot`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must own `items[slot]` and `pos[addr]` exclusively, both
+    /// within the capacities reserved by `begin_sharded_rebuild`.
+    pub(crate) unsafe fn set(&self, slot: usize, addr: usize) {
+        match self {
+            RawFill::Narrow { items, pos } => unsafe {
+                *items.ptr().add(slot) = addr as u32;
+                *pos.ptr().add(addr) = slot as u32;
+            },
+            RawFill::Wide { items, pos } => unsafe {
+                *items.ptr().add(slot) = addr;
+                *pos.ptr().add(addr) = slot;
+            },
         }
     }
 }
@@ -831,6 +967,78 @@ mod tests {
             mask
         });
         assert_eq!(batched.as_slice().to_vec(), plain.as_slice().to_vec());
+    }
+
+    /// A sharded rebuild (partition counts → prefix-sum offsets → raw
+    /// fill → finish) produces exactly the dense form of a plain rebuild,
+    /// in both storage widths and for ragged partition boundaries.
+    #[test]
+    fn sharded_rebuild_stitch_matches_plain_rebuild() {
+        for size in [0usize, 1, 7, 64, 65, 130] {
+            let outstanding = |a: usize| a.is_multiple_of(3) || a % 7 == 1;
+            let mut plain = UnvisitedIndex::new(size);
+            plain.rebuild(size, outstanding);
+
+            let mut sharded = UnvisitedIndex::new(size);
+            // Three ragged partitions of the address space.
+            let cuts = [0, size / 3, size / 3 + size / 2, size];
+            let counts: Vec<usize> =
+                cuts.windows(2).map(|w| (w[0]..w[1]).filter(|&a| outstanding(a)).count()).collect();
+            let total: usize = counts.iter().sum();
+            let raw = sharded.begin_sharded_rebuild(size, total);
+            let mut offset = 0;
+            for (w, pair) in cuts.windows(2).enumerate() {
+                let (lo, hi) = (pair[0], pair[1]);
+                // SAFETY: partitions are disjoint and in bounds.
+                unsafe {
+                    raw.clear_pos(lo, hi);
+                    let mut slot = offset;
+                    for addr in lo..hi {
+                        if outstanding(addr) {
+                            raw.set(slot, addr);
+                            slot += 1;
+                        }
+                    }
+                    assert_eq!(slot - offset, counts[w]);
+                }
+                offset += counts[w];
+            }
+            // SAFETY: every pos cell and items slot was written above.
+            unsafe { sharded.finish_sharded_rebuild(size, total) };
+            assert!(sharded.is_clean());
+            assert_eq!(sharded.as_slice().to_vec(), plain.as_slice().to_vec());
+            assert!(sharded.matches(size, outstanding), "size {size}");
+        }
+    }
+
+    /// The wide (`usize`) fill arms, unreachable through the public API
+    /// below a 2^32 address space, agree with a plain wide rebuild.
+    #[test]
+    fn sharded_fill_wide_arms_match_plain_rebuild() {
+        let size = 37;
+        let outstanding = |a: usize| a % 4 != 1;
+        let total = (0..size).filter(|&a| outstanding(a)).count();
+        let mut packed = Packed::<usize>::new(size);
+        let (items, pos) = packed.begin_fill(size, total);
+        let raw = RawFill::Wide { items: SendPtr::new(items), pos: SendPtr::new(pos) };
+        // SAFETY: single-threaded, in-bounds, every cell written.
+        unsafe {
+            raw.clear_pos(0, size);
+            let mut slot = 0;
+            for addr in 0..size {
+                if outstanding(addr) {
+                    raw.set(slot, addr);
+                    slot += 1;
+                }
+            }
+            assert_eq!(slot, total);
+            packed.finish_fill(size, total);
+        }
+        let mut plain = Packed::<usize>::new(size);
+        plain.rebuild(size, outstanding);
+        assert_eq!(packed.items, plain.items);
+        assert_eq!(packed.pos, plain.pos);
+        assert!(packed.matches(size, outstanding));
     }
 
     /// The batched rebuild splits chunks into [`LANE_WIDTH`]-cell lanes

@@ -7,7 +7,9 @@
 //! threads. A counting `#[global_allocator]` pins that down: the
 //! sequential engine must allocate *exactly zero* times across a batch of
 //! steady-state ticks, and a pooled run's allocation total must not grow
-//! with the number of ticks.
+//! with the number of ticks — including with the adaptive inline degrade
+//! disabled, so the spin-then-park barrier, the per-worker commit
+//! buffers and the sharded index rebuild are all inside the measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +20,43 @@ use rfsp_pram::{
     CompletionHint, CycleBudget, LayoutBuilder, Machine, NoFailures, Pid, Program, ReadSet, Region,
     RunLimits, SharedMemory, Step, Word, WriteSet,
 };
+
+/// [`Grind`] with completion hints, so the pooled run builds the
+/// completion index (sharded rebuild at run entry) and the parallel
+/// commit exercises its net index-op path every tick.
+struct HintedGrind {
+    n: usize,
+    target: Word,
+}
+
+impl Program for HintedGrind {
+    type Private = ();
+    fn shared_size(&self) -> usize {
+        self.n
+    }
+    fn on_start(&self, _pid: Pid) {}
+    fn plan(&self, pid: Pid, _st: &(), values: &[Word], reads: &mut ReadSet) {
+        if values.is_empty() {
+            reads.push(pid.0 % self.n);
+        }
+    }
+    fn execute(&self, pid: Pid, _st: &mut (), values: &[Word], writes: &mut WriteSet) -> Step {
+        if values[0] < self.target {
+            writes.push(pid.0 % self.n, values[0] + 1);
+        }
+        Step::Continue
+    }
+    fn is_complete(&self, mem: &SharedMemory) -> bool {
+        (0..self.n).all(|i| mem.peek(i) >= self.target)
+    }
+    fn completion_hint(&self, _addr: usize, value: Word) -> CompletionHint {
+        if value >= self.target {
+            CompletionHint::Satisfied
+        } else {
+            CompletionHint::Outstanding
+        }
+    }
+}
 
 struct CountingAlloc;
 
@@ -187,5 +226,36 @@ fn pooled_allocations_do_not_grow_with_tick_count() {
     assert!(
         long <= short + 16,
         "allocations grew with tick count: {short} for 16 ticks vs {long} for 528"
+    );
+}
+
+/// The forced-parallel engine — spin-then-park barrier, per-worker commit
+/// buffers (scan/merge/store), net index ops and the sharded rebuild —
+/// must also reach an allocation-free steady state. `RFSP_POOL_INLINE_NS=0`
+/// disables the adaptive inline degrade so every tick actually crosses
+/// the barrier and runs the three commit passes; a tracked program makes
+/// the commit maintain the unvisited index too. The per-worker rows of
+/// `CommitScratch` grow to their working sizes during the first ticks and
+/// are reused verbatim afterwards, so allocations must not scale with
+/// tick count.
+#[test]
+fn forced_parallel_commit_allocations_do_not_grow_with_tick_count() {
+    let _guard = MEASURE.lock().unwrap();
+    std::env::set_var("RFSP_POOL_INLINE_NS", "0");
+    let p = 16;
+    let threads = 3;
+    let measure = |target: Word| {
+        let prog = HintedGrind { n: p, target };
+        let mut m = Machine::new(&prog, p, CycleBudget::PAPER).unwrap();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        m.run_threaded(&mut NoFailures, RunLimits::default(), threads).unwrap();
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+    let short = measure(16);
+    let long = measure(16 + 512);
+    std::env::remove_var("RFSP_POOL_INLINE_NS");
+    assert!(
+        long <= short + 16,
+        "forced-parallel allocations grew with tick count: {short} for 16 ticks vs {long} for 528"
     );
 }

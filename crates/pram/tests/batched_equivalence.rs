@@ -9,6 +9,15 @@
 //! banked layouts) and the snapshot model. This is the behavior-invariance
 //! half of the `BENCH_SCALE.json` optimization: the golden fixtures pin
 //! the default configuration, these properties pin the toggle itself.
+//!
+//! The word-model property pins `RFSP_POOL_INLINE_NS=0` for the whole
+//! process: the pool's adaptive degrade would otherwise run every pooled
+//! tick inline on a small host, and the **parallel commit** (per-worker
+//! scan/merge/store with a rank-ordered coordinator merge) and the
+//! **sharded index rebuild** would never execute. Forcing the pooled path
+//! makes every pooled run here a true differential test of those kernels
+//! against the sequential slot-by-slot apply. The snapshot model has no
+//! pooled engine — its rows stay a batched-vs-scalar comparison only.
 
 use proptest::prelude::*;
 use rfsp_pram::snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
@@ -164,6 +173,11 @@ fn word_run(
     threads: Option<usize>,
     batch_width: usize,
 ) -> Observables {
+    // Disable the adaptive inline degrade so pooled runs genuinely
+    // exercise the parallel commit and the sharded rebuild (see the
+    // module docs). `set_var` is idempotent and the snapshot machine
+    // never constructs a pool, so the process-global override is safe.
+    std::env::set_var("RFSP_POOL_INLINE_NS", "0");
     let limits = RunLimits { max_cycles: 1_000_000 };
     let mut m = Machine::with_layout(prog, prog.p, CycleBudget::PAPER, layout).unwrap();
     m.set_batch_width(batch_width);
@@ -229,6 +243,12 @@ proptest! {
 
         let batched_pool = word_run(MemoryLayout::Flat, &prog, &pattern, Some(threads), width);
         assert_same(&scalar_seq, &batched_pool)?;
+
+        // Scalar kernels on the forced pool: the parallel commit must be
+        // invisible even without lane batching (and without the sharded
+        // rebuild, which needs `batch_width > 1`).
+        let scalar_pool = word_run(MemoryLayout::Flat, &prog, &pattern, Some(threads), 1);
+        assert_same(&scalar_seq, &scalar_pool)?;
 
         let layout = MemoryLayout::Banked { banks, interleave };
         let banked_pool = word_run(layout, &prog, &pattern, Some(threads), width);
