@@ -22,12 +22,16 @@
 //!   coupon-clipping; deterministic X shrugs it off.
 //! * [`RandomFaults`] — i.i.d. failures/restarts with configurable rates
 //!   and an event budget, the workhorse for the Theorem 4.3 `M`-sweeps.
+//! * [`BurstyFaults`] — two-state Markov-modulated failures (calm/burst
+//!   hidden mode chain): the clustered-crash regime the adaptive
+//!   checkpoint policy is measured against.
 //! * [`offline::offline_random`] — a pre-committed (non-adaptive) random
 //!   schedule: §5's *off-line* adversary, against which the randomized
 //!   algorithm is efficient.
 //! * [`Budgeted`] — wrap any adversary with a hard `|F| ≤ M` budget.
 
 pub mod budget;
+pub mod bursty;
 pub mod offline;
 pub mod pigeonhole;
 pub mod random;
@@ -36,6 +40,7 @@ pub mod thrashing;
 pub mod xkiller;
 
 pub use budget::Budgeted;
+pub use bursty::BurstyFaults;
 pub use offline::{offline_random, offline_random_pattern};
 pub use pigeonhole::Pigeonhole;
 pub use random::RandomFaults;

@@ -256,4 +256,66 @@ mod tests {
         assert_eq!(report.pattern, expected.pattern);
         assert_eq!(second.memory().as_slice(), straight.memory().as_slice());
     }
+
+    /// The cursor protocol under *continuous* interruption: the run is
+    /// paused at every single tick boundary, and at each pause the
+    /// adversary's state is saved and restored into a fresh instance with
+    /// a different seed and budget. The decision stream must still match
+    /// the uninterrupted run exactly — i.e. `save_state`/`restore_state`
+    /// round-trips the full mid-run cursor (RNG words + remaining
+    /// budget), not just end-of-run state.
+    #[test]
+    fn mid_run_cursor_roundtrips_at_every_pause() {
+        use rfsp_pram::{NoopObserver, RunControl, RunLimits, RunStatus};
+
+        let n = 64;
+        let p = 8;
+        let mut layout = LayoutBuilder::new();
+        let tasks = WriteAllTasks::new(&mut layout, n);
+        let algo = AlgoX::new(&mut layout, tasks, p, XOptions::default());
+
+        let mut straight = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let expected =
+            straight.run(&mut RandomFaults::new(0.3, 0.5, 2024).with_budget(150)).unwrap();
+        assert!(expected.stats.failures > 0, "want a run with actual faults");
+
+        let mut machine = Machine::new(&algo, p, CycleBudget::PAPER).unwrap();
+        let mut adv = RandomFaults::new(0.3, 0.5, 2024).with_budget(150);
+        let mut last_pause = None;
+        let mut pauses = 0u64;
+        let report = loop {
+            let lp = last_pause;
+            let status = machine
+                .run_controlled(&mut adv, RunLimits::default(), &mut NoopObserver, |cycle| {
+                    if lp == Some(cycle) {
+                        RunControl::Continue
+                    } else {
+                        RunControl::Pause
+                    }
+                })
+                .unwrap();
+            match status {
+                RunStatus::Completed(report) => break report,
+                RunStatus::Paused { cycle } => {
+                    last_pause = Some(cycle);
+                    pauses += 1;
+                    let saved = adv.save_state().expect("random faults are checkpointable");
+                    // Fresh instance with a wrong seed and wrong budget:
+                    // restore must overwrite both halves of the cursor.
+                    let mut fresh = RandomFaults::new(0.3, 0.5, 1).with_budget(3);
+                    fresh.restore_state(&saved).unwrap();
+                    assert_eq!(
+                        fresh.remaining_budget(),
+                        adv.remaining_budget(),
+                        "budget cursor round-trips mid-run"
+                    );
+                    adv = fresh;
+                }
+            }
+        };
+        assert!(pauses > 2, "the run must actually have been interrupted repeatedly");
+        assert_eq!(report.stats, expected.stats);
+        assert_eq!(report.pattern, expected.pattern);
+        assert_eq!(machine.memory().as_slice(), straight.memory().as_slice());
+    }
 }

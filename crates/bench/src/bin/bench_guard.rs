@@ -38,6 +38,13 @@
 //!    sequential (`RFSP_GUARD_SPEEDUP_FLOOR`, default 1.0) — with the
 //!    same one-retry noise policy as the other relative checks.
 //!
+//! 5. **Committed policy artifact** — the blessed
+//!    `crates/bench/artifacts/BENCH_POLICY.json` (written by the policy
+//!    bench) must show the adaptive checkpoint policy wasting no more
+//!    ticks than the better fixed-interval extreme at every swept
+//!    intensity — a pure file check, so a stale artifact cannot smuggle
+//!    a regression past CI.
+//!
 //! `RFSP_GUARD_UPDATE=1` re-blesses both committed baselines with the
 //! current measurements.
 
@@ -236,6 +243,70 @@ fn check_committed_scaling() -> bool {
     failed
 }
 
+/// The subset of a `BENCH_POLICY.json` row the guard consumes.
+#[derive(Clone, Debug, Deserialize)]
+struct PolicyRow {
+    intensity: f64,
+    policy: String,
+    wasted_ticks: u64,
+}
+
+/// The committed policy artifact, `crates/bench/artifacts/BENCH_POLICY.json`.
+#[derive(Clone, Debug, Deserialize)]
+struct PolicyArtifact {
+    quick: bool,
+    rows: Vec<PolicyRow>,
+}
+
+/// Gate the **committed** `BENCH_POLICY.json`: at every swept intensity
+/// the blessed artifact must show the adaptive checkpoint policy wasting
+/// no more ticks (replay + checkpoint overhead) than the better of the
+/// two fixed-interval extremes. The policy bench asserts this claim when
+/// it runs; the guard re-checks the committed numbers so a stale or
+/// hand-edited artifact cannot smuggle a regression past CI. Returns
+/// `true` on failure.
+fn check_committed_policy() -> bool {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("artifacts")
+        .join("BENCH_POLICY.json");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no committed policy artifact at {} ({e}); run the policy bench and commit it",
+            path.display()
+        )
+    });
+    let artifact: PolicyArtifact = serde::json::from_str(&raw).expect("policy artifact");
+    assert!(!artifact.quick, "the committed BENCH_POLICY.json must come from a full sweep");
+    let mut failed = false;
+    let mut intensities: Vec<f64> = artifact.rows.iter().map(|r| r.intensity).collect();
+    intensities.dedup();
+    assert!(intensities.len() >= 2, "the committed policy sweep must cover several intensities");
+    for intensity in intensities {
+        let wasted = |pred: &dyn Fn(&str) -> bool| {
+            artifact
+                .rows
+                .iter()
+                .filter(|r| r.intensity == intensity && pred(&r.policy))
+                .map(|r| r.wasted_ticks)
+                .min()
+        };
+        let adaptive = wasted(&|p| p == "adaptive").expect("adaptive row per intensity");
+        let best_fixed = wasted(&|p| p.starts_with("fixed:")).expect("fixed rows per intensity");
+        if adaptive > best_fixed {
+            eprintln!(
+                "FAIL: committed BENCH_POLICY.json shows the adaptive policy wasting {adaptive} \
+                 ticks at intensity {intensity}, worse than the better fixed extreme \
+                 ({best_fixed}) — re-run the policy bench and commit an artifact that passes"
+            );
+            failed = true;
+        }
+    }
+    if !failed {
+        println!("OK: blessed policy sweep keeps adaptive at or below the fixed extremes");
+    }
+    failed
+}
+
 fn main() {
     let flat = measure(MemoryLayout::Flat);
     let banked = measure(MemoryLayout::banked(PROCESSORS));
@@ -358,6 +429,7 @@ fn main() {
     }
 
     failed |= check_committed_scaling();
+    failed |= check_committed_policy();
 
     if failed {
         std::process::exit(1);

@@ -42,8 +42,8 @@ use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
 use rfsp_pram::{
     Checkpoint, CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, LayoutBuilder,
-    Machine, NoopObserver, PanicPolicy, Pid, PramError, Program, ReadSet, RunControl, RunLimits,
-    RunStatus, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
+    Machine, NoopObserver, PanicPolicy, Pid, PolicyEngine, PolicyKind, PramError, Program, ReadSet,
+    RunControl, RunLimits, RunStatus, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
 };
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +132,12 @@ pub struct SoakCase {
     /// Simulated kill: pause at this tick, checkpoint, resume in a fresh
     /// machine. `None` (and always for ACC) skips the check.
     pub kill_at: Option<u64>,
+    /// Also run the kill/resume check with an adaptive [`PolicyEngine`]
+    /// riding the checkpoint: the restored engine must land in exactly
+    /// the serialized state the uninterrupted engine reaches — the policy
+    /// determinism claim (decisions are a pure function of the event
+    /// stream), certified through the v4 codec's policy payload.
+    pub adaptive_policy: bool,
     /// Tick budget; a reference run that exceeds it is *skipped*, not
     /// failed (the random churn merely outlasted the budget).
     pub max_cycles: u64,
@@ -196,6 +202,10 @@ struct RunData {
     log: Option<FailurePattern>,
     /// Panic mode only: whether the injected panic fired.
     panic_fired: bool,
+    /// Policy-resume mode only: the adaptive engine's serialized final
+    /// state from the uninterrupted run and from the kill/resume run
+    /// (`None` if the run completed before the kill tick).
+    policy_states: Option<(String, String)>,
 }
 
 /// Chaos wrapper program: delegates to `inner`, but the victim
@@ -281,6 +291,11 @@ enum Mode<'a> {
     PanicChaos(&'a FailurePattern, PanicSpec),
     /// Pause at `kill_at`, checkpoint, resume into a fresh machine.
     KillResume(&'a FailurePattern, u64),
+    /// Kill/resume with an adaptive [`PolicyEngine`] observing both runs;
+    /// the engine state rides the checkpoint's policy payload and the
+    /// restored engine must reproduce the uninterrupted engine's final
+    /// serialized state bit for bit.
+    PolicyResume(&'a FailurePattern, u64),
 }
 
 struct CaseRunner<'a> {
@@ -309,6 +324,7 @@ impl WriteAllVisitor for CaseRunner<'_> {
             verified: setup.tasks.all_written(m.memory()),
             log,
             panic_fired,
+            policy_states: None,
         };
         match self.mode {
             Mode::Reference => {
@@ -349,6 +365,7 @@ impl WriteAllVisitor for CaseRunner<'_> {
                     verified: setup.tasks.all_written(m.memory()),
                     log: None,
                     panic_fired: fired,
+                    policy_states: None,
                 })
             }
             Mode::KillResume(log, kill_at) => {
@@ -381,6 +398,54 @@ impl WriteAllVisitor for CaseRunner<'_> {
                         second.restore_checkpoint(&ck, &mut adv2)?;
                         let report = second.run_observed(&mut adv2, limits, &mut NoopObserver)?;
                         Ok(collect(report, &second, None, false))
+                    }
+                }
+            }
+            Mode::PolicyResume(log, kill_at) => {
+                // Uninterrupted run with an adaptive engine observing: the
+                // decision-stream reference.
+                let mut straight = Machine::new(prog, c.p, budget)?;
+                let mut ref_engine = PolicyEngine::new(PolicyKind::Adaptive);
+                let mut adv = ScheduledAdversary::new(log.clone());
+                straight.run_observed(&mut adv, limits, &mut ref_engine)?;
+
+                // Same run killed at a tick boundary; the engine state
+                // rides the checkpoint's v4 policy payload.
+                let mut first = Machine::new(prog, c.p, budget)?;
+                let mut engine = PolicyEngine::new(PolicyKind::Adaptive);
+                let mut adv = ScheduledAdversary::new(log.clone());
+                let mut armed = true;
+                let status = first.run_controlled(&mut adv, limits, &mut engine, |cycle| {
+                    if armed && cycle >= kill_at {
+                        armed = false;
+                        RunControl::Pause
+                    } else {
+                        RunControl::Continue
+                    }
+                })?;
+                match status {
+                    // Finished before the kill tick: nothing to resume.
+                    RunStatus::Completed(report) => Ok(collect(report, &first, None, false)),
+                    RunStatus::Paused { .. } => {
+                        let mut ck = first.save_checkpoint(&adv)?;
+                        ck.policy = engine.save_state();
+                        // Round-trip through JSON: the on-disk format —
+                        // now including the policy payload — is part of
+                        // what the harness certifies.
+                        let ck = Checkpoint::from_json(&ck.to_json())?;
+                        drop(first);
+                        let mut second = Machine::new(prog, c.p, budget)?;
+                        let mut resumed_engine = PolicyEngine::new(PolicyKind::Adaptive);
+                        resumed_engine.restore_state(&ck.policy)?;
+                        let mut adv2 = ScheduledAdversary::new(log.clone());
+                        second.restore_checkpoint(&ck, &mut adv2)?;
+                        let report = second.run_observed(&mut adv2, limits, &mut resumed_engine)?;
+                        let mut data = collect(report, &second, None, false);
+                        data.policy_states = Some((
+                            serde::json::to_string(&ref_engine.save_state()),
+                            serde::json::to_string(&resumed_engine.save_state()),
+                        ));
+                        Ok(data)
                     }
                 }
             }
@@ -638,6 +703,33 @@ pub fn run_case(case: &SoakCase) -> Result<CaseOutcome, SoakFailure> {
         }
     }
 
+    // 6. Policy determinism: an adaptive policy engine fed the same event
+    // stream through a checkpoint/restore cut must land in exactly the
+    // state the uninterrupted engine reaches.
+    if case.adaptive_policy && case.algo.checkpointable() {
+        if let Some(kill_at) = case.kill_at {
+            let resumed = with_write_all_program(
+                algo,
+                case.n,
+                case.p,
+                CaseRunner { case, mode: Mode::PolicyResume(&log, kill_at) },
+            )
+            .map_err(|e| fail("policy-resume", e.to_string()))?;
+            compare(case, "policy-resume-equivalence", &reference, &resumed)?;
+            if let Some((uninterrupted, restored)) = &resumed.policy_states {
+                if uninterrupted != restored {
+                    return Err(fail(
+                        "policy-state-equivalence",
+                        format!(
+                            "adaptive engine state diverges after resume: {restored} vs \
+                             uninterrupted {uninterrupted}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
     Ok(CaseOutcome::Passed { panic_fired })
 }
 
@@ -697,6 +789,7 @@ pub fn generate_case(seed: u64, i: u64) -> SoakCase {
         adversary_seed: rng.random_range(0..u64::MAX),
         panic,
         kill_at: Some(rng.random_range(1..=24)),
+        adaptive_policy: rng.random_bool(0.5),
         max_cycles: 50_000,
     }
 }
@@ -815,6 +908,7 @@ mod tests {
             adversary_seed: 99,
             panic: None,
             kill_at: Some(2),
+            adaptive_policy: false,
             max_cycles: 50_000,
         };
         let outcome = run_case(&case).expect("snapshot case passes");
@@ -838,6 +932,7 @@ mod tests {
             adversary_seed: 1234,
             panic: Some(PanicSpec { pid: 2, on_call: 3 }),
             kill_at: Some(4),
+            adaptive_policy: true,
             max_cycles: 50_000,
         };
         let hook = std::panic::take_hook();

@@ -2,31 +2,50 @@
 //!
 //! Unlike `rfsp writeall` (one shot, in memory), this mode is built to
 //! survive its host: the machine runs on the panic-isolating engine with
-//! graceful sequential degradation, writes a versioned checkpoint every
-//! `--every` ticks (and on SIGINT) via an atomic tmp-file + rename, and
-//! streams raw machine events to a JSONL file whose flushed length is
-//! recorded in each checkpoint. `rfsp experiment --resume ck.json`
-//! reconstructs everything from the checkpoint alone — config, machine,
-//! adversary cursor — truncates the events file back to the recorded
-//! offset, and continues; the resulting event stream, stats, and final
-//! memory are bit-identical to an uninterrupted run.
+//! graceful sequential degradation, writes a versioned checkpoint on the
+//! cadence a [`PolicyEngine`] dictates (and on SIGINT) via an atomic
+//! tmp-file + fsync + rename (the parent directory is fsynced too, so the
+//! rename itself survives a power cut), and streams raw machine events to
+//! a JSONL file whose flushed length is recorded in each checkpoint.
+//! `rfsp experiment --resume ck.json` reconstructs everything from the
+//! checkpoint alone — config, machine, adversary cursor, policy-engine
+//! state — truncates the events file back to the recorded offset, and
+//! continues; the resulting event stream, stats, and final memory are
+//! bit-identical to an uninterrupted run.
+//!
+//! Two checkpoint policies are available (`--policy`):
+//!
+//! * `fixed:K` — snapshot every `K` ticks, the classic cadence.
+//! * `adaptive` — a [`PolicyEngine`] watches the live event stream,
+//!   tracks an EWMA failure intensity and a checkpoint-cost estimate, and
+//!   steers the interval toward the Young/Daly optimum `√(2C/λ)`. Its
+//!   whole state rides in the checkpoint, so a resumed run makes the same
+//!   decisions the uninterrupted run would have.
+//!
+//! Under the adaptive policy worker panics are first *surfaced* (the tick
+//! engine restores the pre-tick state), handled like a crash — rewind to
+//! the last checkpoint and replay, which the wasted-work counters record
+//! — and only after repeated panics does the run degrade permanently to
+//! the sequential fallback engine.
 //!
 //! ```text
 //! rfsp experiment --run writeall --algo x --n 100000 --p 128 \
-//!     --adversary random --rate 0.05 --seed 7 \
-//!     --checkpoint ck.json --every 500 --events run.jsonl
+//!     --adversary bursty --rate 0.4 --seed 7 --policy adaptive \
+//!     --checkpoint ck.json --events run.jsonl
 //! # ^C, power loss, SIGKILL ... then:
 //! rfsp experiment --resume ck.json
 //! ```
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read as _, Seek, SeekFrom, Write};
+use std::time::Instant;
 
-use rfsp_adversary::RandomFaults;
+use rfsp_adversary::{BurstyFaults, RandomFaults};
 use rfsp_bench::{with_write_all_program, WriteAllSetup, WriteAllVisitor};
 use rfsp_pram::{
-    Adversary, Checkpoint, CycleBudget, Machine, NoFailures, Observer, PanicPolicy, Program,
-    RunControl, RunLimits, RunStatus, ScheduledAdversary, TraceEvent,
+    Adversary, Checkpoint, CycleBudget, Machine, NoFailures, Observer, PolicyEngine, PolicyKind,
+    PramError, Program, RunControl, RunLimits, RunStatus, ScheduledAdversary, Tee, TraceEvent,
+    WastedWork,
 };
 use serde::{Deserialize, Serialize};
 
@@ -36,7 +55,11 @@ use crate::{pattern_io, signals, CliOutcome};
 
 /// Version tag of the on-disk experiment checkpoint (wraps the machine's
 /// own versioned [`Checkpoint`]).
-pub const EXPERIMENT_CHECKPOINT_VERSION: u32 = 1;
+///
+/// * v1 — config + events offset + machine snapshot.
+/// * v2 — adds cumulative [`WastedWork`] telemetry; the wrapped machine
+///   checkpoint is v4 and carries the policy-engine state.
+pub const EXPERIMENT_CHECKPOINT_VERSION: u32 = 2;
 
 /// The full run configuration — everything needed to rebuild the program
 /// and adversary from scratch. Stored inside the checkpoint so `--resume`
@@ -51,19 +74,22 @@ pub struct LongRunConfig {
     pub p: u64,
     /// Tick-engine worker threads (1 = sequential).
     pub threads: u64,
-    /// Adversary kind: `none`, `random`, or `replay`.
+    /// Adversary kind: `none`, `random`, `bursty`, or `replay`.
     pub adversary: String,
-    /// `random`: per-tick failure probability.
+    /// `random`: per-tick failure probability. `bursty`: the burst-mode
+    /// failure probability (the calm mode stays near-quiet).
     pub rate: f64,
-    /// `random`: per-tick restart probability.
+    /// `random`/`bursty`: per-tick restart probability.
     pub restart_rate: f64,
-    /// `random`: RNG seed (the checkpoint carries the live RNG state; the
-    /// seed only matters for a from-scratch start).
+    /// `random`/`bursty`: RNG seed (the checkpoint carries the live RNG
+    /// state; the seed only matters for a from-scratch start).
     pub seed: u64,
     /// `replay`: path of the failure-pattern file.
     pub replay_pattern: Option<String>,
-    /// Checkpoint cadence in ticks (0 = only on SIGINT).
+    /// Checkpoint cadence in ticks for the fixed policy (must be ≥ 1).
     pub every: u64,
+    /// Checkpoint policy tag: `fixed` (interval = `every`) or `adaptive`.
+    pub policy: String,
     /// Tick budget.
     pub max_cycles: u64,
     /// Checkpoint file path.
@@ -72,9 +98,20 @@ pub struct LongRunConfig {
     pub events: Option<String>,
 }
 
+impl LongRunConfig {
+    /// The policy this config names, as the engine understands it.
+    fn policy_kind(&self) -> PolicyKind {
+        if self.policy == "adaptive" {
+            PolicyKind::Adaptive
+        } else {
+            PolicyKind::Fixed(self.every)
+        }
+    }
+}
+
 /// What `--checkpoint` writes: config + machine snapshot + how many event
 /// bytes had been flushed when the snapshot was taken.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ExperimentCheckpoint {
     /// Format version ([`EXPERIMENT_CHECKPOINT_VERSION`]).
     pub version: u32,
@@ -83,7 +120,10 @@ pub struct ExperimentCheckpoint {
     /// Flushed length of the events file at snapshot time; resume
     /// truncates the file back to this before continuing.
     pub events_offset: u64,
-    /// The machine + adversary snapshot.
+    /// Cumulative fault-tolerance overhead up to (not including) this
+    /// snapshot; a resumed run keeps accumulating on top of it.
+    pub wasted: WastedWork,
+    /// The machine + adversary + policy-engine snapshot.
     pub machine: Checkpoint,
 }
 
@@ -127,12 +167,26 @@ impl Observer for EventWriter {
     }
 }
 
+/// How many tick boundaries a discarded event tail described — the ticks
+/// a rewound run is about to re-execute.
+fn count_tick_starts(bytes: &[u8]) -> u64 {
+    const NEEDLE: &[u8] = b"\"TickStart\"";
+    bytes.windows(NEEDLE.len()).filter(|w| *w == NEEDLE).count() as u64
+}
+
 /// The events sink: a real writer, or nothing.
 struct Events(Option<EventWriter>);
 
 impl Events {
-    fn open(cfg: &LongRunConfig, resume: Option<&ExperimentCheckpoint>) -> Result<Self, ArgError> {
-        let Some(path) = cfg.events.as_deref() else { return Ok(Events(None)) };
+    /// Open the sink. On resume, truncates the file back to the
+    /// checkpoint's flushed prefix and returns how many tick boundaries
+    /// the dropped tail held (they will be replayed).
+    fn open(
+        cfg: &LongRunConfig,
+        resume: Option<&ExperimentCheckpoint>,
+    ) -> Result<(Self, u64), ArgError> {
+        let Some(path) = cfg.events.as_deref() else { return Ok((Events(None), 0)) };
+        let mut replayed = 0;
         let file = if let Some(ck) = resume {
             // Truncate back to the checkpoint's flushed prefix: everything
             // after it describes ticks the resumed machine will re-execute.
@@ -150,18 +204,23 @@ impl Events {
                 .write(true)
                 .open(path)
                 .map_err(|e| io_err("open", path, &e))?;
+            f.seek(SeekFrom::Start(ck.events_offset)).map_err(|e| io_err("seek", path, &e))?;
+            let mut tail = Vec::new();
+            f.read_to_end(&mut tail).map_err(|e| io_err("read", path, &e))?;
+            replayed = count_tick_starts(&tail);
             f.set_len(ck.events_offset).map_err(|e| io_err("truncate", path, &e))?;
             f.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", path, &e))?;
             f
         } else {
             File::create(path).map_err(|e| io_err("create", path, &e))?
         };
-        Ok(Events(Some(EventWriter {
+        let writer = EventWriter {
             path: path.to_string(),
             out: BufWriter::new(file),
             bytes: resume.map_or(0, |ck| ck.events_offset),
             err: None,
-        })))
+        };
+        Ok((Events(Some(writer)), replayed))
     }
 
     /// Flush and report the stable byte offset (0 when no file).
@@ -170,6 +229,20 @@ impl Events {
             Some(w) => w.flush(),
             None => Ok(0),
         }
+    }
+
+    /// Drop everything past `offset` — the in-process analogue of the
+    /// resume-time truncation, used when a surfaced worker panic rewinds
+    /// the run to its last checkpoint.
+    fn rewind_to(&mut self, offset: u64) -> Result<(), ArgError> {
+        let Some(w) = &mut self.0 else { return Ok(()) };
+        w.flush()?;
+        let path = w.path.clone();
+        let f = w.out.get_mut();
+        f.set_len(offset).map_err(|e| io_err("truncate", &path, &e))?;
+        f.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", &path, &e))?;
+        w.bytes = offset;
+        Ok(())
     }
 }
 
@@ -185,6 +258,11 @@ fn build_adversary(cfg: &LongRunConfig) -> Result<Box<dyn Adversary>, ArgError> 
     Ok(match cfg.adversary.as_str() {
         "none" => Box::new(NoFailures),
         "random" => Box::new(RandomFaults::new(cfg.rate, cfg.restart_rate, cfg.seed)),
+        // Same hidden-mode chain as BurstyFaults::preset, but honouring
+        // the configured restart rate.
+        "bursty" => {
+            Box::new(BurstyFaults::new(0.002, cfg.rate, cfg.restart_rate, 0.02, 0.10, cfg.seed))
+        }
         "replay" => {
             let path = cfg
                 .replay_pattern
@@ -199,18 +277,37 @@ fn build_adversary(cfg: &LongRunConfig) -> Result<Box<dyn Adversary>, ArgError> 
         }
         other => {
             return Err(ArgError(format!(
-                "unknown long-run adversary '{other}' (none|random|replay)"
+                "unknown long-run adversary '{other}' (none|random|bursty|replay)"
             )))
         }
     })
 }
 
-fn write_checkpoint(path: &str, ck: &ExperimentCheckpoint) -> Result<(), ArgError> {
+/// Write the checkpoint durably: tmp file, fsync, atomic rename, then
+/// fsync the parent directory so the rename itself survives a power cut.
+/// Returns the serialized size in bytes.
+fn write_checkpoint(path: &str, ck: &ExperimentCheckpoint) -> Result<u64, ArgError> {
     let tmp = format!("{path}.tmp");
     let text = serde::json::to_string_pretty(&ck.to_value());
-    std::fs::write(&tmp, text).map_err(|e| io_err("write", &tmp, &e))?;
+    let bytes = text.len() as u64;
+    let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+    f.write_all(text.as_bytes()).map_err(|e| io_err("write", &tmp, &e))?;
+    // The data must be on disk before the rename publishes it, or a crash
+    // could leave a fully-named but empty checkpoint.
+    f.sync_all().map_err(|e| io_err("fsync", &tmp, &e))?;
+    drop(f);
     // The rename is atomic: a reader (or a kill) never sees a torn file.
-    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, &e))
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, &e))?;
+    // The rename lives in the directory entry; fsync the parent so the
+    // publication itself is durable.
+    let parent = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    File::open(parent)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("fsync parent directory of", path, &e))?;
+    Ok(bytes)
 }
 
 struct LongRun<'a> {
@@ -228,39 +325,99 @@ impl WriteAllVisitor for LongRun<'_> {
     {
         let cfg = self.cfg;
         let machine_err = |e: &dyn std::fmt::Display| ArgError(format!("machine error: {e}"));
+        let kind = cfg.policy_kind();
         let mut machine =
             Machine::new(prog, cfg.p as usize, budget).map_err(|e| machine_err(&e))?;
         let mut adversary = build_adversary(cfg)?;
-        let mut events = Events::open(cfg, self.resume)?;
+        let mut engine = PolicyEngine::new(kind);
+        let (mut events, replayed_tail) = Events::open(cfg, self.resume)?;
+        let mut wasted = WastedWork::default();
         if let Some(ck) = self.resume {
+            // Engine first: its restore refuses cross-policy checkpoints
+            // before anything is mutated.
+            engine.restore_state(&ck.machine.policy).map_err(|e| machine_err(&e))?;
             machine.restore_checkpoint(&ck.machine, &mut adversary).map_err(|e| machine_err(&e))?;
+            wasted = ck.wasted;
+            wasted.restores += 1;
+            wasted.replayed_ticks += replayed_tail;
             eprintln!(
-                "resumed from tick {} ({} event bytes kept)",
-                ck.machine.cycle, ck.events_offset
+                "resumed from tick {} ({} event bytes kept, {} ticks to replay)",
+                ck.machine.cycle, ck.events_offset, replayed_tail
             );
         }
+        // The last published snapshot, kept in memory: a surfaced worker
+        // panic is handled like a crash — rewind to it and replay.
+        let mut last_saved: Option<ExperimentCheckpoint> = self.resume.cloned();
         let limits = RunLimits { max_cycles: cfg.max_cycles };
+        let cadence = cfg.checkpoint.is_some();
         let mut last_pause: Option<u64> = None;
         loop {
             let lp = last_pause;
-            let status = machine
-                .run_threaded_isolated_controlled(
-                    &mut adversary,
-                    limits,
-                    cfg.threads as usize,
-                    PanicPolicy::FallbackSequential,
-                    &mut events,
-                    |cycle| {
-                        let due = signals::interrupted()
-                            || (cfg.every > 0 && cycle > 0 && cycle % cfg.every == 0);
-                        if due && lp != Some(cycle) {
-                            RunControl::Pause
-                        } else {
-                            RunControl::Continue
+            // The engine only moves its due point when a checkpoint is
+            // recorded — at a pause — so the target is stable for the
+            // whole run segment.
+            let due_at = engine.next_due();
+            let status = machine.run_threaded_isolated_controlled(
+                &mut adversary,
+                limits,
+                cfg.threads as usize,
+                engine.panic_policy(),
+                &mut Tee(&mut events, &mut engine),
+                |cycle| {
+                    let due = signals::interrupted() || (cadence && cycle >= due_at);
+                    if due && lp != Some(cycle) {
+                        RunControl::Pause
+                    } else {
+                        RunControl::Continue
+                    }
+                },
+            );
+            let status = match status {
+                Ok(status) => status,
+                Err(e @ PramError::WorkerPanic { .. }) => {
+                    // The isolating engine restored the pre-tick state, so
+                    // the machine stands at the failed tick's boundary.
+                    // Treat it like a crash: rewind to the last durable
+                    // checkpoint (or the start) and replay, under whatever
+                    // panic policy the engine now dictates — after enough
+                    // repeats it escalates to the sequential fallback.
+                    let escalated = engine.record_panic();
+                    let panicked_at = machine.cycle();
+                    wasted.restores += 1;
+                    match &last_saved {
+                        Some(saved) => {
+                            engine
+                                .restore_state(&saved.machine.policy)
+                                .map_err(|e| machine_err(&e))?;
+                            machine
+                                .restore_checkpoint(&saved.machine, &mut adversary)
+                                .map_err(|e| machine_err(&e))?;
+                            events.rewind_to(saved.events_offset)?;
+                            wasted.replayed_ticks +=
+                                panicked_at.saturating_sub(saved.machine.cycle);
+                            eprintln!(
+                                "{e}; rewound from tick {panicked_at} to checkpointed tick {} \
+                                 (next attempt: {escalated:?})",
+                                saved.machine.cycle
+                            );
                         }
-                    },
-                )
-                .map_err(|e| machine_err(&e))?;
+                        None => {
+                            machine = Machine::new(prog, cfg.p as usize, budget)
+                                .map_err(|e| machine_err(&e))?;
+                            adversary = build_adversary(cfg)?;
+                            engine.reset_preserving_panics();
+                            wasted.replayed_ticks += panicked_at;
+                            eprintln!(
+                                "{e}; no checkpoint yet — restarted from scratch at tick 0 \
+                                 (next attempt: {escalated:?})"
+                            );
+                        }
+                    }
+                    last_pause = None;
+                    continue;
+                }
+                Err(e) => return Err(machine_err(&e)),
+            };
             match status {
                 RunStatus::Completed(report) => {
                     events.checkpointable_offset()?;
@@ -272,27 +429,52 @@ impl WriteAllVisitor for LongRun<'_> {
                     println!("algorithm       : {}", cfg.algo);
                     println!("instance        : N = {}, P = {}", cfg.n, cfg.p);
                     println!("adversary       : {}", cfg.adversary);
+                    println!("policy          : {}", engine.kind());
                     println!("completed work S: {}", report.stats.completed_work());
                     println!("S' (with partial): {}", report.stats.s_prime());
                     println!("parallel time τ : {}", report.stats.parallel_time);
                     println!("|F| (fail+restart): {}", report.stats.pattern_size());
+                    println!(
+                        "checkpoints     : {} ({} bytes, {} µs)",
+                        wasted.checkpoints,
+                        wasted.checkpoint_bytes,
+                        wasted.checkpoint_ns / 1_000
+                    );
+                    println!(
+                        "restores        : {} ({} ticks replayed)",
+                        wasted.restores, wasted.replayed_ticks
+                    );
                     return Ok(CliOutcome::Done);
                 }
                 RunStatus::Paused { cycle } => {
                     last_pause = Some(cycle);
                     let offset = events.checkpointable_offset()?;
                     if let Some(path) = cfg.checkpoint.as_deref() {
-                        let machine_ck =
-                            machine.save_checkpoint(&adversary).map_err(|e| machine_err(&e))?;
-                        write_checkpoint(
-                            path,
-                            &ExperimentCheckpoint {
+                        if engine.checkpoint_due(cycle) || signals::interrupted() {
+                            let started = Instant::now();
+                            let mut machine_ck =
+                                machine.save_checkpoint(&adversary).map_err(|e| machine_err(&e))?;
+                            // Feed the cost model the machine snapshot
+                            // alone (policy field still Null): a pure
+                            // function of machine state, identical in a
+                            // resumed and an uninterrupted run.
+                            let machine_bytes =
+                                serde::json::to_string(&machine_ck.to_value()).len() as u64;
+                            engine.record_checkpoint(cycle, machine_bytes);
+                            machine_ck.policy = engine.save_state();
+                            let ck = ExperimentCheckpoint {
                                 version: EXPERIMENT_CHECKPOINT_VERSION,
                                 config: cfg.clone(),
                                 events_offset: offset,
+                                wasted,
                                 machine: machine_ck,
-                            },
-                        )?;
+                            };
+                            let file_bytes = write_checkpoint(path, &ck)?;
+                            wasted.checkpoints += 1;
+                            wasted.checkpoint_bytes += file_bytes;
+                            wasted.checkpoint_ns += started.elapsed().as_nanos() as u64;
+                            last_saved = Some(ck);
+                        }
                     }
                     if signals::interrupted() {
                         match cfg.checkpoint.as_deref() {
@@ -312,6 +494,36 @@ impl WriteAllVisitor for LongRun<'_> {
 }
 
 fn config_from_args(args: &Args) -> Result<LongRunConfig, ArgError> {
+    let mut every = args.get_parsed("every", 100u64)?;
+    if every == 0 {
+        return Err(ArgError(
+            "--every 0 is a degenerate cadence: the run would never checkpoint and a crash \
+             would lose everything; give a positive tick interval (or use --policy adaptive)"
+                .into(),
+        ));
+    }
+    let policy = match args.get("policy") {
+        None => "fixed".to_string(),
+        Some(text) => match PolicyKind::parse(text).map_err(ArgError)? {
+            PolicyKind::Adaptive => {
+                if args.get("every").is_some() {
+                    return Err(ArgError(
+                        "--policy adaptive chooses its own cadence; drop --every".into(),
+                    ));
+                }
+                "adaptive".to_string()
+            }
+            PolicyKind::Fixed(k) => {
+                if args.get("every").is_some() {
+                    return Err(ArgError(
+                        "--policy fixed:K already names the cadence; drop --every".into(),
+                    ));
+                }
+                every = k;
+                "fixed".to_string()
+            }
+        },
+    };
     let cfg = LongRunConfig {
         algo: args.get_or("algo", "x").to_string(),
         n: args.get_parsed("n", 1024u64)?,
@@ -322,7 +534,8 @@ fn config_from_args(args: &Args) -> Result<LongRunConfig, ArgError> {
         restart_rate: args.get_parsed("restart-rate", 0.5f64)?,
         seed: args.get_parsed("seed", 0u64)?,
         replay_pattern: args.get("replay-pattern").map(str::to_string),
-        every: args.get_parsed("every", 100u64)?,
+        every,
+        policy,
         max_cycles: args.get_parsed("max-cycles", RunLimits::default().max_cycles)?,
         checkpoint: args.get("checkpoint").map(str::to_string),
         events: args.get("events").map(str::to_string),
@@ -405,6 +618,7 @@ mod tests {
         let cfg = config_from_args(&a).unwrap();
         assert_eq!(cfg.algo, "v");
         assert_eq!(cfg.every, 10);
+        assert_eq!(cfg.policy, "fixed");
         let back = LongRunConfig::from_value(&cfg.to_value()).unwrap();
         assert_eq!(back, cfg);
 
@@ -417,12 +631,93 @@ mod tests {
     }
 
     #[test]
+    fn rejects_degenerate_cadence_and_policy_conflicts() {
+        let parse = |extra: &[&str]| {
+            let mut argv = vec!["experiment", "--run", "writeall"];
+            argv.extend_from_slice(extra);
+            config_from_args(&Args::parse(argv).unwrap())
+        };
+        let e = parse(&["--every", "0"]).unwrap_err();
+        assert!(e.0.contains("degenerate"), "unexpected message: {}", e.0);
+        assert!(parse(&["--policy", "fixed:0"]).is_err());
+        assert!(parse(&["--policy", "sometimes"]).is_err());
+        assert!(parse(&["--policy", "adaptive", "--every", "7"]).is_err());
+        assert!(parse(&["--policy", "fixed:12", "--every", "7"]).is_err());
+
+        let cfg = parse(&["--policy", "fixed:12"]).unwrap();
+        assert_eq!((cfg.policy.as_str(), cfg.every), ("fixed", 12));
+        let cfg = parse(&["--policy", "adaptive"]).unwrap();
+        assert_eq!(cfg.policy, "adaptive");
+        assert_eq!(cfg.policy_kind(), PolicyKind::Adaptive);
+    }
+
+    #[test]
+    fn counts_tick_starts_in_tails() {
+        assert_eq!(count_tick_starts(b""), 0);
+        let tail = b"{\"TickStart\":{\"cycle\":3}}\n{\"Failure\":{}}\n{\"TickStart\":{\"cycle\":4}}\n{\"torn";
+        assert_eq!(count_tick_starts(tail), 2);
+    }
+
+    fn run_argv(argv: Vec<String>) -> CliOutcome {
+        run(&Args::parse(argv).unwrap()).unwrap()
+    }
+
+    fn events_triple(dir: &std::path::Path, common: &[&str], tag: &str) -> Vec<u8> {
+        // Uninterrupted baseline → checkpointed run → torn resume; returns
+        // the baseline bytes after asserting all three streams agree.
+        let base = dir.join(format!("{tag}-base.jsonl"));
+        let ckpt = dir.join(format!("{tag}-ck.json"));
+        let resumed = dir.join(format!("{tag}-resumed.jsonl"));
+
+        let mut argv: Vec<String> = ["experiment"].iter().map(|s| s.to_string()).collect();
+        argv.extend(common.iter().map(|s| s.to_string()));
+        argv.extend(["--events".to_string(), base.to_str().unwrap().to_string()]);
+        assert!(matches!(run_argv(argv), CliOutcome::Done));
+
+        // Checkpoint on cadence, then simulate the kill by resuming from
+        // the checkpoint file only.
+        let mut argv: Vec<String> = ["experiment"].iter().map(|s| s.to_string()).collect();
+        argv.extend(common.iter().map(|s| s.to_string()));
+        argv.extend([
+            "--events".to_string(),
+            resumed.to_str().unwrap().to_string(),
+            "--checkpoint".to_string(),
+            ckpt.to_str().unwrap().to_string(),
+        ]);
+        assert!(matches!(run_argv(argv), CliOutcome::Done));
+        assert!(ckpt.exists(), "cadenced checkpoints were written");
+
+        // "Crash": scribble garbage after the checkpointed offset, then
+        // resume — the tail must be truncated and regenerated exactly.
+        let ck_text = std::fs::read_to_string(&ckpt).unwrap();
+        let ck =
+            ExperimentCheckpoint::from_value(&serde::json::from_str(&ck_text).unwrap()).unwrap();
+        assert_eq!(ck.version, EXPERIMENT_CHECKPOINT_VERSION);
+        assert!(
+            !matches!(ck.machine.policy, serde::Value::Null),
+            "checkpoint carries the policy-engine state"
+        );
+        let full = std::fs::read(&resumed).unwrap();
+        let mut torn = full[..ck.events_offset as usize].to_vec();
+        torn.extend_from_slice(b"{\"torn\":");
+        std::fs::write(&resumed, &torn).unwrap();
+        let argv = ["experiment", "--resume", ckpt.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run_argv(argv), CliOutcome::Done));
+
+        let baseline = std::fs::read(&base).unwrap();
+        let after = std::fs::read(&resumed).unwrap();
+        assert_eq!(baseline, full, "checkpointed run matches uninterrupted run");
+        assert_eq!(baseline, after, "resumed run regenerates the identical stream");
+        baseline
+    }
+
+    #[test]
     fn checkpointed_run_resumes_to_identical_events() {
         let dir = std::env::temp_dir().join("rfsp-longrun-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let base = dir.join("base.jsonl");
-        let ckpt = dir.join("ck.json");
-        let resumed = dir.join("resumed.jsonl");
         let common = [
             "--run",
             "writeall",
@@ -440,48 +735,42 @@ mod tests {
             "0.6",
             "--seed",
             "11",
+            "--every",
+            "5",
         ];
+        events_triple(&dir, &common, "fixed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
-        // Uninterrupted baseline.
-        let mut argv: Vec<String> = ["experiment"].iter().map(|s| s.to_string()).collect();
-        argv.extend(common.iter().map(|s| s.to_string()));
-        argv.extend(["--events".to_string(), base.to_str().unwrap().to_string()]);
-        let out = run(&Args::parse(argv).unwrap()).unwrap();
-        assert!(matches!(out, CliOutcome::Done));
-
-        // Checkpoint every 5 ticks, then simulate the kill by running the
-        // same config again from the checkpoint file only.
-        let mut argv: Vec<String> = ["experiment"].iter().map(|s| s.to_string()).collect();
-        argv.extend(common.iter().map(|s| s.to_string()));
-        argv.extend([
-            "--events".to_string(),
-            resumed.to_str().unwrap().to_string(),
-            "--checkpoint".to_string(),
-            ckpt.to_str().unwrap().to_string(),
-            "--every".to_string(),
-            "5".to_string(),
-        ]);
-        let out = run(&Args::parse(argv).unwrap()).unwrap();
-        assert!(matches!(out, CliOutcome::Done));
-        assert!(ckpt.exists(), "cadenced checkpoints were written");
-
-        // "Crash": scribble garbage after the checkpointed offset, then
-        // resume — the tail must be truncated and regenerated exactly.
-        let ck_text = std::fs::read_to_string(&ckpt).unwrap();
-        let ck =
-            ExperimentCheckpoint::from_value(&serde::json::from_str(&ck_text).unwrap()).unwrap();
-        let full = std::fs::read(&resumed).unwrap();
-        let mut torn = full[..ck.events_offset as usize].to_vec();
-        torn.extend_from_slice(b"{\"torn\":");
-        std::fs::write(&resumed, &torn).unwrap();
-        let argv = ["experiment", "--resume", ckpt.to_str().unwrap()];
-        let out = run(&Args::parse(argv).unwrap()).unwrap();
-        assert!(matches!(out, CliOutcome::Done));
-
-        let baseline = std::fs::read(&base).unwrap();
-        let after = std::fs::read(&resumed).unwrap();
-        assert_eq!(baseline, full, "checkpointed run matches uninterrupted run");
-        assert_eq!(baseline, after, "resumed run regenerates the identical stream");
+    #[test]
+    fn adaptive_policy_run_resumes_to_identical_events() {
+        let dir = std::env::temp_dir().join("rfsp-longrun-adaptive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let common = [
+            "--run",
+            "writeall",
+            "--algo",
+            "x",
+            "--n",
+            "512",
+            "--p",
+            "8",
+            "--adversary",
+            "bursty",
+            "--rate",
+            "0.7",
+            "--restart-rate",
+            "0.5",
+            "--seed",
+            "23",
+            "--policy",
+            "adaptive",
+        ];
+        let baseline = events_triple(&dir, &common, "adaptive");
+        assert!(
+            count_tick_starts(&baseline) > 128,
+            "run long enough for the adaptive cadence to fire at least once"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

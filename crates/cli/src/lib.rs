@@ -71,12 +71,17 @@ COMMANDS:
   experiment   reproduce a paper result  --id e1..e13|all
                or run the crash-safe long-run mode:
                --run writeall     --algo/--n/--p/--threads as writeall
-               --adversary none|random|replay --rate F --restart-rate F
-               --seed S --replay-pattern FILE
+               --adversary none|random|bursty|replay --rate F
+               --restart-rate F --seed S --replay-pattern FILE
                --checkpoint FILE  write a resumable snapshot (atomic
-                                  tmp+rename) every K ticks and on SIGINT
-               --every K          checkpoint cadence in ticks (default 100;
-                                  0 = only on SIGINT)
+                                  tmp+fsync+rename) on the policy's
+                                  cadence and on SIGINT
+               --policy P         checkpoint policy: fixed:K (snapshot
+                                  every K ticks) or adaptive (steer the
+                                  interval toward the Young/Daly optimum
+                                  from the live failure intensity)
+               --every K          fixed-policy cadence in ticks
+                                  (default 100; must be >= 1)
                --events FILE      stream raw machine events as JSONL; a
                                   resumed run truncates it to the
                                   checkpointed offset, so the final stream

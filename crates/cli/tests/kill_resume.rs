@@ -4,8 +4,8 @@
 //!
 //! This is the one test that exercises the whole chain through a real
 //! process boundary — atomic checkpoint rename, events-file truncation on
-//! resume, adversary cursor rehydration — with an actual hard kill rather
-//! than an in-process simulation.
+//! resume, adversary cursor rehydration, policy-engine state rehydration —
+//! with an actual hard kill rather than an in-process simulation.
 
 use std::process::Command;
 use std::time::{Duration, Instant};
@@ -14,49 +14,29 @@ fn rfsp() -> Command {
     Command::new(env!("CARGO_BIN_EXE_rfsp"))
 }
 
-#[test]
-fn sigkill_mid_run_then_resume_reproduces_the_baseline() {
-    let dir = std::env::temp_dir().join(format!("rfsp-kill-resume-{}", std::process::id()));
+/// Run `common` once for a baseline, once with checkpointing (`policy`)
+/// SIGKILLed as soon as the first checkpoint lands, then `--resume`; the
+/// final event stream must be byte-identical to the baseline.
+fn kill_resume_case(tag: &str, common: &[&str], policy: &[&str]) {
+    let dir = std::env::temp_dir().join(format!("rfsp-kill-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let base = dir.join("base.jsonl");
     let events = dir.join("killed.jsonl");
     let ckpt = dir.join("ck.json");
 
-    let common: &[&str] = &[
-        "experiment",
-        "--run",
-        "writeall",
-        "--algo",
-        "x",
-        "--n",
-        "1024",
-        "--p",
-        "4",
-        "--threads",
-        "2",
-        "--adversary",
-        "random",
-        "--rate",
-        "0.05",
-        "--restart-rate",
-        "0.5",
-        "--seed",
-        "1991",
-    ];
-
     // Uninterrupted baseline.
     let st = rfsp().args(common).arg("--events").arg(&base).status().unwrap();
     assert!(st.success(), "baseline run failed");
 
-    // Same configuration, checkpoint every 25 ticks; SIGKILL the process
-    // as soon as the first checkpoint lands on disk.
+    // Same configuration with checkpoints; SIGKILL the process as soon as
+    // the first checkpoint lands on disk.
     let mut child = rfsp()
         .args(common)
         .arg("--events")
         .arg(&events)
         .arg("--checkpoint")
         .arg(&ckpt)
-        .args(["--every", "25"])
+        .args(policy)
         .spawn()
         .unwrap();
     let deadline = Instant::now() + Duration::from_secs(60);
@@ -85,13 +65,76 @@ fn sigkill_mid_run_then_resume_reproduces_the_baseline() {
         assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
     }
 
-    eprintln!("kill landed mid-run: {killed}");
+    eprintln!("[{tag}] kill landed mid-run: {killed}");
     let baseline = std::fs::read(&base).unwrap();
     let after = std::fs::read(&events).unwrap();
     assert!(!baseline.is_empty());
     assert_eq!(
         baseline, after,
-        "events after kill+resume differ from the uninterrupted run (killed = {killed})"
+        "events after kill+resume differ from the uninterrupted run \
+         (tag = {tag}, killed = {killed})"
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sigkill_mid_run_then_resume_reproduces_the_baseline() {
+    kill_resume_case(
+        "fixed",
+        &[
+            "experiment",
+            "--run",
+            "writeall",
+            "--algo",
+            "x",
+            "--n",
+            "1024",
+            "--p",
+            "4",
+            "--threads",
+            "2",
+            "--adversary",
+            "random",
+            "--rate",
+            "0.05",
+            "--restart-rate",
+            "0.5",
+            "--seed",
+            "1991",
+        ],
+        &["--every", "25"],
+    );
+}
+
+#[test]
+fn sigkill_adaptive_policy_run_then_resume_reproduces_the_baseline() {
+    // The adaptive engine's first checkpoint lands around tick ~128
+    // (geometric mean of the clamp range), so the instance must stay
+    // busy well past that: a bursty adversary at a high rate keeps the
+    // Write-All run alive for hundreds of ticks.
+    kill_resume_case(
+        "adaptive",
+        &[
+            "experiment",
+            "--run",
+            "writeall",
+            "--algo",
+            "x",
+            "--n",
+            "4096",
+            "--p",
+            "8",
+            "--threads",
+            "2",
+            "--adversary",
+            "bursty",
+            "--rate",
+            "0.7",
+            "--restart-rate",
+            "0.5",
+            "--seed",
+            "23",
+        ],
+        &["--policy", "adaptive"],
+    );
 }

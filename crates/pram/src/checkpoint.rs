@@ -34,8 +34,12 @@ use crate::word::Word;
 /// tag (`Checkpoint::model`) so checkpoints from the word and snapshot
 /// machines cannot be restored into each other; v3 — records the
 /// [`MemoryLayout`] and replaces the two global read/write counters with
-/// per-bank counter vectors (restore refuses cross-layout resumes).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// per-bank counter vectors (restore refuses cross-layout resumes); v4 —
+/// adds the `policy` field carrying the checkpoint/restart
+/// [`PolicyEngine`](crate::policy::PolicyEngine) state, so a resumed run
+/// continues the same policy trajectory (and a cross-policy resume is
+/// refused by the engine's own restore).
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// One processor's checkpointed state.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -94,6 +98,14 @@ pub struct Checkpoint {
     /// The adversary's state, from
     /// [`Adversary::save_state`](crate::Adversary::save_state).
     pub adversary: Value,
+    /// Checkpoint/restart policy state, from
+    /// [`PolicyEngine::save_state`](crate::policy::PolicyEngine::save_state).
+    /// [`Value::Null`] for runs driven without a policy engine. Opaque to
+    /// the core's restore path — the machine resumes identically whatever
+    /// policy chose the checkpoint's tick — but a policy-driven runner
+    /// must hand it back to its engine, whose restore refuses state from
+    /// a different policy.
+    pub policy: Value,
 }
 
 impl Checkpoint {
@@ -142,6 +154,7 @@ mod tests {
             ],
             pattern: FailurePattern::new(),
             adversary: Value::Null,
+            policy: Value::Null,
         }
     }
 

@@ -1366,6 +1366,10 @@ where
                 .collect(),
             pattern: self.pattern.clone(),
             adversary,
+            // Policy state is runner-level: a policy-driven runner fills
+            // this in after saving (see `crate::policy`); the core has no
+            // policy of its own.
+            policy: serde::Value::Null,
         })
     }
 

@@ -69,6 +69,7 @@ pub mod failure;
 pub mod machine;
 pub mod memory;
 pub mod mode;
+pub mod policy;
 mod pool;
 pub mod region;
 pub mod snapshot;
@@ -90,11 +91,12 @@ pub use failure::{
 pub use machine::{Machine, PanicPolicy, RunControl, RunLimits, RunStatus};
 pub use memory::{CellChunks, MemoryLayout, SharedMemory};
 pub use mode::WriteMode;
+pub use policy::{PolicyConfig, PolicyEngine, PolicyKind};
 pub use region::{LayoutBuilder, Region};
 pub use snapshot::{SnapshotMachine, SnapshotProgram, SnapshotView};
 pub use trace::{
     MetricsObserver, NoopObserver, Observer, RunSeries, Tee, TickMetrics, TraceEvent, TraceLog,
-    TraceRecorder,
+    TraceRecorder, WastedWork,
 };
 pub use unvisited::{AddrSlice, UnvisitedIndex, LANE_WIDTH};
 pub use word::{Pid, Word};

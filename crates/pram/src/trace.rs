@@ -238,6 +238,39 @@ impl Observer for TraceRecorder {
     }
 }
 
+/// First-class wasted-work accounting for runs under faults: everything a
+/// crash/restart run spends that an undisturbed run would not. Filled by
+/// runners (the long-run mode, the soak harness, the policy bench) and
+/// carried on [`RunSeries`] so the tradeoff the checkpoint-interval policy
+/// optimizes — replay cost vs checkpoint overhead — is a measured series,
+/// not an estimate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct WastedWork {
+    /// Checkpoint restores performed (crashes survived).
+    pub restores: u64,
+    /// Ticks re-executed because they post-dated the restored checkpoint.
+    pub replayed_ticks: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Total serialized checkpoint bytes written.
+    pub checkpoint_bytes: u64,
+    /// Wall-clock nanoseconds spent saving checkpoints (telemetry only —
+    /// policy decisions never read this; see `crate::policy`).
+    pub checkpoint_ns: u64,
+}
+
+impl WastedWork {
+    /// Accumulate another accounting into this one (e.g. a resumed run's
+    /// fresh tally onto the checkpointed cumulative one).
+    pub fn absorb(&mut self, other: &WastedWork) {
+        self.restores += other.restores;
+        self.replayed_ticks += other.replayed_ticks;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.checkpoint_ns += other.checkpoint_ns;
+    }
+}
+
 /// One row of the per-tick telemetry time series.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct TickMetrics {
@@ -262,17 +295,21 @@ pub struct TickMetrics {
     pub s_prime: u64,
     /// Cumulative failure-pattern size `|F|` through this tick.
     pub pattern_size: u64,
+    /// `1` if this tick re-executed work already performed before a
+    /// checkpoint restore (detected from the stream: its cycle number is
+    /// at or below the observer's high-water mark), else `0`.
+    pub replayed: u64,
 }
 
 impl TickMetrics {
     /// The CSV header matching [`TickMetrics::to_csv_row`].
     pub const CSV_HEADER: &'static str =
-        "cycle,alive,completed,interrupted,failures,restarts,commits,s,s_prime,pattern_size";
+        "cycle,alive,completed,interrupted,failures,restarts,commits,s,s_prime,pattern_size,replayed";
 
     /// This row as a CSV line (no trailing newline).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             self.cycle,
             self.alive,
             self.completed,
@@ -282,7 +319,8 @@ impl TickMetrics {
             self.commits,
             self.s,
             self.s_prime,
-            self.pattern_size
+            self.pattern_size,
+            self.replayed
         )
     }
 }
@@ -294,6 +332,9 @@ pub struct RunSeries {
     pub processors: u64,
     /// The tick at which the program completed, if it did.
     pub completed_cycle: Option<u64>,
+    /// Wasted-work accounting for the run (all zeros for an undisturbed
+    /// run with no checkpointing).
+    pub wasted: WastedWork,
     /// One row per tick, in tick order.
     pub ticks: Vec<TickMetrics>,
 }
@@ -364,6 +405,11 @@ pub struct MetricsObserver {
     s: u64,
     s_prime: u64,
     pattern_size: u64,
+    /// Highest tick number seen; a `TickStart` at or below it means the
+    /// stream rewound through a checkpoint restore and the tick is a
+    /// replay.
+    high_water: Option<u64>,
+    wasted: WastedWork,
 }
 
 impl MetricsObserver {
@@ -378,7 +424,28 @@ impl MetricsObserver {
             s: 0,
             s_prime: 0,
             pattern_size: 0,
+            high_water: None,
+            wasted: WastedWork::default(),
         }
+    }
+
+    /// Note a checkpoint written by the runner driving this observer
+    /// (`bytes` serialized, `ns` of wall-clock save time).
+    pub fn note_checkpoint(&mut self, bytes: u64, ns: u64) {
+        self.wasted.checkpoints += 1;
+        self.wasted.checkpoint_bytes += bytes;
+        self.wasted.checkpoint_ns += ns;
+    }
+
+    /// Note a checkpoint restore performed by the runner. Replayed ticks
+    /// are counted separately, from the rewound stream itself.
+    pub fn note_restore(&mut self) {
+        self.wasted.restores += 1;
+    }
+
+    /// The wasted-work tally so far.
+    pub fn wasted(&self) -> WastedWork {
+        self.wasted
     }
 
     fn alive(&self) -> u64 {
@@ -397,6 +464,7 @@ impl MetricsObserver {
         RunSeries {
             processors: self.processors as u64,
             completed_cycle: self.completed_cycle,
+            wasted: self.wasted,
             ticks: self.ticks,
         }
     }
@@ -414,12 +482,18 @@ impl Observer for MetricsObserver {
         match event {
             TraceEvent::TickStart { cycle } => {
                 self.close_open_tick();
+                let replayed = self.high_water.is_some_and(|h| cycle <= h);
+                self.high_water = Some(self.high_water.map_or(cycle, |h| h.max(cycle)));
+                if replayed {
+                    self.wasted.replayed_ticks += 1;
+                }
                 self.open = Some(TickMetrics {
                     cycle,
                     alive: self.alive(),
                     s: self.s,
                     s_prime: self.s_prime,
                     pattern_size: self.pattern_size,
+                    replayed: u64::from(replayed),
                     ..TickMetrics::default()
                 });
             }
@@ -548,6 +622,7 @@ mod tests {
         let series = RunSeries {
             processors: 2,
             completed_cycle: Some(1),
+            wasted: WastedWork { checkpoints: 3, checkpoint_bytes: 900, ..Default::default() },
             ticks: vec![
                 TickMetrics {
                     cycle: 0,
@@ -579,6 +654,55 @@ mod tests {
         assert_eq!(lines.next(), Some(TickMetrics::CSV_HEADER));
         assert_eq!(lines.clone().count(), 2);
         assert!(lines.next().unwrap().starts_with("0,2,2,"));
+    }
+
+    #[test]
+    fn replayed_ticks_detected_from_rewound_stream() {
+        // Simulate a crash after tick 3 with a checkpoint at tick 2: the
+        // stream rewinds and ticks 2 and 3 run again.
+        let mut m = MetricsObserver::new(1);
+        for cycle in 0..4 {
+            m.event(TraceEvent::TickStart { cycle });
+            m.event(TraceEvent::CycleCompleted { cycle, pid: Pid(0) });
+        }
+        m.note_checkpoint(512, 1000);
+        m.note_restore();
+        for cycle in 2..5 {
+            m.event(TraceEvent::TickStart { cycle });
+            m.event(TraceEvent::CycleCompleted { cycle, pid: Pid(0) });
+        }
+        m.event(TraceEvent::Completed { cycle: 5 });
+        let series = m.finish();
+        assert_eq!(series.wasted.restores, 1);
+        assert_eq!(series.wasted.replayed_ticks, 2, "ticks 2 and 3 replayed");
+        assert_eq!(series.wasted.checkpoints, 1);
+        assert_eq!(series.wasted.checkpoint_bytes, 512);
+        let replayed: Vec<u64> = series.ticks.iter().map(|t| t.replayed).collect();
+        assert_eq!(replayed, vec![0, 0, 0, 0, 1, 1, 0]);
+        assert!(series.to_csv().lines().next().unwrap().ends_with(",replayed"));
+    }
+
+    #[test]
+    fn wasted_work_absorbs() {
+        let mut a = WastedWork { restores: 1, replayed_ticks: 5, ..Default::default() };
+        let b = WastedWork {
+            restores: 2,
+            replayed_ticks: 7,
+            checkpoints: 3,
+            checkpoint_bytes: 64,
+            checkpoint_ns: 9,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            WastedWork {
+                restores: 3,
+                replayed_ticks: 12,
+                checkpoints: 3,
+                checkpoint_bytes: 64,
+                checkpoint_ns: 9,
+            }
+        );
     }
 
     #[test]
