@@ -41,10 +41,11 @@ use rfsp_adversary::RandomFaults;
 use rfsp_core::{SnapshotBalance, WriteAllTasks};
 use rfsp_pram::snapshot::SnapshotMachine;
 use rfsp_pram::{
-    Checkpoint, CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, LayoutBuilder,
-    Machine, NoopObserver, PanicPolicy, Pid, PolicyEngine, PolicyKind, PramError, Program, ReadSet,
-    RunControl, RunLimits, RunStatus, ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
+    Adversary, CompletionHint, CycleBudget, DecisionRecorder, FailurePattern, LayoutBuilder,
+    Machine, NoopObserver, PanicPolicy, Pid, PolicyKind, PramError, Program, ReadSet, RunLimits,
+    ScheduledAdversary, SharedMemory, Step, Word, WriteSet,
 };
+use rfsp_run::run_with_cut;
 use serde::{Deserialize, Serialize};
 
 use crate::{with_write_all_program, Algo, WriteAllSetup, WriteAllVisitor};
@@ -368,86 +369,36 @@ impl WriteAllVisitor for CaseRunner<'_> {
                     policy_states: None,
                 })
             }
+            // Both crash-recovery lanes route through the session layer's
+            // `run_with_cut`: kill at a tick boundary, checkpoint through
+            // the JSON codec, restore into a fresh machine + adversary.
+            // The harness certifies that shared implementation — there is
+            // no soak-private checkpoint/resume code to drift from it.
             Mode::KillResume(log, kill_at) => {
-                let mut first = Machine::new(prog, c.p, budget)?;
-                let mut adv = ScheduledAdversary::new(log.clone());
-                let mut armed = true;
-                let status =
-                    first.run_controlled(&mut adv, limits, &mut NoopObserver, |cycle| {
-                        if armed && cycle >= kill_at {
-                            armed = false;
-                            RunControl::Pause
-                        } else {
-                            RunControl::Continue
-                        }
-                    })?;
-                match status {
-                    // Finished before the kill tick: nothing to resume.
-                    RunStatus::Completed(report) => Ok(collect(report, &first, None, false)),
-                    RunStatus::Paused { .. } => {
-                        let ck = first.save_checkpoint(&adv)?;
-                        // Round-trip through JSON: the on-disk format is
-                        // part of what the harness certifies.
-                        let ck = rfsp_pram::Checkpoint::from_json(&ck.to_json())?;
-                        drop(first);
-                        let mut second = Machine::new(prog, c.p, budget)?;
-                        // The replacement adversary is rebuilt from config
-                        // (the schedule), as a resuming process would; the
-                        // checkpoint rehydrates its mutable cursor.
-                        let mut adv2 = ScheduledAdversary::new(log.clone());
-                        second.restore_checkpoint(&ck, &mut adv2)?;
-                        let report = second.run_observed(&mut adv2, limits, &mut NoopObserver)?;
-                        Ok(collect(report, &second, None, false))
-                    }
-                }
+                let cut = run_with_cut(
+                    || Machine::new(prog, c.p, budget),
+                    || Box::new(ScheduledAdversary::new(log.clone())) as Box<dyn Adversary>,
+                    limits,
+                    kill_at,
+                    None,
+                )?;
+                Ok(collect(cut.report, &cut.machine, None, false))
             }
             Mode::PolicyResume(log, kill_at) => {
-                // Uninterrupted run with an adaptive engine observing: the
-                // decision-stream reference.
-                let mut straight = Machine::new(prog, c.p, budget)?;
-                let mut ref_engine = PolicyEngine::new(PolicyKind::Adaptive);
-                let mut adv = ScheduledAdversary::new(log.clone());
-                straight.run_observed(&mut adv, limits, &mut ref_engine)?;
-
-                // Same run killed at a tick boundary; the engine state
-                // rides the checkpoint's v4 policy payload.
-                let mut first = Machine::new(prog, c.p, budget)?;
-                let mut engine = PolicyEngine::new(PolicyKind::Adaptive);
-                let mut adv = ScheduledAdversary::new(log.clone());
-                let mut armed = true;
-                let status = first.run_controlled(&mut adv, limits, &mut engine, |cycle| {
-                    if armed && cycle >= kill_at {
-                        armed = false;
-                        RunControl::Pause
-                    } else {
-                        RunControl::Continue
-                    }
-                })?;
-                match status {
-                    // Finished before the kill tick: nothing to resume.
-                    RunStatus::Completed(report) => Ok(collect(report, &first, None, false)),
-                    RunStatus::Paused { .. } => {
-                        let mut ck = first.save_checkpoint(&adv)?;
-                        ck.policy = engine.save_state();
-                        // Round-trip through JSON: the on-disk format —
-                        // now including the policy payload — is part of
-                        // what the harness certifies.
-                        let ck = Checkpoint::from_json(&ck.to_json())?;
-                        drop(first);
-                        let mut second = Machine::new(prog, c.p, budget)?;
-                        let mut resumed_engine = PolicyEngine::new(PolicyKind::Adaptive);
-                        resumed_engine.restore_state(&ck.policy)?;
-                        let mut adv2 = ScheduledAdversary::new(log.clone());
-                        second.restore_checkpoint(&ck, &mut adv2)?;
-                        let report = second.run_observed(&mut adv2, limits, &mut resumed_engine)?;
-                        let mut data = collect(report, &second, None, false);
-                        data.policy_states = Some((
-                            serde::json::to_string(&ref_engine.save_state()),
-                            serde::json::to_string(&resumed_engine.save_state()),
-                        ));
-                        Ok(data)
-                    }
-                }
+                // With a policy set, `run_with_cut` also drives an
+                // uninterrupted adaptive engine as the decision-stream
+                // reference and returns both serialized final states; the
+                // cut engine's state rides the checkpoint's v4 payload.
+                let cut = run_with_cut(
+                    || Machine::new(prog, c.p, budget),
+                    || Box::new(ScheduledAdversary::new(log.clone())) as Box<dyn Adversary>,
+                    limits,
+                    kill_at,
+                    Some(PolicyKind::Adaptive),
+                )?;
+                let mut data = collect(cut.report, &cut.machine, None, false);
+                data.policy_states = cut.policy_states;
+                Ok(data)
             }
         }
     }
@@ -547,43 +498,20 @@ fn run_snapshot_case(case: &SoakCase) -> Result<CaseOutcome, SoakFailure> {
         ));
     }
 
-    // 3. Crash recovery: kill at a tick boundary, checkpoint, resume.
+    // 3. Crash recovery: kill at a tick boundary, checkpoint, resume —
+    // through the session layer's shared `run_with_cut`, same as the
+    // word-model lane.
     if let Some(kill_at) = case.kill_at {
-        let mut first = SnapshotMachine::new(&prog, case.p, 1)
-            .map_err(|e| fail("kill-resume", e.to_string()))?;
-        let mut adv = ScheduledAdversary::new(log.clone());
-        let mut armed = true;
-        let status = first
-            .run_controlled(&mut adv, limits, &mut NoopObserver, |cycle| {
-                if armed && cycle >= kill_at {
-                    armed = false;
-                    RunControl::Pause
-                } else {
-                    RunControl::Continue
-                }
-            })
-            .map_err(|e| fail("kill-resume", e.to_string()))?;
-        let (resumed, mem) = match status {
-            // Finished before the kill tick: nothing to resume.
-            RunStatus::Completed(report) => {
-                let mem = first.memory().as_slice().to_vec();
-                (report, mem)
-            }
-            RunStatus::Paused { .. } => (|| {
-                let ck = first.save_checkpoint(&adv)?;
-                // Round-trip through JSON: the on-disk format is part of
-                // what the harness certifies.
-                let ck = Checkpoint::from_json(&ck.to_json())?;
-                drop(first);
-                let mut second = SnapshotMachine::new(&prog, case.p, 1)?;
-                let mut adv2 = ScheduledAdversary::new(log.clone());
-                second.restore_checkpoint(&ck, &mut adv2)?;
-                let report = second.run_observed(&mut adv2, limits, &mut NoopObserver)?;
-                let mem = second.memory().as_slice().to_vec();
-                Ok::<_, PramError>((report, mem))
-            })()
-            .map_err(|e| fail("kill-resume", e.to_string()))?,
-        };
+        let cut = run_with_cut(
+            || SnapshotMachine::new(&prog, case.p, 1),
+            || Box::new(ScheduledAdversary::new(log.clone())) as Box<dyn Adversary>,
+            limits,
+            kill_at,
+            None,
+        )
+        .map_err(|e| fail("kill-resume", e.to_string()))?;
+        let resumed = cut.report;
+        let mem = cut.machine.memory().as_slice().to_vec();
         let mismatch = |what: &str| fail("kill-resume-equivalence", format!("{what} diverge"));
         if resumed.stats != reference.stats {
             return Err(mismatch("stats"));

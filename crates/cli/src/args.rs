@@ -25,6 +25,12 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+impl From<rfsp_run::RunError> for ArgError {
+    fn from(e: rfsp_run::RunError) -> Self {
+        ArgError(e.0)
+    }
+}
+
 impl Args {
     /// Parse raw arguments (without the program name). `--key value` pairs
     /// become options; a `--key` followed by another `--…` (or nothing) is
@@ -117,6 +123,34 @@ mod tests {
 
     #[test]
     fn rejects_extra_positionals() {
-        assert!(Args::parse(["a", "b"]).is_err());
+        let Err(e) = Args::parse(["a", "b"]) else { panic!("positional accepted") };
+        assert!(e.0.contains("unexpected positional argument 'b'"), "{e}");
+        // The offender is named even when buried among valid options.
+        let Err(e) = Args::parse(["cmd", "--n", "4", "oops", "--p", "2"]) else {
+            panic!("positional accepted")
+        };
+        assert!(e.0.contains("'oops'"), "{e}");
+    }
+
+    #[test]
+    fn parse_errors_name_the_key_and_value() {
+        let a = Args::parse(["run", "--n", "abc", "--rate", "fast"]).unwrap();
+        let Err(e) = a.get_parsed::<u64>("n", 0) else { panic!("'abc' parsed as u64") };
+        assert_eq!(e.0, "invalid value 'abc' for --n");
+        let Err(e) = a.get_parsed::<f64>("rate", 0.0) else { panic!("'fast' parsed as f64") };
+        assert_eq!(e.0, "invalid value 'fast' for --rate");
+        // Error text round-trips through Display and From<RunError>.
+        assert_eq!(e.to_string(), "invalid value 'fast' for --rate");
+        let converted: ArgError = rfsp_run::RunError("spool on fire".into()).into();
+        assert_eq!(converted.0, "spool on fire");
+    }
+
+    #[test]
+    fn value_looking_like_flag_becomes_boolean() {
+        // `--key --other` treats `--key` as a flag, not an option with the
+        // value "--other" — the documented (if sharp-edged) behaviour.
+        let a = Args::parse(["cmd", "--checkpoint", "--verbose"]).unwrap();
+        assert_eq!(a.get("checkpoint"), None);
+        assert!(a.flag("checkpoint") && a.flag("verbose"));
     }
 }

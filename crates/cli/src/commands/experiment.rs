@@ -33,7 +33,14 @@ pub fn run(args: &Args) -> Result<CliOutcome, ArgError> {
         "e12" => experiments::e12::run(),
         "e13" => experiments::e13::run(),
         other => {
-            return Err(ArgError(format!("unknown experiment '{other}' (expected e1..e13 or all)")))
+            return Err(crate::unknown(
+                "experiment",
+                other,
+                &[
+                    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+                    "e13", "all",
+                ],
+            ))
         }
     }
     Ok(CliOutcome::Done)

@@ -3,30 +3,29 @@
 //! Unlike `rfsp writeall` (one shot, in memory), this mode is built to
 //! survive its host: the machine runs on the panic-isolating engine with
 //! graceful sequential degradation, writes a versioned checkpoint on the
-//! cadence a [`PolicyEngine`] dictates (and on SIGINT) via an atomic
-//! tmp-file + fsync + rename (the parent directory is fsynced too, so the
-//! rename itself survives a power cut), and streams raw machine events to
-//! a JSONL file whose flushed length is recorded in each checkpoint.
+//! cadence a policy engine dictates (and on SIGINT) via an atomic
+//! tmp-file + fsync + rename, and streams raw machine events to a JSONL
+//! file whose flushed length is recorded in each checkpoint.
 //! `rfsp experiment --resume ck.json` reconstructs everything from the
 //! checkpoint alone — config, machine, adversary cursor, policy-engine
 //! state — truncates the events file back to the recorded offset, and
 //! continues; the resulting event stream, stats, and final memory are
 //! bit-identical to an uninterrupted run.
 //!
+//! All of that machinery lives in [`rfsp_run::RunSession`] (shared with
+//! the soak harness's crash-recovery lanes and the `rfsp serve` daemon);
+//! this module is only the CLI skin: flag parsing, the program visitor,
+//! SIGINT wiring, and the completion summary.
+//!
 //! Two checkpoint policies are available (`--policy`):
 //!
 //! * `fixed:K` — snapshot every `K` ticks, the classic cadence.
-//! * `adaptive` — a [`PolicyEngine`] watches the live event stream,
-//!   tracks an EWMA failure intensity and a checkpoint-cost estimate, and
-//!   steers the interval toward the Young/Daly optimum `√(2C/λ)`. Its
-//!   whole state rides in the checkpoint, so a resumed run makes the same
-//!   decisions the uninterrupted run would have.
-//!
-//! Under the adaptive policy worker panics are first *surfaced* (the tick
-//! engine restores the pre-tick state), handled like a crash — rewind to
-//! the last checkpoint and replay, which the wasted-work counters record
-//! — and only after repeated panics does the run degrade permanently to
-//! the sequential fallback engine.
+//! * `adaptive` — a [`PolicyEngine`](rfsp_pram::PolicyEngine) watches the
+//!   live event stream, tracks an EWMA failure intensity and a
+//!   checkpoint-cost estimate, and steers the interval toward the
+//!   Young/Daly optimum `√(2C/λ)`. Its whole state rides in the
+//!   checkpoint, so a resumed run makes the same decisions the
+//!   uninterrupted run would have.
 //!
 //! ```text
 //! rfsp experiment --run writeall --algo x --n 100000 --p 128 \
@@ -36,279 +35,22 @@
 //! rfsp experiment --resume ck.json
 //! ```
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read as _, Seek, SeekFrom, Write};
-use std::time::Instant;
-
-use rfsp_adversary::{BurstyFaults, RandomFaults};
 use rfsp_bench::{with_write_all_program, WriteAllSetup, WriteAllVisitor};
-use rfsp_pram::{
-    Adversary, Checkpoint, CycleBudget, Machine, NoFailures, Observer, PolicyEngine, PolicyKind,
-    PramError, Program, RunControl, RunLimits, RunStatus, ScheduledAdversary, Tee, TraceEvent,
-    WastedWork,
-};
+use rfsp_pram::{CycleBudget, Machine, NoopObserver, PolicyKind, Program, RunLimits};
+use rfsp_run::{ExecMode, PauseFlow, RunSession, SessionEnd};
 use serde::{Deserialize, Serialize};
 
 use crate::args::{ArgError, Args};
 use crate::commands::writeall::parse_algo;
-use crate::{pattern_io, signals, CliOutcome};
+use crate::{signals, CliOutcome};
 
-/// Version tag of the on-disk experiment checkpoint (wraps the machine's
-/// own versioned [`Checkpoint`]).
-///
-/// * v1 — config + events offset + machine snapshot.
-/// * v2 — adds cumulative [`WastedWork`] telemetry; the wrapped machine
-///   checkpoint is v4 and carries the policy-engine state.
-pub const EXPERIMENT_CHECKPOINT_VERSION: u32 = 2;
-
-/// The full run configuration — everything needed to rebuild the program
-/// and adversary from scratch. Stored inside the checkpoint so `--resume`
-/// needs no other flags.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
-pub struct LongRunConfig {
-    /// Algorithm name (as accepted by `--algo`).
-    pub algo: String,
-    /// Instance size.
-    pub n: u64,
-    /// Processor count.
-    pub p: u64,
-    /// Tick-engine worker threads (1 = sequential).
-    pub threads: u64,
-    /// Adversary kind: `none`, `random`, `bursty`, or `replay`.
-    pub adversary: String,
-    /// `random`: per-tick failure probability. `bursty`: the burst-mode
-    /// failure probability (the calm mode stays near-quiet).
-    pub rate: f64,
-    /// `random`/`bursty`: per-tick restart probability.
-    pub restart_rate: f64,
-    /// `random`/`bursty`: RNG seed (the checkpoint carries the live RNG
-    /// state; the seed only matters for a from-scratch start).
-    pub seed: u64,
-    /// `replay`: path of the failure-pattern file.
-    pub replay_pattern: Option<String>,
-    /// Checkpoint cadence in ticks for the fixed policy (must be ≥ 1).
-    pub every: u64,
-    /// Checkpoint policy tag: `fixed` (interval = `every`) or `adaptive`.
-    pub policy: String,
-    /// Tick budget.
-    pub max_cycles: u64,
-    /// Checkpoint file path.
-    pub checkpoint: Option<String>,
-    /// Events JSONL file path.
-    pub events: Option<String>,
-}
-
-impl LongRunConfig {
-    /// The policy this config names, as the engine understands it.
-    fn policy_kind(&self) -> PolicyKind {
-        if self.policy == "adaptive" {
-            PolicyKind::Adaptive
-        } else {
-            PolicyKind::Fixed(self.every)
-        }
-    }
-}
-
-/// What `--checkpoint` writes: config + machine snapshot + how many event
-/// bytes had been flushed when the snapshot was taken.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ExperimentCheckpoint {
-    /// Format version ([`EXPERIMENT_CHECKPOINT_VERSION`]).
-    pub version: u32,
-    /// The run's full configuration.
-    pub config: LongRunConfig,
-    /// Flushed length of the events file at snapshot time; resume
-    /// truncates the file back to this before continuing.
-    pub events_offset: u64,
-    /// Cumulative fault-tolerance overhead up to (not including) this
-    /// snapshot; a resumed run keeps accumulating on top of it.
-    pub wasted: WastedWork,
-    /// The machine + adversary + policy-engine snapshot.
-    pub machine: Checkpoint,
-}
-
-fn io_err(what: &str, path: &str, e: &dyn std::fmt::Display) -> ArgError {
-    ArgError(format!("cannot {what} {path}: {e}"))
-}
-
-/// Streams events as JSONL, tracking the byte offset of everything
-/// *flushed* (the only prefix a checkpoint may safely reference).
-struct EventWriter {
-    path: String,
-    out: BufWriter<File>,
-    bytes: u64,
-    err: Option<std::io::Error>,
-}
-
-impl EventWriter {
-    fn flush(&mut self) -> Result<u64, ArgError> {
-        if let Err(e) = self.out.flush() {
-            self.err.get_or_insert(e);
-        }
-        match self.err.take() {
-            Some(e) => Err(io_err("write events to", &self.path, &e)),
-            None => Ok(self.bytes),
-        }
-    }
-}
-
-impl Observer for EventWriter {
-    fn event(&mut self, event: TraceEvent) {
-        if self.err.is_some() {
-            return;
-        }
-        let mut line = serde::json::to_string(&event);
-        line.push('\n');
-        if let Err(e) = self.out.write_all(line.as_bytes()) {
-            self.err = Some(e);
-        } else {
-            self.bytes += line.len() as u64;
-        }
-    }
-}
-
-/// How many tick boundaries a discarded event tail described — the ticks
-/// a rewound run is about to re-execute.
-fn count_tick_starts(bytes: &[u8]) -> u64 {
-    const NEEDLE: &[u8] = b"\"TickStart\"";
-    bytes.windows(NEEDLE.len()).filter(|w| *w == NEEDLE).count() as u64
-}
-
-/// The events sink: a real writer, or nothing.
-struct Events(Option<EventWriter>);
-
-impl Events {
-    /// Open the sink. On resume, truncates the file back to the
-    /// checkpoint's flushed prefix and returns how many tick boundaries
-    /// the dropped tail held (they will be replayed).
-    fn open(
-        cfg: &LongRunConfig,
-        resume: Option<&ExperimentCheckpoint>,
-    ) -> Result<(Self, u64), ArgError> {
-        let Some(path) = cfg.events.as_deref() else { return Ok((Events(None), 0)) };
-        let mut replayed = 0;
-        let file = if let Some(ck) = resume {
-            // Truncate back to the checkpoint's flushed prefix: everything
-            // after it describes ticks the resumed machine will re-execute.
-            let meta = std::fs::metadata(path).map_err(|e| io_err("stat", path, &e))?;
-            if meta.len() < ck.events_offset {
-                return Err(ArgError(format!(
-                    "events file {path} is shorter ({}) than the checkpoint's offset ({}) — \
-                     was it rewritten since the checkpoint?",
-                    meta.len(),
-                    ck.events_offset
-                )));
-            }
-            let mut f = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(path)
-                .map_err(|e| io_err("open", path, &e))?;
-            f.seek(SeekFrom::Start(ck.events_offset)).map_err(|e| io_err("seek", path, &e))?;
-            let mut tail = Vec::new();
-            f.read_to_end(&mut tail).map_err(|e| io_err("read", path, &e))?;
-            replayed = count_tick_starts(&tail);
-            f.set_len(ck.events_offset).map_err(|e| io_err("truncate", path, &e))?;
-            f.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", path, &e))?;
-            f
-        } else {
-            File::create(path).map_err(|e| io_err("create", path, &e))?
-        };
-        let writer = EventWriter {
-            path: path.to_string(),
-            out: BufWriter::new(file),
-            bytes: resume.map_or(0, |ck| ck.events_offset),
-            err: None,
-        };
-        Ok((Events(Some(writer)), replayed))
-    }
-
-    /// Flush and report the stable byte offset (0 when no file).
-    fn checkpointable_offset(&mut self) -> Result<u64, ArgError> {
-        match &mut self.0 {
-            Some(w) => w.flush(),
-            None => Ok(0),
-        }
-    }
-
-    /// Drop everything past `offset` — the in-process analogue of the
-    /// resume-time truncation, used when a surfaced worker panic rewinds
-    /// the run to its last checkpoint.
-    fn rewind_to(&mut self, offset: u64) -> Result<(), ArgError> {
-        let Some(w) = &mut self.0 else { return Ok(()) };
-        w.flush()?;
-        let path = w.path.clone();
-        let f = w.out.get_mut();
-        f.set_len(offset).map_err(|e| io_err("truncate", &path, &e))?;
-        f.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", &path, &e))?;
-        w.bytes = offset;
-        Ok(())
-    }
-}
-
-impl Observer for Events {
-    fn event(&mut self, event: TraceEvent) {
-        if let Some(w) = &mut self.0 {
-            w.event(event);
-        }
-    }
-}
-
-fn build_adversary(cfg: &LongRunConfig) -> Result<Box<dyn Adversary>, ArgError> {
-    Ok(match cfg.adversary.as_str() {
-        "none" => Box::new(NoFailures),
-        "random" => Box::new(RandomFaults::new(cfg.rate, cfg.restart_rate, cfg.seed)),
-        // Same hidden-mode chain as BurstyFaults::preset, but honouring
-        // the configured restart rate.
-        "bursty" => {
-            Box::new(BurstyFaults::new(0.002, cfg.rate, cfg.restart_rate, 0.02, 0.10, cfg.seed))
-        }
-        "replay" => {
-            let path = cfg
-                .replay_pattern
-                .as_deref()
-                .ok_or_else(|| ArgError("--adversary replay needs --replay-pattern FILE".into()))?;
-            let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, &e))?;
-            let pattern = pattern_io::decode(&text)?;
-            Box::new(
-                ScheduledAdversary::try_new(pattern)
-                    .map_err(|e| ArgError(format!("{path}: {e}")))?,
-            )
-        }
-        other => {
-            return Err(ArgError(format!(
-                "unknown long-run adversary '{other}' (none|random|bursty|replay)"
-            )))
-        }
-    })
-}
-
-/// Write the checkpoint durably: tmp file, fsync, atomic rename, then
-/// fsync the parent directory so the rename itself survives a power cut.
-/// Returns the serialized size in bytes.
-fn write_checkpoint(path: &str, ck: &ExperimentCheckpoint) -> Result<u64, ArgError> {
-    let tmp = format!("{path}.tmp");
-    let text = serde::json::to_string_pretty(&ck.to_value());
-    let bytes = text.len() as u64;
-    let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
-    f.write_all(text.as_bytes()).map_err(|e| io_err("write", &tmp, &e))?;
-    // The data must be on disk before the rename publishes it, or a crash
-    // could leave a fully-named but empty checkpoint.
-    f.sync_all().map_err(|e| io_err("fsync", &tmp, &e))?;
-    drop(f);
-    // The rename is atomic: a reader (or a kill) never sees a torn file.
-    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, &e))?;
-    // The rename lives in the directory entry; fsync the parent so the
-    // publication itself is durable.
-    let parent = std::path::Path::new(path)
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-        .unwrap_or_else(|| std::path::Path::new("."));
-    File::open(parent)
-        .and_then(|d| d.sync_all())
-        .map_err(|e| io_err("fsync parent directory of", path, &e))?;
-    Ok(bytes)
-}
+// The long-run types and helpers now live in the `rfsp-run` session
+// layer; these aliases keep the CLI's historical names (and the on-disk
+// format they describe) stable for users of this module.
+pub use rfsp_run::{
+    count_tick_starts, RunConfig as LongRunConfig, SessionCheckpoint as ExperimentCheckpoint,
+    SESSION_CHECKPOINT_VERSION as EXPERIMENT_CHECKPOINT_VERSION,
+};
 
 struct LongRun<'a> {
     cfg: &'a LongRunConfig,
@@ -324,184 +66,65 @@ impl WriteAllVisitor for LongRun<'_> {
         P::Private: Send + Serialize + Deserialize,
     {
         let cfg = self.cfg;
-        let machine_err = |e: &dyn std::fmt::Display| ArgError(format!("machine error: {e}"));
-        let kind = cfg.policy_kind();
-        let mut machine =
-            Machine::new(prog, cfg.p as usize, budget).map_err(|e| machine_err(&e))?;
-        let mut adversary = build_adversary(cfg)?;
-        let mut engine = PolicyEngine::new(kind);
-        let (mut events, replayed_tail) = Events::open(cfg, self.resume)?;
-        let mut wasted = WastedWork::default();
-        if let Some(ck) = self.resume {
-            // Engine first: its restore refuses cross-policy checkpoints
-            // before anything is mutated.
-            engine.restore_state(&ck.machine.policy).map_err(|e| machine_err(&e))?;
-            machine.restore_checkpoint(&ck.machine, &mut adversary).map_err(|e| machine_err(&e))?;
-            wasted = ck.wasted;
-            wasted.restores += 1;
-            wasted.replayed_ticks += replayed_tail;
-            eprintln!(
-                "resumed from tick {} ({} event bytes kept, {} ticks to replay)",
-                ck.machine.cycle, ck.events_offset, replayed_tail
-            );
-        }
-        // The last published snapshot, kept in memory: a surfaced worker
-        // panic is handled like a crash — rewind to it and replay.
-        let mut last_saved: Option<ExperimentCheckpoint> = self.resume.cloned();
-        let limits = RunLimits { max_cycles: cfg.max_cycles };
-        let cadence = cfg.checkpoint.is_some();
-        let mut last_pause: Option<u64> = None;
-        loop {
-            let lp = last_pause;
-            // The engine only moves its due point when a checkpoint is
-            // recorded — at a pause — so the target is stable for the
-            // whole run segment.
-            let due_at = engine.next_due();
-            let status = machine.run_threaded_isolated_controlled(
-                &mut adversary,
-                limits,
-                cfg.threads as usize,
-                engine.panic_policy(),
-                &mut Tee(&mut events, &mut engine),
-                |cycle| {
-                    let due = signals::interrupted() || (cadence && cycle >= due_at);
-                    if due && lp != Some(cycle) {
-                        RunControl::Pause
-                    } else {
-                        RunControl::Continue
-                    }
-                },
-            );
-            let status = match status {
-                Ok(status) => status,
-                Err(e @ PramError::WorkerPanic { .. }) => {
-                    // The isolating engine restored the pre-tick state, so
-                    // the machine stands at the failed tick's boundary.
-                    // Treat it like a crash: rewind to the last durable
-                    // checkpoint (or the start) and replay, under whatever
-                    // panic policy the engine now dictates — after enough
-                    // repeats it escalates to the sequential fallback.
-                    let escalated = engine.record_panic();
-                    let panicked_at = machine.cycle();
-                    wasted.restores += 1;
-                    match &last_saved {
-                        Some(saved) => {
-                            engine
-                                .restore_state(&saved.machine.policy)
-                                .map_err(|e| machine_err(&e))?;
-                            machine
-                                .restore_checkpoint(&saved.machine, &mut adversary)
-                                .map_err(|e| machine_err(&e))?;
-                            events.rewind_to(saved.events_offset)?;
-                            wasted.replayed_ticks +=
-                                panicked_at.saturating_sub(saved.machine.cycle);
-                            eprintln!(
-                                "{e}; rewound from tick {panicked_at} to checkpointed tick {} \
-                                 (next attempt: {escalated:?})",
-                                saved.machine.cycle
-                            );
-                        }
-                        None => {
-                            machine = Machine::new(prog, cfg.p as usize, budget)
-                                .map_err(|e| machine_err(&e))?;
-                            adversary = build_adversary(cfg)?;
-                            engine.reset_preserving_panics();
-                            wasted.replayed_ticks += panicked_at;
-                            eprintln!(
-                                "{e}; no checkpoint yet — restarted from scratch at tick 0 \
-                                 (next attempt: {escalated:?})"
-                            );
-                        }
-                    }
-                    last_pause = None;
-                    continue;
+        let procs = cfg.p as usize;
+        let build = Box::new(move || Machine::new(prog, procs, budget));
+        let exec = ExecMode::Threads(cfg.threads as usize);
+        let mut session = match self.resume {
+            Some(ck) => RunSession::resume(ck.clone(), exec, build)?,
+            None => RunSession::new(cfg.clone(), exec, build)?,
+        };
+
+        // SIGINT is the only external pause source here: it forces a
+        // checkpoint (when configured) and stops the session.
+        let end = session.run(
+            &mut |_| signals::interrupted(),
+            &mut |pause| if pause.external { PauseFlow::Stop } else { PauseFlow::Continue },
+            &mut NoopObserver,
+        )?;
+        match end {
+            SessionEnd::Completed(report) => {
+                if !setup.tasks.all_written(session.memory()) {
+                    return Err(ArgError("postcondition failed: array not fully written".into()));
                 }
-                Err(e) => return Err(machine_err(&e)),
-            };
-            match status {
-                RunStatus::Completed(report) => {
-                    events.checkpointable_offset()?;
-                    if !setup.tasks.all_written(machine.memory()) {
-                        return Err(ArgError(
-                            "postcondition failed: array not fully written".into(),
-                        ));
-                    }
-                    println!("algorithm       : {}", cfg.algo);
-                    println!("instance        : N = {}, P = {}", cfg.n, cfg.p);
-                    println!("adversary       : {}", cfg.adversary);
-                    println!("policy          : {}", engine.kind());
-                    println!("completed work S: {}", report.stats.completed_work());
-                    println!("S' (with partial): {}", report.stats.s_prime());
-                    println!("parallel time τ : {}", report.stats.parallel_time);
-                    println!("|F| (fail+restart): {}", report.stats.pattern_size());
-                    println!(
-                        "checkpoints     : {} ({} bytes, {} µs)",
-                        wasted.checkpoints,
-                        wasted.checkpoint_bytes,
-                        wasted.checkpoint_ns / 1_000
-                    );
-                    println!(
-                        "restores        : {} ({} ticks replayed)",
-                        wasted.restores, wasted.replayed_ticks
-                    );
-                    return Ok(CliOutcome::Done);
+                let wasted = session.wasted();
+                println!("algorithm       : {}", cfg.algo);
+                println!("instance        : N = {}, P = {}", cfg.n, cfg.p);
+                println!("adversary       : {}", cfg.adversary);
+                println!("policy          : {}", session.policy_kind());
+                println!("completed work S: {}", report.stats.completed_work());
+                println!("S' (with partial): {}", report.stats.s_prime());
+                println!("parallel time τ : {}", report.stats.parallel_time);
+                println!("|F| (fail+restart): {}", report.stats.pattern_size());
+                println!(
+                    "checkpoints     : {} ({} bytes, {} µs)",
+                    wasted.checkpoints,
+                    wasted.checkpoint_bytes,
+                    wasted.checkpoint_ns / 1_000
+                );
+                println!(
+                    "restores        : {} ({} ticks replayed)",
+                    wasted.restores, wasted.replayed_ticks
+                );
+                Ok(CliOutcome::Done)
+            }
+            SessionEnd::Stopped { cycle } => {
+                match cfg.checkpoint.as_deref() {
+                    Some(path) => eprintln!(
+                        "interrupted at tick {cycle}; resume with: rfsp experiment --resume {path}"
+                    ),
+                    None => eprintln!(
+                        "interrupted at tick {cycle}; no --checkpoint configured, run cannot be \
+                         resumed"
+                    ),
                 }
-                RunStatus::Paused { cycle } => {
-                    last_pause = Some(cycle);
-                    let offset = events.checkpointable_offset()?;
-                    if let Some(path) = cfg.checkpoint.as_deref() {
-                        if engine.checkpoint_due(cycle) || signals::interrupted() {
-                            let started = Instant::now();
-                            let mut machine_ck =
-                                machine.save_checkpoint(&adversary).map_err(|e| machine_err(&e))?;
-                            // Feed the cost model the machine snapshot
-                            // alone (policy field still Null): a pure
-                            // function of machine state, identical in a
-                            // resumed and an uninterrupted run.
-                            let machine_bytes =
-                                serde::json::to_string(&machine_ck.to_value()).len() as u64;
-                            engine.record_checkpoint(cycle, machine_bytes);
-                            machine_ck.policy = engine.save_state();
-                            let ck = ExperimentCheckpoint {
-                                version: EXPERIMENT_CHECKPOINT_VERSION,
-                                config: cfg.clone(),
-                                events_offset: offset,
-                                wasted,
-                                machine: machine_ck,
-                            };
-                            let file_bytes = write_checkpoint(path, &ck)?;
-                            wasted.checkpoints += 1;
-                            wasted.checkpoint_bytes += file_bytes;
-                            wasted.checkpoint_ns += started.elapsed().as_nanos() as u64;
-                            last_saved = Some(ck);
-                        }
-                    }
-                    if signals::interrupted() {
-                        match cfg.checkpoint.as_deref() {
-                            Some(path) => eprintln!(
-                                "interrupted at tick {cycle}; resume with: rfsp experiment --resume {path}"
-                            ),
-                            None => eprintln!(
-                                "interrupted at tick {cycle}; no --checkpoint configured, run cannot be resumed"
-                            ),
-                        }
-                        return Ok(CliOutcome::Interrupted);
-                    }
-                }
+                Ok(CliOutcome::Interrupted)
             }
         }
     }
 }
 
-fn config_from_args(args: &Args) -> Result<LongRunConfig, ArgError> {
+pub(crate) fn config_from_args(args: &Args) -> Result<LongRunConfig, ArgError> {
     let mut every = args.get_parsed("every", 100u64)?;
-    if every == 0 {
-        return Err(ArgError(
-            "--every 0 is a degenerate cadence: the run would never checkpoint and a crash \
-             would lose everything; give a positive tick interval (or use --policy adaptive)"
-                .into(),
-        ));
-    }
     let policy = match args.get("policy") {
         None => "fixed".to_string(),
         Some(text) => match PolicyKind::parse(text).map_err(ArgError)? {
@@ -540,16 +163,7 @@ fn config_from_args(args: &Args) -> Result<LongRunConfig, ArgError> {
         checkpoint: args.get("checkpoint").map(str::to_string),
         events: args.get("events").map(str::to_string),
     };
-    if cfg.threads == 0 {
-        return Err(ArgError("--threads must be at least 1".into()));
-    }
-    if cfg.algo == "acc" && cfg.checkpoint.is_some() {
-        return Err(ArgError(
-            "--checkpoint does not support --algo acc: its incarnation counter is \
-             program-level state a resumed run cannot recover"
-                .into(),
-        ));
-    }
+    cfg.validate()?;
     Ok(cfg)
 }
 
@@ -563,24 +177,14 @@ pub fn run(args: &Args) -> Result<CliOutcome, ArgError> {
     signals::install();
     signals::reset();
     if let Some(path) = args.get("resume") {
-        let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, &e))?;
-        let value = serde::json::from_str(&text)
-            .map_err(|e| ArgError(format!("{path}: not valid JSON: {e}")))?;
-        let ck = ExperimentCheckpoint::from_value(&value)
-            .map_err(|e| ArgError(format!("{path}: malformed checkpoint: {e}")))?;
-        if ck.version != EXPERIMENT_CHECKPOINT_VERSION {
-            return Err(ArgError(format!(
-                "{path}: checkpoint version {} (this build reads {EXPERIMENT_CHECKPOINT_VERSION})",
-                ck.version
-            )));
-        }
+        let ck = ExperimentCheckpoint::load(path)?;
         let algo = parse_algo(&ck.config.algo)?;
         let (n, p) = (ck.config.n as usize, ck.config.p as usize);
         with_write_all_program(algo, n, p, LongRun { cfg: &ck.config, resume: Some(&ck) })
     } else {
         let run = args.get_or("run", "writeall");
         if run != "writeall" {
-            return Err(ArgError(format!("unknown long-run mode '{run}' (writeall)")));
+            return Err(crate::unknown("long-run mode", run, &["writeall"]));
         }
         let cfg = config_from_args(args)?;
         let algo = parse_algo(&cfg.algo)?;
@@ -689,9 +293,7 @@ mod tests {
 
         // "Crash": scribble garbage after the checkpointed offset, then
         // resume — the tail must be truncated and regenerated exactly.
-        let ck_text = std::fs::read_to_string(&ckpt).unwrap();
-        let ck =
-            ExperimentCheckpoint::from_value(&serde::json::from_str(&ck_text).unwrap()).unwrap();
+        let ck = ExperimentCheckpoint::load(ckpt.to_str().unwrap()).unwrap();
         assert_eq!(ck.version, EXPERIMENT_CHECKPOINT_VERSION);
         assert!(
             !matches!(ck.machine.policy, serde::Value::Null),

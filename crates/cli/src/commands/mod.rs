@@ -3,6 +3,7 @@
 pub mod experiment;
 pub mod lockfree;
 pub mod longrun;
+pub mod serve;
 pub mod simulate;
 pub mod soak;
 pub mod trace;

@@ -15,7 +15,7 @@ fn parse_engine(name: &str) -> Result<Engine, ArgError> {
         "x" => Engine::X,
         "v" => Engine::V,
         "vx" | "interleaved" => Engine::Interleaved,
-        other => return Err(ArgError(format!("unknown engine '{other}'"))),
+        other => return Err(crate::unknown("engine", other, &["x", "v", "vx"])),
     })
 }
 
@@ -32,7 +32,7 @@ fn run_kernel<P: SimProgram + Sync + Clone>(prog: P, args: &Args) -> Result<SimR
             let mut adv = RandomFaults::new(rate, restart, seed);
             simulate(prog, p, engine, &mut adv, RunLimits::default())
         }
-        other => return Err(ArgError(format!("unknown adversary '{other}'"))),
+        other => return Err(crate::unknown("adversary", other, &["none", "random"])),
     }
     .map_err(|e| ArgError(format!("machine error: {e}")))?;
     if report.memory != expected {
@@ -67,7 +67,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             let x = (0..m as u32).map(|j| j % 3 + 1).collect();
             run_kernel(MatVec::new(a, x), args)?
         }
-        other => return Err(ArgError(format!("unknown kernel '{other}'"))),
+        other => {
+            return Err(crate::unknown(
+                "kernel",
+                other,
+                &["prefix", "sum", "max", "sort", "listrank", "matvec", "components"],
+            ))
+        }
     };
     println!("kernel           : {kernel}");
     println!("simulated        : N = {}, τ = {} steps", report.sim_processors, report.sim_steps);

@@ -76,13 +76,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let p: usize = args.get_parsed("p", 64)?;
     let model = args.get_or("model", "word");
     if model != "word" && model != "snapshot" {
-        return Err(ArgError(format!("unknown --model '{model}' (word|snapshot)")));
+        return Err(crate::unknown("--model", model, &["word", "snapshot"]));
     }
     let max_cycles: u64 = args.get_parsed("max-cycles", RunLimits::default().max_cycles)?;
     let tail: usize = args.get_parsed("tail", 0)?;
     let format = args.get_or("format", "csv");
     if format != "csv" && format != "jsonl" {
-        return Err(ArgError(format!("unknown --format '{format}' (csv|jsonl)")));
+        return Err(crate::unknown("--format", format, &["csv", "jsonl"]));
     }
 
     let mut recorder =

@@ -32,7 +32,13 @@ pub(crate) fn parse_algo(name: &str) -> Result<Algo, ArgError> {
         "vx" | "interleaved" => Algo::Interleaved,
         "x-inplace" | "inplace" => Algo::XInPlace,
         "acc" => Algo::Acc(0),
-        other => return Err(ArgError(format!("unknown algorithm '{other}'"))),
+        other => {
+            return Err(crate::unknown(
+                "algorithm",
+                other,
+                &["x", "v", "w", "vx", "x-inplace", "acc"],
+            ))
+        }
     })
 }
 
@@ -82,7 +88,23 @@ pub(crate) fn build_adversary(
                 .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
             Box::new(ScheduledAdversary::new(pattern_io::decode(&text)?))
         }
-        other => return Err(ArgError(format!("unknown adversary '{other}'"))),
+        other => {
+            return Err(crate::unknown(
+                "adversary",
+                other,
+                &[
+                    "none",
+                    "thrashing",
+                    "pigeonhole",
+                    "pigeonhole-failstop",
+                    "random",
+                    "offline",
+                    "xkiller",
+                    "stalking",
+                    "replay",
+                ],
+            ))
+        }
     };
     Ok(match args.get("fault-budget") {
         Some(_) => Box::new(Budgeted::new(adv, args.get_parsed("fault-budget", 0)?)),

@@ -15,8 +15,11 @@
 
 pub mod args;
 pub mod commands;
-pub mod pattern_io;
 pub mod signals;
+
+// The failure-pattern codec moved into the `rfsp-run` session layer (the
+// daemon needs it too); this re-export keeps the CLI's historical path.
+pub use rfsp_run::pattern_io;
 
 use args::{ArgError, Args};
 
@@ -94,14 +97,55 @@ COMMANDS:
                --replay-out FILE  where to write a failing case
                                   (default soak-failure.json)
                --replay FILE      reproduce a failure from its replay file
+  serve        run the multi-tenant experiment daemon over a local socket
+               --spool DIR        job spool (default rfsp-spool); every job
+                                  directory is independently resumable, so
+                                  a restarted daemon re-adopts all of them
+               --socket PATH      Unix socket (default <spool>/rfsp.sock)
+               --workers T        shared tick-pool worker threads
+                                  (default 2; jobs with --threads 1 run on
+                                  the sequential engine instead)
+               --quantum K        scheduling quantum in ticks (default 50);
+                                  jobs are preempted only at checkpoint
+                                  boundaries, round-robin, so no job waits
+                                  more than (jobs - 1) quanta for a turn
+  submit       queue a run on the daemon  --socket PATH, then the same
+               flags as 'experiment --run writeall'; add --watch to stream
+               the job's live telemetry to stdout
+  jobs         list the daemon's jobs     --socket PATH
+  cancel       stop a job at its next checkpoint  --socket PATH --job N
+               (--shutdown instead stops every job and exits the daemon)
   help         show this text
 
 EXIT CODES:
   0  success
-  1  error (bad arguments, I/O, machine error, failed cross-check)
+  1  runtime error (I/O, machine error, failed cross-check, daemon refusal)
+  2  usage error (unknown command or malformed command line)
   3  long run interrupted by SIGINT; telemetry flushed and, when
      --checkpoint is set, a final checkpoint written for --resume
 ";
+
+/// Every subcommand `dispatch` accepts, for usage errors and docs.
+pub const COMMANDS: &[&str] = &[
+    "writeall",
+    "simulate",
+    "lockfree",
+    "trace",
+    "experiment",
+    "soak",
+    "serve",
+    "submit",
+    "jobs",
+    "cancel",
+    "help",
+];
+
+/// The unified "unknown X" error: name what was given and what would have
+/// been accepted, the same shape for commands, algorithms, adversaries,
+/// kernels, and formats.
+pub fn unknown(what: &str, got: &str, expected: &[&str]) -> ArgError {
+    ArgError(format!("unknown {what} '{got}' (expected one of: {})", expected.join(", ")))
+}
 
 /// Dispatch a parsed command line.
 ///
@@ -117,11 +161,53 @@ pub fn dispatch(args: &Args) -> Result<CliOutcome, ArgError> {
         Some("trace") => done(commands::trace::run(args)),
         Some("experiment") => commands::experiment::run(args),
         Some("soak") => done(commands::soak::run(args)),
+        Some("serve") => done(commands::serve::serve(args)),
+        Some("submit") => done(commands::serve::submit(args)),
+        Some("jobs") => done(commands::serve::jobs(args)),
+        Some("cancel") => done(commands::serve::cancel(args)),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(CliOutcome::Done)
         }
-        Some(other) => Err(ArgError(format!("unknown command '{other}' (try 'rfsp help')"))),
+        Some(other) => Err(unknown("command", other, COMMANDS)),
+    }
+}
+
+/// The whole CLI as a function: parse, dispatch, and map the outcome to
+/// the documented exit-code table (see `EXIT CODES` in [`USAGE`]).
+///
+/// * `0` — success.
+/// * `1` — runtime error (I/O, machine error, failed cross-check).
+/// * `2` — usage error: malformed command line or unknown command.
+/// * `3` — long run interrupted by SIGINT after checkpointing.
+pub fn run_cli<I, S>(raw: I) -> u8
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try 'rfsp help'");
+            return 2;
+        }
+    };
+    let usage_error = args.command.as_deref().is_some_and(|c| !COMMANDS.contains(&c));
+    match dispatch(&args) {
+        Ok(CliOutcome::Done) => 0,
+        // Interrupted-with-checkpoint: distinct from errors so callers can
+        // script "rerun with --resume".
+        Ok(CliOutcome::Interrupted) => 3,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try 'rfsp help'");
+            if usage_error {
+                2
+            } else {
+                1
+            }
+        }
     }
 }
 
@@ -134,7 +220,24 @@ mod tests {
         let a = Args::parse(Vec::<String>::new()).unwrap();
         dispatch(&a).unwrap();
         let a = Args::parse(["bogus"]).unwrap();
-        assert!(dispatch(&a).is_err());
+        let Err(e) = dispatch(&a) else { panic!("unknown command accepted") };
+        assert!(e.0.contains("unknown command 'bogus'"), "{e}");
+        assert!(e.0.contains("expected one of"), "{e}");
+    }
+
+    #[test]
+    fn exit_codes_follow_the_documented_table() {
+        // 0 — success.
+        assert_eq!(run_cli(["help"]), 0);
+        assert_eq!(run_cli(["writeall", "--n", "32", "--p", "8"]), 0);
+        // 2 — usage: unknown command, malformed command line.
+        assert_eq!(run_cli(["bogus"]), 2);
+        assert_eq!(run_cli(["writeall", "stray-positional"]), 2);
+        // 1 — runtime: a known command that fails while running.
+        assert_eq!(run_cli(["writeall", "--algo", "zzz"]), 1);
+        assert_eq!(run_cli(["experiment", "--resume", "/no/such/ck.json"]), 1);
+        // 3 — interrupted-with-checkpoint — exercised against the real
+        // binary (signal delivery) in tests/exit_codes.rs.
     }
 
     #[test]

@@ -1,28 +1,8 @@
-//! The `rfsp` binary: parse the command line and dispatch.
+//! The `rfsp` binary: one call into the library's [`rfsp_cli::run_cli`],
+//! which owns parsing, dispatch, and the documented exit-code table.
 
 use std::process::ExitCode;
 
-use rfsp_cli::args::Args;
-use rfsp_cli::CliOutcome;
-
 fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(raw) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match rfsp_cli::dispatch(&args) {
-        Ok(CliOutcome::Done) => ExitCode::SUCCESS,
-        // Interrupted-with-checkpoint: distinct from errors so callers can
-        // script "rerun with --resume" (see EXIT CODES in `rfsp help`).
-        Ok(CliOutcome::Interrupted) => ExitCode::from(3),
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("try 'rfsp help'");
-            ExitCode::FAILURE
-        }
-    }
+    ExitCode::from(rfsp_cli::run_cli(std::env::args().skip(1)))
 }

@@ -67,4 +67,30 @@ mod tests {
         reset();
         assert!(!interrupted());
     }
+
+    /// A real SIGINT (not a direct store) must trip the flag: certifies
+    /// the handler is installed and async-signal-safe in practice.
+    #[cfg(unix)]
+    #[test]
+    fn delivered_sigint_trips_the_flag() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // Install FIRST: raising SIGINT under the default disposition
+        // would kill the test process.
+        install();
+        reset();
+        let rc = unsafe { raise(2) };
+        assert_eq!(rc, 0, "raise(SIGINT) failed");
+        // Signal delivery to the raising thread is synchronous on Linux,
+        // but spin briefly to stay portable.
+        for _ in 0..1000 {
+            if interrupted() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(interrupted(), "SIGINT handler did not set the flag");
+        reset();
+    }
 }

@@ -37,6 +37,7 @@
 //! the incremental unvisited index.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -825,6 +826,95 @@ where
             core.run_loop(model, adversary, limits, observer, &mut backend, control)
         })
     }
+
+    /// [`Machine::run_threaded_isolated_controlled`] on a caller-provided
+    /// [`SharedPool`] instead of a private per-call pool.
+    ///
+    /// The segment holds the pool's turn lock for its whole duration, so
+    /// concurrent callers serialize; pause at tick boundaries (via
+    /// `control`) to time-share the pool between runs. The calling thread
+    /// becomes the pool's coordinator for the duration of the segment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run_threaded_isolated`].
+    pub fn run_pooled_isolated_controlled<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        limits: RunLimits,
+        pool: &SharedPool,
+        policy: PanicPolicy,
+        observer: &mut dyn Observer,
+        control: impl FnMut(u64) -> RunControl,
+    ) -> Result<RunStatus> {
+        let Machine { model, core } = self;
+        let _turn = pool.turn.lock().unwrap_or_else(PoisonError::into_inner);
+        pool.pool.bind_coordinator();
+        let mut backend = IsolatedBackend {
+            pool: &pool.pool,
+            policy,
+            backup: vec![None; core.procs.len()],
+            degraded: false,
+        };
+        core.run_loop(model, adversary, limits, observer, &mut backend, control)
+    }
+}
+
+/// A persistent worker pool shared across machines and run segments.
+///
+/// [`Machine::run_threaded_isolated_controlled`] builds a private
+/// [`TickPool`] per call — right for a single run, but wasteful (and
+/// impossible to time-share) when a daemon multiplexes many paused runs
+/// over one set of OS threads. `SharedPool` owns its workers for as long
+/// as the value lives; any thread may drive a run segment on it through
+/// [`Machine::run_pooled_isolated_controlled`], one segment at a time: an
+/// internal turn lock serializes drivers, and each driver re-binds the
+/// pool's coordinator to itself before its first tick.
+pub struct SharedPool {
+    pool: Arc<TickPool>,
+    /// Serializes run segments: at most one coordinator drives the workers
+    /// at any moment.
+    turn: Mutex<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SharedPool {
+    /// Spawn `threads` parked workers (`threads >= 2`; a single thread
+    /// should use the sequential engine instead — the pool's coordination
+    /// protocol assumes at least two workers).
+    ///
+    /// # Errors
+    ///
+    /// [`PramError::InvalidConfig`] if `threads < 2`.
+    pub fn new(threads: usize) -> Result<Self> {
+        if threads < 2 {
+            return Err(PramError::InvalidConfig {
+                detail: "a shared pool needs at least two threads".into(),
+            });
+        }
+        let pool = Arc::new(TickPool::new(threads));
+        let handles = (0..threads)
+            .map(|rank| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || pool.worker(rank))
+            })
+            .collect();
+        Ok(SharedPool { pool, turn: Mutex::new(()), handles })
+    }
+
+    /// Number of worker threads the pool owns.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl Drop for SharedPool {
+    fn drop(&mut self) {
+        self.pool.shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -877,6 +967,52 @@ mod tests {
         assert_eq!(report.stats.parallel_time, 3);
         assert!(report.pattern.is_empty());
         assert_eq!(m.memory().peek(0), 3);
+    }
+
+    /// A [`SharedPool`] outlives any one run segment and may be driven
+    /// from whichever thread holds the turn: pause on one thread, finish
+    /// on another, and the result still matches the sequential engine.
+    #[test]
+    fn shared_pool_runs_segments_from_different_threads() {
+        assert!(SharedPool::new(1).is_err());
+        let pool = SharedPool::new(2).unwrap();
+        assert_eq!(pool.threads(), 2);
+        let prog = Counter { n: 8, target: 5 };
+        let mut m = Machine::new(&prog, 8, CycleBudget::PAPER).unwrap();
+        let status = m
+            .run_pooled_isolated_controlled(
+                &mut NoFailures,
+                RunLimits::default(),
+                &pool,
+                PanicPolicy::Surface,
+                &mut NoopObserver,
+                |c| if c >= 2 { RunControl::Pause } else { RunControl::Continue },
+            )
+            .unwrap();
+        assert!(matches!(status, RunStatus::Paused { cycle: 2 }));
+        let status = std::thread::scope(|s| {
+            s.spawn(|| {
+                m.run_pooled_isolated_controlled(
+                    &mut NoFailures,
+                    RunLimits::default(),
+                    &pool,
+                    PanicPolicy::Surface,
+                    &mut NoopObserver,
+                    |_| RunControl::Continue,
+                )
+                .unwrap()
+            })
+            .join()
+            .unwrap()
+        });
+        let RunStatus::Completed(report) = status else {
+            panic!("expected completion, got {status:?}");
+        };
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        let prog2 = Counter { n: 8, target: 5 };
+        let mut seq = Machine::new(&prog2, 8, CycleBudget::PAPER).unwrap();
+        let seq_report = seq.run(&mut NoFailures).unwrap();
+        assert_eq!(report.stats, seq_report.stats);
     }
 
     /// Adversary that fails processor 1 before its writes in cycle 0 and

@@ -235,8 +235,11 @@ pub(crate) struct TickPool {
     /// barrier.
     coord_parked: CachePadded<AtomicBool>,
     /// The coordinator's thread handle ([`TickPool::run_tick`] must be
-    /// called from the thread that built the pool).
-    coord_thread: Thread,
+    /// called from the thread that built the pool, or from the thread that
+    /// most recently called [`TickPool::bind_coordinator`]). Behind a
+    /// `Mutex` so a shared pool can be re-bound between run segments; the
+    /// only reader is the cold worker→coordinator unpark path.
+    coord_thread: Mutex<Thread>,
     workers: Vec<CachePadded<WorkerSlot>>,
     threads: usize,
     tuning: PoolTuning,
@@ -268,7 +271,7 @@ impl TickPool {
             job: JobCell(UnsafeCell::new(None)),
             err: Mutex::new(None),
             coord_parked: CachePadded::new(AtomicBool::new(false)),
-            coord_thread: std::thread::current(),
+            coord_thread: Mutex::new(std::thread::current()),
             workers: (0..threads).map(|_| CachePadded::new(WorkerSlot::default())).collect(),
             threads,
             tuning,
@@ -279,6 +282,17 @@ impl TickPool {
     /// Number of workers the pool coordinates.
     pub(crate) fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Re-bind the coordinator role to the calling thread.
+    ///
+    /// A pool owned by a single run is built and driven from the same
+    /// thread, but a pool shared across runs (see
+    /// [`SharedPool`](crate::SharedPool)) is driven by whichever job thread
+    /// currently holds the run turn; that thread must call this before its
+    /// first [`TickPool::run_tick`] so parked workers know whom to wake.
+    pub(crate) fn bind_coordinator(&self) {
+        *self.coord_thread.lock().unwrap_or_else(PoisonError::into_inner) = std::thread::current();
     }
 
     /// `true` when inlining is disabled (`RFSP_POOL_INLINE_NS=0`): callers
@@ -510,7 +524,7 @@ impl TickPool {
             if self.active.fetch_sub(1, Ordering::SeqCst) == 1
                 && self.coord_parked.load(Ordering::SeqCst)
             {
-                self.coord_thread.unpark();
+                self.coord_thread.lock().unwrap_or_else(PoisonError::into_inner).unpark();
             }
         }
     }

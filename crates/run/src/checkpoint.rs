@@ -1,0 +1,89 @@
+//! The on-disk session checkpoint: config + machine snapshot + events
+//! offset + cumulative wasted-work telemetry.
+//!
+//! This is the format `rfsp experiment --checkpoint` has written since
+//! PR 4 (the struct moved here from the CLI verbatim; the field names and
+//! version tag are unchanged, so existing checkpoints keep working).
+
+use rfsp_pram::{Checkpoint, WastedWork};
+use serde::{Deserialize, Serialize};
+
+use crate::{atomic::write_atomic, io_err, RunConfig, RunError};
+
+/// Version tag of the on-disk session checkpoint (wraps the machine's own
+/// versioned [`Checkpoint`]).
+///
+/// * v1 — config + events offset + machine snapshot.
+/// * v2 — adds cumulative [`WastedWork`] telemetry; the wrapped machine
+///   checkpoint is v4 and carries the policy-engine state.
+pub const SESSION_CHECKPOINT_VERSION: u32 = 2;
+
+/// What a checkpoint file holds: everything a resumed process needs —
+/// config, machine snapshot, and how many event bytes had been flushed
+/// when the snapshot was taken.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Format version ([`SESSION_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The run's full configuration.
+    pub config: RunConfig,
+    /// Flushed length of the events file at snapshot time; resume
+    /// truncates the file back to this before continuing.
+    pub events_offset: u64,
+    /// Cumulative fault-tolerance overhead up to (not including) this
+    /// snapshot; a resumed run keeps accumulating on top of it.
+    pub wasted: WastedWork,
+    /// The machine + adversary + policy-engine snapshot.
+    pub machine: Checkpoint,
+}
+
+impl SessionCheckpoint {
+    /// Publish to `path` via [`write_atomic`]. Returns the size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn store(&self, path: &str) -> Result<u64, RunError> {
+        write_atomic(path, &serde::json::to_string_pretty(&self.to_value()))
+    }
+
+    /// Read and validate a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable files, malformed JSON, and version mismatches.
+    pub fn load(path: &str) -> Result<Self, RunError> {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err("read", path, &e))?;
+        let value = serde::json::from_str(&text)
+            .map_err(|e| RunError(format!("{path}: not valid JSON: {e}")))?;
+        let ck = SessionCheckpoint::from_value(&value)
+            .map_err(|e| RunError(format!("{path}: malformed checkpoint: {e}")))?;
+        if ck.version != SESSION_CHECKPOINT_VERSION {
+            return Err(RunError(format!(
+                "{path}: checkpoint version {} (this build reads {SESSION_CHECKPOINT_VERSION})",
+                ck.version
+            )));
+        }
+        Ok(ck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_rejects_garbage_and_version_skew() {
+        let dir = std::env::temp_dir().join("rfsp-run-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        let path_s = path.to_str().unwrap();
+
+        assert!(SessionCheckpoint::load(path_s).unwrap_err().0.contains("cannot read"));
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(SessionCheckpoint::load(path_s).unwrap_err().0.contains("not valid JSON"));
+        std::fs::write(&path, "{\"version\":1}").unwrap();
+        assert!(SessionCheckpoint::load(path_s).unwrap_err().0.contains("malformed"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -11,7 +11,7 @@
 
 use rfsp_pram::{FailPoint, FailureEvent, FailureKind, FailurePattern};
 
-use crate::args::ArgError;
+use crate::RunError;
 
 /// Render a pattern in the text format.
 pub fn encode(pattern: &FailurePattern) -> String {
@@ -42,7 +42,7 @@ pub fn encode(pattern: &FailurePattern) -> String {
 /// # Errors
 ///
 /// Reports the first malformed or semantically illegal line.
-pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
+pub fn decode(text: &str) -> Result<FailurePattern, RunError> {
     let mut pattern = FailurePattern::new();
     // Source line of each event, for mapping validation errors back.
     let mut event_lines: Vec<usize> = Vec::new();
@@ -53,7 +53,7 @@ pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let bad = |what: &str| ArgError(format!("pattern line {}: {what}", lineno + 1));
+        let bad = |what: &str| RunError(format!("pattern line {}: {what}", lineno + 1));
         let tag = parts.next().ok_or_else(|| bad("missing tag"))?;
         let pid: usize =
             parts.next().ok_or_else(|| bad("missing pid"))?.parse().map_err(|_| bad("bad pid"))?;
@@ -97,8 +97,8 @@ pub fn decode(text: &str) -> Result<FailurePattern, ArgError> {
     if let Err(e) = pattern.validate(None) {
         let detail = &e.detail;
         return Err(match e.event.and_then(|i| event_lines.get(i)) {
-            Some(line) => ArgError(format!("pattern line {line}: {detail}")),
-            None => ArgError(format!("invalid failure pattern: {detail}")),
+            Some(line) => RunError(format!("pattern line {line}: {detail}")),
+            None => RunError(format!("invalid failure pattern: {detail}")),
         });
     }
     Ok(pattern)

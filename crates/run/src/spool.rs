@@ -1,0 +1,224 @@
+//! The daemon's on-disk job spool — the unit of daemon crash recovery.
+//!
+//! Every job lives in its own directory under the spool root:
+//!
+//! ```text
+//! spool/
+//!   job-000001/
+//!     config.json    # the RunConfig, paths rewritten into this directory
+//!     ck.json        # latest session checkpoint (atomic tmp+rename)
+//!     events.jsonl   # the job's event stream
+//!     done.json      # terminal marker: {"state": "...", "detail": "..."}
+//! ```
+//!
+//! A restarted daemon scans the root and re-adopts everything it finds:
+//! jobs with a `done.json` are history, jobs with a `ck.json` resume from
+//! it (byte-identical event streams, same guarantee as `--resume`), and
+//! jobs with only a `config.json` start from scratch. Nothing else — no
+//! database, no lock files — so `kill -9` mid-write loses at most the
+//! work since the last checkpoint, exactly like a machine crash in the
+//! paper's fail-stop model.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::atomic::write_atomic;
+use crate::checkpoint::SessionCheckpoint;
+use crate::{io_err, RunConfig, RunError};
+
+/// Terminal marker for a finished job.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DoneMarker {
+    /// `"completed"`, `"stopped"`, or `"failed"`.
+    pub state: String,
+    /// Human-readable detail (summary line or error message).
+    pub detail: String,
+}
+
+/// One re-adopted job, as the startup scan sees it.
+pub struct SpoolJob {
+    /// The id encoded in the directory name.
+    pub job: u64,
+    /// The job's configuration (paths already point into the spool).
+    pub config: RunConfig,
+    /// The latest checkpoint, if one was published.
+    pub resume: Option<SessionCheckpoint>,
+    /// The terminal marker, if the job already finished.
+    pub done: Option<DoneMarker>,
+}
+
+/// The spool root.
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// Open (creating if needed) the spool at `root`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory.
+    pub fn open(root: &Path) -> Result<Self, RunError> {
+        std::fs::create_dir_all(root)
+            .map_err(|e| io_err("create spool directory", &root.display().to_string(), &e))?;
+        Ok(Spool { root: root.to_path_buf() })
+    }
+
+    fn job_dir(&self, job: u64) -> PathBuf {
+        self.root.join(format!("job-{job:06}"))
+    }
+
+    /// The job's checkpoint path (inside its spool directory).
+    pub fn checkpoint_path(&self, job: u64) -> String {
+        self.job_dir(job).join("ck.json").display().to_string()
+    }
+
+    /// The job's events path (inside its spool directory).
+    pub fn events_path(&self, job: u64) -> String {
+        self.job_dir(job).join("events.jsonl").display().to_string()
+    }
+
+    /// Materialize a new job directory: rewrite the config's artifact
+    /// paths into the spool and durably publish `config.json`. Returns
+    /// the rewritten config the job must run with.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn create_job(&self, job: u64, mut config: RunConfig) -> Result<RunConfig, RunError> {
+        let dir = self.job_dir(job);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err("create job directory", &dir.display().to_string(), &e))?;
+        config.checkpoint = Some(self.checkpoint_path(job));
+        config.events = Some(self.events_path(job));
+        let path = dir.join("config.json");
+        write_atomic(
+            path.to_str().ok_or_else(|| RunError("non-UTF-8 spool path".into()))?,
+            &serde::json::to_string_pretty(&config.to_value()),
+        )?;
+        Ok(config)
+    }
+
+    /// Durably publish a job's terminal marker.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn mark_done(&self, job: u64, state: &str, detail: &str) -> Result<(), RunError> {
+        let path = self.job_dir(job).join("done.json");
+        let marker = DoneMarker { state: state.to_string(), detail: detail.to_string() };
+        write_atomic(
+            path.to_str().ok_or_else(|| RunError("non-UTF-8 spool path".into()))?,
+            &serde::json::to_string_pretty(&marker.to_value()),
+        )?;
+        Ok(())
+    }
+
+    /// Scan the spool: every `job-NNNNNN` directory with a readable
+    /// `config.json` becomes a [`SpoolJob`], sorted by id. Unreadable or
+    /// torn checkpoints are reported as errors — a daemon must refuse to
+    /// silently restart a job whose checkpoint it cannot parse.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed spool contents.
+    pub fn scan(&self) -> Result<Vec<SpoolJob>, RunError> {
+        let mut jobs = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err("read spool directory", &self.root.display().to_string(), &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                io_err("read spool directory", &self.root.display().to_string(), &e)
+            })?;
+            let name = entry.file_name();
+            let Some(id) = name.to_str().and_then(|n| n.strip_prefix("job-")) else { continue };
+            let Ok(job) = id.parse::<u64>() else { continue };
+            let dir = entry.path();
+            let config_path = dir.join("config.json");
+            let text = std::fs::read_to_string(&config_path)
+                .map_err(|e| io_err("read", &config_path.display().to_string(), &e))?;
+            let config = serde::json::from_str(&text)
+                .ok()
+                .and_then(|v| RunConfig::from_value(&v).ok())
+                .ok_or_else(|| {
+                    RunError(format!("{}: malformed job config", config_path.display()))
+                })?;
+            let ck_path = dir.join("ck.json");
+            let resume = if ck_path.exists() {
+                Some(SessionCheckpoint::load(
+                    ck_path.to_str().ok_or_else(|| RunError("non-UTF-8 spool path".into()))?,
+                )?)
+            } else {
+                None
+            };
+            let done_path = dir.join("done.json");
+            let done = if done_path.exists() {
+                let text = std::fs::read_to_string(&done_path)
+                    .map_err(|e| io_err("read", &done_path.display().to_string(), &e))?;
+                serde::json::from_str(&text).ok().and_then(|v| DoneMarker::from_value(&v).ok())
+            } else {
+                None
+            };
+            jobs.push(SpoolJob { job, config, resume, done });
+        }
+        jobs.sort_by_key(|j| j.job);
+        Ok(jobs)
+    }
+
+    /// The next unused job id (one past the highest spooled id).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while scanning.
+    pub fn next_job_id(&self) -> Result<u64, RunError> {
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err("read spool directory", &self.root.display().to_string(), &e))?;
+        let mut max = 0;
+        for entry in entries.flatten() {
+            if let Some(id) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix("job-"))
+                .and_then(|n| n.parse::<u64>().ok())
+            {
+                max = max.max(id);
+            }
+        }
+        Ok(max + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_scan_and_mark_done_roundtrip() {
+        let root = std::env::temp_dir().join("rfsp-run-spool-test");
+        let _ = std::fs::remove_dir_all(&root);
+        let spool = Spool::open(&root).unwrap();
+        assert_eq!(spool.next_job_id().unwrap(), 1);
+        assert!(spool.scan().unwrap().is_empty());
+
+        let cfg = spool.create_job(1, RunConfig::default()).unwrap();
+        assert_eq!(cfg.checkpoint.as_deref(), Some(spool.checkpoint_path(1).as_str()));
+        assert_eq!(cfg.events.as_deref(), Some(spool.events_path(1).as_str()));
+        spool.create_job(2, RunConfig::default()).unwrap();
+        spool.mark_done(2, "completed", "all cells written").unwrap();
+        assert_eq!(spool.next_job_id().unwrap(), 3);
+
+        let jobs = spool.scan().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!((jobs[0].job, jobs[1].job), (1, 2));
+        assert!(jobs[0].done.is_none() && jobs[0].resume.is_none());
+        let done = jobs[1].done.as_ref().unwrap();
+        assert_eq!(done.state, "completed");
+
+        // A torn checkpoint must fail the scan loudly, not silently
+        // restart the job from scratch.
+        std::fs::write(root.join("job-000001").join("ck.json"), "{torn").unwrap();
+        assert!(spool.scan().is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
